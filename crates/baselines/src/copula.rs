@@ -1,0 +1,188 @@
+//! Gaussian-copula machinery for the TVAE-like generator: standard-normal
+//! CDF and quantile approximations, rank transforms, and a Cholesky
+//! factorization for correlated latent sampling.
+
+/// Standard normal CDF (Abramowitz–Stegun 7.1.26-based erf approximation;
+/// absolute error < 1.5e-7 — ample for rank mapping).
+pub fn normal_cdf(x: f64) -> f64 {
+    let t = x / std::f64::consts::SQRT_2;
+    0.5 * (1.0 + erf(t))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal quantile (Acklam's rational approximation; relative
+/// error < 1.15e-9 in the central region).
+///
+/// # Panics
+/// Panics if `p` is outside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile of p outside (0,1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Cholesky factorization of a symmetric positive-definite matrix (row-major
+/// `n×n`). Returns the lower-triangular factor `L` with `L·Lᵀ = m`, or
+/// `None` if the matrix is not positive definite (after the caller's
+/// regularization).
+pub fn cholesky(m: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(m.len(), n * n);
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = m[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// The empirical quantile of a *sorted* sample at probability `p ∈ [0, 1]`.
+pub fn empirical_quantile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Normal scores of a sample: each value's rank mapped through the normal
+/// quantile (ties broken by index, ranks midpoint-adjusted).
+pub fn normal_scores(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+    let mut scores = vec![0.0f64; n];
+    for (rank, &idx) in order.iter().enumerate() {
+        let p = (rank as f64 + 0.5) / n as f64;
+        scores[idx] = normal_quantile(p);
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(6.0) > 0.999999);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &p in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let x = normal_quantile(p);
+            assert!(
+                (normal_cdf(x) - p).abs() < 1e-6,
+                "p={p}: quantile {x}, cdf back {}",
+                normal_cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn cholesky_identity_and_known() {
+        let l = cholesky(&[1.0, 0.0, 0.0, 1.0], 2).unwrap();
+        assert_eq!(l, vec![1.0, 0.0, 0.0, 1.0]);
+        // [[4, 2], [2, 3]] = L Lᵀ with L = [[2, 0], [1, sqrt(2)]].
+        let l = cholesky(&[4.0, 2.0, 2.0, 3.0], 2).unwrap();
+        assert!((l[0] - 2.0).abs() < 1e-12);
+        assert!((l[2] - 1.0).abs() < 1e-12);
+        assert!((l[3] - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        assert!(cholesky(&[1.0, 2.0, 2.0, 1.0], 2).is_none());
+    }
+
+    #[test]
+    fn empirical_quantile_interpolates() {
+        let s = vec![0.0, 10.0, 20.0];
+        assert_eq!(empirical_quantile(&s, 0.0), 0.0);
+        assert_eq!(empirical_quantile(&s, 1.0), 20.0);
+        assert!((empirical_quantile(&s, 0.5) - 10.0).abs() < 1e-12);
+        assert!((empirical_quantile(&s, 0.25) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_scores_are_monotone_in_value() {
+        let vals = vec![3.0, 1.0, 2.0];
+        let s = normal_scores(&vals);
+        assert!(s[1] < s[2] && s[2] < s[0]);
+        // Median rank maps near zero.
+        assert!(s[2].abs() < 0.5);
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion benches: one group per paper figure, at `Scale::Tiny` so each
+//! pipeline iteration fits in a measurement loop. These measure the *cost*
+//! of regenerating each figure; the `src/bin/` binaries produce the numbers
+//! recorded in EXPERIMENTS.md.
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lejit_bench::experiments;
+use lejit_bench::{BenchEnv, Scale};
+
+fn env() -> &'static BenchEnv {
+    static ENV: OnceLock<BenchEnv> = OnceLock::new();
+    ENV.get_or_init(|| BenchEnv::build(Scale::Tiny))
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let env = env();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig3_violations", |b| {
+        b.iter(|| experiments::fig3_violations(env))
+    });
+    g.bench_function("fig3_runtime", |b| b.iter(|| experiments::fig3_runtime(env)));
+    g.bench_function("fig4_imputation", |b| {
+        b.iter(|| experiments::fig4_imputation(env))
+    });
+    g.bench_function("fig4_downstream", |b| {
+        b.iter(|| experiments::fig4_downstream(env))
+    });
+    g.bench_function("fig5_synthesis", |b| {
+        b.iter(|| experiments::fig5_synthesis(env))
+    });
+    g.bench_function("ablation_lookahead", |b| {
+        b.iter(|| experiments::ablation_lookahead(env))
+    });
+    g.bench_function("ablation_rules", |b| {
+        b.iter(|| experiments::ablation_rules(env))
+    });
+    g.bench_function("ablation_temporal", |b| {
+        b.iter(|| experiments::ablation_temporal(env))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

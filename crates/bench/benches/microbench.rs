@@ -1,0 +1,162 @@
+//! Microbenchmarks of the individual substrates: solver queries, the
+//! character-level transition system, one JIT decode, rule mining, and the
+//! evaluation metrics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use lejit_core::schema::DecodeSchema;
+use lejit_core::{allowed_chars, Imputer, JitSession, Lookahead, TaskConfig, VarState};
+use lejit_lm::{NgramLm, Vocab};
+use lejit_metrics::{emd, jsd};
+use lejit_rules::{ground_rule, mine_rules, paper_rules, GroundCtx, MinerConfig};
+use lejit_smt::{SatResult, Solver};
+use lejit_telemetry::{encode_imputation_example, generate, CoarseField, TelemetryConfig};
+
+/// Fresh solver with the paper's R1+R2 constraint system.
+fn paper_solver() -> (Solver, Vec<lejit_smt::VarId>) {
+    let mut s = Solver::new();
+    let vars: Vec<_> = (0..5).map(|t| s.int_var(&format!("i{t}"), 0, 60)).collect();
+    let terms: Vec<_> = vars.iter().map(|&v| s.var(v)).collect();
+    let total = s.add(&terms);
+    let hundred = s.int(100);
+    let eq = s.eq(total, hundred);
+    s.assert(eq);
+    (s, vars)
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver");
+    g.bench_function("check_sum_system", |b| {
+        b.iter(|| {
+            let (mut s, _) = paper_solver();
+            assert_eq!(s.check(), SatResult::Sat);
+        })
+    });
+    g.bench_function("minimize_with_lookahead", |b| {
+        let (mut s, vars) = paper_solver();
+        b.iter(|| black_box(s.maximize(vars[3])))
+    });
+    g.bench_function("incremental_push_pop_probe", |b| {
+        let (mut s, vars) = paper_solver();
+        let vt = s.var(vars[3]);
+        b.iter(|| {
+            s.push();
+            let c20 = s.int(20);
+            let f = s.le(vt, c20);
+            s.assert(f);
+            let r = s.check();
+            s.pop();
+            black_box(r)
+        })
+    });
+    g.finish();
+}
+
+fn session_with_paper_rules() -> (JitSession, DecodeSchema) {
+    let schema = DecodeSchema::fine_series(5, 60);
+    let mut session = JitSession::new(&schema);
+    let rules = paper_rules(60);
+    let solver = session.solver_mut();
+    let mut coarse_vals = [0i64; 6];
+    coarse_vals[CoarseField::TotalIngress.index()] = 100;
+    coarse_vals[CoarseField::EcnBytes.index()] = 8;
+    let coarse: Vec<_> = CoarseField::ALL
+        .into_iter()
+        .map(|f| solver.int(coarse_vals[f.index()]))
+        .collect();
+    let fine: Vec<_> = (0..5)
+        .map(|t| {
+            let v = solver.pool().find_var(&format!("fine{t}")).unwrap();
+            solver.var(v)
+        })
+        .collect();
+    let ctx = GroundCtx {
+        coarse: coarse.try_into().unwrap(),
+        fine,
+    };
+    for r in &rules.rules {
+        let grounded = ground_rule(solver.pool_mut(), &ctx, r);
+        solver.assert(grounded);
+    }
+    (session, schema)
+}
+
+fn bench_transition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transition_system");
+    g.bench_function("allowed_chars_first_digit", |b| {
+        let (mut session, schema) = session_with_paper_rules();
+        let spec = schema.variables()[0].clone();
+        b.iter(|| {
+            black_box(allowed_chars(
+                &mut session,
+                0,
+                &spec,
+                &VarState::start(),
+                Lookahead::Full,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let data = generate(TelemetryConfig {
+        racks_train: 6,
+        racks_test: 2,
+        windows_per_rack: 30,
+        ..TelemetryConfig::default()
+    });
+    let texts: Vec<String> = data.train.iter().map(encode_imputation_example).collect();
+    let vocab = Vocab::from_corpus(&(texts.join("\n") + "0123456789,;|=.TERGCD"));
+    let seqs: Vec<_> = texts.iter().map(|t| vocab.encode(t).unwrap()).collect();
+    let model = NgramLm::train(vocab, &seqs, 5);
+    let imputer = Imputer::new(
+        &model,
+        paper_rules(data.bandwidth),
+        data.window_len,
+        data.bandwidth,
+        TaskConfig::default(),
+    );
+    let window = data.test[0].clone();
+    let mut g = c.benchmark_group("decode");
+    g.bench_function("jit_impute_one_window", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(imputer.impute(&window.coarse, &mut rng).unwrap()))
+    });
+    g.bench_function("vanilla_impute_one_window", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(imputer.impute_vanilla(&window.coarse, &mut rng).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_mining_and_metrics(c: &mut Criterion) {
+    let data = generate(TelemetryConfig {
+        racks_train: 6,
+        racks_test: 2,
+        windows_per_rack: 30,
+        ..TelemetryConfig::default()
+    });
+    let mut g = c.benchmark_group("mining_and_metrics");
+    g.sample_size(20);
+    g.bench_function("mine_rules", |b| {
+        b.iter(|| black_box(mine_rules(&data.train, data.bandwidth, MinerConfig::default())))
+    });
+    let xs: Vec<f64> = (0..5000).map(|i| ((i * 37) % 61) as f64).collect();
+    let ys: Vec<f64> = (0..5000).map(|i| ((i * 17 + 5) % 61) as f64).collect();
+    g.bench_function("emd_5k", |b| b.iter(|| black_box(emd(&xs, &ys))));
+    g.bench_function("jsd_5k", |b| b.iter(|| black_box(jsd(&xs, &ys, 16))));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_solver,
+    bench_transition,
+    bench_decode,
+    bench_mining_and_metrics
+);
+criterion_main!(benches);

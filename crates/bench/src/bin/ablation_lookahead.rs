@@ -1,0 +1,11 @@
+//! Ablation A1: solver lookahead on vs off (dead-end rate).
+//!
+//! Usage: `cargo run -p lejit-bench --release --bin ablation_lookahead`
+
+use lejit_bench::{experiments, print_table, BenchEnv, Scale};
+
+fn main() {
+    let env = BenchEnv::build(Scale::from_env());
+    let table = experiments::ablation_lookahead(&env);
+    print_table("Ablation A1: solver lookahead", &table);
+}

@@ -1,0 +1,11 @@
+//! Ablation A2: behaviour vs mined-rule-set size.
+//!
+//! Usage: `cargo run -p lejit-bench --release --bin ablation_rules`
+
+use lejit_bench::{experiments, print_table, BenchEnv, Scale};
+
+fn main() {
+    let env = BenchEnv::build(Scale::from_env());
+    let table = experiments::ablation_rules(&env);
+    print_table("Ablation A2: rule-set size sweep", &table);
+}

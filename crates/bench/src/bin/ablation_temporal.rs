@@ -1,0 +1,12 @@
+//! Ablation A3: temporal (delta) rules on vs off, on a rate-limited
+//! workload — the paper's §5 future-work extension.
+//!
+//! Usage: `cargo run -p lejit-bench --release --bin ablation_temporal`
+
+use lejit_bench::{experiments, print_table, BenchEnv, Scale};
+
+fn main() {
+    let env = BenchEnv::build(Scale::from_env());
+    let table = experiments::ablation_temporal(&env);
+    print_table("Ablation A3: temporal delta rules", &table);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 3 (right): runtime per method for 30 K samples.
+//!
+//! Usage: `cargo run -p lejit-bench --release --bin fig3_runtime`
+
+use lejit_bench::{experiments, print_table, BenchEnv, Scale};
+
+fn main() {
+    let env = BenchEnv::build(Scale::from_env());
+    let table = experiments::fig3_runtime(&env);
+    print_table("Fig. 3 (right): runtime for 30K samples", &table);
+}

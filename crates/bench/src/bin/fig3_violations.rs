@@ -1,0 +1,21 @@
+//! Regenerates Fig. 3 (left): rule-violation rate per method.
+//!
+//! Usage: `cargo run -p lejit-bench --release --bin fig3_violations`
+//! (`LEJIT_SCALE=full` for the EXPERIMENTS.md scale).
+
+use lejit_bench::{experiments, print_table, BenchEnv, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("building benchmark environment ({scale:?})...");
+    let env = BenchEnv::build(scale);
+    eprintln!(
+        "dataset: {} train / {} test windows; mined rules: {} imputation / {} synthesis",
+        env.dataset.train.len(),
+        env.dataset.test.len(),
+        env.mined.imputation.len(),
+        env.mined.synthesis.len()
+    );
+    let table = experiments::fig3_violations(&env);
+    print_table("Fig. 3 (left): rule violations in imputed time series", &table);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 4 (right): downstream burst-analysis accuracy.
+//!
+//! Usage: `cargo run -p lejit-bench --release --bin fig4_downstream`
+
+use lejit_bench::{experiments, print_table, BenchEnv, Scale};
+
+fn main() {
+    let env = BenchEnv::build(Scale::from_env());
+    let table = experiments::fig4_downstream(&env);
+    print_table("Fig. 4 (right): downstream burst analysis", &table);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 4 (left): imputation accuracy.
+//!
+//! Usage: `cargo run -p lejit-bench --release --bin fig4_imputation`
+
+use lejit_bench::{experiments, print_table, BenchEnv, Scale};
+
+fn main() {
+    let env = BenchEnv::build(Scale::from_env());
+    let table = experiments::fig4_imputation(&env);
+    print_table("Fig. 4 (left): imputation accuracy", &table);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 5: synthesis fidelity (per-field JSD) and compliance.
+//!
+//! Usage: `cargo run -p lejit-bench --release --bin fig5_synthesis`
+
+use lejit_bench::{experiments, print_table, BenchEnv, Scale};
+
+fn main() {
+    let env = BenchEnv::build(Scale::from_env());
+    let table = experiments::fig5_synthesis(&env);
+    print_table("Fig. 5: synthetic data fidelity and rule compliance", &table);
+}

@@ -1,0 +1,20 @@
+//! # lejit-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! LeJIT paper's evaluation (§4), plus the ablations called out in
+//! DESIGN.md. Each `src/bin/*.rs` binary reproduces one figure and prints
+//! the same rows/series the paper reports; `benches/` holds the criterion
+//! counterparts.
+//!
+//! Scale is controlled by the `LEJIT_SCALE` environment variable:
+//! `quick` (default; minutes) or `full` (used for EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod setup;
+
+pub use report::{print_table, Table};
+pub use setup::{BenchEnv, Scale};

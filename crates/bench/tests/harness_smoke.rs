@@ -1,0 +1,96 @@
+//! Smoke test of the whole benchmark harness at `Scale::Tiny`: every figure
+//! pipeline runs end to end and produces a structurally sound table with the
+//! paper's headline invariants (LeJIT rows at 0% violations).
+
+use std::sync::OnceLock;
+
+use lejit_bench::{experiments, BenchEnv, Scale};
+
+fn env() -> &'static BenchEnv {
+    static ENV: OnceLock<BenchEnv> = OnceLock::new();
+    ENV.get_or_init(|| {
+        // The model cache must not leak between test runs of different code
+        // versions; build fresh.
+        std::env::set_var("LEJIT_NO_MODEL_CACHE", "1");
+        BenchEnv::build(Scale::Tiny)
+    })
+}
+
+fn row<'t>(table: &'t lejit_bench::Table, needle: &str) -> &'t Vec<String> {
+    table
+        .rows
+        .iter()
+        .find(|r| r[0].contains(needle))
+        .unwrap_or_else(|| panic!("no row containing `{needle}`"))
+}
+
+#[test]
+fn fig3_violations_has_the_paper_shape() {
+    let t = experiments::fig3_violations(env());
+    assert_eq!(t.rows.len(), 5);
+    let lejit = row(&t, "LeJIT (full rules)");
+    assert_eq!(lejit[1], "0.0%", "LeJIT must be perfectly compliant");
+    let vanilla = row(&t, "Vanilla");
+    let v_rate: f64 = vanilla[1].trim_end_matches('%').parse().unwrap();
+    assert!(v_rate > 10.0, "vanilla should violate substantially: {v_rate}");
+}
+
+#[test]
+fn fig3_runtime_ranks_rejection_above_lejit() {
+    let t = experiments::fig3_runtime(env());
+    let lejit: f64 = row(&t, "LeJIT (full rules)")[1].parse().unwrap();
+    let rejection: f64 = row(&t, "Rejection")[1].parse().unwrap();
+    let vanilla: f64 = row(&t, "Vanilla")[1].parse().unwrap();
+    assert!(rejection > lejit, "rejection {rejection} <= lejit {lejit}");
+    assert!(vanilla < lejit, "vanilla {vanilla} >= lejit {lejit}");
+}
+
+#[test]
+fn fig4_tables_are_complete() {
+    let t = experiments::fig4_imputation(env());
+    assert_eq!(t.rows.len(), 5);
+    for r in &t.rows {
+        assert_eq!(r.len(), t.headers.len());
+    }
+    let t = experiments::fig4_downstream(env());
+    assert_eq!(t.rows.len(), 5);
+}
+
+#[test]
+fn fig5_lejit_is_compliant_and_vanilla_is_not() {
+    let t = experiments::fig5_synthesis(env());
+    assert_eq!(t.rows.len(), 8);
+    let lejit = row(&t, "LeJIT");
+    assert_eq!(lejit.last().unwrap(), "0.0%");
+    let vanilla = row(&t, "Vanilla");
+    let v_rate: f64 = vanilla
+        .last()
+        .unwrap()
+        .trim_end_matches('%')
+        .parse()
+        .unwrap();
+    assert!(v_rate > 5.0, "vanilla synthesis too compliant: {v_rate}");
+}
+
+#[test]
+fn lookahead_ablation_shows_dead_ends() {
+    let t = experiments::ablation_lookahead(env());
+    let full = row(&t, "full");
+    assert_eq!(full[1], "0", "full lookahead must never dead-end");
+    let immediate = row(&t, "immediate");
+    let dead_ends: usize = immediate[1].parse().unwrap();
+    let completed: usize = immediate[2].parse().unwrap();
+    assert!(
+        dead_ends > completed,
+        "immediate-only should mostly dead-end ({dead_ends} vs {completed})"
+    );
+}
+
+#[test]
+fn rules_ablation_is_monotone_at_the_ends() {
+    let t = experiments::ablation_rules(env());
+    let zero: f64 = t.rows[0][1].trim_end_matches('%').parse().unwrap();
+    let full: f64 = t.rows.last().unwrap()[1].trim_end_matches('%').parse().unwrap();
+    assert!(zero > 50.0, "no rules should violate often: {zero}");
+    assert_eq!(full, 0.0, "full rule set must reach zero violations");
+}

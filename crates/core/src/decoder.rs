@@ -1,0 +1,526 @@
+//! The JIT decode loop: model → logits → solver mask → sample → commit.
+//!
+//! Walks a [`DecodeSchema`], forcing literal characters and generating each
+//! variable digit by digit. Before every sampled character, the transition
+//! system ([`crate::transition`]) asks the solver which characters can still
+//! lead to a rule-compliant output; all other logits are set to `-inf` and
+//! sampling renormalizes over the survivors. When a variable's terminator is
+//! emitted, its value is fixed in the solver — from then on, every remaining
+//! rule is evaluated relative to it (dynamic partial instantiation).
+//!
+//! The decoder also counts **interventions**: steps where the model's
+//! unconstrained argmax was masked away. This quantifies the paper's
+//! "minimally invasive" claim — a well-trained model needs few nudges.
+
+use std::fmt;
+
+use rand::Rng;
+
+use lejit_lm::{sample_token, LanguageModel, SamplerConfig, TokenId};
+
+use crate::schema::{DecodeSchema, SchemaItem, VarSpec};
+use crate::session::JitSession;
+use crate::trace::{DecodeTrace, TraceStep};
+use crate::transition::{allowed_chars, CharOptions, Lookahead, VarState};
+
+/// Why decoding failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The model's vocabulary lacks a character the schema needs.
+    MissingChar(char),
+    /// The rules are unsatisfiable before any token is generated.
+    UnsatRules,
+    /// No character can be emitted (only reachable without full lookahead).
+    DeadEnd {
+        /// Name of the variable being decoded.
+        var: String,
+        /// The digit prefix at which decoding got stuck.
+        prefix: i64,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::MissingChar(c) => write!(f, "vocabulary lacks character `{c}`"),
+            DecodeError::UnsatRules => write!(f, "rules are unsatisfiable for this input"),
+            DecodeError::DeadEnd { var, prefix } => {
+                write!(f, "dead end decoding `{var}` at prefix {prefix}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Counters describing one decode.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DecodeStats {
+    /// Characters emitted in total (literals + generated).
+    pub tokens: u64,
+    /// Characters that were schema literals (forced).
+    pub forced_tokens: u64,
+    /// Satisfiability checks issued to the solver.
+    pub solver_checks: u64,
+    /// Steps where the model's unmasked argmax was pruned by the mask.
+    pub interventions: u64,
+    /// Steps where the mask left exactly one character (fully determined,
+    /// e.g. step 5 of Fig. 1b).
+    pub forced_choices: u64,
+}
+
+/// A successfully decoded record.
+#[derive(Clone, Debug)]
+pub struct DecodedOutput {
+    /// The values of the schema variables, in order.
+    pub values: Vec<i64>,
+    /// The emitted text (without the prompt).
+    pub text: String,
+    /// Decode counters.
+    pub stats: DecodeStats,
+}
+
+/// How a decode run decides which characters are allowed and what happens
+/// when a value commits. The JIT policy consults the solver; the vanilla
+/// policy is purely structural.
+pub(crate) trait DecodePolicy {
+    /// Allowed next characters for variable `k` in state `st`.
+    fn allowed(&mut self, k: usize, spec: &VarSpec, st: &VarState) -> CharOptions;
+    /// Called when variable `k` commits to `value`.
+    fn commit(&mut self, k: usize, value: i64);
+}
+
+/// The generic decode loop, parameterized by a [`DecodePolicy`]. Shared
+/// between the JIT decoder and the vanilla (rule-free) decoder.
+pub(crate) fn decode_loop<M, R, P>(
+    model: &M,
+    schema: &DecodeSchema,
+    prompt: &str,
+    sampler: &SamplerConfig,
+    rng: &mut R,
+    policy: &mut P,
+    mut trace: Option<&mut DecodeTrace>,
+) -> Result<DecodedOutput, DecodeError>
+where
+    M: LanguageModel,
+    R: Rng,
+    P: DecodePolicy,
+{
+    let vocab = model.vocab();
+    let tok = |c: char| -> Result<TokenId, DecodeError> {
+        vocab.id_of(c).ok_or(DecodeError::MissingChar(c))
+    };
+    let digit_tokens: Vec<TokenId> = ('0'..='9')
+        .map(tok)
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let mut context: Vec<TokenId> = Vec::with_capacity(prompt.len() + 64);
+    for c in prompt.chars() {
+        context.push(tok(c)?);
+    }
+
+    let mut stats = DecodeStats::default();
+    let mut values = Vec::new();
+    let mut text = String::new();
+    let mut var_idx = 0usize;
+    let mut skip_next_literal_char = false;
+
+    for item in &schema.items {
+        match item {
+            SchemaItem::Literal(s) => {
+                for (i, c) in s.chars().enumerate() {
+                    if i == 0 && skip_next_literal_char {
+                        skip_next_literal_char = false;
+                        continue;
+                    }
+                    context.push(tok(c)?);
+                    text.push(c);
+                    stats.tokens += 1;
+                    stats.forced_tokens += 1;
+                }
+            }
+            SchemaItem::Variable(spec) => {
+                let term_char = schema.terminator_of(var_idx);
+                let term_token = tok(term_char)?;
+                let mut st = VarState::start();
+                loop {
+                    let opts = policy.allowed(var_idx, spec, &st);
+                    if opts.is_dead_end() {
+                        return Err(DecodeError::DeadEnd {
+                            var: spec.name.clone(),
+                            prefix: st.prefix,
+                        });
+                    }
+                    let logits = model.next_logits(&context);
+                    // Unconstrained argmax, for intervention accounting.
+                    let argmax = logits
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                        .map(|(i, _)| i as TokenId)
+                        .unwrap_or(0);
+
+                    let mut allowed_tokens: Vec<TokenId> = opts
+                        .digits
+                        .iter()
+                        .map(|&d| digit_tokens[d as usize])
+                        .collect();
+                    if opts.terminator {
+                        allowed_tokens.push(term_token);
+                    }
+                    if allowed_tokens.len() == 1 {
+                        stats.forced_choices += 1;
+                    }
+                    if !allowed_tokens.contains(&argmax) {
+                        stats.interventions += 1;
+                    }
+
+                    let mut masked = vec![f32::NEG_INFINITY; logits.len()];
+                    for &t in &allowed_tokens {
+                        masked[t as usize] = logits[t as usize];
+                    }
+                    let chosen = sample_token(&masked, sampler, rng)
+                        .expect("non-empty allowed set always yields a sample");
+                    stats.tokens += 1;
+                    context.push(chosen);
+
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.steps.push(TraceStep {
+                            var: spec.name.clone(),
+                            prefix: st.prefix,
+                            prefix_len: st.len,
+                            allowed_digits: opts.digits.clone(),
+                            terminator_allowed: opts.terminator,
+                            chosen: vocab.char_of(chosen),
+                            intervened: !allowed_tokens.contains(&argmax),
+                        });
+                    }
+
+                    if chosen == term_token && opts.terminator {
+                        text.push(term_char);
+                        values.push(st.prefix);
+                        policy.commit(var_idx, st.prefix);
+                        skip_next_literal_char = true;
+                        break;
+                    }
+                    let d = digit_tokens
+                        .iter()
+                        .position(|&t| t == chosen)
+                        .expect("sampled token is a digit") as u8;
+                    text.push(char::from(b'0' + d));
+                    st.push(d);
+                }
+                var_idx += 1;
+            }
+        }
+    }
+
+    Ok(DecodedOutput {
+        values,
+        text,
+        stats,
+    })
+}
+
+/// The LeJIT decoder: SMT-guided constrained generation.
+pub struct JitDecoder<'m, M: LanguageModel> {
+    model: &'m M,
+    sampler: SamplerConfig,
+    lookahead: Lookahead,
+}
+
+impl<'m, M: LanguageModel> JitDecoder<'m, M> {
+    /// Creates a decoder with full solver lookahead (the LeJIT default).
+    pub fn new(model: &'m M, sampler: SamplerConfig) -> Self {
+        JitDecoder {
+            model,
+            sampler,
+            lookahead: Lookahead::Full,
+        }
+    }
+
+    /// Overrides the lookahead policy (used by the ablation benchmark).
+    pub fn with_lookahead(mut self, lookahead: Lookahead) -> Self {
+        self.lookahead = lookahead;
+        self
+    }
+
+    /// Decodes one record. The session must already contain the grounded
+    /// rules; the prompt is the conditioning text (empty for unconditional
+    /// generation).
+    pub fn decode<R: Rng>(
+        &self,
+        session: &mut JitSession,
+        schema: &DecodeSchema,
+        prompt: &str,
+        rng: &mut R,
+    ) -> Result<DecodedOutput, DecodeError> {
+        if !session.satisfiable() {
+            return Err(DecodeError::UnsatRules);
+        }
+        struct JitPolicy<'s> {
+            session: &'s mut JitSession,
+            lookahead: Lookahead,
+        }
+        impl DecodePolicy for JitPolicy<'_> {
+            fn allowed(&mut self, k: usize, spec: &VarSpec, st: &VarState) -> CharOptions {
+                allowed_chars(self.session, k, spec, st, self.lookahead)
+            }
+            fn commit(&mut self, k: usize, value: i64) {
+                self.session.fix(k, value);
+            }
+        }
+        let mut policy = JitPolicy {
+            session,
+            lookahead: self.lookahead,
+        };
+        let mut out = decode_loop(
+            self.model,
+            schema,
+            prompt,
+            &self.sampler,
+            rng,
+            &mut policy,
+            None,
+        )?;
+        out.stats.solver_checks = policy.session.checks();
+        Ok(out)
+    }
+
+    /// Like [`Self::decode`], additionally returning a per-character
+    /// [`DecodeTrace`] of what the transition system allowed at every step.
+    pub fn decode_traced<R: Rng>(
+        &self,
+        session: &mut JitSession,
+        schema: &DecodeSchema,
+        prompt: &str,
+        rng: &mut R,
+    ) -> Result<(DecodedOutput, DecodeTrace), DecodeError> {
+        if !session.satisfiable() {
+            return Err(DecodeError::UnsatRules);
+        }
+        struct JitPolicy<'s> {
+            session: &'s mut JitSession,
+            lookahead: Lookahead,
+        }
+        impl DecodePolicy for JitPolicy<'_> {
+            fn allowed(&mut self, k: usize, spec: &VarSpec, st: &VarState) -> CharOptions {
+                allowed_chars(self.session, k, spec, st, self.lookahead)
+            }
+            fn commit(&mut self, k: usize, value: i64) {
+                self.session.fix(k, value);
+            }
+        }
+        let mut policy = JitPolicy {
+            session,
+            lookahead: self.lookahead,
+        };
+        let mut trace = DecodeTrace::default();
+        let mut out = decode_loop(
+            self.model,
+            schema,
+            prompt,
+            &self.sampler,
+            rng,
+            &mut policy,
+            Some(&mut trace),
+        )?;
+        out.stats.solver_checks = policy.session.checks();
+        Ok((out, trace))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::schema::DecodeSchema;
+    use lejit_lm::{NgramLm, Vocab};
+    use lejit_rules::{ground_rule, parse_rules, GroundCtx, RuleSet};
+    use lejit_telemetry::CoarseField;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A quick n-gram model over imputation-shaped text.
+    pub(crate) fn toy_model() -> NgramLm {
+        let corpus_text: Vec<String> = (0..60)
+            .map(|i| format!("T=100;E=8;R=0;G=70;C=12;D=0|2{},15,25,30,1{}.", i % 10, i % 10))
+            .collect();
+        let joined = corpus_text.join("\n");
+        let vocab = Vocab::from_corpus(&(joined.clone() + "0123456789,;|=."));
+        let seqs: Vec<Vec<_>> = corpus_text.iter().map(|s| vocab.encode(s).unwrap()).collect();
+        NgramLm::train(vocab, &seqs, 4)
+    }
+
+    fn paper_ruleset() -> RuleSet {
+        parse_rules(
+            "rule r1: forall t: fine[t] >= 0 and fine[t] <= 60;
+             rule r2: sum(fine) == total_ingress;
+             rule r3: ecn_bytes > 0 => max(fine) >= 30;",
+        )
+        .unwrap()
+    }
+
+    pub(crate) fn session_for(total: i64, ecn: i64) -> (JitSession, DecodeSchema) {
+        let schema = DecodeSchema::fine_series(5, 60);
+        let mut session = JitSession::new(&schema);
+        let rules = paper_ruleset();
+        let solver = session.solver_mut();
+        let mut coarse_vals = [0i64; 6];
+        coarse_vals[CoarseField::TotalIngress.index()] = total;
+        coarse_vals[CoarseField::EcnBytes.index()] = ecn;
+        let coarse_vec: Vec<_> = CoarseField::ALL
+            .into_iter()
+            .map(|f| solver.int(coarse_vals[f.index()]))
+            .collect();
+        let fine: Vec<_> = (0..5)
+            .map(|t| {
+                let v = solver.pool().find_var(&format!("fine{t}")).unwrap();
+                solver.var(v)
+            })
+            .collect();
+        let ctx = GroundCtx {
+            coarse: coarse_vec.try_into().unwrap(),
+            fine,
+        };
+        for r in &rules.rules {
+            let g = ground_rule(solver.pool_mut(), &ctx, r);
+            solver.assert(g);
+        }
+        (session, schema)
+    }
+
+    #[test]
+    fn decoded_outputs_always_satisfy_rules() {
+        let model = toy_model();
+        let decoder = JitDecoder::new(&model, SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(11);
+        for round in 0..10 {
+            let (mut session, schema) = session_for(100, 8);
+            let out = decoder
+                .decode(&mut session, &schema, "T=100;E=8;R=0;G=70;C=12;D=0|", &mut rng)
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+            assert_eq!(out.values.len(), 5);
+            let sum: i64 = out.values.iter().sum();
+            assert_eq!(sum, 100, "R2 violated: {:?}", out.values);
+            assert!(out.values.iter().all(|&v| (0..=60).contains(&v)), "R1");
+            assert!(*out.values.iter().max().unwrap() >= 30, "R3");
+        }
+    }
+
+    #[test]
+    fn decoded_text_parses_back() {
+        let model = toy_model();
+        let decoder = JitDecoder::new(&model, SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mut session, schema) = session_for(100, 8);
+        let out = decoder
+            .decode(&mut session, &schema, "T=100;E=8;R=0;G=70;C=12;D=0|", &mut rng)
+            .unwrap();
+        let parsed = lejit_telemetry::parse_fine(&out.text).unwrap();
+        assert_eq!(parsed, out.values);
+        assert!(out.text.ends_with('.'));
+    }
+
+    #[test]
+    fn unsat_rules_reported_before_generation() {
+        let model = toy_model();
+        let decoder = JitDecoder::new(&model, SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        // total = 400 cannot be reached with 5 values <= 60.
+        let (mut session, schema) = session_for(400, 0);
+        let err = decoder
+            .decode(&mut session, &schema, "", &mut rng)
+            .unwrap_err();
+        assert_eq!(err, DecodeError::UnsatRules);
+    }
+
+    #[test]
+    fn missing_char_is_detected() {
+        // A vocabulary without '.' cannot express the schema terminator.
+        let vocab = Vocab::from_corpus("0123456789,");
+        let seqs = vec![vocab.encode("1,2").unwrap()];
+        let model = NgramLm::train(vocab, &seqs, 2);
+        let decoder = JitDecoder::new(&model, SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let (mut session, schema) = session_for(100, 0);
+        let err = decoder
+            .decode(&mut session, &schema, "", &mut rng)
+            .unwrap_err();
+        assert_eq!(err, DecodeError::MissingChar('.'));
+    }
+
+    #[test]
+    fn forced_choice_is_counted_when_region_collapses() {
+        // With total=0 every variable must be exactly 0: all five values are
+        // fully determined, so forced choices must occur.
+        let model = toy_model();
+        let decoder = JitDecoder::new(&model, SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mut session, schema) = session_for(0, 0);
+        let out = decoder.decode(&mut session, &schema, "", &mut rng).unwrap();
+        assert_eq!(out.values, vec![0, 0, 0, 0, 0]);
+        assert!(out.stats.forced_choices >= 5);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let model = toy_model();
+        let decoder = JitDecoder::new(&model, SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(9);
+        let (mut session, schema) = session_for(100, 8);
+        let out = decoder
+            .decode(&mut session, &schema, "T=100;E=8;R=0;G=70;C=12;D=0|", &mut rng)
+            .unwrap();
+        assert!(out.stats.solver_checks > 0);
+        assert!(out.stats.tokens >= 9, "5 values + 4 separators + dot");
+        assert_eq!(out.stats.forced_tokens, 0, "separators come from terminators");
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::decoder::tests::{session_for, toy_model};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trace_records_every_generated_char() {
+        let model = toy_model();
+        let decoder = JitDecoder::new(&model, SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(21);
+        let (mut session, schema) = session_for(100, 8);
+        let (out, trace) = decoder
+            .decode_traced(&mut session, &schema, "T=100;E=8;R=0;G=70;C=12;D=0|", &mut rng)
+            .unwrap();
+        assert_eq!(trace.steps.len() as u64, out.stats.tokens);
+        assert_eq!(trace.interventions() as u64, out.stats.interventions);
+        // Every step's chosen char was actually allowed.
+        for s in &trace.steps {
+            if s.chosen.is_ascii_digit() {
+                let d = s.chosen as u8 - b'0';
+                assert!(s.allowed_digits.contains(&d), "{s:?}");
+            } else {
+                assert!(s.terminator_allowed, "{s:?}");
+            }
+        }
+        // The rendered trace mentions every variable.
+        let rendered = trace.to_string();
+        for k in 0..5 {
+            assert!(rendered.contains(&format!("fine{k}")));
+        }
+    }
+
+    #[test]
+    fn forced_steps_appear_when_region_collapses() {
+        let model = toy_model();
+        let decoder = JitDecoder::new(&model, SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(22);
+        let (mut session, schema) = session_for(0, 0);
+        let (_, trace) = decoder
+            .decode_traced(&mut session, &schema, "", &mut rng)
+            .unwrap();
+        // total=0: every variable is forced to "0" then terminator.
+        assert!(trace.forced_steps() >= 5, "{}", trace);
+    }
+}

@@ -1,0 +1,49 @@
+//! # lejit-core
+//!
+//! The LeJIT engine: **Just-in-Time Logic Enforcement** for autoregressive
+//! language models (HotNets '25). An SMT solver is interleaved into the
+//! model's token-by-token inference: before each character is emitted, the
+//! solver computes which characters can still lead to a rule-compliant
+//! output ("looks ahead … to ensure that there is a path to a valid
+//! output"), the model's logits are masked accordingly, and sampling
+//! proceeds over the surviving tokens — preserving the learned distribution
+//! wherever the rules permit.
+//!
+//! Modules:
+//!
+//! * [`schema`] — the decode schema: the alternation of forced literal
+//!   characters and numeric variables that makes up an output record,
+//! * [`session`] — the solver session: rules grounded once per output,
+//!   dynamic partial instantiation as values are fixed, and the
+//!   prefix-feasibility queries behind the transition system,
+//! * [`transition`] — the character-level transition system built on the
+//!   fly (Fig. 2): which digits / terminator may follow the current digit
+//!   prefix, with or without solver lookahead,
+//! * [`decoder`] — the JIT decode loop gluing model, schema, and session,
+//! * [`vanilla`] — structurally-forced but rule-free decoding (the Vanilla
+//!   GPT-2 baseline) and rejection sampling on top of it,
+//! * [`repair`] — post-hoc SMT repair (Fig. 1a's yellow path): arbitrary
+//!   and nearest-L1 correction of invalid outputs,
+//! * [`tasks`] — the two paper tasks built on the same engine and the same
+//!   trained model: telemetry [`Imputer`] and data [`Synthesizer`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decoder;
+pub mod repair;
+pub mod schema;
+pub mod session;
+pub mod tasks;
+pub mod trace;
+pub mod transition;
+pub mod vanilla;
+
+pub use decoder::{DecodeError, DecodeStats, DecodedOutput, JitDecoder};
+pub use repair::{repair_arbitrary, repair_nearest, RepairError};
+pub use schema::{DecodeSchema, SchemaItem, VarSpec};
+pub use session::JitSession;
+pub use tasks::{Imputer, Synthesizer, TaskConfig, TaskError};
+pub use trace::{DecodeTrace, TraceStep};
+pub use transition::{allowed_chars, CharOptions, Lookahead, VarState};
+pub use vanilla::{RejectionOutcome, RejectionSampler, VanillaDecoder};

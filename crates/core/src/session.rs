@@ -1,0 +1,282 @@
+//! The solver session backing one decoded output.
+//!
+//! A [`JitSession`] owns an SMT solver in which the task's rules have been
+//! grounded (by the caller, via [`lejit_rules::ground_rule`]) over the
+//! schema's variables. During decoding it answers the two queries the
+//! transition system needs —
+//!
+//! * *"can the value of variable `k` still be exactly `p`?"* (terminator
+//!   feasibility), and
+//! * *"can some decimal extension of prefix `p` still be feasible?"*
+//!   (digit lookahead) —
+//!
+//! and records each completed value with [`JitSession::fix`], the paper's
+//! *dynamic partial instantiation*: once `I_2 = 25` is fixed, every later
+//! query is answered relative to it.
+
+use lejit_smt::{SatResult, Solver, TermId, VarId};
+
+use crate::schema::{DecodeSchema, SchemaItem};
+
+/// Solver session for one output record.
+pub struct JitSession {
+    solver: Solver,
+    vars: Vec<VarId>,
+    var_terms: Vec<TermId>,
+    checks: u64,
+}
+
+impl JitSession {
+    /// Creates a session, declaring one bounded integer variable per schema
+    /// variable. Rules are *not* asserted here — the caller grounds them via
+    /// [`Self::solver_mut`] so it can choose which signals are constants.
+    ///
+    /// # Panics
+    /// Panics if the schema fails validation.
+    pub fn new(schema: &DecodeSchema) -> JitSession {
+        schema.validate().expect("invalid decode schema");
+        let mut solver = Solver::new();
+        let mut vars = Vec::new();
+        let mut var_terms = Vec::new();
+        for item in &schema.items {
+            if let SchemaItem::Variable(v) = item {
+                let var = solver.int_var(&v.name, v.lo, v.hi);
+                vars.push(var);
+                var_terms.push(solver.var(var));
+            }
+        }
+        JitSession {
+            solver,
+            vars,
+            var_terms,
+            checks: 0,
+        }
+    }
+
+    /// The underlying solver (for grounding rules and extra assertions).
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    /// Read access to the solver.
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// The solver variable of the `k`-th schema variable.
+    pub fn var(&self, k: usize) -> VarId {
+        self.vars[k]
+    }
+
+    /// Number of schema variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of satisfiability checks issued so far.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Whether the full constraint system is currently satisfiable.
+    pub fn satisfiable(&mut self) -> bool {
+        self.checks += 1;
+        self.solver.check() == SatResult::Sat
+    }
+
+    /// Permanently fixes variable `k` to `value` (partial instantiation).
+    pub fn fix(&mut self, k: usize, value: i64) {
+        let t = self.var_terms[k];
+        let c = self.solver.int(value);
+        let eq = self.solver.eq(t, c);
+        self.solver.assert(eq);
+    }
+
+    /// Whether variable `k` can take exactly `value` given the rules and
+    /// everything fixed so far.
+    pub fn value_feasible(&mut self, k: usize, value: i64) -> bool {
+        let t = self.var_terms[k];
+        self.solver.push();
+        let c = self.solver.int(value);
+        let eq = self.solver.eq(t, c);
+        self.solver.assert(eq);
+        self.checks += 1;
+        let sat = self.solver.check() == SatResult::Sat;
+        self.solver.pop();
+        sat
+    }
+
+    /// Whether some completion of the decimal prefix `prefix` (appending up
+    /// to `extra_digits` more digits) is feasible for variable `k`.
+    ///
+    /// The candidate value set is `{prefix·10^j + r : 0 ≤ j ≤ extra_digits,
+    /// 0 ≤ r < 10^j}` — exactly the values the character-level transition
+    /// system can still reach (Fig. 2).
+    pub fn prefix_feasible(&mut self, k: usize, prefix: i64, extra_digits: usize) -> bool {
+        debug_assert!(prefix >= 0);
+        if prefix == 0 {
+            // A leading zero admits only the exact value 0.
+            return self.value_feasible(k, 0);
+        }
+        let t = self.var_terms[k];
+        self.solver.push();
+        let mut options = Vec::with_capacity(extra_digits + 1);
+        let mut pow: i64 = 1;
+        for _ in 0..=extra_digits {
+            let lo_val = prefix.saturating_mul(pow);
+            let hi_val = lo_val.saturating_add(pow - 1);
+            let lo_c = self.solver.int(lo_val);
+            let hi_c = self.solver.int(hi_val);
+            let ge = self.solver.ge(t, lo_c);
+            let le = self.solver.le(t, hi_c);
+            options.push(self.solver.and(&[ge, le]));
+            pow = pow.saturating_mul(10);
+        }
+        let any = self.solver.or(&options);
+        self.solver.assert(any);
+        self.checks += 1;
+        let sat = self.solver.check() == SatResult::Sat;
+        self.solver.pop();
+        sat
+    }
+
+    /// The feasible range of variable `k` under everything asserted so far,
+    /// or `None` if the system is unsatisfiable.
+    pub fn feasible_range(&mut self, k: usize) -> Option<(i64, i64)> {
+        let v = self.vars[k];
+        self.checks += 2;
+        let lo = self.solver.minimize(v)?;
+        let hi = self.solver.maximize(v)?;
+        Some((lo, hi))
+    }
+
+    /// The model value of variable `k` after a successful check (used by
+    /// the post-hoc repair baseline).
+    pub fn model_value(&self, k: usize) -> Option<i64> {
+        self.solver.model().and_then(|m| m.int_value(self.vars[k]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DecodeSchema;
+    use lejit_rules::{ground_rule, parse_rules, GroundCtx};
+    use lejit_telemetry::CoarseField;
+
+    /// Session with the paper's R1–R3 grounded for total=100, ecn=8.
+    fn paper_session() -> JitSession {
+        let schema = DecodeSchema::fine_series(5, 60);
+        let mut session = JitSession::new(&schema);
+        let rules = parse_rules(
+            "rule r1: forall t: fine[t] >= 0 and fine[t] <= 60;
+             rule r2: sum(fine) == total_ingress;
+             rule r3: ecn_bytes > 0 => max(fine) >= 30;",
+        )
+        .unwrap();
+        let solver = session.solver_mut();
+        let coarse_vals = [100i64, 8, 0, 0, 0, 0];
+        let coarse_vec: Vec<_> = CoarseField::ALL
+            .into_iter()
+            .map(|f| solver.int(coarse_vals[f.index()]))
+            .collect();
+        let fine: Vec<_> = (0..5).map(|k| {
+            let v = solver.pool().find_var(&format!("fine{k}")).unwrap();
+            solver.var(v)
+        }).collect();
+        let ctx = GroundCtx {
+            coarse: coarse_vec.try_into().unwrap(),
+            fine,
+        };
+        for r in &rules.rules {
+            let g = ground_rule(solver.pool_mut(), &ctx, r);
+            solver.assert(g);
+        }
+        session
+    }
+
+    #[test]
+    fn initial_session_is_satisfiable() {
+        let mut s = paper_session();
+        assert!(s.satisfiable());
+        assert_eq!(s.num_vars(), 5);
+    }
+
+    #[test]
+    fn fig1b_walkthrough() {
+        // Reproduces the paper's Fig. 1b step by step.
+        let mut s = paper_session();
+        s.fix(0, 20);
+        s.fix(1, 15);
+        s.fix(2, 25);
+        // Step 2: the solver computes I_3 ∈ [0, 40].
+        assert_eq!(s.feasible_range(3), Some((0, 40)));
+        // Step 3: 41 is invalidated, 39 is fine.
+        assert!(!s.value_feasible(3, 41));
+        assert!(s.value_feasible(3, 39));
+        // Step 4: fix I_3 = 39; step 5: only one value remains for I_4.
+        s.fix(3, 39);
+        assert_eq!(s.feasible_range(4), Some((1, 1)));
+        assert!(s.value_feasible(4, 1));
+        assert!(!s.value_feasible(4, 2));
+    }
+
+    #[test]
+    fn prefix_feasibility_lookahead() {
+        let mut s = paper_session();
+        s.fix(0, 20);
+        s.fix(1, 15);
+        s.fix(2, 25);
+        // I_3 ∈ [0,40]: prefix "4" can extend to 40 (one more digit), and
+        // prefix "5" is feasible only as the exact value 5 — its two-digit
+        // extensions 50..59 are all outside the region.
+        assert!(s.prefix_feasible(3, 4, 1));
+        assert!(s.prefix_feasible(3, 5, 1)); // the value 5 itself
+        assert!(!s.prefix_feasible(3, 50, 0));
+        assert!(!s.prefix_feasible(3, 59, 0));
+        // Prefix "41" with no extension is infeasible; "40" exact is fine.
+        assert!(!s.prefix_feasible(3, 41, 0));
+        assert!(s.prefix_feasible(3, 40, 0));
+        // Prefix "1" can be 1 or extend to 10..19.
+        assert!(s.prefix_feasible(3, 1, 1));
+    }
+
+    #[test]
+    fn zero_prefix_is_exact_zero() {
+        let mut s = paper_session();
+        // fine3 = 0 is feasible before anything is fixed (others absorb 100).
+        assert!(s.prefix_feasible(3, 0, 1));
+        // If the remaining three must sum to 100 with cap 60, zero stays
+        // feasible for one variable; but after fixing the others to tiny
+        // values it is not.
+        s.fix(0, 0);
+        s.fix(1, 0);
+        s.fix(2, 60);
+        // fine3 + fine4 = 40 with caps 60: fine3 = 0 forces fine4 = 40: ok.
+        assert!(s.prefix_feasible(3, 0, 1));
+        s.fix(3, 0);
+        // Now fine4 must be exactly 40 → 0 is infeasible.
+        assert!(!s.prefix_feasible(4, 0, 1));
+        assert!(s.value_feasible(4, 40));
+    }
+
+    #[test]
+    fn unsat_after_contradictory_fix() {
+        let mut s = paper_session();
+        // Sum can never reach 100 if all five are fixed tiny.
+        for k in 0..5 {
+            s.fix(k, 1);
+        }
+        assert!(!s.satisfiable());
+        assert_eq!(s.feasible_range(0), None);
+    }
+
+    #[test]
+    fn checks_are_counted() {
+        let mut s = paper_session();
+        let before = s.checks();
+        let _ = s.value_feasible(0, 10);
+        let _ = s.prefix_feasible(1, 2, 1);
+        assert!(s.checks() >= before + 2);
+    }
+}

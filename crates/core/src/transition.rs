@@ -1,0 +1,318 @@
+//! The character-level transition system (Fig. 2), built on the fly.
+//!
+//! LeJIT "constructs a character-level transition system … where the current
+//! state reflects the last token selected by the LLM, and the set of next
+//! states includes all tokens that would maintain the value within the valid
+//! region." Here a *state* is the decimal digit prefix emitted so far for
+//! the current variable; the successor set is computed by querying the
+//! solver per candidate character:
+//!
+//! * digit `d` is allowed when some completion of `prefix·10 + d` is still
+//!   feasible (solver lookahead), and
+//! * the terminator is allowed when the value `prefix` itself is feasible.
+//!
+//! [`Lookahead::ImmediateOnly`] is the ablation corresponding to classic
+//! grammar-constrained decoding: digits are filtered only by structural
+//! validity (digit budget, no leading zeros, declared bounds), and the
+//! solver is consulted only at the terminator. The paper argues this is
+//! insufficient — without lookahead the decoder can walk into dead ends
+//! (§2.2: such filters "cannot … ensure that a future token can satisfy the
+//! constraint model"), which the ablation benchmark measures.
+
+use crate::schema::VarSpec;
+use crate::session::JitSession;
+
+/// Lookahead policy for the transition system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Lookahead {
+    /// Full LeJIT behaviour: every digit is checked for completability.
+    Full,
+    /// Ablation: digits filtered structurally; solver consulted only when
+    /// terminating a value. Can dead-end.
+    ImmediateOnly,
+}
+
+/// The characters allowed in the current state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CharOptions {
+    /// Digits (0–9) that may be emitted next.
+    pub digits: Vec<u8>,
+    /// Whether the variable's terminator may be emitted next.
+    pub terminator: bool,
+}
+
+impl CharOptions {
+    /// Whether no continuation exists (a decoding dead end).
+    pub fn is_dead_end(&self) -> bool {
+        self.digits.is_empty() && !self.terminator
+    }
+}
+
+/// Decoding state for one variable: the digit prefix emitted so far.
+#[derive(Clone, Debug)]
+pub struct VarState {
+    /// Numeric value of the digits emitted so far.
+    pub prefix: i64,
+    /// Number of digits emitted so far.
+    pub len: usize,
+}
+
+impl VarState {
+    /// The initial (empty-prefix) state.
+    pub fn start() -> VarState {
+        VarState { prefix: 0, len: 0 }
+    }
+
+    /// Pushes a digit onto the prefix.
+    pub fn push(&mut self, d: u8) {
+        debug_assert!(d < 10);
+        self.prefix = self.prefix * 10 + d as i64;
+        self.len += 1;
+    }
+}
+
+/// Computes the allowed next characters for variable `k` in state `st`.
+pub fn allowed_chars(
+    session: &mut JitSession,
+    k: usize,
+    spec: &VarSpec,
+    st: &VarState,
+    lookahead: Lookahead,
+) -> CharOptions {
+    let max_digits = spec.max_digits();
+    let mut out = CharOptions::default();
+
+    // Terminator: needs a non-empty prefix, and the exact value must be
+    // feasible (both policies consult the solver here — emitting the
+    // terminator *commits* the value).
+    if st.len > 0 {
+        out.terminator = session.value_feasible(k, st.prefix);
+    }
+
+    // Digits.
+    if st.len < max_digits {
+        // After a leading zero, no digit may follow (value is exactly 0).
+        let leading_zero = st.len > 0 && st.prefix == 0;
+        if !leading_zero {
+            for d in 0..=9u8 {
+                if st.len == 0 && d == 0 {
+                    // "0" commits the value 0 (only the terminator may follow).
+                    let ok = match lookahead {
+                        Lookahead::Full => session.value_feasible(k, 0),
+                        Lookahead::ImmediateOnly => spec.lo <= 0 && 0 <= spec.hi,
+                    };
+                    if ok {
+                        out.digits.push(0);
+                    }
+                    continue;
+                }
+                let new_prefix = st.prefix * 10 + d as i64;
+                let extra = max_digits - st.len - 1;
+                let ok = match lookahead {
+                    Lookahead::Full => session.prefix_feasible(k, new_prefix, extra),
+                    Lookahead::ImmediateOnly => {
+                        prefix_within_declared_bounds(new_prefix, extra, spec)
+                    }
+                };
+                if ok {
+                    out.digits.push(d);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Structural check: can `prefix` (with up to `extra` more digits) reach a
+/// value inside the *declared* bounds, ignoring all rules?
+fn prefix_within_declared_bounds(prefix: i64, extra: usize, spec: &VarSpec) -> bool {
+    let mut pow: i64 = 1;
+    for _ in 0..=extra {
+        let lo_val = prefix.saturating_mul(pow);
+        let hi_val = lo_val.saturating_add(pow - 1);
+        if hi_val >= spec.lo && lo_val <= spec.hi {
+            return true;
+        }
+        pow = pow.saturating_mul(10);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DecodeSchema;
+    use lejit_rules::{ground_rule, parse_rules, GroundCtx};
+    use lejit_telemetry::CoarseField;
+
+    fn spec(hi: i64) -> VarSpec {
+        VarSpec {
+            name: "x".into(),
+            lo: 0,
+            hi,
+        }
+    }
+
+    /// Session over the paper's R1+R2, with the first three values fixed.
+    fn constrained_session() -> JitSession {
+        let schema = DecodeSchema::fine_series(5, 60);
+        let mut session = JitSession::new(&schema);
+        let rules = parse_rules(
+            "rule r1: forall t: fine[t] >= 0 and fine[t] <= 60;
+             rule r2: sum(fine) == total_ingress;",
+        )
+        .unwrap();
+        let solver = session.solver_mut();
+        let coarse_vals = [100i64, 0, 0, 0, 0, 0];
+        let coarse_vec: Vec<_> = CoarseField::ALL
+            .into_iter()
+            .map(|f| solver.int(coarse_vals[f.index()]))
+            .collect();
+        let fine: Vec<_> = (0..5)
+            .map(|t| {
+                let v = solver.pool().find_var(&format!("fine{t}")).unwrap();
+                solver.var(v)
+            })
+            .collect();
+        let ctx = GroundCtx {
+            coarse: coarse_vec.try_into().unwrap(),
+            fine,
+        };
+        for r in &rules.rules {
+            let g = ground_rule(solver.pool_mut(), &ctx, r);
+            solver.assert(g);
+        }
+        session.fix(0, 20);
+        session.fix(1, 15);
+        session.fix(2, 25);
+        session
+    }
+
+    #[test]
+    fn full_lookahead_prunes_to_feasible_region() {
+        // I_3 ∈ [0, 40]: every first digit d is allowed (the single-digit
+        // value d itself is in range), but the *extensions* are pruned.
+        let mut s = constrained_session();
+        let sp = spec(60);
+        let opts = allowed_chars(&mut s, 3, &sp, &VarState::start(), Lookahead::Full);
+        assert_eq!(opts.digits, vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert!(!opts.terminator, "empty prefix cannot terminate");
+
+        // After "4": digit 0 only (40; 41–49 exceed the region); term ok (4).
+        let mut st = VarState::start();
+        st.push(4);
+        let opts = allowed_chars(&mut s, 3, &sp, &st, Lookahead::Full);
+        assert_eq!(opts.digits, vec![0]);
+        assert!(opts.terminator);
+
+        // After "5": 50–59 all exceed 40, so *no* digit may follow — the
+        // lookahead steers the model to terminate with the value 5. This is
+        // exactly where ImmediateOnly (below) lets the model derail.
+        let mut st5 = VarState::start();
+        st5.push(5);
+        let opts = allowed_chars(&mut s, 3, &sp, &st5, Lookahead::Full);
+        assert!(opts.digits.is_empty());
+        assert!(opts.terminator);
+
+        // After "40": no more digits (max width reached); terminator ok.
+        st.push(0);
+        let opts = allowed_chars(&mut s, 3, &sp, &st, Lookahead::Full);
+        assert!(opts.digits.is_empty());
+        assert!(opts.terminator);
+    }
+
+    #[test]
+    fn forced_single_value_leaves_one_path() {
+        // Fix I_3 = 39 → I_4 must be exactly 1 (Fig. 1b step 5).
+        let mut s = constrained_session();
+        s.fix(3, 39);
+        let sp = spec(60);
+        let opts = allowed_chars(&mut s, 4, &sp, &VarState::start(), Lookahead::Full);
+        assert_eq!(opts.digits, vec![1]);
+        let mut st = VarState::start();
+        st.push(1);
+        let opts = allowed_chars(&mut s, 4, &sp, &st, Lookahead::Full);
+        assert!(opts.terminator);
+        assert!(opts.digits.is_empty(), "10..19 all exceed the forced 1");
+    }
+
+    #[test]
+    fn leading_zero_commits_zero() {
+        let mut s = constrained_session();
+        let sp = spec(60);
+        // "0" is feasible for I_3 (others can absorb the remaining 40).
+        let opts = allowed_chars(&mut s, 3, &sp, &VarState::start(), Lookahead::Full);
+        assert!(opts.digits.contains(&0));
+        let mut st = VarState::start();
+        st.push(0);
+        let opts = allowed_chars(&mut s, 3, &sp, &st, Lookahead::Full);
+        assert!(opts.terminator);
+        assert!(opts.digits.is_empty(), "no digits after a leading zero");
+    }
+
+    #[test]
+    fn immediate_only_allows_structurally_valid_digits() {
+        let mut s = constrained_session();
+        let sp = spec(60);
+        // Structural filter only: first digit 0..6 possible within hi = 60
+        // (7..9 can't start any value ≤ 60 of ≤ 2 digits? 7,8,9 themselves
+        // are ≤ 60 — so all digits are structurally fine).
+        let opts = allowed_chars(&mut s, 3, &sp, &VarState::start(), Lookahead::ImmediateOnly);
+        assert_eq!(opts.digits, vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+
+        // After "5", ImmediateOnly still offers digits 0–9 (50–59 are within
+        // the declared bound 60) even though every one of them is
+        // rule-infeasible — the decoder can walk into a dead end at "59".
+        let mut st = VarState::start();
+        st.push(5);
+        let opts = allowed_chars(&mut s, 3, &sp, &st, Lookahead::ImmediateOnly);
+        assert!(opts.terminator, "value 5 itself is feasible");
+        assert!(
+            !opts.digits.is_empty(),
+            "structural filter lets doomed digits pass"
+        );
+
+        st.push(9);
+        let opts = allowed_chars(&mut s, 3, &sp, &st, Lookahead::ImmediateOnly);
+        assert!(opts.is_dead_end(), "59 cannot terminate or extend: dead end");
+    }
+
+    #[test]
+    fn full_lookahead_never_dead_ends_here() {
+        // Walk every reachable state for I_3 under Full lookahead and check
+        // the invariant: reachable ⇒ not a dead end.
+        let mut s = constrained_session();
+        let sp = spec(60);
+        let mut stack = vec![VarState::start()];
+        let mut visited = 0;
+        while let Some(st) = stack.pop() {
+            let opts = allowed_chars(&mut s, 3, &sp, &st, Lookahead::Full);
+            assert!(
+                !opts.is_dead_end() || st.len == 0,
+                "dead end at prefix {} (len {})",
+                st.prefix,
+                st.len
+            );
+            visited += 1;
+            for &d in &opts.digits {
+                let mut next = st.clone();
+                next.push(d);
+                stack.push(next);
+            }
+        }
+        assert!(visited > 10, "explored only {visited} states");
+    }
+
+    #[test]
+    fn declared_bounds_prefix_check() {
+        let sp = spec(60);
+        assert!(prefix_within_declared_bounds(4, 1, &sp)); // 4 or 40..49
+        assert!(prefix_within_declared_bounds(6, 0, &sp)); // 6
+        assert!(prefix_within_declared_bounds(60, 0, &sp));
+        assert!(!prefix_within_declared_bounds(61, 0, &sp));
+        // 7 itself is fine even though 70..79 are not.
+        assert!(prefix_within_declared_bounds(7, 1, &sp));
+        // 61 with room to extend is still out of range (610.. too big).
+        assert!(!prefix_within_declared_bounds(61, 1, &sp));
+    }
+}

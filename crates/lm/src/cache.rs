@@ -1,0 +1,312 @@
+//! KV-cached incremental inference for [`TinyGpt`].
+//!
+//! The JIT decoder queries the model once per *character*; re-running the
+//! full forward pass each time costs `O(T²)` per token, `O(T³)` per record.
+//! A [`KvCache`] stores each layer's key/value rows so appending one token
+//! is `O(T)` — the standard transformer inference optimization.
+//!
+//! [`CachedGpt`] wraps a model + cache behind the stateless
+//! [`LanguageModel`] trait: it diffs the requested context against the
+//! cached prefix, appends the new tokens, and transparently rebuilds when
+//! the context diverges (e.g. a new record starts) or exceeds the model's
+//! window.
+
+use std::cell::RefCell;
+
+use crate::gpt::TinyGpt;
+use crate::tensor::{softmax_inplace, Matrix};
+use crate::tokenizer::{TokenId, Vocab};
+use crate::LanguageModel;
+
+/// Per-layer cached keys and values, one row per processed position.
+pub struct KvCache {
+    tokens: Vec<TokenId>,
+    /// `(K, V)` per layer; each is a `len×d` matrix grown row by row.
+    layers: Vec<(Matrix, Matrix)>,
+    /// Final-layer normalized hidden state of the last position.
+    last_hidden: Option<Vec<f32>>,
+}
+
+impl KvCache {
+    /// Tokens currently incorporated into the cache.
+    pub fn tokens(&self) -> &[TokenId] {
+        &self.tokens
+    }
+
+    /// Number of cached positions.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+impl TinyGpt {
+    /// Creates an empty KV cache for this model.
+    pub fn new_cache(&self) -> KvCache {
+        KvCache {
+            tokens: Vec::new(),
+            layers: (0..self.config().n_layers)
+                .map(|_| {
+                    (
+                        Matrix::zeros(0, self.config().d_model),
+                        Matrix::zeros(0, self.config().d_model),
+                    )
+                })
+                .collect(),
+            last_hidden: None,
+        }
+    }
+
+    /// Appends one token to the cache and returns the next-token logits.
+    ///
+    /// # Panics
+    /// Panics if the cache is full (`len == max_seq_len`) — callers must
+    /// rebuild with a truncated context instead.
+    pub fn append_token(&self, cache: &mut KvCache, tok: TokenId) -> Vec<f32> {
+        let cfg = *self.config();
+        let pos = cache.tokens.len();
+        assert!(pos < cfg.max_seq_len, "KV cache full; rebuild with truncation");
+        let d = cfg.d_model;
+        let hd = d / cfg.n_heads;
+
+        // x = tok_emb[tok] + pos_emb[pos]
+        let mut x: Vec<f32> = self.tok_embedding_row(tok).to_vec();
+        for (xi, &p) in x.iter_mut().zip(self.pos_embedding_row(pos)) {
+            *xi += p;
+        }
+
+        for layer in 0..cfg.n_layers {
+            // Attention sub-block.
+            let a = self.apply_layer_norm(layer, true, &x);
+            let qkv = self.attn_qkv_row(layer, &a); // 1×3d
+            let (k_cache, v_cache) = {
+                let (k, v) = &mut cache.layers[layer];
+                grow_row(k, &qkv[d..2 * d]);
+                grow_row(v, &qkv[2 * d..3 * d]);
+                (&cache.layers[layer].0, &cache.layers[layer].1)
+            };
+            let mut attn_out = vec![0.0f32; d];
+            for h in 0..cfg.n_heads {
+                let q = &qkv[h * hd..(h + 1) * hd];
+                // scores over all cached positions (causal by construction).
+                let n = k_cache.rows();
+                let mut scores = Vec::with_capacity(n);
+                let scale = 1.0 / (hd as f32).sqrt();
+                for r in 0..n {
+                    let krow = &k_cache.row(r)[h * hd..(h + 1) * hd];
+                    let dot: f32 = q.iter().zip(krow).map(|(a, b)| a * b).sum();
+                    scores.push(dot * scale);
+                }
+                softmax_inplace(&mut scores);
+                for (r, &p) in scores.iter().enumerate() {
+                    let vrow = &v_cache.row(r)[h * hd..(h + 1) * hd];
+                    for (o, &vv) in attn_out[h * hd..(h + 1) * hd].iter_mut().zip(vrow) {
+                        *o += p * vv;
+                    }
+                }
+            }
+            let projected = self.attn_proj_row(layer, &attn_out);
+            for (xi, p) in x.iter_mut().zip(projected) {
+                *xi += p;
+            }
+
+            // MLP sub-block.
+            let m = self.apply_layer_norm(layer, false, &x);
+            let mlp = self.mlp_row(layer, &m);
+            for (xi, p) in x.iter_mut().zip(mlp) {
+                *xi += p;
+            }
+        }
+
+        let xf = self.final_layer_norm(&x);
+        let logits = self.head_row(&xf);
+        cache.tokens.push(tok);
+        cache.last_hidden = Some(xf);
+        logits
+    }
+
+    /// Feeds a whole context through the cache (rebuilding as needed) and
+    /// returns the next-token logits. Equivalent to
+    /// [`LanguageModel::next_logits`] but amortized across calls with
+    /// growing contexts.
+    pub fn next_logits_cached(&self, cache: &mut KvCache, context: &[TokenId]) -> Vec<f32> {
+        let cfg = *self.config();
+        let ctx: &[TokenId] = if context.is_empty() {
+            &[0]
+        } else if context.len() > cfg.max_seq_len {
+            &context[context.len() - cfg.max_seq_len..]
+        } else {
+            context
+        };
+        // Reuse the cache iff it is a strict prefix of the requested context.
+        let reusable = cache.len() <= ctx.len() && cache.tokens() == &ctx[..cache.len()];
+        if !reusable || cache.len() == ctx.len() && cache.last_hidden.is_none() {
+            *cache = self.new_cache();
+        }
+        if cache.len() == ctx.len() {
+            // Context unchanged: recompute logits from the stored hidden
+            // state (cheap) — happens when a processor re-queries.
+            if let Some(h) = &cache.last_hidden {
+                return self.head_row(h);
+            }
+        }
+        let mut logits = Vec::new();
+        let start = cache.len();
+        for &t in &ctx[start..] {
+            logits = self.append_token(cache, t);
+        }
+        if logits.is_empty() {
+            // start == ctx.len() but no hidden state: rebuild fully.
+            *cache = self.new_cache();
+            for &t in ctx {
+                logits = self.append_token(cache, t);
+            }
+        }
+        logits
+    }
+}
+
+fn grow_row(m: &mut Matrix, row: &[f32]) {
+    let cols = row.len();
+    let old = std::mem::replace(m, Matrix::zeros(0, cols));
+    let mut data = old.into_vec();
+    data.extend_from_slice(row);
+    *m = Matrix::from_vec(data.len() / cols, cols, data);
+}
+
+/// A [`TinyGpt`] wrapped with an interior-mutable KV cache, implementing
+/// the stateless [`LanguageModel`] trait with amortized incremental cost.
+pub struct CachedGpt<'m> {
+    gpt: &'m TinyGpt,
+    cache: RefCell<KvCache>,
+}
+
+impl<'m> CachedGpt<'m> {
+    /// Wraps a model.
+    pub fn new(gpt: &'m TinyGpt) -> CachedGpt<'m> {
+        CachedGpt {
+            gpt,
+            cache: RefCell::new(gpt.new_cache()),
+        }
+    }
+}
+
+impl LanguageModel for CachedGpt<'_> {
+    fn vocab(&self) -> &Vocab {
+        self.gpt.vocab()
+    }
+
+    fn next_logits(&self, context: &[TokenId]) -> Vec<f32> {
+        self.gpt
+            .next_logits_cached(&mut self.cache.borrow_mut(), context)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpt::GptConfig;
+    use crate::tokenizer::Vocab;
+
+    fn model() -> TinyGpt {
+        let vocab = Vocab::from_corpus("0123456789,.");
+        TinyGpt::new(
+            GptConfig {
+                d_model: 16,
+                n_layers: 2,
+                n_heads: 2,
+                max_seq_len: 24,
+            },
+            vocab,
+            3,
+        )
+    }
+
+    fn close(a: &[f32], b: &[f32]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-3)
+    }
+
+    #[test]
+    fn cached_matches_full_forward() {
+        let m = model();
+        let ctx = m.vocab().encode("12,34,5.").unwrap();
+        let full = m.next_logits(&ctx);
+        let mut cache = m.new_cache();
+        let cached = m.next_logits_cached(&mut cache, &ctx);
+        assert!(close(&full, &cached), "full {full:?} vs cached {cached:?}");
+    }
+
+    #[test]
+    fn incremental_appends_match_at_every_prefix() {
+        let m = model();
+        let ctx = m.vocab().encode("987,65,43,2.").unwrap();
+        let mut cache = m.new_cache();
+        for end in 1..=ctx.len() {
+            let cached = m.next_logits_cached(&mut cache, &ctx[..end]);
+            let full = m.next_logits(&ctx[..end]);
+            assert!(close(&full, &cached), "prefix {end} diverged");
+            assert_eq!(cache.len(), end);
+        }
+    }
+
+    #[test]
+    fn divergent_context_rebuilds() {
+        let m = model();
+        let a = m.vocab().encode("11,22.").unwrap();
+        let b = m.vocab().encode("93,4.").unwrap();
+        let mut cache = m.new_cache();
+        let _ = m.next_logits_cached(&mut cache, &a);
+        let cached = m.next_logits_cached(&mut cache, &b);
+        let full = m.next_logits(&b);
+        assert!(close(&full, &cached));
+        assert_eq!(cache.tokens(), b.as_slice());
+    }
+
+    #[test]
+    fn repeated_identical_query_uses_stored_hidden() {
+        let m = model();
+        let ctx = m.vocab().encode("5,6.").unwrap();
+        let mut cache = m.new_cache();
+        let first = m.next_logits_cached(&mut cache, &ctx);
+        let second = m.next_logits_cached(&mut cache, &ctx);
+        assert!(close(&first, &second));
+        assert_eq!(cache.len(), ctx.len());
+    }
+
+    #[test]
+    fn overlong_context_truncates_like_full_path() {
+        let m = model();
+        let long = m.vocab().encode(&"12,".repeat(20)).unwrap(); // 60 > 24
+        let mut cache = m.new_cache();
+        let cached = m.next_logits_cached(&mut cache, &long);
+        let full = m.next_logits(&long);
+        assert!(close(&full, &cached));
+    }
+
+    #[test]
+    fn cached_wrapper_is_transparent() {
+        let m = model();
+        let wrapper = CachedGpt::new(&m);
+        let ctx = m.vocab().encode("31,41,59.").unwrap();
+        for end in 1..=ctx.len() {
+            assert!(close(
+                &wrapper.next_logits(&ctx[..end]),
+                &m.next_logits(&ctx[..end])
+            ));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "KV cache full")]
+    fn appending_past_window_panics() {
+        let m = model();
+        let mut cache = m.new_cache();
+        for _ in 0..25 {
+            m.append_token(&mut cache, 0);
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Dense row-major `f32` matrices with the kernels a tiny transformer needs.
+//!
+//! Everything is deliberately simple: no SIMD intrinsics, no unsafe — the
+//! models in this reproduction are small enough that naive loops (with a
+//! transposed inner kernel for cache friendliness) train in seconds.
+
+use rand::Rng;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// A matrix with entries drawn i.i.d. from `N(0, std²)` (Box–Muller).
+    pub fn randn<R: Rng>(rows: usize, cols: usize, std: f32, rng: &mut R) -> Matrix {
+        let n = rows * cols;
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.random::<f32>().max(1e-12);
+            let u2: f32 = rng.random::<f32>();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < n {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The raw row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the raw buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order: the inner loop runs over contiguous memory of
+        // both `other` and `out`.
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materializing the transpose.
+    pub fn matmul_bt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_bt dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    pub fn matmul_at(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_at dimension mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// The transposed matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise addition.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Adds `other` into `self` in place, scaled by `k`.
+    pub fn add_scaled_inplace(&mut self, other: &Matrix, k: f32) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += k * b;
+        }
+    }
+
+    /// Adds a row vector (1×cols) to every row.
+    pub fn add_row_broadcast(&self, row_vec: &Matrix) -> Matrix {
+        assert_eq!(row_vec.rows, 1);
+        assert_eq!(row_vec.cols, self.cols);
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(&row_vec.data) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Elementwise multiplication by a scalar.
+    pub fn scale(&self, k: f32) -> Matrix {
+        let data = self.data.iter().map(|a| a * k).collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Sums rows into a 1×cols row vector.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// The Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Copies columns `[start, end)` into a new matrix.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.cols);
+        let w = end - start;
+        let mut out = Matrix::zeros(self.rows, w);
+        for r in 0..self.rows {
+            out.data[r * w..(r + 1) * w]
+                .copy_from_slice(&self.data[r * self.cols + start..r * self.cols + end]);
+        }
+        out
+    }
+
+    /// Horizontally concatenates matrices with equal row counts.
+    pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty());
+        let rows = parts[0].rows;
+        assert!(parts.iter().all(|p| p.rows == rows));
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let mut off = 0;
+            for p in parts {
+                out.data[r * cols + off..r * cols + off + p.cols].copy_from_slice(p.row(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+}
+
+/// Numerically stable in-place softmax of a slice.
+pub fn softmax_inplace(xs: &mut [f32]) {
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    } else {
+        // All entries were -inf: fall back to uniform (callers must treat
+        // this as "no valid option", but we avoid NaNs).
+        let n = xs.len() as f32;
+        for x in xs.iter_mut() {
+            *x = 1.0 / n;
+        }
+    }
+}
+
+/// GELU activation (tanh approximation, as in GPT-2).
+#[inline]
+pub fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/π)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`].
+#[inline]
+pub fn gelu_grad(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let inner = C * (x + 0.044715 * x3);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, vals: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, vals.to_vec())
+    }
+
+    #[test]
+    fn matmul_basic() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_bt_equals_explicit_transpose() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(4, 3, &[1., 0., 1., 2., 1., 0., 0., 1., 2., 1., 1., 1.]);
+        let direct = a.matmul_bt(&b);
+        let explicit = a.matmul(&b.transpose());
+        assert_eq!(direct, explicit);
+    }
+
+    #[test]
+    fn matmul_at_equals_explicit_transpose() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 4, &[1., 0., 1., 2., 1., 0., 0., 1., 2., 1., 1., 1.]);
+        let direct = a.matmul_at(&b);
+        let explicit = a.transpose().matmul(&b);
+        assert_eq!(direct, explicit);
+    }
+
+    #[test]
+    fn broadcast_and_scale() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let bias = m(1, 2, &[10., 20.]);
+        let out = a.add_row_broadcast(&bias);
+        assert_eq!(out.data(), &[11., 22., 13., 24.]);
+        assert_eq!(a.scale(2.0).data(), &[2., 4., 6., 8.]);
+    }
+
+    #[test]
+    fn sum_rows_and_norm() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.sum_rows().data(), &[5., 7., 9.]);
+        assert_eq!(a.sum(), 21.0);
+        assert!((m(1, 2, &[3., 4.]).frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slice_and_concat_roundtrip() {
+        let a = m(2, 4, &[1., 2., 3., 4., 5., 6., 7., 8.]);
+        let left = a.slice_cols(0, 2);
+        let right = a.slice_cols(2, 4);
+        assert_eq!(left.data(), &[1., 2., 5., 6.]);
+        assert_eq!(right.data(), &[3., 4., 7., 8.]);
+        let back = Matrix::concat_cols(&[&left, &right]);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn softmax_is_stable_and_normalized() {
+        let mut xs = vec![1000.0, 1001.0, 1002.0];
+        softmax_inplace(&mut xs);
+        let sum: f32 = xs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(xs[2] > xs[1] && xs[1] > xs[0]);
+        assert!(xs.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn softmax_all_masked_does_not_nan() {
+        let mut xs = vec![f32::NEG_INFINITY; 4];
+        softmax_inplace(&mut xs);
+        assert!(xs.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        assert!((gelu(0.0)).abs() < 1e-6);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu(-1.0) + 0.1588).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        for &x in &[-2.0f32, -0.5, 0.0, 0.3, 1.7] {
+            let h = 1e-3;
+            let fd = (gelu(x + h) - gelu(x - h)) / (2.0 * h);
+            assert!(
+                (gelu_grad(x) - fd).abs() < 1e-3,
+                "x={x}: analytic {} vs fd {fd}",
+                gelu_grad(x)
+            );
+        }
+    }
+
+    #[test]
+    fn randn_statistics() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let a = Matrix::randn(50, 50, 1.0, &mut rng);
+        let n = 2500.0;
+        let mean = a.sum() / n;
+        let var = a.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        assert!(mean.abs() < 0.1, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = m(2, 3, &[0.; 6]);
+        let b = m(2, 3, &[0.; 6]);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,207 @@
+//! Burst detection and the downstream burst-analysis accuracies of Fig. 4
+//! (right): burst count, duration, volume, and position.
+//!
+//! A *burst* is a maximal run of fine-grained values strictly above a
+//! threshold (the paper's burst definition uses half the bandwidth, after
+//! Ghabashneh et al.). Accuracies compare an imputed series against the
+//! ground truth per window and are averaged by the caller.
+
+/// One detected burst.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Burst {
+    /// Index of the first step in the burst.
+    pub start: usize,
+    /// Number of consecutive steps in the burst.
+    pub duration: usize,
+    /// Total bytes across the burst.
+    pub volume: i64,
+}
+
+/// Detects maximal runs of values `> threshold`.
+pub fn detect_bursts(series: &[i64], threshold: i64) -> Vec<Burst> {
+    let mut out = Vec::new();
+    let mut current: Option<Burst> = None;
+    for (i, &v) in series.iter().enumerate() {
+        if v > threshold {
+            match &mut current {
+                Some(b) => {
+                    b.duration += 1;
+                    b.volume += v;
+                }
+                None => {
+                    current = Some(Burst {
+                        start: i,
+                        duration: 1,
+                        volume: v,
+                    })
+                }
+            }
+        } else if let Some(b) = current.take() {
+            out.push(b);
+        }
+    }
+    if let Some(b) = current {
+        out.push(b);
+    }
+    out
+}
+
+/// Per-window burst-analysis accuracies, each in `[0, 1]` (1 = perfect).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BurstAccuracy {
+    /// Agreement on the number of bursts.
+    pub count: f64,
+    /// Agreement on total burst duration.
+    pub duration: f64,
+    /// Agreement on total burst volume.
+    pub volume: f64,
+    /// Agreement on burst start positions.
+    pub position: f64,
+}
+
+impl BurstAccuracy {
+    /// Averages a set of per-window accuracies.
+    pub fn mean(items: &[BurstAccuracy]) -> BurstAccuracy {
+        if items.is_empty() {
+            return BurstAccuracy::default();
+        }
+        let n = items.len() as f64;
+        BurstAccuracy {
+            count: items.iter().map(|a| a.count).sum::<f64>() / n,
+            duration: items.iter().map(|a| a.duration).sum::<f64>() / n,
+            volume: items.iter().map(|a| a.volume).sum::<f64>() / n,
+            position: items.iter().map(|a| a.position).sum::<f64>() / n,
+        }
+    }
+}
+
+fn ratio_accuracy(a: f64, b: f64) -> f64 {
+    if a == 0.0 && b == 0.0 {
+        return 1.0;
+    }
+    1.0 - (a - b).abs() / a.max(b)
+}
+
+/// Compares the bursts of an imputed window against the ground truth.
+pub fn burst_accuracy(pred: &[i64], truth: &[i64], threshold: i64) -> BurstAccuracy {
+    let bp = detect_bursts(pred, threshold);
+    let bt = detect_bursts(truth, threshold);
+
+    let count = ratio_accuracy(bp.len() as f64, bt.len() as f64);
+    let duration = ratio_accuracy(
+        bp.iter().map(|b| b.duration).sum::<usize>() as f64,
+        bt.iter().map(|b| b.duration).sum::<usize>() as f64,
+    );
+    let volume = ratio_accuracy(
+        bp.iter().map(|b| b.volume).sum::<i64>() as f64,
+        bt.iter().map(|b| b.volume).sum::<i64>() as f64,
+    );
+
+    // Position: mean over true bursts of the distance to the closest
+    // predicted burst start, normalized by window length.
+    let position = match (bp.is_empty(), bt.is_empty()) {
+        (true, true) => 1.0,
+        (true, false) | (false, true) => 0.0,
+        (false, false) => {
+            let len = truth.len().max(1) as f64;
+            let mean_dist: f64 = bt
+                .iter()
+                .map(|t| {
+                    bp.iter()
+                        .map(|p| (p.start as f64 - t.start as f64).abs())
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum::<f64>()
+                / bt.len() as f64;
+            (1.0 - mean_dist / len).max(0.0)
+        }
+    };
+
+    BurstAccuracy {
+        count,
+        duration,
+        volume,
+        position,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_single_burst() {
+        let s = [5, 40, 45, 50, 10];
+        let b = detect_bursts(&s, 30);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0], Burst { start: 1, duration: 3, volume: 135 });
+    }
+
+    #[test]
+    fn detects_multiple_and_edge_bursts() {
+        let s = [40, 5, 50, 50, 5, 60];
+        let b = detect_bursts(&s, 30);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0].start, 0);
+        assert_eq!(b[1], Burst { start: 2, duration: 2, volume: 100 });
+        assert_eq!(b[2].start, 5);
+    }
+
+    #[test]
+    fn no_bursts_below_threshold() {
+        assert!(detect_bursts(&[1, 2, 3], 30).is_empty());
+        assert!(detect_bursts(&[30, 30], 30).is_empty(), "strictly above");
+        assert!(detect_bursts(&[], 30).is_empty());
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let s = [5, 40, 45, 50, 10];
+        let a = burst_accuracy(&s, &s, 30);
+        assert_eq!(a.count, 1.0);
+        assert_eq!(a.duration, 1.0);
+        assert_eq!(a.volume, 1.0);
+        assert_eq!(a.position, 1.0);
+    }
+
+    #[test]
+    fn both_empty_scores_one() {
+        let a = burst_accuracy(&[1, 2, 3], &[3, 2, 1], 30);
+        assert_eq!(a.count, 1.0);
+        assert_eq!(a.position, 1.0);
+    }
+
+    #[test]
+    fn missing_burst_scores_zero_position() {
+        let truth = [5, 40, 45, 50, 10];
+        let pred = [5, 5, 5, 5, 5];
+        let a = burst_accuracy(&pred, &truth, 30);
+        assert_eq!(a.count, 0.0);
+        assert_eq!(a.position, 0.0);
+        assert_eq!(a.volume, 0.0);
+    }
+
+    #[test]
+    fn shifted_burst_degrades_position_only_partially() {
+        let truth = [50, 5, 5, 5, 5];
+        let pred = [5, 5, 50, 5, 5];
+        let a = burst_accuracy(&pred, &truth, 30);
+        assert_eq!(a.count, 1.0);
+        assert_eq!(a.duration, 1.0);
+        assert_eq!(a.volume, 1.0);
+        assert!((a.position - (1.0 - 2.0 / 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_aggregation() {
+        let items = vec![
+            BurstAccuracy { count: 1.0, duration: 1.0, volume: 1.0, position: 1.0 },
+            BurstAccuracy { count: 0.0, duration: 0.5, volume: 0.2, position: 0.0 },
+        ];
+        let m = BurstAccuracy::mean(&items);
+        assert!((m.count - 0.5).abs() < 1e-12);
+        assert!((m.duration - 0.75).abs() < 1e-12);
+        assert!((m.volume - 0.6).abs() < 1e-12);
+        assert!((m.position - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,250 @@
+//! Distribution distances: exact 1-D Wasserstein (EMD), Jensen–Shannon
+//! divergence, and elementwise errors.
+
+/// Exact 1-D Wasserstein-1 distance (Earth Mover's Distance) between two
+/// empirical samples, computed as `∫ |F(x) − G(x)| dx` over the merged
+/// support. Handles unequal sample sizes.
+///
+/// # Panics
+/// Panics if either sample is empty.
+pub fn emd(xs: &[f64], ys: &[f64]) -> f64 {
+    assert!(!xs.is_empty() && !ys.is_empty(), "emd of empty sample");
+    let mut a: Vec<f64> = xs.to_vec();
+    let mut b: Vec<f64> = ys.to_vec();
+    a.sort_by(|p, q| p.partial_cmp(q).unwrap());
+    b.sort_by(|p, q| p.partial_cmp(q).unwrap());
+
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut cdf_a = 0.0f64;
+    let mut cdf_b = 0.0f64;
+    let mut prev = a[0].min(b[0]);
+    let mut total = 0.0f64;
+    while i < a.len() || j < b.len() {
+        let next = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => x.min(y),
+            (Some(&x), None) => x,
+            (None, Some(&y)) => y,
+            (None, None) => break,
+        };
+        total += (cdf_a - cdf_b).abs() * (next - prev);
+        while i < a.len() && a[i] <= next {
+            cdf_a += 1.0 / na;
+            i += 1;
+        }
+        while j < b.len() && b[j] <= next {
+            cdf_b += 1.0 / nb;
+            j += 1;
+        }
+        prev = next;
+    }
+    total
+}
+
+/// Jensen–Shannon divergence (base-2 logarithm, result in `[0, 1]`) between
+/// histograms of two samples over a shared `bins`-bucket range.
+///
+/// # Panics
+/// Panics if either sample is empty or `bins == 0`.
+pub fn jsd(xs: &[f64], ys: &[f64], bins: usize) -> f64 {
+    assert!(!xs.is_empty() && !ys.is_empty(), "jsd of empty sample");
+    assert!(bins > 0, "jsd needs at least one bin");
+    let lo = xs
+        .iter()
+        .chain(ys)
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let hi = xs
+        .iter()
+        .chain(ys)
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    if hi <= lo {
+        return 0.0; // all mass at a single point in both samples
+    }
+    let hist = |data: &[f64]| -> Vec<f64> {
+        let mut h = vec![0.0f64; bins];
+        for &v in data {
+            let mut k = ((v - lo) / (hi - lo) * bins as f64) as usize;
+            if k >= bins {
+                k = bins - 1;
+            }
+            h[k] += 1.0;
+        }
+        let n = data.len() as f64;
+        for c in &mut h {
+            *c /= n;
+        }
+        h
+    };
+    let p = hist(xs);
+    let q = hist(ys);
+    let mut div = 0.0f64;
+    for k in 0..bins {
+        let m = 0.5 * (p[k] + q[k]);
+        if p[k] > 0.0 {
+            div += 0.5 * p[k] * (p[k] / m).log2();
+        }
+        if q[k] > 0.0 {
+            div += 0.5 * q[k] * (q[k] / m).log2();
+        }
+    }
+    div
+}
+
+/// Mean absolute error between paired values.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "mae length mismatch");
+    assert!(!pred.is_empty(), "mae of empty input");
+    pred.iter()
+        .zip(truth)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Root-mean-square error between paired values.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "rmse length mismatch");
+    assert!(!pred.is_empty(), "rmse of empty input");
+    (pred.iter()
+        .zip(truth)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        / pred.len() as f64)
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emd_identical_is_zero() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0];
+        assert!(emd(&xs, &xs) < 1e-12);
+    }
+
+    #[test]
+    fn emd_shifted_uniform() {
+        // Shifting a distribution by c moves every unit of mass by c.
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..100).map(|i| i as f64 + 5.0).collect();
+        assert!((emd(&xs, &ys) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emd_point_masses() {
+        assert!((emd(&[0.0], &[3.0]) - 3.0).abs() < 1e-12);
+        assert!((emd(&[0.0, 0.0], &[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_unequal_sizes() {
+        // {0,1} vs {0.5}: move 0.5 mass up 0.5 and 0.5 mass down 0.5 = 0.5.
+        assert!((emd(&[0.0, 1.0], &[0.5]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_symmetry() {
+        let xs = vec![1.0, 5.0, 9.0, 2.0];
+        let ys = vec![2.0, 2.0, 8.0];
+        assert!((emd(&xs, &ys) - emd(&ys, &xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsd_identical_is_zero() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(jsd(&xs, &xs, 8) < 1e-12);
+    }
+
+    #[test]
+    fn jsd_disjoint_is_one() {
+        let xs = vec![0.0, 0.1, 0.2];
+        let ys = vec![10.0, 10.1, 10.2];
+        let d = jsd(&xs, &ys, 4);
+        assert!((d - 1.0).abs() < 1e-9, "jsd {d}");
+    }
+
+    #[test]
+    fn jsd_bounded_and_symmetric() {
+        let xs = vec![1.0, 2.0, 2.0, 3.0, 7.0];
+        let ys = vec![2.0, 3.0, 3.0, 8.0];
+        let d1 = jsd(&xs, &ys, 6);
+        let d2 = jsd(&ys, &xs, 6);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&d1));
+    }
+
+    #[test]
+    fn jsd_degenerate_single_point() {
+        assert_eq!(jsd(&[5.0, 5.0], &[5.0], 8), 0.0);
+    }
+
+    #[test]
+    fn mae_rmse_basics() {
+        let pred = vec![1.0, 2.0, 3.0];
+        let truth = vec![2.0, 2.0, 1.0];
+        assert!((mae(&pred, &truth) - 1.0).abs() < 1e-12);
+        assert!((rmse(&pred, &truth) - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mae(&pred, &pred), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(-50i32..=50, 1..40)
+            .prop_map(|v| v.into_iter().map(|x| x as f64).collect())
+    }
+
+    proptest! {
+        #[test]
+        fn emd_is_a_metric_ish(xs in sample(), ys in sample(), zs in sample()) {
+            let dxy = emd(&xs, &ys);
+            let dyx = emd(&ys, &xs);
+            prop_assert!((dxy - dyx).abs() < 1e-9, "symmetry");
+            prop_assert!(dxy >= 0.0, "non-negativity");
+            prop_assert!(emd(&xs, &xs) < 1e-9, "identity");
+            // Triangle inequality (holds exactly for W1).
+            let dxz = emd(&xs, &zs);
+            let dzy = emd(&zs, &ys);
+            prop_assert!(dxy <= dxz + dzy + 1e-6, "triangle: {dxy} > {dxz} + {dzy}");
+        }
+
+        #[test]
+        fn emd_shift_equivariance(xs in sample(), shift in -20i32..=20) {
+            let shifted: Vec<f64> = xs.iter().map(|v| v + shift as f64).collect();
+            let d = emd(&xs, &shifted);
+            prop_assert!((d - (shift as f64).abs()).abs() < 1e-6,
+                "shifting by c moves every unit of mass by |c|: got {d}");
+        }
+
+        #[test]
+        fn jsd_bounds_and_symmetry(xs in sample(), ys in sample()) {
+            let d = jsd(&xs, &ys, 12);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
+            prop_assert!((d - jsd(&ys, &xs, 12)).abs() < 1e-9);
+            prop_assert!(jsd(&xs, &xs, 12) < 1e-9);
+        }
+
+        #[test]
+        fn mae_rmse_relationship(xs in sample()) {
+            // RMSE >= MAE always (Jensen), with equality iff all errors equal.
+            let zeros = vec![0.0; xs.len()];
+            let m = mae(&xs, &zeros);
+            let r = rmse(&xs, &zeros);
+            prop_assert!(r + 1e-9 >= m, "rmse {r} < mae {m}");
+        }
+    }
+}

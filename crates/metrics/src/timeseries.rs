@@ -1,0 +1,119 @@
+//! Time-series metrics: percentiles and autocorrelation similarity.
+
+/// Linear-interpolated percentile (`q` in `[0, 100]`) of a sample.
+///
+/// # Panics
+/// Panics on an empty sample or `q` outside `[0, 100]`.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&q), "percentile out of range");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Relative error of the predicted distribution's 99th percentile against
+/// the true distribution's (denominator floored at 1 to avoid blow-ups on
+/// near-zero tails).
+pub fn p99_relative_error(pred: &[f64], truth: &[f64]) -> f64 {
+    let p = percentile(pred, 99.0);
+    let t = percentile(truth, 99.0);
+    (p - t).abs() / t.abs().max(1.0)
+}
+
+/// Sample autocorrelation of `xs` at `lag` (0 when the series is constant
+/// or shorter than `lag + 2`).
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    if xs.len() < lag + 2 {
+        return 0.0;
+    }
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var: f64 = xs.iter().map(|v| (v - mean) * (v - mean)).sum();
+    if var <= 1e-12 {
+        return 0.0;
+    }
+    let cov: f64 = (0..n - lag)
+        .map(|i| (xs[i] - mean) * (xs[i + lag] - mean))
+        .sum();
+    cov / var
+}
+
+/// Mean absolute difference between the autocorrelation functions of two
+/// series over lags `1..=max_lag` — the paper's "autocorrelation" accuracy
+/// axis (lower = imputed series better preserves temporal structure).
+pub fn mean_acf_distance(truth: &[f64], pred: &[f64], max_lag: usize) -> f64 {
+    assert!(max_lag >= 1, "need at least one lag");
+    let mut acc = 0.0;
+    for lag in 1..=max_lag {
+        acc += (autocorrelation(truth, lag) - autocorrelation(pred, lag)).abs();
+    }
+    acc / max_lag as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_basics() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 100.0) - 100.0).abs() < 1e-12);
+        assert!((percentile(&xs, 50.0) - 50.5).abs() < 1e-9);
+        assert!((percentile(&[7.0], 73.0) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p99_error_zero_on_identical() {
+        let xs: Vec<f64> = (0..200).map(|i| (i % 37) as f64).collect();
+        assert!(p99_relative_error(&xs, &xs) < 1e-12);
+    }
+
+    #[test]
+    fn p99_error_detects_tail_miss() {
+        let truth: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let flat = vec![50.0; 100];
+        assert!(p99_relative_error(&flat, &truth) > 0.4);
+    }
+
+    #[test]
+    fn acf_of_alternating_series() {
+        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&xs, 1) < -0.9);
+        assert!(autocorrelation(&xs, 2) > 0.9);
+    }
+
+    #[test]
+    fn acf_constant_series_is_zero() {
+        let xs = vec![5.0; 50];
+        assert_eq!(autocorrelation(&xs, 1), 0.0);
+    }
+
+    #[test]
+    fn acf_short_series_is_zero() {
+        assert_eq!(autocorrelation(&[1.0, 2.0], 3), 0.0);
+    }
+
+    #[test]
+    fn acf_distance_zero_for_same_structure() {
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 * 0.3).sin()).collect();
+        assert!(mean_acf_distance(&xs, &xs, 5) < 1e-12);
+        // A shuffled copy loses the temporal structure.
+        let mut shuffled = xs.clone();
+        // Deterministic pseudo-shuffle.
+        for i in 0..shuffled.len() {
+            let j = (i * 7919) % shuffled.len();
+            shuffled.swap(i, j);
+        }
+        assert!(mean_acf_distance(&xs, &shuffled, 5) > 0.1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Rule-violation accounting over model outputs (Fig. 3 left, Fig. 5's
+//! compliance column).
+
+use std::collections::HashMap;
+
+use lejit_rules::RuleSet;
+use lejit_telemetry::CoarseSignals;
+
+/// Aggregate violation statistics for a batch of outputs.
+#[derive(Clone, Debug, Default)]
+pub struct ViolationStats {
+    /// Number of outputs checked.
+    pub outputs: usize,
+    /// Outputs violating at least one rule.
+    pub violating_outputs: usize,
+    /// Total (output, rule) violation pairs.
+    pub total_violations: usize,
+    /// Violation counts per rule name.
+    pub per_rule: HashMap<String, usize>,
+}
+
+impl ViolationStats {
+    /// Fraction of outputs violating at least one rule (the paper's
+    /// "rule violation rate").
+    pub fn rate(&self) -> f64 {
+        if self.outputs == 0 {
+            0.0
+        } else {
+            self.violating_outputs as f64 / self.outputs as f64
+        }
+    }
+
+    /// The most frequently violated rules, descending.
+    pub fn top_rules(&self, n: usize) -> Vec<(String, usize)> {
+        let mut v: Vec<(String, usize)> = self
+            .per_rule
+            .iter()
+            .map(|(k, &c)| (k.clone(), c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+}
+
+/// Checks every output against the rule set.
+pub fn violation_stats(
+    rules: &RuleSet,
+    outputs: &[(CoarseSignals, Vec<i64>)],
+) -> ViolationStats {
+    let mut stats = ViolationStats {
+        outputs: outputs.len(),
+        ..ViolationStats::default()
+    };
+    for (coarse, fine) in outputs {
+        let violated = rules.violations(coarse, fine);
+        if !violated.is_empty() {
+            stats.violating_outputs += 1;
+            stats.total_violations += violated.len();
+            for name in violated {
+                *stats.per_rule.entry(name.to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lejit_rules::parse_rules;
+    use lejit_telemetry::CoarseField;
+
+    fn coarse(total: i64, ecn: i64) -> CoarseSignals {
+        let mut c = CoarseSignals::default();
+        c.set(CoarseField::TotalIngress, total);
+        c.set(CoarseField::EcnBytes, ecn);
+        c
+    }
+
+    #[test]
+    fn counts_violations_per_rule() {
+        let rules = parse_rules(
+            "rule r1: forall t: fine[t] <= 60;
+             rule r2: sum(fine) == total_ingress;",
+        )
+        .unwrap();
+        let outputs = vec![
+            (coarse(100, 0), vec![20, 15, 25, 30, 10]), // compliant
+            (coarse(100, 0), vec![20, 15, 25, 70, 8]),  // violates both
+            (coarse(100, 0), vec![20, 15, 25, 30, 11]), // violates r2
+        ];
+        let s = violation_stats(&rules, &outputs);
+        assert_eq!(s.outputs, 3);
+        assert_eq!(s.violating_outputs, 2);
+        assert_eq!(s.total_violations, 3);
+        assert!((s.rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.per_rule["r2"], 2);
+        assert_eq!(s.per_rule["r1"], 1);
+        assert_eq!(s.top_rules(1), vec![("r2".to_string(), 2)]);
+    }
+
+    #[test]
+    fn empty_outputs() {
+        let rules = parse_rules("rule r: drops >= 0;").unwrap();
+        let s = violation_stats(&rules, &[]);
+        assert_eq!(s.rate(), 0.0);
+    }
+
+    #[test]
+    fn all_compliant() {
+        let rules = parse_rules("rule r: sum(fine) == total_ingress;").unwrap();
+        let outputs = vec![(coarse(10, 0), vec![4, 6]), (coarse(0, 0), vec![0, 0])];
+        let s = violation_stats(&rules, &outputs);
+        assert_eq!(s.violating_outputs, 0);
+        assert_eq!(s.rate(), 0.0);
+        assert!(s.per_rule.is_empty());
+    }
+}

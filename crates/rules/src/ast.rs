@@ -1,0 +1,591 @@
+//! Rule abstract syntax and concrete evaluation.
+//!
+//! A [`Rule`] constrains a single telemetry window. Expressions are
+//! integer-valued; predicates are boolean. The only bound variable is the
+//! time index `t`, introduced by `forall t` / `exists t` and ranging over
+//! the fine series.
+//!
+//! Aggregations: `sum(fine)` is linear and may appear anywhere an expression
+//! may. `max(fine)` / `min(fine)` are *not* linear; they are restricted (by
+//! the parser and by [`Expr::is_linear`]) to stand alone on one side of a
+//! comparison, where grounding expands them into disjunctions/conjunctions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use lejit_telemetry::{CoarseField, CoarseSignals};
+
+/// Comparison operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Applies the comparison to concrete values.
+    pub fn apply(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+
+    /// Surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
+/// An integer-valued expression over one window.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// A coarse signal.
+    Coarse(CoarseField),
+    /// `fine[k]` with a literal index.
+    FineAt(usize),
+    /// `fine[t]` with the bound time variable (valid only under a quantifier).
+    FineVar,
+    /// `fine[t+k]` with `k >= 1` — a *temporal offset* from the bound time
+    /// variable. Quantifiers shrink their range so the reference stays in
+    /// bounds. (The paper's §5 calls for richer temporal constraints; this
+    /// is the extension that supports them.)
+    FineVarPlus(usize),
+    /// N-ary sum of subexpressions. Canonical form is *flat*: an `Add`
+    /// should not directly contain another `Add` (the DSL parser flattens
+    /// `+` chains, so only flat sums round-trip syntactically).
+    Add(Vec<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication by a constant.
+    MulConst(i64, Box<Expr>),
+    /// `sum(fine)` — sum of the whole fine series (linear).
+    SumFine,
+    /// `max(fine)` — restricted to one side of a comparison.
+    MaxFine,
+    /// `min(fine)` — restricted to one side of a comparison.
+    MinFine,
+}
+
+impl Expr {
+    /// Whether the expression is linear (no `max`/`min`).
+    pub fn is_linear(&self) -> bool {
+        match self {
+            Expr::Const(_)
+            | Expr::Coarse(_)
+            | Expr::FineAt(_)
+            | Expr::FineVar
+            | Expr::FineVarPlus(_)
+            | Expr::SumFine => true,
+            Expr::Add(kids) => kids.iter().all(Expr::is_linear),
+            Expr::Sub(a, b) => a.is_linear() && b.is_linear(),
+            Expr::MulConst(_, e) => e.is_linear(),
+            Expr::MaxFine | Expr::MinFine => false,
+        }
+    }
+
+    /// Whether the expression mentions the bound time variable.
+    pub fn uses_time_var(&self) -> bool {
+        match self {
+            Expr::FineVar | Expr::FineVarPlus(_) => true,
+            Expr::Add(kids) => kids.iter().any(Expr::uses_time_var),
+            Expr::Sub(a, b) => a.uses_time_var() || b.uses_time_var(),
+            Expr::MulConst(_, e) => e.uses_time_var(),
+            _ => false,
+        }
+    }
+
+    /// Whether the expression mentions the fine series at all.
+    pub fn uses_fine(&self) -> bool {
+        match self {
+            Expr::FineAt(_)
+            | Expr::FineVar
+            | Expr::FineVarPlus(_)
+            | Expr::SumFine
+            | Expr::MaxFine
+            | Expr::MinFine => true,
+            Expr::Add(kids) => kids.iter().any(Expr::uses_fine),
+            Expr::Sub(a, b) => a.uses_fine() || b.uses_fine(),
+            Expr::MulConst(_, e) => e.uses_fine(),
+            _ => false,
+        }
+    }
+
+    /// The largest temporal offset `k` of any `fine[t+k]` in the expression
+    /// (0 when none). Quantifier ranges shrink by this amount.
+    pub fn max_offset(&self) -> usize {
+        match self {
+            Expr::FineVarPlus(k) => *k,
+            Expr::Add(kids) => kids.iter().map(Expr::max_offset).max().unwrap_or(0),
+            Expr::Sub(a, b) => a.max_offset().max(b.max_offset()),
+            Expr::MulConst(_, e) => e.max_offset(),
+            _ => 0,
+        }
+    }
+
+    /// Evaluates under a concrete window. `t` is the current binding of the
+    /// time variable, if any.
+    ///
+    /// # Panics
+    /// Panics if `FineVar` is evaluated without a binding, or a `FineAt`
+    /// index is out of range.
+    pub fn eval(&self, coarse: &CoarseSignals, fine: &[i64], t: Option<usize>) -> i64 {
+        match self {
+            Expr::Const(n) => *n,
+            Expr::Coarse(f) => coarse.get(*f),
+            Expr::FineAt(k) => fine[*k],
+            Expr::FineVar => fine[t.expect("fine[t] outside quantifier")],
+            Expr::FineVarPlus(k) => fine[t.expect("fine[t+k] outside quantifier") + k],
+            Expr::Add(kids) => kids.iter().map(|e| e.eval(coarse, fine, t)).sum(),
+            Expr::Sub(a, b) => a.eval(coarse, fine, t) - b.eval(coarse, fine, t),
+            Expr::MulConst(c, e) => c * e.eval(coarse, fine, t),
+            Expr::SumFine => fine.iter().sum(),
+            Expr::MaxFine => *fine.iter().max().expect("max over empty fine series"),
+            Expr::MinFine => *fine.iter().min().expect("min over empty fine series"),
+        }
+    }
+}
+
+/// A boolean predicate over one window.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Pred {
+    /// Comparison of two expressions.
+    Cmp(CmpOp, Expr, Expr),
+    /// Conjunction.
+    And(Vec<Pred>),
+    /// Disjunction.
+    Or(Vec<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+    /// Implication.
+    Implies(Box<Pred>, Box<Pred>),
+    /// `forall t: body` over the window's fine indices.
+    ForallT(Box<Pred>),
+    /// `exists t: body` over the window's fine indices.
+    ExistsT(Box<Pred>),
+}
+
+impl Pred {
+    /// Evaluates under a concrete window.
+    pub fn eval(&self, coarse: &CoarseSignals, fine: &[i64]) -> bool {
+        self.eval_at(coarse, fine, None)
+    }
+
+    fn eval_at(&self, coarse: &CoarseSignals, fine: &[i64], t: Option<usize>) -> bool {
+        match self {
+            Pred::Cmp(op, a, b) => op.apply(a.eval(coarse, fine, t), b.eval(coarse, fine, t)),
+            Pred::And(kids) => kids.iter().all(|p| p.eval_at(coarse, fine, t)),
+            Pred::Or(kids) => kids.iter().any(|p| p.eval_at(coarse, fine, t)),
+            Pred::Not(p) => !p.eval_at(coarse, fine, t),
+            Pred::Implies(a, b) => !a.eval_at(coarse, fine, t) || b.eval_at(coarse, fine, t),
+            Pred::ForallT(body) => {
+                let end = fine.len().saturating_sub(body.max_offset());
+                (0..end).all(|i| body.eval_at(coarse, fine, Some(i)))
+            }
+            Pred::ExistsT(body) => {
+                let end = fine.len().saturating_sub(body.max_offset());
+                (0..end).any(|i| body.eval_at(coarse, fine, Some(i)))
+            }
+        }
+    }
+
+    /// The largest temporal offset in the predicate (see [`Expr::max_offset`]).
+    pub fn max_offset(&self) -> usize {
+        match self {
+            Pred::Cmp(_, a, b) => a.max_offset().max(b.max_offset()),
+            Pred::And(kids) | Pred::Or(kids) => {
+                kids.iter().map(Pred::max_offset).max().unwrap_or(0)
+            }
+            Pred::Not(p) => p.max_offset(),
+            Pred::Implies(a, b) => a.max_offset().max(b.max_offset()),
+            Pred::ForallT(p) | Pred::ExistsT(p) => p.max_offset(),
+        }
+    }
+
+    /// Whether the predicate mentions the fine series.
+    pub fn uses_fine(&self) -> bool {
+        match self {
+            Pred::Cmp(_, a, b) => a.uses_fine() || b.uses_fine(),
+            Pred::And(kids) | Pred::Or(kids) => kids.iter().any(Pred::uses_fine),
+            Pred::Not(p) => p.uses_fine(),
+            Pred::Implies(a, b) => a.uses_fine() || b.uses_fine(),
+            Pred::ForallT(p) | Pred::ExistsT(p) => p.uses_fine(),
+        }
+    }
+}
+
+/// A named rule.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Rule {
+    /// Rule identifier (unique within a set).
+    pub name: String,
+    /// The predicate a compliant window must satisfy.
+    pub pred: Pred,
+}
+
+impl Rule {
+    /// Creates a rule.
+    pub fn new(name: impl Into<String>, pred: Pred) -> Rule {
+        Rule {
+            name: name.into(),
+            pred,
+        }
+    }
+
+    /// Evaluates the rule on a concrete window.
+    pub fn holds(&self, coarse: &CoarseSignals, fine: &[i64]) -> bool {
+        self.pred.eval(coarse, fine)
+    }
+}
+
+/// An ordered collection of rules (one task's rule set).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RuleSet {
+    /// The rules.
+    pub rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Creates a rule set.
+    pub fn new(rules: Vec<Rule>) -> RuleSet {
+        RuleSet { rules }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Names of rules violated by a window (empty = fully compliant).
+    pub fn violations(&self, coarse: &CoarseSignals, fine: &[i64]) -> Vec<&str> {
+        self.rules
+            .iter()
+            .filter(|r| !r.holds(coarse, fine))
+            .map(|r| r.name.as_str())
+            .collect()
+    }
+
+    /// Whether a window satisfies every rule.
+    pub fn compliant(&self, coarse: &CoarseSignals, fine: &[i64]) -> bool {
+        self.rules.iter().all(|r| r.holds(coarse, fine))
+    }
+
+    /// Serializes the rule set to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("rule sets are serializable")
+    }
+
+    /// Parses a rule set from JSON.
+    pub fn from_json(s: &str) -> Result<RuleSet, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(n) => write!(f, "{n}"),
+            Expr::Coarse(c) => write!(f, "{}", c.name()),
+            Expr::FineAt(k) => write!(f, "fine[{k}]"),
+            Expr::FineVar => write!(f, "fine[t]"),
+            Expr::FineVarPlus(k) => write!(f, "fine[t+{k}]"),
+            Expr::Add(kids) => {
+                write!(f, "(")?;
+                for (i, k) in kids.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{k}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            // A nested multiplication must be parenthesized or `c * d * e`
+            // would re-associate (or fail to parse) on the way back in.
+            Expr::MulConst(c, e) => match **e {
+                Expr::MulConst(..) => write!(f, "{c} * ({e})"),
+                _ => write!(f, "{c} * {e}"),
+            },
+            Expr::SumFine => write!(f, "sum(fine)"),
+            Expr::MaxFine => write!(f, "max(fine)"),
+            Expr::MinFine => write!(f, "min(fine)"),
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::Cmp(op, a, b) => write!(f, "{a} {} {b}", op.symbol()),
+            Pred::And(kids) => {
+                write!(f, "(")?;
+                for (i, k) in kids.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " and ")?;
+                    }
+                    write!(f, "{k}")?;
+                }
+                write!(f, ")")
+            }
+            Pred::Or(kids) => {
+                write!(f, "(")?;
+                for (i, k) in kids.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " or ")?;
+                    }
+                    write!(f, "{k}")?;
+                }
+                write!(f, ")")
+            }
+            Pred::Not(p) => write!(f, "not ({p})"),
+            // The whole implication is parenthesized: `=>` binds loosest,
+            // so an unparenthesized `A => B` inside an `or` would
+            // re-associate on parsing.
+            Pred::Implies(a, b) => write!(f, "(({a}) => ({b}))"),
+            // Quantifiers bind everything to their right, so the printed
+            // form is parenthesized to keep the body delimited on reparse.
+            Pred::ForallT(p) => write!(f, "(forall t: {p})"),
+            Pred::ExistsT(p) => write!(f, "(exists t: {p})"),
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule {}: {};", self.name, self.pred)
+    }
+}
+
+impl fmt::Display for RuleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> (CoarseSignals, Vec<i64>) {
+        let mut c = CoarseSignals::default();
+        c.set(CoarseField::TotalIngress, 100);
+        c.set(CoarseField::EcnBytes, 8);
+        (c, vec![20, 15, 25, 30, 10])
+    }
+
+    fn r1(bw: i64) -> Pred {
+        Pred::ForallT(Box::new(Pred::And(vec![
+            Pred::Cmp(CmpOp::Ge, Expr::FineVar, Expr::Const(0)),
+            Pred::Cmp(CmpOp::Le, Expr::FineVar, Expr::Const(bw)),
+        ])))
+    }
+
+    fn r2() -> Pred {
+        Pred::Cmp(
+            CmpOp::Eq,
+            Expr::SumFine,
+            Expr::Coarse(CoarseField::TotalIngress),
+        )
+    }
+
+    fn r3(half_bw: i64) -> Pred {
+        Pred::Implies(
+            Box::new(Pred::Cmp(
+                CmpOp::Gt,
+                Expr::Coarse(CoarseField::EcnBytes),
+                Expr::Const(0),
+            )),
+            Box::new(Pred::Cmp(CmpOp::Ge, Expr::MaxFine, Expr::Const(half_bw))),
+        )
+    }
+
+    #[test]
+    fn paper_rules_on_valid_window() {
+        let (c, f) = window();
+        assert!(r1(60).eval(&c, &f));
+        assert!(r2().eval(&c, &f));
+        // max = 30 >= 30 → R3 holds.
+        assert!(r3(30).eval(&c, &f));
+    }
+
+    #[test]
+    fn paper_rules_on_invalid_window() {
+        // The paper's Fig. 1a LLM output: [20, 15, 25, 70, 8], violating R1
+        // (70 > 60) and R2 (sum 138 ≠ 100).
+        let (c, _) = window();
+        let bad = vec![20, 15, 25, 70, 8];
+        assert!(!r1(60).eval(&c, &bad));
+        assert!(!r2().eval(&c, &bad));
+        assert!(r3(30).eval(&c, &bad)); // max = 70 >= 30
+    }
+
+    #[test]
+    fn implication_vacuous_when_antecedent_false() {
+        let (mut c, f) = window();
+        c.set(CoarseField::EcnBytes, 0);
+        let low = vec![1, 1, 1, 1, 1];
+        assert!(r3(30).eval(&c, &low));
+        let _ = f;
+    }
+
+    #[test]
+    fn quantifiers() {
+        let (c, f) = window();
+        let exists_30 = Pred::ExistsT(Box::new(Pred::Cmp(
+            CmpOp::Ge,
+            Expr::FineVar,
+            Expr::Const(30),
+        )));
+        assert!(exists_30.eval(&c, &f));
+        let exists_31 = Pred::ExistsT(Box::new(Pred::Cmp(
+            CmpOp::Ge,
+            Expr::FineVar,
+            Expr::Const(31),
+        )));
+        assert!(!exists_31.eval(&c, &f));
+    }
+
+    #[test]
+    fn arithmetic_expressions() {
+        let (c, f) = window();
+        // 2 * fine[0] - fine[1] = 25
+        let e = Expr::Sub(
+            Box::new(Expr::MulConst(2, Box::new(Expr::FineAt(0)))),
+            Box::new(Expr::FineAt(1)),
+        );
+        assert_eq!(e.eval(&c, &f, None), 25);
+        let sum = Expr::Add(vec![Expr::FineAt(0), Expr::FineAt(1), Expr::Const(5)]);
+        assert_eq!(sum.eval(&c, &f, None), 40);
+        assert_eq!(Expr::MinFine.eval(&c, &f, None), 10);
+        assert_eq!(Expr::MaxFine.eval(&c, &f, None), 30);
+        assert_eq!(Expr::SumFine.eval(&c, &f, None), 100);
+    }
+
+    #[test]
+    fn linearity_classification() {
+        assert!(Expr::SumFine.is_linear());
+        assert!(!Expr::MaxFine.is_linear());
+        assert!(!Expr::Add(vec![Expr::MaxFine, Expr::Const(1)]).is_linear());
+        assert!(Expr::Add(vec![Expr::FineVar, Expr::Const(1)]).is_linear());
+    }
+
+    #[test]
+    fn ruleset_violations() {
+        let (c, _) = window();
+        let rs = RuleSet::new(vec![
+            Rule::new("r1", r1(60)),
+            Rule::new("r2", r2()),
+            Rule::new("r3", r3(30)),
+        ]);
+        let bad = vec![20, 15, 25, 70, 8];
+        let v = rs.violations(&c, &bad);
+        assert_eq!(v, vec!["r1", "r2"]);
+        assert!(!rs.compliant(&c, &bad));
+        assert!(rs.compliant(&c, &[20, 15, 25, 30, 10]));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let rs = RuleSet::new(vec![Rule::new("r2", r2()), Rule::new("r3", r3(30))]);
+        let json = rs.to_json();
+        let back = RuleSet::from_json(&json).unwrap();
+        assert_eq!(back.rules, rs.rules);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = Rule::new("r3", r3(30));
+        let s = r.to_string();
+        assert!(s.contains("ecn_bytes > 0"));
+        assert!(s.contains("max(fine) >= 30"));
+    }
+}
+
+#[cfg(test)]
+mod temporal_tests {
+    use super::*;
+
+    #[test]
+    fn offset_eval_and_range_shrink() {
+        let c = CoarseSignals::default();
+        // forall t: fine[t+1] - fine[t] <= 10 (ranges over t in 0..len-1).
+        let p = Pred::ForallT(Box::new(Pred::Cmp(
+            CmpOp::Le,
+            Expr::Sub(Box::new(Expr::FineVarPlus(1)), Box::new(Expr::FineVar)),
+            Expr::Const(10),
+        )));
+        assert_eq!(p.max_offset(), 1);
+        assert!(p.eval(&c, &[0, 5, 10, 15]));
+        assert!(!p.eval(&c, &[0, 20, 10, 15]));
+        // Rising by exactly 10 at the last step is still within range.
+        assert!(p.eval(&c, &[0, 10, 20, 30]));
+    }
+
+    #[test]
+    fn exists_with_offset() {
+        let c = CoarseSignals::default();
+        // exists t: fine[t+1] > 2 * fine[t] (a doubling step).
+        let p = Pred::ExistsT(Box::new(Pred::Cmp(
+            CmpOp::Gt,
+            Expr::FineVarPlus(1),
+            Expr::MulConst(2, Box::new(Expr::FineVar)),
+        )));
+        assert!(p.eval(&c, &[1, 3, 4]));
+        assert!(!p.eval(&c, &[4, 5, 6]));
+    }
+
+    #[test]
+    fn offsets_on_short_windows_are_vacuous() {
+        let c = CoarseSignals::default();
+        let forall = Pred::ForallT(Box::new(Pred::Cmp(
+            CmpOp::Le,
+            Expr::FineVarPlus(3),
+            Expr::Const(0),
+        )));
+        // Window shorter than the offset: forall over empty range is true.
+        assert!(forall.eval(&c, &[5, 5]));
+        let exists = Pred::ExistsT(Box::new(Pred::Cmp(
+            CmpOp::Ge,
+            Expr::FineVarPlus(3),
+            Expr::Const(0),
+        )));
+        assert!(!exists.eval(&c, &[5, 5]));
+    }
+
+    #[test]
+    fn display_of_offsets() {
+        let e = Expr::FineVarPlus(2);
+        assert_eq!(e.to_string(), "fine[t+2]");
+    }
+}

@@ -1,0 +1,443 @@
+//! Lowering rules into `lejit-smt` formulas.
+//!
+//! The caller decides, per signal, whether it is a *solver variable* (to be
+//! generated / imputed) or an *already-known constant* — this is the paper's
+//! "dynamic partial instantiation": constraints are instantiated "using the
+//! values generated so far", which determines which rules are active going
+//! forward. Concretely the caller fills a [`GroundCtx`] with one term per
+//! coarse field and per fine index; constants are just `pool.int(v)` terms
+//! and fold away during normalization.
+//!
+//! Quantifiers expand over the window length; `max`/`min` comparisons expand
+//! into the standard disjunction/conjunction encodings, keeping the solver
+//! input purely in QF-LIA.
+
+use lejit_smt::{TermId, TermPool};
+use lejit_telemetry::CoarseField;
+
+use crate::ast::{CmpOp, Expr, Pred, Rule};
+
+/// Terms standing for each signal of one window.
+pub struct GroundCtx {
+    /// One term per coarse field, indexed by [`CoarseField::index`].
+    pub coarse: [TermId; 6],
+    /// One term per fine step.
+    pub fine: Vec<TermId>,
+}
+
+impl GroundCtx {
+    /// Convenience: a context where every coarse field and fine step is a
+    /// fresh solver variable with the given bounds.
+    pub fn all_vars(
+        pool: &mut TermPool,
+        coarse_hi: &[i64; 6],
+        window_len: usize,
+        fine_hi: i64,
+    ) -> GroundCtx {
+        let coarse_vec: Vec<TermId> = CoarseField::ALL
+            .into_iter()
+            .map(|f| {
+                let v = pool.int_var(f.name(), 0, coarse_hi[f.index()]);
+                pool.var(v)
+            })
+            .collect();
+        let coarse: [TermId; 6] = coarse_vec.try_into().expect("six coarse fields");
+        let fine = (0..window_len)
+            .map(|t| {
+                let v = pool.int_var(&format!("fine{t}"), 0, fine_hi);
+                pool.var(v)
+            })
+            .collect();
+        GroundCtx { coarse, fine }
+    }
+}
+
+/// Grounds an expression. `t` is the current quantifier binding.
+fn ground_expr(pool: &mut TermPool, ctx: &GroundCtx, e: &Expr, t: Option<usize>) -> TermId {
+    match e {
+        Expr::Const(n) => pool.int(*n),
+        Expr::Coarse(f) => ctx.coarse[f.index()],
+        Expr::FineAt(k) => {
+            assert!(
+                *k < ctx.fine.len(),
+                "rule references fine[{k}] but window has {} steps",
+                ctx.fine.len()
+            );
+            ctx.fine[*k]
+        }
+        Expr::FineVar => ctx.fine[t.expect("fine[t] outside quantifier during grounding")],
+        Expr::FineVarPlus(k) => {
+            let base = t.expect("fine[t+k] outside quantifier during grounding");
+            ctx.fine[base + k]
+        }
+        Expr::Add(kids) => {
+            let terms: Vec<TermId> = kids
+                .iter()
+                .map(|k| ground_expr(pool, ctx, k, t))
+                .collect();
+            pool.add(&terms)
+        }
+        Expr::Sub(a, b) => {
+            let ta = ground_expr(pool, ctx, a, t);
+            let tb = ground_expr(pool, ctx, b, t);
+            pool.sub(ta, tb)
+        }
+        Expr::MulConst(c, inner) => {
+            let ti = ground_expr(pool, ctx, inner, t);
+            pool.mul_const(*c, ti)
+        }
+        Expr::SumFine => {
+            assert!(!ctx.fine.is_empty(), "sum(fine) over empty window");
+            pool.add(&ctx.fine.clone())
+        }
+        Expr::MaxFine | Expr::MinFine => {
+            panic!("max/min must be expanded at the comparison level")
+        }
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+    }
+}
+
+fn ground_cmp_terms(pool: &mut TermPool, op: CmpOp, a: TermId, b: TermId) -> TermId {
+    match op {
+        CmpOp::Lt => pool.lt(a, b),
+        CmpOp::Le => pool.le(a, b),
+        CmpOp::Gt => pool.gt(a, b),
+        CmpOp::Ge => pool.ge(a, b),
+        CmpOp::Eq => pool.eq(a, b),
+        CmpOp::Ne => pool.ne(a, b),
+    }
+}
+
+/// Grounds `max(fine) op bound` / `min(fine) op bound`.
+fn ground_aggregate_cmp(
+    pool: &mut TermPool,
+    ctx: &GroundCtx,
+    is_max: bool,
+    op: CmpOp,
+    bound: TermId,
+) -> TermId {
+    assert!(!ctx.fine.is_empty(), "max/min over empty window");
+    let fine = ctx.fine.clone();
+    let cmp_each = |pool: &mut TermPool, op: CmpOp| -> Vec<TermId> {
+        fine.iter()
+            .map(|&ft| ground_cmp_terms(pool, op, ft, bound))
+            .collect()
+    };
+    match (is_max, op) {
+        // max(F) >= b ⇔ ∨ f >= b ;  max(F) > b ⇔ ∨ f > b
+        (true, CmpOp::Ge) | (true, CmpOp::Gt) => {
+            let parts = cmp_each(pool, op);
+            pool.or(&parts)
+        }
+        // max(F) <= b ⇔ ∧ f <= b ;  max(F) < b ⇔ ∧ f < b
+        (true, CmpOp::Le) | (true, CmpOp::Lt) => {
+            let parts = cmp_each(pool, op);
+            pool.and(&parts)
+        }
+        // min(F) <= b ⇔ ∨ f <= b ;  min(F) < b ⇔ ∨ f < b
+        (false, CmpOp::Le) | (false, CmpOp::Lt) => {
+            let parts = cmp_each(pool, op);
+            pool.or(&parts)
+        }
+        // min(F) >= b ⇔ ∧ f >= b ;  min(F) > b ⇔ ∧ f > b
+        (false, CmpOp::Ge) | (false, CmpOp::Gt) => {
+            let parts = cmp_each(pool, op);
+            pool.and(&parts)
+        }
+        // agg == b ⇔ (agg <= b) ∧ (agg >= b); agg != b is the negation.
+        (_, CmpOp::Eq) => {
+            let le = ground_aggregate_cmp(pool, ctx, is_max, CmpOp::Le, bound);
+            let ge = ground_aggregate_cmp(pool, ctx, is_max, CmpOp::Ge, bound);
+            pool.and(&[le, ge])
+        }
+        (_, CmpOp::Ne) => {
+            let eq = ground_aggregate_cmp(pool, ctx, is_max, CmpOp::Eq, bound);
+            pool.not(eq)
+        }
+    }
+}
+
+/// Grounds a predicate into a boolean term.
+pub fn ground_pred(pool: &mut TermPool, ctx: &GroundCtx, p: &Pred) -> TermId {
+    ground_pred_at(pool, ctx, p, None)
+}
+
+fn ground_pred_at(pool: &mut TermPool, ctx: &GroundCtx, p: &Pred, t: Option<usize>) -> TermId {
+    match p {
+        Pred::Cmp(op, a, b) => match (a, b) {
+            (Expr::MaxFine, rhs) => {
+                let bound = ground_expr(pool, ctx, rhs, t);
+                ground_aggregate_cmp(pool, ctx, true, *op, bound)
+            }
+            (Expr::MinFine, rhs) => {
+                let bound = ground_expr(pool, ctx, rhs, t);
+                ground_aggregate_cmp(pool, ctx, false, *op, bound)
+            }
+            (lhs, Expr::MaxFine) => {
+                let bound = ground_expr(pool, ctx, lhs, t);
+                ground_aggregate_cmp(pool, ctx, true, flip(*op), bound)
+            }
+            (lhs, Expr::MinFine) => {
+                let bound = ground_expr(pool, ctx, lhs, t);
+                ground_aggregate_cmp(pool, ctx, false, flip(*op), bound)
+            }
+            (lhs, rhs) => {
+                let ta = ground_expr(pool, ctx, lhs, t);
+                let tb = ground_expr(pool, ctx, rhs, t);
+                ground_cmp_terms(pool, *op, ta, tb)
+            }
+        },
+        Pred::And(kids) => {
+            let parts: Vec<TermId> = kids
+                .iter()
+                .map(|k| ground_pred_at(pool, ctx, k, t))
+                .collect();
+            pool.and(&parts)
+        }
+        Pred::Or(kids) => {
+            let parts: Vec<TermId> = kids
+                .iter()
+                .map(|k| ground_pred_at(pool, ctx, k, t))
+                .collect();
+            pool.or(&parts)
+        }
+        Pred::Not(x) => {
+            let tx = ground_pred_at(pool, ctx, x, t);
+            pool.not(tx)
+        }
+        Pred::Implies(a, b) => {
+            let ta = ground_pred_at(pool, ctx, a, t);
+            let tb = ground_pred_at(pool, ctx, b, t);
+            pool.implies(ta, tb)
+        }
+        Pred::ForallT(body) => {
+            let end = ctx.fine.len().saturating_sub(body.max_offset());
+            let parts: Vec<TermId> = (0..end)
+                .map(|i| ground_pred_at(pool, ctx, body, Some(i)))
+                .collect();
+            pool.and(&parts)
+        }
+        Pred::ExistsT(body) => {
+            let end = ctx.fine.len().saturating_sub(body.max_offset());
+            let parts: Vec<TermId> = (0..end)
+                .map(|i| ground_pred_at(pool, ctx, body, Some(i)))
+                .collect();
+            pool.or(&parts)
+        }
+    }
+}
+
+/// Grounds a whole rule.
+pub fn ground_rule(pool: &mut TermPool, ctx: &GroundCtx, rule: &Rule) -> TermId {
+    ground_pred(pool, ctx, &rule.pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_rules;
+    use lejit_smt::{SatResult, Solver};
+
+    /// Imputation-style context: coarse values fixed as constants, fine
+    /// values as solver variables in [0, bw].
+    fn imputation_ctx(
+        solver: &mut Solver,
+        coarse_vals: &[i64; 6],
+        window_len: usize,
+        bw: i64,
+    ) -> (GroundCtx, Vec<lejit_smt::VarId>) {
+        let mut coarse = [solver.int(0); 6];
+        for f in CoarseField::ALL {
+            coarse[f.index()] = solver.int(coarse_vals[f.index()]);
+        }
+        let mut fine = Vec::new();
+        let mut vars = Vec::new();
+        for t in 0..window_len {
+            let v = solver.int_var(&format!("fine{t}"), 0, bw);
+            vars.push(v);
+            fine.push(solver.var(v));
+        }
+        (GroundCtx { coarse, fine }, vars)
+    }
+
+    const PAPER: &str = "
+        rule r1: forall t: fine[t] >= 0 and fine[t] <= 60;
+        rule r2: sum(fine) == total_ingress;
+        rule r3: ecn_bytes > 0 => max(fine) >= 30;
+    ";
+
+    #[test]
+    fn paper_example_feasible_range() {
+        // coarse: total=100, ecn=8 → rules active; fix fine0..2 = 20,15,25
+        // and confirm fine3 ∈ [0, 40] (lookahead through R2).
+        let rs = parse_rules(PAPER).unwrap();
+        let mut s = Solver::new();
+        let (ctx, vars) = imputation_ctx(&mut s, &[100, 8, 0, 0, 0, 0], 5, 60);
+        for r in &rs.rules {
+            let g = ground_rule(s.pool_mut(), &ctx, r);
+            s.assert(g);
+        }
+        for (t, val) in [(0usize, 20i64), (1, 15), (2, 25)] {
+            let c = s.int(val);
+            let eq = s.eq(ctx.fine[t], c);
+            s.assert(eq);
+        }
+        assert_eq!(s.minimize(vars[3]), Some(0));
+        assert_eq!(s.maximize(vars[3]), Some(40));
+    }
+
+    #[test]
+    fn r3_forces_burst_when_congested() {
+        // total = 100, ecn = 8: max(fine) >= 30 must hold, so constraining
+        // all fine <= 29 is unsat.
+        let rs = parse_rules(PAPER).unwrap();
+        let mut s = Solver::new();
+        let (ctx, _vars) = imputation_ctx(&mut s, &[100, 8, 0, 0, 0, 0], 5, 60);
+        for r in &rs.rules {
+            let g = ground_rule(s.pool_mut(), &ctx, r);
+            s.assert(g);
+        }
+        s.push();
+        let c29 = s.int(29);
+        let caps: Vec<_> = ctx.fine.iter().map(|&f| s.le(f, c29)).collect();
+        let all = s.and(&caps);
+        s.assert(all);
+        assert_eq!(s.check(), SatResult::Unsat);
+        s.pop();
+        // Without congestion (ecn = 0) the same cap is fine if total allows.
+        let mut s2 = Solver::new();
+        let (ctx2, _) = imputation_ctx(&mut s2, &[100, 0, 0, 0, 0, 0], 5, 60);
+        for r in &rs.rules {
+            let g = ground_rule(s2.pool_mut(), &ctx2, r);
+            s2.assert(g);
+        }
+        let c29 = s2.int(29);
+        let caps: Vec<_> = ctx2.fine.iter().map(|&f| s2.le(f, c29)).collect();
+        let all = s2.and(&caps);
+        s2.assert(all);
+        assert_eq!(s2.check(), SatResult::Sat);
+    }
+
+    #[test]
+    fn grounding_agrees_with_eval_on_models() {
+        // For satisfiable rule sets, the solver's model must satisfy the
+        // rules under concrete evaluation — grounding and eval agree.
+        use lejit_telemetry::CoarseSignals;
+        let rs = parse_rules(
+            "rule a: sum(fine) == total_ingress;
+             rule b: ecn_bytes > 0 => max(fine) >= 30;
+             rule c: forall t: fine[t] <= 60;
+             rule d: min(fine) >= 0;
+             rule e: fine[0] + fine[1] <= 100;",
+        )
+        .unwrap();
+        let coarse_vals = [100i64, 8, 0, 0, 0, 0];
+        let mut s = Solver::new();
+        let (ctx, vars) = imputation_ctx(&mut s, &coarse_vals, 5, 60);
+        for r in &rs.rules {
+            let g = ground_rule(s.pool_mut(), &ctx, r);
+            s.assert(g);
+        }
+        assert_eq!(s.check(), SatResult::Sat);
+        let m = s.model().unwrap();
+        let fine: Vec<i64> = vars.iter().map(|&v| m.int_value(v).unwrap()).collect();
+        let coarse = CoarseSignals(coarse_vals);
+        for r in &rs.rules {
+            assert!(r.holds(&coarse, &fine), "model violates {}: {fine:?}", r.name);
+        }
+    }
+
+    #[test]
+    fn synthesis_grounding_over_coarse_vars() {
+        // Synthesis: coarse fields are variables; rules relate them.
+        let rs = parse_rules(
+            "rule a: egress_total <= total_ingress;
+             rule b: drops <= total_ingress;
+             rule c: ecn_bytes > 0 => total_ingress >= 40;",
+        )
+        .unwrap();
+        let mut s = Solver::new();
+        let ctx = GroundCtx::all_vars(s.pool_mut(), &[300, 100, 100, 300, 99, 300], 0, 60);
+        for r in &rs.rules {
+            let g = ground_rule(s.pool_mut(), &ctx, r);
+            s.assert(g);
+        }
+        // Fix ecn = 5; total_ingress must then be >= 40.
+        let ecn = s.pool().find_var("ecn_bytes").unwrap();
+        let total = s.pool().find_var("total_ingress").unwrap();
+        let te = s.var(ecn);
+        let c5 = s.int(5);
+        let eq = s.eq(te, c5);
+        s.assert(eq);
+        assert_eq!(s.minimize(total), Some(40));
+    }
+
+    #[test]
+    fn max_on_rhs_flips() {
+        let rs = parse_rules("rule a: 50 <= max(fine);").unwrap();
+        let mut s = Solver::new();
+        let (ctx, vars) = imputation_ctx(&mut s, &[0; 6], 3, 60);
+        let g = ground_rule(s.pool_mut(), &ctx, &rs.rules[0]);
+        s.assert(g);
+        assert_eq!(s.check(), SatResult::Sat);
+        let m = s.model().unwrap();
+        let max = vars.iter().map(|&v| m.int_value(v).unwrap()).max().unwrap();
+        assert!(max >= 50);
+    }
+
+    #[test]
+    fn min_equality_expansion() {
+        let rs = parse_rules("rule a: min(fine) == 7;").unwrap();
+        let mut s = Solver::new();
+        let (ctx, vars) = imputation_ctx(&mut s, &[0; 6], 4, 60);
+        let g = ground_rule(s.pool_mut(), &ctx, &rs.rules[0]);
+        s.assert(g);
+        assert_eq!(s.check(), SatResult::Sat);
+        let m = s.model().unwrap();
+        let vals: Vec<i64> = vars.iter().map(|&v| m.int_value(v).unwrap()).collect();
+        assert_eq!(vals.iter().min(), Some(&7));
+    }
+}
+
+#[cfg(test)]
+mod temporal_ground_tests {
+    use super::*;
+    use crate::dsl::parse_rules;
+    use lejit_smt::{SatResult, Solver};
+
+    #[test]
+    fn delta_rule_constrains_the_solver() {
+        // forall t: |fine[t+1] - fine[t]| <= 5, fine[0] fixed to 0:
+        // fine[2] can be at most 10.
+        let rules = parse_rules(
+            "rule up: forall t: fine[t+1] - fine[t] <= 5;
+             rule down: forall t: fine[t] - fine[t+1] <= 5;",
+        )
+        .unwrap();
+        let mut s = Solver::new();
+        let ctx = GroundCtx::all_vars(s.pool_mut(), &[100; 6], 3, 60);
+        for r in &rules.rules {
+            let g = ground_rule(s.pool_mut(), &ctx, r);
+            s.assert(g);
+        }
+        let f0 = s.pool().find_var("fine0").unwrap();
+        let f2 = s.pool().find_var("fine2").unwrap();
+        let t0 = s.var(f0);
+        let zero = s.int(0);
+        let pin = s.eq(t0, zero);
+        s.assert(pin);
+        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.maximize(f2), Some(10));
+        assert_eq!(s.minimize(f2), Some(0));
+    }
+}

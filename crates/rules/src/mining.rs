@@ -1,0 +1,691 @@
+//! NetNomos-style rule mining (substitute for reference \[23\] in the paper).
+//!
+//! The paper obtains its rule sets "by applying NetNomos on the training
+//! data": 716 rules relating coarse signals to the fine-grained series for
+//! the imputation task, and 255 rules among the coarse signals themselves
+//! for the synthesis task. This module mines rules of the same logical
+//! families from training windows, with confidence 1.0 (every emitted rule
+//! holds on every training window) and a support threshold on implication
+//! antecedents:
+//!
+//! * **bounds** — `f >= lo`, `f <= hi` per coarse field; `forall t: 0 <=
+//!   fine[t] <= BW`,
+//! * **sum consistency** — `sum(fine) == total_ingress` (validated, not
+//!   assumed),
+//! * **pairwise order** — `f <= g` for coarse field pairs,
+//! * **zero coupling** — `f <= 0 => g <= 0`,
+//! * **threshold implications** — `f > θ ⇒ g ≥ φ` / `f ≤ θ ⇒ g ≤ ψ` over a
+//!   quantile grid of θ, with the tightest valid consequent, for coarse→
+//!   coarse pairs (synthesis set) and coarse→`max/min/sum(fine)` aggregates
+//!   (imputation set).
+//!
+//! * **temporal smoothness** — `forall t: |fine[t+1] − fine[t]| ≤ Δ`,
+//!   using the `fine[t+k]` offset extension. This goes *beyond* NetNomos:
+//!   the paper's §5 names richer temporal constraints as future work, and
+//!   notes the residual accuracy gap on time-sensitive metrics "likely
+//!   stems from … the limited temporal expressiveness of the extracted
+//!   rules".
+//!
+//! Like NetNomos, the miner remains template-bound: every rule instantiates
+//! one of the families above.
+
+use std::collections::BTreeSet;
+
+use lejit_telemetry::{CoarseField, Window};
+
+use crate::ast::{CmpOp, Expr, Pred, Rule, RuleSet};
+
+/// Miner parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MinerConfig {
+    /// Number of quantile thresholds per antecedent field.
+    pub thresholds_per_field: usize,
+    /// Minimum number of training windows where an implication's antecedent
+    /// holds for the rule to be emitted.
+    pub min_support: usize,
+    /// Slack added to mined upper bounds (guards against mild test-time
+    /// distribution shift; 0 = exact training maxima).
+    pub bound_slack: i64,
+    /// Relative slack applied to implication consequents: a mined
+    /// `f > θ ⇒ g ≥ φ` is emitted as `g ≥ ⌊φ·(1−s)⌋` (and `≤` consequents
+    /// as `⌈ψ·(1+s)⌉`). Rules weakened this way still hold on the training
+    /// data, but generalize to held-out racks instead of over-fitting the
+    /// exact training extrema.
+    pub consequent_slack: f64,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        MinerConfig {
+            thresholds_per_field: 8,
+            min_support: 5,
+            bound_slack: 0,
+            consequent_slack: 0.15,
+        }
+    }
+}
+
+/// Weakens a `≥ φ` consequent by the relative slack.
+fn relax_ge(phi: i64, slack: f64) -> i64 {
+    ((phi as f64) * (1.0 - slack)).floor() as i64
+}
+
+/// Weakens a `≤ ψ` consequent by the relative slack (at least +1 so that a
+/// non-zero slack always loosens integer bounds).
+fn relax_le(psi: i64, slack: f64) -> i64 {
+    let relaxed = ((psi as f64) * (1.0 + slack)).ceil() as i64;
+    if slack > 0.0 {
+        relaxed.max(psi + 1)
+    } else {
+        relaxed
+    }
+}
+
+/// The two task-specific rule sets the miner produces.
+#[derive(Clone, Debug)]
+pub struct MinedRules {
+    /// Rules constraining the fine series given coarse signals (imputation).
+    pub imputation: RuleSet,
+    /// Rules among the coarse signals themselves (synthesis).
+    pub synthesis: RuleSet,
+}
+
+/// The paper's hand-written R1–R3 (Section 2.1) for bandwidth `bw`.
+pub fn paper_rules(bw: i64) -> RuleSet {
+    RuleSet::new(vec![
+        Rule::new(
+            "r1",
+            Pred::ForallT(Box::new(Pred::And(vec![
+                Pred::Cmp(CmpOp::Ge, Expr::FineVar, Expr::Const(0)),
+                Pred::Cmp(CmpOp::Le, Expr::FineVar, Expr::Const(bw)),
+            ]))),
+        ),
+        Rule::new(
+            "r2",
+            Pred::Cmp(
+                CmpOp::Eq,
+                Expr::SumFine,
+                Expr::Coarse(CoarseField::TotalIngress),
+            ),
+        ),
+        Rule::new(
+            "r3",
+            Pred::Implies(
+                Box::new(Pred::Cmp(
+                    CmpOp::Gt,
+                    Expr::Coarse(CoarseField::EcnBytes),
+                    Expr::Const(0),
+                )),
+                Box::new(Pred::Cmp(CmpOp::Ge, Expr::MaxFine, Expr::Const(bw / 2))),
+            ),
+        ),
+    ])
+}
+
+/// The four manually specified rules (C4–C7 in Zoom2Net's evaluation) used
+/// by the paper's "manual rules" baseline.
+pub fn manual_rules(bw: i64) -> RuleSet {
+    RuleSet::new(vec![
+        Rule::new(
+            "c4_sum_consistency",
+            Pred::Cmp(
+                CmpOp::Eq,
+                Expr::SumFine,
+                Expr::Coarse(CoarseField::TotalIngress),
+            ),
+        ),
+        Rule::new(
+            "c5_bandwidth_bounds",
+            Pred::ForallT(Box::new(Pred::And(vec![
+                Pred::Cmp(CmpOp::Ge, Expr::FineVar, Expr::Const(0)),
+                Pred::Cmp(CmpOp::Le, Expr::FineVar, Expr::Const(bw)),
+            ]))),
+        ),
+        Rule::new(
+            "c6_congestion_burst",
+            Pred::Implies(
+                Box::new(Pred::Cmp(
+                    CmpOp::Gt,
+                    Expr::Coarse(CoarseField::EcnBytes),
+                    Expr::Const(0),
+                )),
+                Box::new(Pred::Cmp(CmpOp::Ge, Expr::MaxFine, Expr::Const(bw / 2))),
+            ),
+        ),
+        Rule::new(
+            "c7_egress_cap",
+            Pred::Cmp(
+                CmpOp::Le,
+                Expr::Coarse(CoarseField::EgressTotal),
+                Expr::SumFine,
+            ),
+        ),
+    ])
+}
+
+/// Quantile grid (unique values) of a field over the windows.
+fn thresholds(windows: &[Window], f: CoarseField, n: usize) -> Vec<i64> {
+    let mut vals: Vec<i64> = windows.iter().map(|w| w.coarse.get(f)).collect();
+    vals.sort_unstable();
+    let mut out = BTreeSet::new();
+    for k in 0..n {
+        let idx = (vals.len() - 1) * (k + 1) / (n + 1);
+        out.insert(vals[idx]);
+    }
+    out.into_iter().collect()
+}
+
+/// Aggregates of the fine series an imputation rule may constrain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FineAgg {
+    Max,
+    Min,
+    Sum,
+}
+
+impl FineAgg {
+    fn expr(self) -> Expr {
+        match self {
+            FineAgg::Max => Expr::MaxFine,
+            FineAgg::Min => Expr::MinFine,
+            FineAgg::Sum => Expr::SumFine,
+        }
+    }
+
+    fn eval(self, fine: &[i64]) -> i64 {
+        match self {
+            FineAgg::Max => *fine.iter().max().unwrap(),
+            FineAgg::Min => *fine.iter().min().unwrap(),
+            FineAgg::Sum => fine.iter().sum(),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            FineAgg::Max => "max",
+            FineAgg::Min => "min",
+            FineAgg::Sum => "sum",
+        }
+    }
+}
+
+/// Mines both task rule sets from training windows.
+///
+/// Every emitted rule holds on **all** of `windows` (confidence 1.0); this
+/// is asserted in debug builds.
+pub fn mine_rules(windows: &[Window], bandwidth: i64, cfg: MinerConfig) -> MinedRules {
+    assert!(!windows.is_empty(), "cannot mine from an empty training set");
+    let mut synthesis: Vec<Rule> = Vec::new();
+    let mut imputation: Vec<Rule> = Vec::new();
+
+    // ---- Synthesis: coarse-only rules -----------------------------------
+
+    // Bounds per field.
+    for f in CoarseField::ALL {
+        let lo = windows.iter().map(|w| w.coarse.get(f)).min().unwrap();
+        let hi = windows.iter().map(|w| w.coarse.get(f)).max().unwrap();
+        synthesis.push(Rule::new(
+            format!("bound_{}_lo", f.name()),
+            Pred::Cmp(CmpOp::Ge, Expr::Coarse(f), Expr::Const(lo.min(0))),
+        ));
+        synthesis.push(Rule::new(
+            format!("bound_{}_hi", f.name()),
+            Pred::Cmp(
+                CmpOp::Le,
+                Expr::Coarse(f),
+                Expr::Const(hi + cfg.bound_slack),
+            ),
+        ));
+    }
+
+    // Pairwise order f <= g.
+    for f in CoarseField::ALL {
+        for g in CoarseField::ALL {
+            if f == g {
+                continue;
+            }
+            if windows.iter().all(|w| w.coarse.get(f) <= w.coarse.get(g)) {
+                synthesis.push(Rule::new(
+                    format!("order_{}_le_{}", f.name(), g.name()),
+                    Pred::Cmp(CmpOp::Le, Expr::Coarse(f), Expr::Coarse(g)),
+                ));
+            }
+        }
+    }
+
+    // Zero coupling: f <= 0 => g <= 0.
+    for f in CoarseField::ALL {
+        for g in CoarseField::ALL {
+            if f == g {
+                continue;
+            }
+            let antecedent: Vec<&Window> = windows
+                .iter()
+                .filter(|w| w.coarse.get(f) <= 0)
+                .collect();
+            if antecedent.len() >= cfg.min_support
+                && antecedent.len() < windows.len()
+                && antecedent.iter().all(|w| w.coarse.get(g) <= 0)
+            {
+                synthesis.push(Rule::new(
+                    format!("zero_{}_implies_zero_{}", f.name(), g.name()),
+                    Pred::Implies(
+                        Box::new(Pred::Cmp(CmpOp::Le, Expr::Coarse(f), Expr::Const(0))),
+                        Box::new(Pred::Cmp(CmpOp::Le, Expr::Coarse(g), Expr::Const(0))),
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Threshold implications between coarse fields.
+    for f in CoarseField::ALL {
+        let ths = thresholds(windows, f, cfg.thresholds_per_field);
+        for g in CoarseField::ALL {
+            if f == g {
+                continue;
+            }
+            let g_lo = windows.iter().map(|w| w.coarse.get(g)).min().unwrap();
+            let g_hi = windows.iter().map(|w| w.coarse.get(g)).max().unwrap();
+            for &th in &ths {
+                // f > th  =>  g >= phi (tightest phi valid on training data).
+                let above: Vec<&Window> =
+                    windows.iter().filter(|w| w.coarse.get(f) > th).collect();
+                if above.len() >= cfg.min_support {
+                    let phi = relax_ge(
+                        above.iter().map(|w| w.coarse.get(g)).min().unwrap(),
+                        cfg.consequent_slack,
+                    );
+                    if phi > g_lo {
+                        synthesis.push(Rule::new(
+                            format!("imp_{}_gt{}_then_{}_ge{}", f.name(), th, g.name(), phi),
+                            Pred::Implies(
+                                Box::new(Pred::Cmp(CmpOp::Gt, Expr::Coarse(f), Expr::Const(th))),
+                                Box::new(Pred::Cmp(CmpOp::Ge, Expr::Coarse(g), Expr::Const(phi))),
+                            ),
+                        ));
+                    }
+                }
+                // f <= th  =>  g <= psi.
+                let below: Vec<&Window> =
+                    windows.iter().filter(|w| w.coarse.get(f) <= th).collect();
+                if below.len() >= cfg.min_support {
+                    let psi = relax_le(
+                        below.iter().map(|w| w.coarse.get(g)).max().unwrap(),
+                        cfg.consequent_slack,
+                    );
+                    if psi < g_hi {
+                        synthesis.push(Rule::new(
+                            format!("imp_{}_le{}_then_{}_le{}", f.name(), th, g.name(), psi),
+                            Pred::Implies(
+                                Box::new(Pred::Cmp(CmpOp::Le, Expr::Coarse(f), Expr::Const(th))),
+                                Box::new(Pred::Cmp(CmpOp::Le, Expr::Coarse(g), Expr::Const(psi))),
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Imputation: rules constraining the fine series ------------------
+
+    // Hard bounds on every fine step.
+    imputation.push(Rule::new(
+        "fine_bounds",
+        Pred::ForallT(Box::new(Pred::And(vec![
+            Pred::Cmp(CmpOp::Ge, Expr::FineVar, Expr::Const(0)),
+            Pred::Cmp(CmpOp::Le, Expr::FineVar, Expr::Const(bandwidth)),
+        ]))),
+    ));
+
+    // Sum consistency, only if the data really satisfies it.
+    if windows
+        .iter()
+        .all(|w| w.fine.iter().sum::<i64>() == w.coarse.get(CoarseField::TotalIngress))
+    {
+        imputation.push(Rule::new(
+            "sum_consistency",
+            Pred::Cmp(
+                CmpOp::Eq,
+                Expr::SumFine,
+                Expr::Coarse(CoarseField::TotalIngress),
+            ),
+        ));
+    }
+
+    // Coarse aggregates bounded by fine aggregates (e.g. egress <= sum(fine)).
+    for f in CoarseField::ALL {
+        for agg in [FineAgg::Sum, FineAgg::Max] {
+            if f == CoarseField::TotalIngress && agg == FineAgg::Sum {
+                continue; // subsumed by sum_consistency
+            }
+            if windows.iter().all(|w| w.coarse.get(f) <= agg.eval(&w.fine)) {
+                imputation.push(Rule::new(
+                    format!("coarse_{}_le_{}_fine", f.name(), agg.name()),
+                    Pred::Cmp(CmpOp::Le, Expr::Coarse(f), agg.expr()),
+                ));
+            }
+        }
+    }
+
+    // Temporal smoothness (the paper's §5 extension): the step-to-step
+    // change of the fine series is bounded. `forall t` automatically ranges
+    // over 0..T-1 because the body references `fine[t+1]`.
+    if windows[0].fine.len() >= 2 {
+        let max_delta = windows
+            .iter()
+            .flat_map(|w| w.fine.windows(2).map(|p| (p[1] - p[0]).abs()))
+            .max()
+            .unwrap_or(0);
+        let bound = relax_le(max_delta, cfg.consequent_slack);
+        if bound < bandwidth {
+            // Non-trivial only when tighter than the full swing.
+            let up = Pred::ForallT(Box::new(Pred::Cmp(
+                CmpOp::Le,
+                Expr::Sub(Box::new(Expr::FineVarPlus(1)), Box::new(Expr::FineVar)),
+                Expr::Const(bound),
+            )));
+            let down = Pred::ForallT(Box::new(Pred::Cmp(
+                CmpOp::Le,
+                Expr::Sub(Box::new(Expr::FineVar), Box::new(Expr::FineVarPlus(1))),
+                Expr::Const(bound),
+            )));
+            imputation.push(Rule::new(format!("temporal_delta_up_le{bound}"), up));
+            imputation.push(Rule::new(format!("temporal_delta_down_le{bound}"), down));
+        }
+    }
+
+    // Threshold implications coarse → fine aggregate.
+    let global: Vec<(FineAgg, i64, i64)> = [FineAgg::Max, FineAgg::Min, FineAgg::Sum]
+        .into_iter()
+        .map(|agg| {
+            let lo = windows.iter().map(|w| agg.eval(&w.fine)).min().unwrap();
+            let hi = windows.iter().map(|w| agg.eval(&w.fine)).max().unwrap();
+            (agg, lo, hi)
+        })
+        .collect();
+    for f in CoarseField::ALL {
+        let ths = thresholds(windows, f, cfg.thresholds_per_field);
+        for &(agg, a_lo, a_hi) in &global {
+            for &th in &ths {
+                let above: Vec<&Window> =
+                    windows.iter().filter(|w| w.coarse.get(f) > th).collect();
+                if above.len() >= cfg.min_support {
+                    let phi = relax_ge(
+                        above.iter().map(|w| agg.eval(&w.fine)).min().unwrap(),
+                        cfg.consequent_slack,
+                    );
+                    if phi > a_lo {
+                        imputation.push(Rule::new(
+                            format!(
+                                "fimp_{}_gt{}_then_{}_ge{}",
+                                f.name(),
+                                th,
+                                agg.name(),
+                                phi
+                            ),
+                            Pred::Implies(
+                                Box::new(Pred::Cmp(CmpOp::Gt, Expr::Coarse(f), Expr::Const(th))),
+                                Box::new(Pred::Cmp(CmpOp::Ge, agg.expr(), Expr::Const(phi))),
+                            ),
+                        ));
+                    }
+                }
+                let below: Vec<&Window> =
+                    windows.iter().filter(|w| w.coarse.get(f) <= th).collect();
+                if below.len() >= cfg.min_support {
+                    let psi = relax_le(
+                        below.iter().map(|w| agg.eval(&w.fine)).max().unwrap(),
+                        cfg.consequent_slack,
+                    );
+                    if psi < a_hi {
+                        imputation.push(Rule::new(
+                            format!(
+                                "fimp_{}_le{}_then_{}_le{}",
+                                f.name(),
+                                th,
+                                agg.name(),
+                                psi
+                            ),
+                            Pred::Implies(
+                                Box::new(Pred::Cmp(CmpOp::Le, Expr::Coarse(f), Expr::Const(th))),
+                                Box::new(Pred::Cmp(CmpOp::Le, agg.expr(), Expr::Const(psi))),
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    let mined = MinedRules {
+        imputation: RuleSet::new(imputation),
+        synthesis: RuleSet::new(synthesis),
+    };
+
+    debug_assert!(
+        windows.iter().all(|w| {
+            mined.imputation.compliant(&w.coarse, &w.fine)
+                && mined.synthesis.compliant(&w.coarse, &w.fine)
+        }),
+        "miner emitted a rule violated by its own training data"
+    );
+
+    mined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lejit_telemetry::{generate, TelemetryConfig};
+
+    fn dataset() -> lejit_telemetry::Dataset {
+        generate(TelemetryConfig {
+            racks_train: 8,
+            racks_test: 2,
+            windows_per_rack: 60,
+            ..TelemetryConfig::default()
+        })
+    }
+
+    #[test]
+    fn mined_rules_hold_on_training_data() {
+        let d = dataset();
+        let mined = mine_rules(&d.train, d.bandwidth, MinerConfig::default());
+        for w in &d.train {
+            assert!(
+                mined.imputation.compliant(&w.coarse, &w.fine),
+                "imputation rule violated on train: {:?}",
+                mined.imputation.violations(&w.coarse, &w.fine)
+            );
+            assert!(
+                mined.synthesis.compliant(&w.coarse, &w.fine),
+                "synthesis rule violated on train: {:?}",
+                mined.synthesis.violations(&w.coarse, &w.fine)
+            );
+        }
+    }
+
+    #[test]
+    fn mined_rule_sets_have_paper_scale() {
+        let d = dataset();
+        let mined = mine_rules(&d.train, d.bandwidth, MinerConfig::default());
+        // The paper reports 716 imputation / 255 synthesis rules; the exact
+        // numbers depend on the data, but the sets must be substantial.
+        assert!(
+            mined.imputation.len() >= 50,
+            "only {} imputation rules",
+            mined.imputation.len()
+        );
+        assert!(
+            mined.synthesis.len() >= 50,
+            "only {} synthesis rules",
+            mined.synthesis.len()
+        );
+    }
+
+    #[test]
+    fn mined_rules_mostly_hold_on_test_data() {
+        // Confidence-1.0 training rules can still fire on held-out racks,
+        // but the ground truth should violate very few of them.
+        let d = dataset();
+        let mined = mine_rules(&d.train, d.bandwidth, MinerConfig::default());
+        let mut violated = 0usize;
+        for w in &d.test {
+            if !mined.imputation.compliant(&w.coarse, &w.fine) {
+                violated += 1;
+            }
+        }
+        let rate = violated as f64 / d.test.len() as f64;
+        assert!(rate < 0.25, "test ground truth violates too often: {rate}");
+    }
+
+    #[test]
+    fn synthesis_rules_never_touch_fine() {
+        let d = dataset();
+        let mined = mine_rules(&d.train, d.bandwidth, MinerConfig::default());
+        for r in &mined.synthesis.rules {
+            assert!(!r.pred.uses_fine(), "synthesis rule uses fine: {r}");
+        }
+    }
+
+    #[test]
+    fn imputation_rules_all_touch_fine() {
+        let d = dataset();
+        let mined = mine_rules(&d.train, d.bandwidth, MinerConfig::default());
+        for r in &mined.imputation.rules {
+            assert!(r.pred.uses_fine(), "imputation rule ignores fine: {r}");
+        }
+    }
+
+    #[test]
+    fn expected_structural_rules_are_found() {
+        let d = dataset();
+        let mined = mine_rules(&d.train, d.bandwidth, MinerConfig::default());
+        let imp_names: Vec<&str> = mined
+            .imputation
+            .rules
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
+        assert!(imp_names.contains(&"sum_consistency"));
+        assert!(imp_names.contains(&"fine_bounds"));
+        let syn_names: Vec<&str> = mined
+            .synthesis
+            .rules
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
+        // egress <= total holds by construction of the generator.
+        assert!(syn_names.contains(&"order_egress_total_le_total_ingress"));
+        assert!(syn_names.contains(&"order_drops_le_total_ingress"));
+    }
+
+    #[test]
+    fn paper_and_manual_rules_hold_on_ground_truth() {
+        let d = dataset();
+        let paper = paper_rules(d.bandwidth);
+        let manual = manual_rules(d.bandwidth);
+        for w in d.train.iter().chain(&d.test) {
+            // R3/C6 use BW/2 = 30 while the generator's ECN threshold is
+            // 3/4·BW = 45, so ecn>0 ⇒ max ≥ 45 > 30: always satisfied.
+            assert!(paper.compliant(&w.coarse, &w.fine), "{w:?}");
+            assert!(manual.compliant(&w.coarse, &w.fine), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn min_support_filters_rare_antecedents() {
+        let d = dataset();
+        let strict = mine_rules(
+            &d.train,
+            d.bandwidth,
+            MinerConfig {
+                min_support: usize::MAX / 2,
+                ..MinerConfig::default()
+            },
+        );
+        // With an impossible support requirement, only non-implication rules
+        // survive.
+        for r in strict
+            .imputation
+            .rules
+            .iter()
+            .chain(&strict.synthesis.rules)
+        {
+            assert!(
+                !matches!(r.pred, Pred::Implies(..)),
+                "implication emitted despite support filter: {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn rules_parse_back_through_dsl() {
+        // Every mined rule's textual form re-parses to the same AST.
+        let d = dataset();
+        let mined = mine_rules(&d.train, d.bandwidth, MinerConfig::default());
+        let text = mined.synthesis.to_string();
+        let back = crate::dsl::parse_rules(&text).unwrap();
+        assert_eq!(back.rules, mined.synthesis.rules);
+        let text = mined.imputation.to_string();
+        let back = crate::dsl::parse_rules(&text).unwrap();
+        assert_eq!(back.rules, mined.imputation.rules);
+    }
+}
+
+#[cfg(test)]
+mod temporal_mining_tests {
+    use super::*;
+    use lejit_telemetry::{generate, TelemetryConfig};
+
+    #[test]
+    fn temporal_delta_rules_are_mined_and_hold() {
+        let d = generate(TelemetryConfig {
+            racks_train: 8,
+            racks_test: 2,
+            windows_per_rack: 60,
+            ..TelemetryConfig::default()
+        });
+        let mined = mine_rules(&d.train, d.bandwidth, MinerConfig::default());
+        let temporal: Vec<&Rule> = mined
+            .imputation
+            .rules
+            .iter()
+            .filter(|r| r.name.starts_with("temporal_delta"))
+            .collect();
+        // The generator produces full-swing bursts (idle -> cap within one
+        // step), so the delta bound may be trivial and skipped; when rules
+        // *are* emitted, they must hold on all training windows.
+        for r in &temporal {
+            for w in &d.train {
+                assert!(r.holds(&w.coarse, &w.fine), "{} violated", r.name);
+            }
+        }
+        // Regardless, a hand-built smooth dataset must always yield them.
+        let mut smooth = d.train.clone();
+        for w in &mut smooth {
+            w.fine = vec![10, 12, 14, 13, 11];
+            let total: i64 = w.fine.iter().sum();
+            w.coarse.set(lejit_telemetry::CoarseField::TotalIngress, total);
+            w.coarse.set(lejit_telemetry::CoarseField::EcnBytes, 0);
+            let egress = w.coarse.get(lejit_telemetry::CoarseField::EgressTotal);
+            w.coarse.set(
+                lejit_telemetry::CoarseField::EgressTotal,
+                egress.min(total),
+            );
+            let drops = w.coarse.get(lejit_telemetry::CoarseField::Drops);
+            w.coarse.set(lejit_telemetry::CoarseField::Drops, drops.min(total));
+        }
+        let mined_smooth = mine_rules(&smooth, d.bandwidth, MinerConfig::default());
+        assert!(
+            mined_smooth
+                .imputation
+                .rules
+                .iter()
+                .any(|r| r.name.starts_with("temporal_delta")),
+            "smooth data must yield temporal delta rules"
+        );
+    }
+}

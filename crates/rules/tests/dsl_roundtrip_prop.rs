@@ -1,0 +1,167 @@
+//! Property test: every well-formed rule AST pretty-prints to DSL text that
+//! parses back to the identical AST, and evaluation agrees before/after.
+
+use proptest::prelude::*;
+
+use lejit_rules::{parse_rules, CmpOp, Expr, Pred, Rule, RuleSet};
+use lejit_telemetry::{CoarseField, CoarseSignals};
+
+/// Linear expressions. `depth` bounds nesting; `in_quantifier` gates
+/// `fine[t]` / `fine[t+k]`.
+fn arb_linear_expr(depth: u32, in_quantifier: bool) -> BoxedStrategy<Expr> {
+    let leaf = {
+        let mut options: Vec<BoxedStrategy<Expr>> = vec![
+            (-50i64..=50).prop_map(Expr::Const).boxed(),
+            proptest::sample::select(CoarseField::ALL.to_vec())
+                .prop_map(Expr::Coarse)
+                .boxed(),
+            (0usize..5).prop_map(Expr::FineAt).boxed(),
+            Just(Expr::SumFine).boxed(),
+        ];
+        if in_quantifier {
+            options.push(Just(Expr::FineVar).boxed());
+            options.push((1usize..=2).prop_map(Expr::FineVarPlus).boxed());
+        }
+        proptest::strategy::Union::new(options)
+    };
+    leaf.prop_recursive(depth, 16, 3, |inner| {
+        prop_oneof![
+            // `Add` is flat by convention (the parser flattens `+` chains),
+            // so nested sums are merged to keep the AST canonical.
+            proptest::collection::vec(inner.clone(), 2..=3).prop_map(|kids| {
+                let mut flat = Vec::new();
+                for k in kids {
+                    match k {
+                        Expr::Add(inner_kids) => flat.extend(inner_kids),
+                        other => flat.push(other),
+                    }
+                }
+                Expr::Add(flat)
+            }),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            ((-5i64..=5).prop_filter("non-trivial coeff", |c| *c != 0 && *c != 1), inner)
+                .prop_map(|(c, e)| Expr::MulConst(c, Box::new(e))),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
+    proptest::sample::select(vec![
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+        CmpOp::Eq,
+        CmpOp::Ne,
+    ])
+}
+
+/// Comparisons: linear vs linear, or a standalone max/min against linear.
+fn arb_cmp(in_quantifier: bool) -> BoxedStrategy<Pred> {
+    let linlin = (
+        arb_cmp_op(),
+        arb_linear_expr(2, in_quantifier),
+        arb_linear_expr(2, in_quantifier),
+    )
+        .prop_map(|(op, a, b)| Pred::Cmp(op, a, b));
+    let agg = (
+        arb_cmp_op(),
+        proptest::bool::ANY,
+        arb_linear_expr(1, in_quantifier),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(op, is_max, bound, agg_left)| {
+            let agge = if is_max { Expr::MaxFine } else { Expr::MinFine };
+            if agg_left {
+                Pred::Cmp(op, agge, bound)
+            } else {
+                Pred::Cmp(op, bound, agge)
+            }
+        });
+    prop_oneof![3 => linlin, 1 => agg].boxed()
+}
+
+fn arb_pred(depth: u32, in_quantifier: bool) -> BoxedStrategy<Pred> {
+    if depth == 0 {
+        return arb_cmp(in_quantifier);
+    }
+    let inner = arb_pred(depth - 1, in_quantifier);
+    let mut options: Vec<BoxedStrategy<Pred>> = vec![
+        arb_cmp(in_quantifier),
+        proptest::collection::vec(arb_pred(depth - 1, in_quantifier), 2..=3)
+            .prop_map(Pred::And)
+            .boxed(),
+        proptest::collection::vec(arb_pred(depth - 1, in_quantifier), 2..=3)
+            .prop_map(Pred::Or)
+            .boxed(),
+        inner.clone().prop_map(|p| Pred::Not(Box::new(p))).boxed(),
+        (arb_pred(depth - 1, in_quantifier), arb_pred(depth - 1, in_quantifier))
+            .prop_map(|(a, b)| Pred::Implies(Box::new(a), Box::new(b)))
+            .boxed(),
+    ];
+    if !in_quantifier {
+        // Quantifiers only at non-quantified positions (no nesting of t).
+        options.push(
+            (proptest::bool::ANY, arb_pred(depth - 1, true))
+                .prop_map(|(forall, body)| {
+                    if forall {
+                        Pred::ForallT(Box::new(body))
+                    } else {
+                        Pred::ExistsT(Box::new(body))
+                    }
+                })
+                .boxed(),
+        );
+    }
+    proptest::strategy::Union::new(options).boxed()
+}
+
+fn arb_window() -> impl Strategy<Value = (CoarseSignals, Vec<i64>)> {
+    (
+        proptest::collection::vec(0i64..=200, 6),
+        proptest::collection::vec(0i64..=60, 5),
+    )
+        .prop_map(|(c, fine)| {
+            let mut cs = CoarseSignals::default();
+            for (f, v) in CoarseField::ALL.into_iter().zip(c) {
+                cs.set(f, v);
+            }
+            (cs, fine)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn display_parse_roundtrip(pred in arb_pred(2, false)) {
+        let rs = RuleSet::new(vec![Rule::new("p", pred)]);
+        let text = rs.to_string();
+        let back = parse_rules(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\ntext: {text}"));
+        prop_assert_eq!(&back.rules, &rs.rules, "text was: {}", text);
+    }
+
+    #[test]
+    fn evaluation_survives_roundtrip(
+        pred in arb_pred(2, false),
+        window in arb_window(),
+    ) {
+        let rs = RuleSet::new(vec![Rule::new("p", pred)]);
+        let back = parse_rules(&rs.to_string()).unwrap();
+        let (coarse, fine) = window;
+        prop_assert_eq!(
+            rs.rules[0].holds(&coarse, &fine),
+            back.rules[0].holds(&coarse, &fine)
+        );
+    }
+
+    #[test]
+    fn json_roundtrip(pred in arb_pred(2, false)) {
+        let rs = RuleSet::new(vec![Rule::new("p", pred)]);
+        let back = RuleSet::from_json(&rs.to_json()).unwrap();
+        prop_assert_eq!(back.rules, rs.rules);
+    }
+}

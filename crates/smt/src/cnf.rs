@@ -1,0 +1,233 @@
+//! Tseitin transformation of the boolean skeleton into CNF.
+//!
+//! Every boolean subterm gets a SAT literal; definitional clauses are added
+//! once (the encoder caches by [`TermId`]). Theory atoms (`Le` terms) are
+//! canonicalized into [`LinAtom`]s first and cached *by atom*, so syntactic
+//! variants of the same inequality (`x ≤ 5` vs `x + 1 ≤ 6`) share one SAT
+//! variable — which both shrinks the search space and lets the theory layer
+//! keep a single registry.
+
+use std::collections::HashMap;
+
+use crate::linear::LinAtom;
+use crate::sat::{Lit, SatSolver, SatVar};
+use crate::term::{Term, TermId, TermPool, VarId};
+
+/// Incremental Tseitin encoder shared by all assertions of a [`crate::Solver`].
+#[derive(Default)]
+pub struct Encoder {
+    /// Cache of already-encoded boolean terms.
+    cache: HashMap<TermId, Lit>,
+    /// SAT variable per canonical theory atom.
+    atom_vars: HashMap<LinAtom, SatVar>,
+    /// Registry: every theory atom with its SAT variable, in allocation order.
+    atoms: Vec<(LinAtom, SatVar)>,
+    /// SAT variable per boolean problem variable.
+    bool_vars: HashMap<VarId, SatVar>,
+    /// Literal that is constant-true (allocated lazily).
+    true_lit: Option<Lit>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// The theory-atom registry: `(atom, sat_var)` pairs.
+    pub fn atoms(&self) -> &[(LinAtom, SatVar)] {
+        &self.atoms
+    }
+
+    /// The SAT variable for a boolean problem variable, if encoded.
+    pub fn bool_var(&self, v: VarId) -> Option<SatVar> {
+        self.bool_vars.get(&v).copied()
+    }
+
+    fn true_lit(&mut self, sat: &mut SatSolver) -> Lit {
+        if let Some(l) = self.true_lit {
+            return l;
+        }
+        let v = sat.new_var();
+        let l = Lit::new(v, true);
+        sat.add_clause(&[l]);
+        self.true_lit = Some(l);
+        l
+    }
+
+    /// Encodes a boolean term, returning its literal. Definitional clauses
+    /// are added to `sat` as needed (idempotently).
+    pub fn encode(&mut self, pool: &TermPool, sat: &mut SatSolver, t: TermId) -> Lit {
+        if let Some(&l) = self.cache.get(&t) {
+            return l;
+        }
+        let lit = match pool.get(t) {
+            Term::True => self.true_lit(sat),
+            Term::False => !self.true_lit(sat),
+            Term::Not(inner) => !self.encode(pool, sat, *inner),
+            Term::Var(v) => {
+                let sv = *self.bool_vars.entry(*v).or_insert_with(|| sat.new_var());
+                Lit::new(sv, true)
+            }
+            Term::Le(a, b) => {
+                let atom = LinAtom::from_le(pool, *a, *b);
+                // Constant atoms should have been folded by the pool, but a
+                // cancellation (x - x <= -1) can still reach here.
+                if atom.expr.is_constant() {
+                    let l = self.true_lit(sat);
+                    if atom.expr.constant <= 0 {
+                        l
+                    } else {
+                        !l
+                    }
+                } else {
+                    let sv = match self.atom_vars.get(&atom) {
+                        Some(&sv) => sv,
+                        None => {
+                            let sv = sat.new_var();
+                            self.atom_vars.insert(atom.clone(), sv);
+                            self.atoms.push((atom, sv));
+                            sv
+                        }
+                    };
+                    Lit::new(sv, true)
+                }
+            }
+            Term::And(kids) => {
+                let kids: Vec<TermId> = kids.to_vec();
+                let lits: Vec<Lit> = kids.iter().map(|&k| self.encode(pool, sat, k)).collect();
+                let v = sat.new_var();
+                let lv = Lit::new(v, true);
+                // v → kᵢ for all i;  (k₁ ∧ … ∧ kₙ) → v.
+                let mut long: Vec<Lit> = Vec::with_capacity(lits.len() + 1);
+                long.push(lv);
+                for &k in &lits {
+                    sat.add_clause(&[!lv, k]);
+                    long.push(!k);
+                }
+                sat.add_clause(&long);
+                lv
+            }
+            Term::Or(kids) => {
+                let kids: Vec<TermId> = kids.to_vec();
+                let lits: Vec<Lit> = kids.iter().map(|&k| self.encode(pool, sat, k)).collect();
+                let v = sat.new_var();
+                let lv = Lit::new(v, true);
+                // kᵢ → v for all i;  v → (k₁ ∨ … ∨ kₙ).
+                let mut long: Vec<Lit> = Vec::with_capacity(lits.len() + 1);
+                long.push(!lv);
+                for &k in &lits {
+                    sat.add_clause(&[lv, !k]);
+                    long.push(k);
+                }
+                sat.add_clause(&long);
+                lv
+            }
+            other => panic!("cannot encode non-boolean term {other:?}"),
+        };
+        self.cache.insert(t, lit);
+        lit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::SatOutcome;
+
+    fn setup() -> (TermPool, SatSolver, Encoder) {
+        (TermPool::new(), SatSolver::new(), Encoder::new())
+    }
+
+    #[test]
+    fn atoms_are_shared_across_syntactic_variants() {
+        let (mut p, mut sat, mut enc) = setup();
+        let v = p.int_var("x", 0, 10);
+        let x = p.var(v);
+        let five = p.int(5);
+        let six = p.int(6);
+        let one = p.int(1);
+        let a1 = p.le(x, five);
+        let x1 = p.add(&[x, one]);
+        let a2 = p.le(x1, six);
+        let l1 = enc.encode(&p, &mut sat, a1);
+        let l2 = enc.encode(&p, &mut sat, a2);
+        assert_eq!(l1, l2, "x<=5 and x+1<=6 must share a SAT variable");
+        assert_eq!(enc.atoms().len(), 1);
+    }
+
+    #[test]
+    fn and_encoding_is_equisatisfiable() {
+        let (mut p, mut sat, mut enc) = setup();
+        let a = p.bool_var("a");
+        let b = p.bool_var("b");
+        let (ta, tb) = (p.var(a), p.var(b));
+        let conj = p.and(&[ta, tb]);
+        let root = enc.encode(&p, &mut sat, conj);
+        sat.add_clause(&[root]);
+        assert_eq!(sat.solve(&[]), SatOutcome::Sat);
+        let sa = enc.bool_var(a).unwrap();
+        let sb = enc.bool_var(b).unwrap();
+        assert!(sat.model_value(sa));
+        assert!(sat.model_value(sb));
+    }
+
+    #[test]
+    fn or_encoding_requires_some_disjunct() {
+        let (mut p, mut sat, mut enc) = setup();
+        let a = p.bool_var("a");
+        let b = p.bool_var("b");
+        let (ta, tb) = (p.var(a), p.var(b));
+        let disj = p.or(&[ta, tb]);
+        let root = enc.encode(&p, &mut sat, disj);
+        sat.add_clause(&[root]);
+        let sa = enc.bool_var(a).unwrap();
+        let sb = enc.bool_var(b).unwrap();
+        // Force both false → unsat.
+        sat.add_clause(&[Lit::new(sa, false)]);
+        sat.add_clause(&[Lit::new(sb, false)]);
+        assert_eq!(sat.solve(&[]), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn constant_atoms_fold_to_truth_literals() {
+        let (mut p, mut sat, mut enc) = setup();
+        // x - x <= -1 is an always-false atom that survives pool folding
+        // only as a Le over a constant expression: build it manually.
+        let v = p.int_var("x", 0, 10);
+        let x = p.var(v);
+        let negx = p.mul_const(-1, x);
+        let diff = p.add(&[x, negx]); // folds to 0
+        let minus1 = p.int(-1);
+        let t = p.le(diff, minus1); // 0 <= -1 folds at pool level to False
+        let l = enc.encode(&p, &mut sat, t);
+        sat.add_clause(&[l]);
+        assert_eq!(sat.solve(&[]), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn true_false_terms() {
+        let (mut p, mut sat, mut enc) = setup();
+        let t = p.tt();
+        let f = p.ff();
+        let lt = enc.encode(&p, &mut sat, t);
+        let lf = enc.encode(&p, &mut sat, f);
+        assert_eq!(lt, !lf);
+        sat.add_clause(&[lt]);
+        assert_eq!(sat.solve(&[]), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn encoding_is_cached() {
+        let (mut p, mut sat, mut enc) = setup();
+        let a = p.bool_var("a");
+        let b = p.bool_var("b");
+        let (ta, tb) = (p.var(a), p.var(b));
+        let conj = p.and(&[ta, tb]);
+        let l1 = enc.encode(&p, &mut sat, conj);
+        let vars_before = sat.num_vars();
+        let l2 = enc.encode(&p, &mut sat, conj);
+        assert_eq!(l1, l2);
+        assert_eq!(sat.num_vars(), vars_before);
+    }
+}

@@ -1,0 +1,856 @@
+//! A CDCL SAT solver.
+//!
+//! Classic MiniSat-style architecture: two-watched-literal propagation,
+//! first-UIP conflict analysis with clause learning, VSIDS-style variable
+//! activities with phase saving, Luby restarts, learned-clause database
+//! reduction, and incremental solving under *assumptions* (which is how the
+//! SMT layer implements `push`/`pop` frames and feasibility probes without
+//! destroying learned clauses).
+
+use std::fmt;
+
+/// A SAT variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SatVar(pub(crate) u32);
+
+impl SatVar {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SatVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Builds a literal from a variable and a polarity.
+    pub fn new(v: SatVar, positive: bool) -> Lit {
+        Lit(v.0 << 1 | u32::from(!positive))
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> SatVar {
+        SatVar(self.0 >> 1)
+    }
+
+    /// Whether the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The negated literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        self.negate()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", if self.is_positive() { "" } else { "-" }, self.0 >> 1)
+    }
+}
+
+/// Ternary assignment value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+}
+
+type ClauseRef = usize;
+
+#[derive(Clone, Copy)]
+struct Watcher {
+    clause: ClauseRef,
+    /// Blocking literal: if true under the current assignment, skip the clause.
+    blocker: Lit,
+}
+
+/// Outcome of a SAT query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatOutcome {
+    /// A satisfying assignment was found.
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+}
+
+/// Statistics counters for a [`SatSolver`].
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SatStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnts: usize,
+}
+
+/// The CDCL SAT solver.
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    free_clauses: Vec<ClauseRef>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    polarity: Vec<bool>,
+    activity: Vec<f64>,
+    reason: Vec<Option<ClauseRef>>,
+    level: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    /// Heap-free VSIDS: we keep a simple order cache rebuilt lazily.
+    order: Vec<SatVar>,
+    order_dirty: bool,
+    var_inc: f64,
+    cla_inc: f64,
+    ok: bool,
+    seen: Vec<bool>,
+    stats: SatStats,
+    max_learnts: usize,
+}
+
+const VAR_DECAY: f64 = 1.0 / 0.95;
+const CLA_DECAY: f64 = 1.0 / 0.999;
+
+impl Default for SatSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> SatSolver {
+        SatSolver {
+            clauses: Vec::new(),
+            free_clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            polarity: Vec::new(),
+            activity: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            order: Vec::new(),
+            order_dirty: false,
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            ok: true,
+            seen: Vec::new(),
+            stats: SatStats::default(),
+            max_learnts: 4096,
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> SatStats {
+        let mut s = self.stats;
+        s.learnts = self.clauses.iter().filter(|c| c.learnt && !c.lits.is_empty()).count();
+        s
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> SatVar {
+        let v = SatVar(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.polarity.push(false);
+        self.activity.push(0.0);
+        self.reason.push(None);
+        self.level.push(0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.push(v);
+        self.order_dirty = true;
+        v
+    }
+
+    fn value_lit(&self, l: Lit) -> LBool {
+        match self.assigns[l.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => LBool::from_bool(l.is_positive()),
+            LBool::False => LBool::from_bool(!l.is_positive()),
+        }
+    }
+
+    /// The value a variable was actually *assigned* during search, or `None`
+    /// for don't-care variables. The SMT layer only hands assigned theory
+    /// atoms to the theory solver.
+    pub fn assigned_value(&self, v: SatVar) -> Option<bool> {
+        match self.assigns[v.index()] {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// The model value of a variable after a `Sat` outcome.
+    pub fn model_value(&self, v: SatVar) -> bool {
+        match self.assigns[v.index()] {
+            LBool::True => true,
+            LBool::False => false,
+            // Don't-care variables keep their saved phase.
+            LBool::Undef => self.polarity[v.index()],
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause at the root level. Returns `false` if the formula became
+    /// trivially unsatisfiable.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        // Adding a clause invalidates any in-progress search state (and any
+        // model from a previous `solve`).
+        self.cancel_until(0);
+        if !self.ok {
+            return false;
+        }
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        // Remove literals false at level 0; detect tautologies & satisfied.
+        let mut out: Vec<Lit> = Vec::with_capacity(c.len());
+        for (i, &l) in c.iter().enumerate() {
+            if i + 1 < c.len() && c[i + 1] == !l {
+                return true; // tautology: contains l and ¬l (sorted adjacently)
+            }
+            match self.value_lit(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}
+                LBool::Undef => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(out[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(out, false);
+                true
+            }
+        }
+    }
+
+    fn alloc_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        let c = Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+        };
+        if let Some(cr) = self.free_clauses.pop() {
+            self.clauses[cr] = c;
+            cr
+        } else {
+            self.clauses.push(c);
+            self.clauses.len() - 1
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let (l0, l1) = (lits[0], lits[1]);
+        let cr = self.alloc_clause(lits, learnt);
+        self.watches[(!l0).code()].push(Watcher { clause: cr, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { clause: cr, blocker: l0 });
+        cr
+    }
+
+    fn detach_clause(&mut self, cr: ClauseRef) {
+        let (l0, l1) = (self.clauses[cr].lits[0], self.clauses[cr].lits[1]);
+        self.watches[(!l0).code()].retain(|w| w.clause != cr);
+        self.watches[(!l1).code()].retain(|w| w.clause != cr);
+        self.clauses[cr].lits.clear();
+        self.free_clauses.push(cr);
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, from: Option<ClauseRef>) {
+        debug_assert_eq!(self.value_lit(l), LBool::Undef);
+        let v = l.var().index();
+        self.assigns[v] = LBool::from_bool(l.is_positive());
+        self.level[v] = self.decision_level();
+        self.reason[v] = from;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation. Returns a conflicting clause if one arises.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut i = 0;
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut conflict: Option<ClauseRef> = None;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                if self.value_lit(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cr = w.clause;
+                // Normalize so that lits[1] == ¬p.
+                {
+                    let c = &mut self.clauses[cr];
+                    if c.lits[0] == !p {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], !p);
+                }
+                let first = self.clauses[cr].lits[0];
+                if first != w.blocker && self.value_lit(first) == LBool::True {
+                    ws[i] = Watcher { clause: cr, blocker: first };
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cr].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cr].lits[k];
+                    if self.value_lit(lk) != LBool::False {
+                        self.clauses[cr].lits.swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher { clause: cr, blocker: first });
+                        ws.swap_remove(i);
+                        continue 'watchers;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                ws[i] = Watcher { clause: cr, blocker: first };
+                i += 1;
+                if self.value_lit(first) == LBool::False {
+                    conflict = Some(cr);
+                    self.qhead = self.trail.len();
+                    break;
+                }
+                self.unchecked_enqueue(first, Some(cr));
+            }
+            debug_assert!(self.watches[p.code()].is_empty());
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn var_bump(&mut self, v: SatVar) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order_dirty = true;
+    }
+
+    fn cla_bump(&mut self, cr: ClauseRef) {
+        self.clauses[cr].activity += self.cla_inc;
+        if self.clauses[cr].activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::new(SatVar(0), true)]; // placeholder slot 0
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            self.cla_bump(conflict);
+            let lits: Vec<Lit> = self.clauses[conflict].lits.clone();
+            let start = usize::from(p.is_some());
+            for &q in &lits[start..] {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.var_bump(v);
+                    self.seen[v.index()] = true;
+                    if self.level[v.index()] >= self.decision_level() {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Pick the next trail literal to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                p = Some(pl);
+                break;
+            }
+            conflict = self.reason[pl.var().index()].expect("non-decision must have reason");
+            p = Some(pl);
+        }
+        learnt[0] = !p.expect("UIP literal");
+
+        // Simple clause minimization: drop literals implied by the rest.
+        let mut keep = vec![true; learnt.len()];
+        for i in 1..learnt.len() {
+            let v = learnt[i].var();
+            if let Some(r) = self.reason[v.index()] {
+                let all_seen = self.clauses[r]
+                    .lits
+                    .iter()
+                    .skip(1)
+                    .all(|&l| self.seen[l.var().index()] || self.level[l.var().index()] == 0);
+                if all_seen {
+                    keep[i] = false;
+                }
+            }
+        }
+        let learnt: Vec<Lit> = learnt
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| keep[i])
+            .map(|(_, &l)| l)
+            .collect();
+
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        // Also clear any stragglers (minimization may leave seen bits set).
+        for &l in self.trail.iter() {
+            self.seen[l.var().index()] = false;
+        }
+
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            // Second-highest level in the clause.
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            self.level[learnt[max_i].var().index()]
+        };
+        (learnt, bt_level)
+    }
+
+    fn cancel_until(&mut self, lvl: u32) {
+        if self.decision_level() <= lvl {
+            return;
+        }
+        let bound = self.trail_lim[lvl as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            self.polarity[v] = l.is_positive();
+            self.assigns[v] = LBool::Undef;
+            self.reason[v] = None;
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(lvl as usize);
+        self.qhead = self.trail.len();
+        self.order_dirty = true;
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        if self.order_dirty {
+            let act = &self.activity;
+            self.order
+                .sort_by(|a, b| act[b.index()].partial_cmp(&act[a.index()]).unwrap());
+            self.order_dirty = false;
+        }
+        for &v in &self.order {
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(Lit::new(v, self.polarity[v.index()]));
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        let mut learnts: Vec<ClauseRef> = (0..self.clauses.len())
+            .filter(|&cr| {
+                self.clauses[cr].learnt
+                    && self.clauses[cr].lits.len() > 2
+                    && !self.clauses[cr].lits.is_empty()
+                    && !self.is_reason(cr)
+            })
+            .collect();
+        learnts.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap()
+        });
+        let to_remove = learnts.len() / 2;
+        let victims: Vec<ClauseRef> = learnts.into_iter().take(to_remove).collect();
+        for cr in victims {
+            self.detach_clause(cr);
+        }
+    }
+
+    fn is_reason(&self, cr: ClauseRef) -> bool {
+        if self.clauses[cr].lits.is_empty() {
+            return false;
+        }
+        let l0 = self.clauses[cr].lits[0];
+        self.reason[l0.var().index()] == Some(cr) && self.value_lit(l0) == LBool::True
+    }
+
+    /// Solves under assumptions. Learned clauses persist across calls.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SatOutcome {
+        self.cancel_until(0);
+        if !self.ok {
+            return SatOutcome::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatOutcome::Unsat;
+        }
+
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_idx = 0u64;
+        let mut restart_budget = 64 * luby(restart_idx);
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatOutcome::Unsat;
+                }
+                // Standard CDCL: backjump and learn. If the learnt clause
+                // falsifies an assumption, the decision loop below will see
+                // the assumption valued `False` when re-placing it and
+                // report unsatisfiability.
+                let (learnt, bt) = self.analyze(confl);
+                self.cancel_until(bt);
+                self.learn(learnt);
+                self.var_inc *= VAR_DECAY;
+                self.cla_inc *= CLA_DECAY;
+                if self.stats().learnts > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts += self.max_learnts / 10;
+                }
+                if conflicts_since_restart >= restart_budget {
+                    self.stats.restarts += 1;
+                    restart_idx += 1;
+                    restart_budget = 64 * luby(restart_idx);
+                    conflicts_since_restart = 0;
+                    self.cancel_until(0);
+                }
+            } else {
+                // Place assumptions as pseudo-decisions first.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.value_lit(a) {
+                        LBool::True => {
+                            // Already implied; open a dummy level to keep the
+                            // level↔assumption-index correspondence.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => return SatOutcome::Unsat,
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch() {
+                    None => return SatOutcome::Sat,
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>) {
+        if learnt.len() == 1 {
+            if self.value_lit(learnt[0]) == LBool::Undef {
+                self.unchecked_enqueue(learnt[0], None);
+            } else if self.value_lit(learnt[0]) == LBool::False && self.decision_level() == 0 {
+                self.ok = false;
+            }
+        } else {
+            let asserting = learnt[0];
+            let cr = self.attach_clause(learnt, true);
+            self.cla_bump(cr);
+            if self.value_lit(asserting) == LBool::Undef {
+                self.unchecked_enqueue(asserting, Some(cr));
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence: 1,1,2,1,1,2,4,... (MiniSat's algorithm,
+/// 0-based index).
+fn luby(x: u64) -> u64 {
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut x = x;
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut SatSolver, vars: &mut Vec<SatVar>, idx: usize, pos: bool) -> Lit {
+        while vars.len() <= idx {
+            vars.push(s.new_var());
+        }
+        Lit::new(vars[idx], pos)
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let seq: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn lit_encoding() {
+        let v = SatVar(3);
+        let p = Lit::new(v, true);
+        assert!(p.is_positive());
+        assert_eq!(p.var(), v);
+        assert!(!(!p).is_positive());
+        assert_eq!(!!p, p);
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = SatSolver::new();
+        let v = s.new_var();
+        s.add_clause(&[Lit::new(v, true)]);
+        assert_eq!(s.solve(&[]), SatOutcome::Sat);
+        assert!(s.model_value(v));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = SatSolver::new();
+        let v = s.new_var();
+        assert!(s.add_clause(&[Lit::new(v, true)]));
+        assert!(!s.add_clause(&[Lit::new(v, false)]));
+        assert_eq!(s.solve(&[]), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = SatSolver::new();
+        assert_eq!(s.solve(&[]), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = SatSolver::new();
+        let mut vs = Vec::new();
+        let a = lit(&mut s, &mut vs, 0, true);
+        let b = lit(&mut s, &mut vs, 1, true);
+        let c = lit(&mut s, &mut vs, 2, true);
+        s.add_clause(&[a]);
+        s.add_clause(&[!a, b]);
+        s.add_clause(&[!b, c]);
+        assert_eq!(s.solve(&[]), SatOutcome::Sat);
+        assert!(s.model_value(vs[0]));
+        assert!(s.model_value(vs[1]));
+        assert!(s.model_value(vs[2]));
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_unsat() {
+        // Two pigeons, one hole: p1h1, p2h1, at-most-one.
+        let mut s = SatSolver::new();
+        let p1 = s.new_var();
+        let p2 = s.new_var();
+        s.add_clause(&[Lit::new(p1, true)]);
+        s.add_clause(&[Lit::new(p2, true)]);
+        s.add_clause(&[Lit::new(p1, false), Lit::new(p2, false)]);
+        assert_eq!(s.solve(&[]), SatOutcome::Unsat);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // pigeonhole indices are clearest
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons into 2 holes, requires real conflict analysis.
+        let mut s = SatSolver::new();
+        let mut x = [[SatVar(0); 2]; 3];
+        for p in 0..3 {
+            for h in 0..2 {
+                x[p][h] = s.new_var();
+            }
+        }
+        for p in 0..3 {
+            s.add_clause(&[Lit::new(x[p][0], true), Lit::new(x[p][1], true)]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    s.add_clause(&[Lit::new(x[p1][h], false), Lit::new(x[p2][h], false)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn assumptions_flip_outcome() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::new(a, true), Lit::new(b, true)]);
+        assert_eq!(s.solve(&[Lit::new(a, false)]), SatOutcome::Sat);
+        assert!(s.model_value(b));
+        assert_eq!(
+            s.solve(&[Lit::new(a, false), Lit::new(b, false)]),
+            SatOutcome::Unsat
+        );
+        // Solver remains usable after an unsat-under-assumptions call.
+        assert_eq!(s.solve(&[]), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::new(a, true), Lit::new(b, true)]);
+        assert_eq!(s.solve(&[]), SatOutcome::Sat);
+        s.add_clause(&[Lit::new(a, false)]);
+        assert_eq!(s.solve(&[]), SatOutcome::Sat);
+        assert!(s.model_value(b));
+        s.add_clause(&[Lit::new(b, false)]);
+        assert_eq!(s.solve(&[]), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        // Deterministic LCG so the test is reproducible.
+        let mut state: u64 = 0xdeadbeef;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for round in 0..40 {
+            let n = 6;
+            let m = 3 + (round % 20);
+            let mut cls: Vec<Vec<(usize, bool)>> = Vec::new();
+            for _ in 0..m {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    c.push(((next() as usize) % n, next() % 2 == 0));
+                }
+                cls.push(c);
+            }
+            // Brute force.
+            let mut bf_sat = false;
+            'assign: for mask in 0u32..(1 << n) {
+                for c in &cls {
+                    let ok = c.iter().any(|&(v, pos)| ((mask >> v) & 1 == 1) == pos);
+                    if !ok {
+                        continue 'assign;
+                    }
+                }
+                bf_sat = true;
+                break;
+            }
+            // CDCL.
+            let mut s = SatSolver::new();
+            let vars: Vec<SatVar> = (0..n).map(|_| s.new_var()).collect();
+            for c in &cls {
+                let lits: Vec<Lit> = c.iter().map(|&(v, pos)| Lit::new(vars[v], pos)).collect();
+                s.add_clause(&lits);
+            }
+            let got = s.solve(&[]) == SatOutcome::Sat;
+            assert_eq!(got, bf_sat, "round {round} disagreed");
+            if got {
+                // Verify the model actually satisfies every clause.
+                for c in &cls {
+                    assert!(c.iter().any(|&(v, pos)| s.model_value(vars[v]) == pos));
+                }
+            }
+        }
+    }
+}

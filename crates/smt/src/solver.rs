@@ -1,0 +1,743 @@
+//! The user-facing SMT solver: lazy DPLL(T) over the CDCL core and the LIA
+//! theory, with selector-literal `push`/`pop` frames and min/max objective
+//! queries.
+//!
+//! # Incrementality
+//!
+//! `push()` opens a frame guarded by a fresh *selector* SAT variable; every
+//! assertion in the frame becomes the clause `¬sel ∨ formula-literal`.
+//! `check()` solves under the assumption that all live selectors are true.
+//! `pop()` permanently disables the frame's selector (unit `¬sel`), which
+//! lets the SAT core keep every clause it learned — exactly the MiniSat
+//! idiom. Theory lemmas (blocking clauses) are valid in LIA regardless of
+//! frames, so they are added unguarded and also persist.
+
+use std::collections::HashMap;
+
+use crate::cnf::Encoder;
+use crate::linear::LinAtom;
+use crate::sat::{Lit, SatOutcome, SatSolver};
+use crate::term::{Sort, Term, TermId, TermPool, VarId};
+use crate::theory::{check_conjunction, TheoryConfig, TheoryVerdict};
+
+/// The result of a satisfiability check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    /// Satisfiable; a model is available via [`Solver::model`].
+    Sat,
+    /// Unsatisfiable.
+    Unsat,
+    /// Undecided within the configured budgets.
+    Unknown,
+}
+
+/// A satisfying assignment.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    ints: HashMap<VarId, i64>,
+    bools: HashMap<VarId, bool>,
+}
+
+impl Model {
+    /// The integer value of a variable (declared integer variables always
+    /// have a value in a model).
+    pub fn int_value(&self, v: VarId) -> Option<i64> {
+        self.ints.get(&v).copied()
+    }
+
+    /// The boolean value of a variable. Booleans that never appeared in any
+    /// asserted formula default to `false`.
+    pub fn bool_value(&self, v: VarId) -> bool {
+        self.bools.get(&v).copied().unwrap_or(false)
+    }
+
+    /// Evaluates an integer term under this model.
+    pub fn eval_int(&self, pool: &TermPool, t: TermId) -> i64 {
+        match pool.get(t) {
+            Term::IntConst(n) => *n,
+            Term::Var(v) => self.int_value(*v).expect("int var missing from model"),
+            Term::Add(kids) => kids.iter().map(|&k| self.eval_int(pool, k)).sum(),
+            Term::MulConst(c, inner) => c * self.eval_int(pool, *inner),
+            other => panic!("eval_int on non-integer term {other:?}"),
+        }
+    }
+
+    /// Evaluates a boolean term under this model.
+    pub fn eval_bool(&self, pool: &TermPool, t: TermId) -> bool {
+        match pool.get(t) {
+            Term::True => true,
+            Term::False => false,
+            Term::Not(x) => !self.eval_bool(pool, *x),
+            Term::And(kids) => kids.iter().all(|&k| self.eval_bool(pool, k)),
+            Term::Or(kids) => kids.iter().any(|&k| self.eval_bool(pool, k)),
+            Term::Var(v) => self.bool_value(*v),
+            Term::Le(a, b) => self.eval_int(pool, *a) <= self.eval_int(pool, *b),
+            other => panic!("eval_bool on non-boolean term {other:?}"),
+        }
+    }
+}
+
+/// Aggregate statistics for a [`Solver`].
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SolverStats {
+    /// `check()` calls (including internal ones from minimize/maximize).
+    pub checks: u64,
+    /// DPLL(T) iterations: SAT models proposed to the theory.
+    pub theory_checks: u64,
+    /// Theory conflicts (blocking clauses learned).
+    pub theory_conflicts: u64,
+}
+
+/// Maximum DPLL(T) refinement iterations per `check()` before `Unknown`.
+const MAX_REFINEMENTS: u64 = 100_000;
+
+/// The SMT solver. See the [crate docs](crate) for an end-to-end example.
+pub struct Solver {
+    pool: TermPool,
+    sat: SatSolver,
+    enc: Encoder,
+    frames: Vec<Lit>,
+    model: Option<Model>,
+    stats: SolverStats,
+    theory_config: TheoryConfig,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            pool: TermPool::new(),
+            sat: SatSolver::new(),
+            enc: Encoder::new(),
+            frames: Vec::new(),
+            model: None,
+            stats: SolverStats::default(),
+            theory_config: TheoryConfig::default(),
+        }
+    }
+
+    /// Read access to the term pool.
+    pub fn pool(&self) -> &TermPool {
+        &self.pool
+    }
+
+    /// Mutable access to the term pool (for building formulas externally).
+    pub fn pool_mut(&mut self) -> &mut TermPool {
+        &mut self.pool
+    }
+
+    /// Solver statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    // --- term-building conveniences (delegate to the pool) ---------------
+
+    /// Declares a bounded integer variable.
+    pub fn int_var(&mut self, name: &str, lo: i64, hi: i64) -> VarId {
+        self.pool.int_var(name, lo, hi)
+    }
+
+    /// Declares a boolean variable.
+    pub fn bool_var(&mut self, name: &str) -> VarId {
+        self.pool.bool_var(name)
+    }
+
+    /// A variable reference term.
+    pub fn var(&mut self, v: VarId) -> TermId {
+        self.pool.var(v)
+    }
+
+    /// An integer constant term.
+    pub fn int(&mut self, n: i64) -> TermId {
+        self.pool.int(n)
+    }
+
+    /// N-ary sum.
+    pub fn add(&mut self, ts: &[TermId]) -> TermId {
+        self.pool.add(ts)
+    }
+
+    /// Subtraction.
+    pub fn sub(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.sub(a, b)
+    }
+
+    /// Multiplication by a constant.
+    pub fn mul_const(&mut self, c: i64, t: TermId) -> TermId {
+        self.pool.mul_const(c, t)
+    }
+
+    /// `a ≤ b`.
+    pub fn le(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.le(a, b)
+    }
+
+    /// `a < b`.
+    pub fn lt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.lt(a, b)
+    }
+
+    /// `a ≥ b`.
+    pub fn ge(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.ge(a, b)
+    }
+
+    /// `a > b`.
+    pub fn gt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.gt(a, b)
+    }
+
+    /// `a = b`.
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.eq(a, b)
+    }
+
+    /// `a ≠ b`.
+    pub fn ne(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.ne(a, b)
+    }
+
+    /// N-ary conjunction.
+    pub fn and(&mut self, ts: &[TermId]) -> TermId {
+        self.pool.and(ts)
+    }
+
+    /// N-ary disjunction.
+    pub fn or(&mut self, ts: &[TermId]) -> TermId {
+        self.pool.or(ts)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, t: TermId) -> TermId {
+        self.pool.not(t)
+    }
+
+    /// Implication.
+    pub fn implies(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.implies(a, b)
+    }
+
+    // --- assertions and frames --------------------------------------------
+
+    /// Asserts a boolean term in the current frame.
+    pub fn assert(&mut self, t: TermId) {
+        debug_assert_eq!(self.pool.sort_of(t), Sort::Bool);
+        self.model = None;
+        let lit = self.enc.encode(&self.pool, &mut self.sat, t);
+        match self.frames.last() {
+            Some(&sel) => {
+                self.sat.add_clause(&[!sel, lit]);
+            }
+            None => {
+                self.sat.add_clause(&[lit]);
+            }
+        }
+    }
+
+    /// Opens a new assertion frame.
+    pub fn push(&mut self) {
+        let v = self.sat.new_var();
+        self.frames.push(Lit::new(v, true));
+    }
+
+    /// Discards the most recent frame and all its assertions.
+    ///
+    /// # Panics
+    /// Panics if no frame is open.
+    pub fn pop(&mut self) {
+        let sel = self.frames.pop().expect("pop without matching push");
+        // Permanently disable the selector so its clauses become vacuous.
+        self.sat.add_clause(&[!sel]);
+        self.model = None;
+    }
+
+    /// Number of open frames.
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    // --- solving ------------------------------------------------------------
+
+    /// Checks satisfiability of all live assertions.
+    pub fn check(&mut self) -> SatResult {
+        self.stats.checks += 1;
+        self.model = None;
+        let assumptions: Vec<Lit> = self.frames.clone();
+
+        for _ in 0..MAX_REFINEMENTS {
+            match self.sat.solve(&assumptions) {
+                SatOutcome::Unsat => return SatResult::Unsat,
+                SatOutcome::Sat => {}
+            }
+            self.stats.theory_checks += 1;
+
+            // Collect the theory atoms the SAT core actually assigned.
+            let mut conj: Vec<LinAtom> = Vec::new();
+            let mut asserted_lits: Vec<Lit> = Vec::new();
+            for (atom, sv) in self.enc.atoms() {
+                if let Some(val) = self.sat.assigned_value(*sv) {
+                    conj.push(if val { atom.clone() } else { atom.negated() });
+                    asserted_lits.push(Lit::new(*sv, val));
+                }
+            }
+
+            match check_conjunction(&self.pool, &conj, self.theory_config) {
+                TheoryVerdict::Sat(ints) => {
+                    let mut bools = HashMap::new();
+                    for (idx, info) in self.pool.vars().iter().enumerate() {
+                        if info.sort == Sort::Bool {
+                            let v = VarId(idx as u32);
+                            if let Some(sv) = self.enc.bool_var(v) {
+                                bools.insert(v, self.sat.model_value(sv));
+                            }
+                        }
+                    }
+                    self.model = Some(Model { ints, bools });
+                    return SatResult::Sat;
+                }
+                TheoryVerdict::Unsat(core) => {
+                    self.stats.theory_conflicts += 1;
+                    if core.is_empty() {
+                        // The theory found the *declared bounds* inconsistent,
+                        // which cannot happen (lo <= hi); defensive fallback.
+                        return SatResult::Unsat;
+                    }
+                    let blocking: Vec<Lit> = core.iter().map(|&i| !asserted_lits[i]).collect();
+                    if !self.sat.add_clause(&blocking) {
+                        return SatResult::Unsat;
+                    }
+                }
+                TheoryVerdict::Unknown => return SatResult::Unknown,
+            }
+        }
+        SatResult::Unknown
+    }
+
+    /// Checks satisfiability of the live assertions *plus* the given
+    /// temporary assumptions, which are discarded afterwards. Equivalent to
+    /// `push(); assert(each); check(); pop()` — the model (on `Sat`) remains
+    /// readable until the next solver call.
+    pub fn check_assuming(&mut self, assumptions: &[TermId]) -> SatResult {
+        self.push();
+        for &t in assumptions {
+            self.assert(t);
+        }
+        let result = self.check();
+        // `pop` would clear the model; keep it for the caller.
+        let model = self.model.take();
+        self.pop();
+        self.model = model;
+        result
+    }
+
+    /// A **minimal** subset of `assumptions` that is jointly unsatisfiable
+    /// with the live assertions (an *unsat core*), or `None` when the
+    /// assumptions are satisfiable (or undecided within budgets).
+    ///
+    /// Deletion-based: one [`Self::check_assuming`] per assumption after the
+    /// initial check, so the result is minimal — every element is necessary.
+    /// Useful for explaining *why* a decode step was pruned.
+    pub fn unsat_core(&mut self, assumptions: &[TermId]) -> Option<Vec<TermId>> {
+        if self.check_assuming(assumptions) != SatResult::Unsat {
+            return None;
+        }
+        let mut core: Vec<TermId> = assumptions.to_vec();
+        let mut i = 0;
+        while i < core.len() {
+            let mut candidate = core.clone();
+            candidate.remove(i);
+            if self.check_assuming(&candidate) == SatResult::Unsat {
+                core = candidate; // the i-th assumption was redundant
+            } else {
+                i += 1; // necessary (or undecided): keep it
+            }
+        }
+        Some(core)
+    }
+
+    /// The model from the most recent successful [`Self::check`].
+    pub fn model(&self) -> Option<&Model> {
+        self.model.as_ref()
+    }
+
+    // --- optimization ---------------------------------------------------
+
+    /// The minimum feasible value of integer variable `v`, or `None` if the
+    /// formula is unsatisfiable or undecided.
+    ///
+    /// Implemented as binary search on satisfiability (each probe is a
+    /// `push`/`assert`/`check`/`pop`), exactly the loop LeJIT uses to compute
+    /// feasible ranges during decoding.
+    pub fn minimize(&mut self, v: VarId) -> Option<i64> {
+        self.optimize(v, true)
+    }
+
+    /// The maximum feasible value of integer variable `v` (see [`Self::minimize`]).
+    pub fn maximize(&mut self, v: VarId) -> Option<i64> {
+        self.optimize(v, false)
+    }
+
+    fn optimize(&mut self, v: VarId, minimize: bool) -> Option<i64> {
+        let info = self.pool.var_info(v).clone();
+        assert_eq!(info.sort, Sort::Int, "optimize on non-integer variable");
+        if self.check() != SatResult::Sat {
+            return None;
+        }
+        let witness = self.model.as_ref().unwrap().int_value(v).unwrap();
+        let (mut lo, mut hi) = if minimize {
+            (info.lo, witness)
+        } else {
+            (witness, info.hi)
+        };
+        // Invariant: a feasible witness exists at `witness`-side endpoint.
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2; // biased toward lo
+            let vt = self.var(v);
+            let c = self.int(mid);
+            let probe = if minimize {
+                self.le(vt, c)
+            } else {
+                let c1 = self.int(mid + 1);
+                self.ge(vt, c1)
+            };
+            self.push();
+            self.assert(probe);
+            let r = self.check();
+            self.pop();
+            match r {
+                SatResult::Sat if minimize => hi = mid,
+                SatResult::Sat => lo = mid + 1,
+                SatResult::Unsat if minimize => lo = mid + 1,
+                SatResult::Unsat => hi = mid,
+                SatResult::Unknown => return None,
+            }
+        }
+        Some(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_sat_model() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 0, 10);
+        let tx = s.var(x);
+        let c = s.int(7);
+        let f = s.ge(tx, c);
+        s.assert(f);
+        assert_eq!(s.check(), SatResult::Sat);
+        let m = s.model().unwrap();
+        assert!(m.int_value(x).unwrap() >= 7);
+        assert!(m.eval_bool(s.pool(), f));
+    }
+
+    #[test]
+    fn basic_unsat() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 0, 10);
+        let tx = s.var(x);
+        let c4 = s.int(4);
+        let c3 = s.int(3);
+        let f1 = s.ge(tx, c4);
+        let f2 = s.le(tx, c3);
+        s.assert(f1);
+        s.assert(f2);
+        assert_eq!(s.check(), SatResult::Unsat);
+        assert!(s.model().is_none());
+    }
+
+    #[test]
+    fn disjunction_needs_theory_refinement() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 0, 10);
+        let tx = s.var(x);
+        let c3 = s.int(3);
+        let c7 = s.int(7);
+        let c5 = s.int(5);
+        // (x <= 3 or x >= 7) and x = 5 → unsat only via theory lemmas.
+        let a = s.le(tx, c3);
+        let b = s.ge(tx, c7);
+        let disj = s.or(&[a, b]);
+        let eq = s.eq(tx, c5);
+        s.assert(disj);
+        s.assert(eq);
+        assert_eq!(s.check(), SatResult::Unsat);
+        assert!(s.stats().theory_conflicts >= 1);
+    }
+
+    #[test]
+    fn push_pop_isolation() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 0, 10);
+        let tx = s.var(x);
+        let c5 = s.int(5);
+        let f = s.le(tx, c5);
+        s.assert(f);
+        assert_eq!(s.check(), SatResult::Sat);
+
+        s.push();
+        let c6 = s.int(6);
+        let g = s.ge(tx, c6);
+        s.assert(g);
+        assert_eq!(s.check(), SatResult::Unsat);
+        s.pop();
+
+        assert_eq!(s.check(), SatResult::Sat);
+        // Nested frames.
+        s.push();
+        let c2 = s.int(2);
+        let h = s.ge(tx, c2);
+        s.assert(h);
+        s.push();
+        let c3 = s.int(3);
+        let i = s.le(tx, c3);
+        s.assert(i);
+        assert_eq!(s.check(), SatResult::Sat);
+        let m = s.model().unwrap().int_value(x).unwrap();
+        assert!((2..=3).contains(&m));
+        s.pop();
+        s.pop();
+        assert_eq!(s.check(), SatResult::Sat);
+    }
+
+    #[test]
+    fn paper_lookahead_example() {
+        // Fig. 1b: I_t in [0,60], sum = 100, I0..I2 = 20,15,25.
+        // The feasible region for I3 must be [0, 40].
+        let mut s = Solver::new();
+        let vars: Vec<VarId> = (0..5).map(|t| s.int_var(&format!("i{t}"), 0, 60)).collect();
+        let terms: Vec<TermId> = vars.iter().map(|&v| s.var(v)).collect();
+        let total = s.add(&terms);
+        let hundred = s.int(100);
+        let f = s.eq(total, hundred);
+        s.assert(f);
+        for (t, val) in [(0usize, 20i64), (1, 15), (2, 25)] {
+            let c = s.int(val);
+            let eq = s.eq(terms[t], c);
+            s.assert(eq);
+        }
+        assert_eq!(s.minimize(vars[3]), Some(0));
+        assert_eq!(s.maximize(vars[3]), Some(40));
+        // After fixing I3 = 39, I4 is forced to exactly 1 (step 5 in Fig 1b).
+        let c39 = s.int(39);
+        let eq = s.eq(terms[3], c39);
+        s.assert(eq);
+        assert_eq!(s.minimize(vars[4]), Some(1));
+        assert_eq!(s.maximize(vars[4]), Some(1));
+    }
+
+    #[test]
+    fn rule_r3_implication() {
+        // R3: Congestion > 0 → max I_t >= BW/2 (= 30).
+        let mut s = Solver::new();
+        let congestion = s.int_var("congestion", 0, 100);
+        let vars: Vec<VarId> = (0..5).map(|t| s.int_var(&format!("i{t}"), 0, 60)).collect();
+        let terms: Vec<TermId> = vars.iter().map(|&v| s.var(v)).collect();
+        let tc = s.var(congestion);
+        let zero = s.int(0);
+        let thirty = s.int(30);
+        let cond = s.gt(tc, zero);
+        let burst = s.pool_mut().max_ge(&terms, thirty);
+        let r3 = s.implies(cond, burst);
+        s.assert(r3);
+        // With congestion = 8 and all I_t <= 20, unsat.
+        s.push();
+        let c8 = s.int(8);
+        let ceq = s.eq(tc, c8);
+        s.assert(ceq);
+        let twenty = s.int(20);
+        let capped = s.pool_mut().max_le(&terms, twenty);
+        s.assert(capped);
+        assert_eq!(s.check(), SatResult::Unsat);
+        s.pop();
+        // With congestion = 0 the cap is fine.
+        let czero = s.eq(tc, zero);
+        s.assert(czero);
+        let twenty = s.int(20);
+        let capped = s.pool_mut().max_le(&terms, twenty);
+        s.assert(capped);
+        assert_eq!(s.check(), SatResult::Sat);
+    }
+
+    #[test]
+    fn minimize_maximize_unconstrained_hit_declared_bounds() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", -5, 12);
+        assert_eq!(s.minimize(x), Some(-5));
+        assert_eq!(s.maximize(x), Some(12));
+    }
+
+    #[test]
+    fn minimize_on_unsat_returns_none() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 0, 10);
+        let tx = s.var(x);
+        let c11 = s.int(11);
+        let f = s.ge(tx, c11);
+        s.assert(f);
+        assert_eq!(s.minimize(x), None);
+    }
+
+    #[test]
+    fn boolean_variables_in_models() {
+        let mut s = Solver::new();
+        let b = s.bool_var("flag");
+        let x = s.int_var("x", 0, 10);
+        let tb = s.var(b);
+        let tx = s.var(x);
+        let c5 = s.int(5);
+        let ge = s.ge(tx, c5);
+        let f = s.iff_helper(tb, ge);
+        s.assert(f);
+        let nb = s.not(tb);
+        s.assert(nb);
+        assert_eq!(s.check(), SatResult::Sat);
+        let m = s.model().unwrap();
+        assert!(!m.bool_value(b));
+        assert!(m.int_value(x).unwrap() < 5);
+    }
+
+    impl Solver {
+        fn iff_helper(&mut self, a: TermId, b: TermId) -> TermId {
+            self.pool_mut().iff(a, b)
+        }
+    }
+
+    #[test]
+    fn model_evaluates_asserted_formula_true() {
+        let mut s = Solver::new();
+        let vars: Vec<VarId> = (0..4).map(|t| s.int_var(&format!("v{t}"), 0, 50)).collect();
+        let terms: Vec<TermId> = vars.iter().map(|&v| s.var(v)).collect();
+        let total = s.add(&terms);
+        let c = s.int(77);
+        let f1 = s.eq(total, c);
+        let c10 = s.int(10);
+        let f2 = s.ge(terms[0], c10);
+        let c40 = s.int(40);
+        let f2b = s.ge(terms[1], c40);
+        let f3 = s.or(&[f2, f2b]);
+        let all = s.and(&[f1, f3]);
+        s.assert(all);
+        assert_eq!(s.check(), SatResult::Sat);
+        let m = s.model().unwrap().clone();
+        assert!(m.eval_bool(s.pool(), all));
+    }
+}
+
+#[cfg(test)]
+mod check_assuming_tests {
+    use super::*;
+
+    #[test]
+    fn assumptions_do_not_persist() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 0, 10);
+        let tx = s.var(x);
+        let c5 = s.int(5);
+        let le5 = s.le(tx, c5);
+        s.assert(le5);
+
+        let c6 = s.int(6);
+        let ge6 = s.ge(tx, c6);
+        assert_eq!(s.check_assuming(&[ge6]), SatResult::Unsat);
+        // The assumption is gone: plain check is satisfiable again.
+        assert_eq!(s.check(), SatResult::Sat);
+        assert!(s.model().unwrap().int_value(x).unwrap() <= 5);
+    }
+
+    #[test]
+    fn model_survives_check_assuming() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 0, 10);
+        let tx = s.var(x);
+        let c3 = s.int(3);
+        let eq = s.eq(tx, c3);
+        assert_eq!(s.check_assuming(&[eq]), SatResult::Sat);
+        assert_eq!(s.model().unwrap().int_value(x), Some(3));
+    }
+
+    #[test]
+    fn multiple_assumptions_conjoin() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 0, 10);
+        let y = s.int_var("y", 0, 10);
+        let (tx, ty) = (s.var(x), s.var(y));
+        let total = s.add(&[tx, ty]);
+        let c12 = s.int(12);
+        let sum_eq = s.eq(total, c12);
+        let c7 = s.int(7);
+        let x_ge = s.ge(tx, c7);
+        assert_eq!(s.check_assuming(&[sum_eq, x_ge]), SatResult::Sat);
+        let m = s.model().unwrap();
+        let (xv, yv) = (m.int_value(x).unwrap(), m.int_value(y).unwrap());
+        assert_eq!(xv + yv, 12);
+        assert!(xv >= 7);
+    }
+}
+
+#[cfg(test)]
+mod unsat_core_tests {
+    use super::*;
+
+    #[test]
+    fn core_isolates_the_conflict() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 0, 10);
+        let y = s.int_var("y", 0, 10);
+        let (tx, ty) = (s.var(x), s.var(y));
+        // Assumptions: x >= 7 (A), x <= 3 (B) — conflicting — and two
+        // irrelevant ones about y.
+        let c7 = s.int(7);
+        let a = s.ge(tx, c7);
+        let c3 = s.int(3);
+        let b = s.le(tx, c3);
+        let c5 = s.int(5);
+        let y_le = s.le(ty, c5);
+        let c1 = s.int(1);
+        let y_ge = s.ge(ty, c1);
+        let core = s.unsat_core(&[y_le, a, y_ge, b]).expect("conflicting");
+        assert_eq!(core.len(), 2);
+        assert!(core.contains(&a) && core.contains(&b), "core kept noise");
+    }
+
+    #[test]
+    fn satisfiable_assumptions_have_no_core() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 0, 10);
+        let tx = s.var(x);
+        let c5 = s.int(5);
+        let f = s.le(tx, c5);
+        assert_eq!(s.unsat_core(&[f]), None);
+    }
+
+    #[test]
+    fn core_interacts_with_permanent_assertions() {
+        // Permanent: x + y == 10. Assumptions: x >= 8 (A), y >= 8 (B) —
+        // each fine alone, conflicting together; both must be in the core.
+        let mut s = Solver::new();
+        let x = s.int_var("x", 0, 10);
+        let y = s.int_var("y", 0, 10);
+        let (tx, ty) = (s.var(x), s.var(y));
+        let total = s.add(&[tx, ty]);
+        let c10 = s.int(10);
+        let sum_eq = s.eq(total, c10);
+        s.assert(sum_eq);
+        let c8 = s.int(8);
+        let a = s.ge(tx, c8);
+        let b = s.ge(ty, c8);
+        let core = s.unsat_core(&[a, b]).expect("jointly conflicting");
+        assert_eq!(core.len(), 2);
+        // Solver is still usable afterwards.
+        assert_eq!(s.check(), SatResult::Sat);
+    }
+}

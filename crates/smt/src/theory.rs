@@ -1,0 +1,395 @@
+//! The linear-integer-arithmetic theory solver.
+//!
+//! Given a conjunction of [`LinAtom`]s (each tagged with the index of the
+//! asserting literal), this module decides satisfiability over the *integers*:
+//!
+//! 1. build a [`Simplex`] tableau — declared variable bounds get sentinel
+//!    tags, each atom becomes a bound on a (shared) slack row,
+//! 2. check rational feasibility; an infeasible bound certificate maps back
+//!    to a small **core** of atom indices,
+//! 3. if rationally feasible, run **branch-and-bound** on integer variables
+//!    with fractional values. Cores from the two branches are merged (branch
+//!    bounds stripped), which is sound: any integer assignment satisfies one
+//!    of the two branch bounds, so it would have to satisfy one full branch
+//!    core.
+//!
+//! Because every problem variable carries finite declared bounds, the
+//! branch-and-bound tree is finite; a node budget additionally caps runaway
+//! searches and surfaces as [`TheoryVerdict::Unknown`].
+
+use std::collections::HashMap;
+
+use crate::linear::LinAtom;
+use crate::rational::Rational;
+use crate::simplex::{BoundTag, Feasibility, SVar, Simplex};
+use crate::term::{Sort, TermPool, VarId};
+
+/// Sentinel base for declared-bound tags (always-true, filtered from cores).
+const DECL_BASE: u32 = 1 << 30;
+/// Sentinel for branch-and-bound bounds (stripped during core merging).
+const BRANCH_TAG: u32 = u32::MAX;
+
+/// The verdict of a theory check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TheoryVerdict {
+    /// Satisfiable; integer values for every declared integer variable.
+    Sat(HashMap<VarId, i64>),
+    /// Unsatisfiable; indices (into the checked atom slice) of a conflicting
+    /// subset. May be empty if the declared bounds alone are inconsistent.
+    Unsat(Vec<usize>),
+    /// The node budget was exhausted before a decision was reached.
+    Unknown,
+}
+
+/// Configuration for the theory check.
+#[derive(Clone, Copy, Debug)]
+pub struct TheoryConfig {
+    /// Maximum number of branch-and-bound nodes to explore.
+    pub max_nodes: u64,
+}
+
+impl Default for TheoryConfig {
+    fn default() -> Self {
+        TheoryConfig { max_nodes: 50_000 }
+    }
+}
+
+/// Checks the conjunction of `atoms` over the integers, respecting the
+/// declared bounds of every integer variable in `pool`.
+pub fn check_conjunction(
+    pool: &TermPool,
+    atoms: &[LinAtom],
+    config: TheoryConfig,
+) -> TheoryVerdict {
+    let mut sx = Simplex::new();
+
+    // One simplex variable per declared integer variable (in VarId order so
+    // indexing is direct).
+    let mut int_vars: Vec<VarId> = Vec::new();
+    let mut svar_of: HashMap<VarId, SVar> = HashMap::new();
+    for (idx, info) in pool.vars().iter().enumerate() {
+        if info.sort == Sort::Int {
+            let v = VarId(idx as u32);
+            let sv = sx.add_var();
+            svar_of.insert(v, sv);
+            int_vars.push(v);
+            let tag = BoundTag(DECL_BASE + idx as u32);
+            // Declared bounds can never conflict with each other (lo <= hi).
+            sx.assert_lower(sv, Rational::from_int(info.lo), tag)
+                .expect("declared bounds are consistent");
+            sx.assert_upper(sv, Rational::from_int(info.hi), tag)
+                .expect("declared bounds are consistent");
+        }
+    }
+
+    // Shared slack rows per coefficient vector.
+    let mut slack_of: HashMap<Vec<(SVar, Rational)>, SVar> = HashMap::new();
+
+    for (i, atom) in atoms.iter().enumerate() {
+        let tag = BoundTag(i as u32);
+        // Σ c·x + k ≤ 0  ⇔  Σ c·x ≤ −k.
+        let bound = Rational::from_int(
+            atom.expr
+                .constant
+                .checked_neg()
+                .expect("constant overflow"),
+        );
+        if atom.expr.is_constant() {
+            // k ≤ 0 ?
+            if atom.expr.constant > 0 {
+                return TheoryVerdict::Unsat(vec![i]);
+            }
+            continue;
+        }
+        let coeffs: Vec<(SVar, Rational)> = atom
+            .expr
+            .coeffs
+            .iter()
+            .map(|(&v, &c)| (svar_of[&v], Rational::from_int(c)))
+            .collect();
+        let result = if coeffs.len() == 1 {
+            let (sv, c) = coeffs[0];
+            // c·x ≤ bound  ⇔  x ≤ bound/c (c>0)  or  x ≥ bound/c (c<0).
+            if c.is_positive() {
+                sx.assert_upper(sv, bound / c, tag)
+            } else {
+                sx.assert_lower(sv, bound / c, tag)
+            }
+        } else {
+            let sv = *slack_of
+                .entry(coeffs.clone())
+                .or_insert_with(|| sx.add_row(&coeffs));
+            sx.assert_upper(sv, bound, tag)
+        };
+        if let Err(core) = result {
+            return TheoryVerdict::Unsat(filter_core(core));
+        }
+    }
+
+    let mut nodes = 0u64;
+    match branch_and_bound(&mut sx, &int_vars, &svar_of, &mut nodes, config.max_nodes) {
+        BnB::Sat => {
+            let model: HashMap<VarId, i64> = int_vars
+                .iter()
+                .map(|&v| {
+                    let val = sx.value_of(svar_of[&v]);
+                    (v, val.to_i64().expect("integral model value"))
+                })
+                .collect();
+            TheoryVerdict::Sat(model)
+        }
+        BnB::Unsat(core) => TheoryVerdict::Unsat(filter_core(core)),
+        BnB::Unknown => TheoryVerdict::Unknown,
+    }
+}
+
+enum BnB {
+    Sat,
+    Unsat(Vec<BoundTag>),
+    Unknown,
+}
+
+fn branch_and_bound(
+    sx: &mut Simplex,
+    int_vars: &[VarId],
+    svar_of: &HashMap<VarId, SVar>,
+    nodes: &mut u64,
+    max_nodes: u64,
+) -> BnB {
+    *nodes += 1;
+    if *nodes > max_nodes {
+        return BnB::Unknown;
+    }
+    match sx.check() {
+        Feasibility::Infeasible(core) => return BnB::Unsat(core),
+        Feasibility::Feasible => {}
+    }
+    // Find the most fractional integer variable.
+    let mut pick: Option<(SVar, Rational)> = None;
+    let mut best_frac = Rational::ZERO;
+    for v in int_vars {
+        let sv = svar_of[v];
+        let val = sx.value_of(sv);
+        if !val.is_integer() {
+            let fl = Rational::new(val.floor(), 1);
+            let frac = val - fl;
+            // Distance from 1/2, smaller is more fractional.
+            let half = Rational::new(1, 2);
+            let dist = if frac > half { frac - half } else { half - frac };
+            if pick.is_none() || dist < best_frac {
+                best_frac = dist;
+                pick = Some((sv, val));
+            }
+        }
+    }
+    let Some((sv, val)) = pick else {
+        return BnB::Sat; // all integral
+    };
+    let floor = Rational::new(val.floor(), 1);
+    let ceil = Rational::new(val.ceil(), 1);
+    let btag = BoundTag(BRANCH_TAG);
+
+    // Branch 1: x ≤ floor.
+    let snap = sx.snapshot();
+    let down = match sx.assert_upper(sv, floor, btag) {
+        Ok(()) => branch_and_bound(sx, int_vars, svar_of, nodes, max_nodes),
+        Err(core) => BnB::Unsat(core),
+    };
+    sx.undo_to(snap);
+    let down_core = match down {
+        BnB::Sat => return BnB::Sat,
+        BnB::Unknown => return BnB::Unknown,
+        BnB::Unsat(c) => c,
+    };
+
+    // Branch 2: x ≥ ceil.
+    let snap = sx.snapshot();
+    let up = match sx.assert_lower(sv, ceil, btag) {
+        Ok(()) => branch_and_bound(sx, int_vars, svar_of, nodes, max_nodes),
+        Err(core) => BnB::Unsat(core),
+    };
+    sx.undo_to(snap);
+    let up_core = match up {
+        BnB::Sat => return BnB::Sat,
+        BnB::Unknown => return BnB::Unknown,
+        BnB::Unsat(c) => c,
+    };
+
+    // Merge: strip branch tags; any integer point satisfies x ≤ floor or
+    // x ≥ ceil, so it falsifies one of the two cores entirely.
+    let mut merged: Vec<BoundTag> = down_core
+        .into_iter()
+        .chain(up_core)
+        .filter(|t| t.0 != BRANCH_TAG)
+        .collect();
+    merged.sort_unstable();
+    merged.dedup();
+    BnB::Unsat(merged)
+}
+
+/// Keeps only real atom indices (drops declared-bound and branch sentinels).
+fn filter_core(core: Vec<BoundTag>) -> Vec<usize> {
+    let mut out: Vec<usize> = core
+        .into_iter()
+        .filter(|t| t.0 < DECL_BASE)
+        .map(|t| t.0 as usize)
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinExpr;
+
+    fn atom(coeffs: &[(VarId, i64)], constant: i64) -> LinAtom {
+        let mut e = LinExpr::constant(constant);
+        for &(v, c) in coeffs {
+            e.add_term(v, c);
+        }
+        LinAtom { expr: e }
+    }
+
+    fn pool_with_vars(n: usize, lo: i64, hi: i64) -> (TermPool, Vec<VarId>) {
+        let mut p = TermPool::new();
+        let vs = (0..n).map(|i| p.int_var(&format!("x{i}"), lo, hi)).collect();
+        (p, vs)
+    }
+
+    #[test]
+    fn empty_conjunction_is_sat() {
+        let (p, vs) = pool_with_vars(2, 0, 10);
+        match check_conjunction(&p, &[], TheoryConfig::default()) {
+            TheoryVerdict::Sat(m) => {
+                for v in vs {
+                    let val = m[&v];
+                    assert!((0..=10).contains(&val));
+                }
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_bounds_conflict() {
+        let (p, vs) = pool_with_vars(1, 0, 10);
+        // x >= 4  and  x <= 3:   (-x + 4 <= 0), (x - 3 <= 0).
+        let a1 = atom(&[(vs[0], -1)], 4);
+        let a2 = atom(&[(vs[0], 1)], -3);
+        match check_conjunction(&p, &[a1, a2], TheoryConfig::default()) {
+            TheoryVerdict::Unsat(core) => assert_eq!(core, vec![0, 1]),
+            other => panic!("expected unsat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn declared_bounds_are_respected_and_filtered() {
+        let (p, vs) = pool_with_vars(1, 0, 10);
+        // x >= 11 conflicts with the declared upper bound only.
+        let a = atom(&[(vs[0], -1)], 11);
+        match check_conjunction(&p, &[a], TheoryConfig::default()) {
+            TheoryVerdict::Unsat(core) => assert_eq!(core, vec![0]),
+            other => panic!("expected unsat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sum_equality_feasible() {
+        let (p, vs) = pool_with_vars(5, 0, 60);
+        // sum = 100 via <= and >=.
+        let le = atom(&vs.iter().map(|&v| (v, 1)).collect::<Vec<_>>(), -100);
+        let ge = atom(&vs.iter().map(|&v| (v, -1)).collect::<Vec<_>>(), 100);
+        match check_conjunction(&p, &[le, ge], TheoryConfig::default()) {
+            TheoryVerdict::Sat(m) => {
+                let total: i64 = vs.iter().map(|v| m[v]).sum();
+                assert_eq!(total, 100);
+                assert!(vs.iter().all(|v| (0..=60).contains(&m[v])));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integrality_requires_branching() {
+        let (p, vs) = pool_with_vars(1, 0, 10);
+        // 2x >= 5 and 2x <= 5  → x = 5/2, no integer solution.
+        let ge = atom(&[(vs[0], -2)], 5);
+        let le = atom(&[(vs[0], 2)], -5);
+        match check_conjunction(&p, &[ge, le], TheoryConfig::default()) {
+            TheoryVerdict::Unsat(core) => {
+                assert!(!core.is_empty());
+                assert!(core.iter().all(|&i| i < 2));
+            }
+            other => panic!("expected unsat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integrality_branching_finds_solutions() {
+        let (p, vs) = pool_with_vars(2, 0, 10);
+        // 2x + 2y = 10 has integer solutions even though the LP relaxation
+        // may first land on fractional points; 3x + 3y = 10 does not.
+        let a1 = atom(&[(vs[0], 2), (vs[1], 2)], -10);
+        let a2 = atom(&[(vs[0], -2), (vs[1], -2)], 10);
+        match check_conjunction(&p, &[a1, a2], TheoryConfig::default()) {
+            TheoryVerdict::Sat(m) => assert_eq!(m[&vs[0]] + m[&vs[1]], 5),
+            other => panic!("expected sat, got {other:?}"),
+        }
+        let b1 = atom(&[(vs[0], 3), (vs[1], 3)], -10);
+        let b2 = atom(&[(vs[0], -3), (vs[1], -3)], 10);
+        assert!(matches!(
+            check_conjunction(&p, &[b1, b2], TheoryConfig::default()),
+            TheoryVerdict::Unsat(_)
+        ));
+    }
+
+    #[test]
+    fn trivially_false_constant_atom() {
+        let (p, _vs) = pool_with_vars(1, 0, 10);
+        // 0·x + 3 <= 0 is false.
+        let a = atom(&[], 3);
+        match check_conjunction(&p, &[a], TheoryConfig::default()) {
+            TheoryVerdict::Unsat(core) => assert_eq!(core, vec![0]),
+            other => panic!("expected unsat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lookahead_range_shape() {
+        // The Fig. 1b scenario: I0..I4 in [0,60], sum=100, I0..I2 fixed to
+        // 20,15,25. Then I3 = 41 must be unsat, I3 = 40 sat.
+        let (p, vs) = pool_with_vars(5, 0, 60);
+        let mut atoms = vec![
+            atom(&vs.iter().map(|&v| (v, 1)).collect::<Vec<_>>(), -100),
+            atom(&vs.iter().map(|&v| (v, -1)).collect::<Vec<_>>(), 100),
+        ];
+        for (i, val) in [(0usize, 20i64), (1, 15), (2, 25)] {
+            atoms.push(atom(&[(vs[i], 1)], -val));
+            atoms.push(atom(&[(vs[i], -1)], val));
+        }
+        let mut with_41 = atoms.clone();
+        with_41.push(atom(&[(vs[3], -1)], 41));
+        assert!(matches!(
+            check_conjunction(&p, &with_41, TheoryConfig::default()),
+            TheoryVerdict::Unsat(_)
+        ));
+        let mut with_40 = atoms.clone();
+        with_40.push(atom(&[(vs[3], -1)], 40));
+        assert!(matches!(
+            check_conjunction(&p, &with_40, TheoryConfig::default()),
+            TheoryVerdict::Sat(_)
+        ));
+    }
+
+    #[test]
+    fn node_budget_surfaces_unknown() {
+        let (p, vs) = pool_with_vars(3, 0, 1000);
+        // A system needing at least one branch, with a budget of 1 node.
+        let a1 = atom(&[(vs[0], 2), (vs[1], 2), (vs[2], 2)], -7);
+        let a2 = atom(&[(vs[0], -2), (vs[1], -2), (vs[2], -2)], 7);
+        let verdict = check_conjunction(&p, &[a1, a2], TheoryConfig { max_nodes: 1 });
+        assert_eq!(verdict, TheoryVerdict::Unknown);
+    }
+}

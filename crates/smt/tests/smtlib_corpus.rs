@@ -1,0 +1,145 @@
+//! End-to-end solver regressions expressed as SMT-LIB-subset scripts —
+//! compact, human-auditable test cases covering the behaviours the LeJIT
+//! engine depends on.
+
+use lejit_smt::run_script;
+
+fn lines(src: &str) -> Vec<String> {
+    run_script(src).expect("script runs").lines
+}
+
+#[test]
+fn paper_fig1b_lookahead() {
+    // R1 + R2 with I_0..I_2 pinned: the feasible range of I_3 is [0, 40],
+    // and pinning I_3 = 39 forces I_4 = 1.
+    let out = lines(
+        "(set-logic QF_LIA)
+         (declare-const i0 (Int 0 60)) (declare-const i1 (Int 0 60))
+         (declare-const i2 (Int 0 60)) (declare-const i3 (Int 0 60))
+         (declare-const i4 (Int 0 60))
+         (assert (= (+ i0 i1 i2 i3 i4) 100))
+         (assert (= i0 20)) (assert (= i1 15)) (assert (= i2 25))
+         (minimize i3)
+         (maximize i3)
+         (push)
+         (assert (= i3 39))
+         (minimize i4)
+         (maximize i4)
+         (pop)",
+    );
+    assert_eq!(
+        out,
+        vec![
+            "(minimize i3 0)",
+            "(maximize i3 40)",
+            "(minimize i4 1)",
+            "(maximize i4 1)",
+        ]
+    );
+}
+
+#[test]
+fn integer_cuts() {
+    // 3x + 3y = 10 has a rational solution but no integer one.
+    let out = lines(
+        "(declare-const x (Int 0 10)) (declare-const y (Int 0 10))
+         (assert (= (+ (* 3 x) (* 3 y)) 10))
+         (check-sat)",
+    );
+    assert_eq!(out, vec!["unsat"]);
+    // …while 3x + 3y = 9 does.
+    let out = lines(
+        "(declare-const x (Int 0 10)) (declare-const y (Int 0 10))
+         (assert (= (+ (* 3 x) (* 3 y)) 9))
+         (check-sat) (get-value (x y))",
+    );
+    assert_eq!(out[0], "sat");
+}
+
+#[test]
+fn disjunctive_reasoning() {
+    // (x <= 3 or x >= 7) with x in [4, 6] is unsat only via DPLL(T)
+    // refinement — the boolean abstraction alone is satisfiable.
+    let out = lines(
+        "(declare-const x (Int 4 6))
+         (assert (or (<= x 3) (>= x 7)))
+         (check-sat)",
+    );
+    assert_eq!(out, vec!["unsat"]);
+}
+
+#[test]
+fn implication_chains() {
+    let out = lines(
+        "(declare-const congestion (Int 0 100))
+         (declare-const burst (Int 0 60))
+         (assert (=> (> congestion 0) (>= burst 30)))
+         (push) (assert (= congestion 5)) (minimize burst) (pop)
+         (push) (assert (= congestion 0)) (minimize burst) (pop)",
+    );
+    assert_eq!(out, vec!["(minimize burst 30)", "(minimize burst 0)"]);
+}
+
+#[test]
+fn nested_push_pop_stack() {
+    let out = lines(
+        "(declare-const x (Int 0 100))
+         (push) (assert (>= x 10))
+           (push) (assert (<= x 5)) (check-sat) (pop)
+           (check-sat) (minimize x)
+         (pop)
+         (minimize x)",
+    );
+    assert_eq!(out, vec!["unsat", "sat", "(minimize x 10)", "(minimize x 0)"]);
+}
+
+#[test]
+fn negative_domains() {
+    let out = lines(
+        "(declare-const x (Int (- 50) 50)) (declare-const y (Int (- 50) 50))
+         (assert (= (+ x y) (- 0 30)))
+         (assert (>= x 10))
+         (minimize y) (maximize y)",
+    );
+    assert_eq!(out, vec!["(minimize y -50)", "(maximize y -40)"]);
+}
+
+#[test]
+fn distinct_forces_spread() {
+    // Three pairwise-distinct values in a 3-value domain: sat; in a
+    // 2-value domain: unsat (pigeonhole through the theory).
+    let out = lines(
+        "(declare-const a (Int 0 2)) (declare-const b (Int 0 2)) (declare-const c (Int 0 2))
+         (assert (distinct a b)) (assert (distinct b c)) (assert (distinct a c))
+         (check-sat)",
+    );
+    assert_eq!(out, vec!["sat"]);
+    let out = lines(
+        "(declare-const a (Int 0 1)) (declare-const b (Int 0 1)) (declare-const c (Int 0 1))
+         (assert (distinct a b)) (assert (distinct b c)) (assert (distinct a c))
+         (check-sat)",
+    );
+    assert_eq!(out, vec!["unsat"]);
+}
+
+#[test]
+fn big_conjunction_of_window_constraints() {
+    // A mined-rule-set-shaped problem: many implications over one window.
+    let mut src = String::from(
+        "(declare-const total (Int 0 300)) (declare-const ecn (Int 0 120))
+         (declare-const egress (Int 0 300))
+         (assert (<= egress total))
+         (assert (=> (> ecn 0) (>= total 40)))\n",
+    );
+    for th in (10..200).step_by(10) {
+        src.push_str(&format!(
+            "(assert (=> (> total {th}) (>= egress {})))\n",
+            th / 4
+        ));
+    }
+    src.push_str("(assert (= total 200)) (minimize egress) (maximize ecn)");
+    let out = lines(&src);
+    // total = 200 > 190 ⇒ egress >= 47 (the tightest fired implication).
+    assert_eq!(out[0], "(minimize egress 47)");
+    assert_eq!(out[1], "(maximize ecn 120)");
+}

@@ -1,0 +1,233 @@
+//! Text encoding of telemetry windows for the character-level LM.
+//!
+//! Following the paper, numeric values are treated as plain text and
+//! generated digit by digit. The formats are:
+//!
+//! * **Imputation example** (prompt `|` completion):
+//!   `T=100;E=8;R=3;G=70;C=12;D=0|20,15,25,30,10.`
+//!   The prompt carries the coarse signals; the completion is the fine
+//!   series, comma-separated, terminated by `.`.
+//! * **Synthesis example** (unconditional):
+//!   `T=100;E=8;R=3;G=70;C=12;D=0.`
+//!
+//! Parsers reject malformed text instead of guessing — the decoder relies
+//! on parse failures to detect that an unconstrained model derailed.
+
+use crate::signals::{CoarseField, CoarseSignals, Window};
+
+/// The character separating prompt from completion in imputation examples.
+pub const PROMPT_SEPARATOR: char = '|';
+/// The character terminating a generated sequence.
+pub const FINE_TERMINATOR: char = '.';
+
+/// Encodes the coarse signals as a prompt (without the trailing separator).
+pub fn encode_prompt(coarse: &CoarseSignals) -> String {
+    let mut s = String::new();
+    for (i, (f, v)) in coarse.iter().enumerate() {
+        if i > 0 {
+            s.push(';');
+        }
+        s.push(f.key());
+        s.push('=');
+        s.push_str(&v.to_string());
+    }
+    s
+}
+
+/// Encodes a full imputation training example: prompt `|` fine-series `.`.
+pub fn encode_imputation_example(w: &Window) -> String {
+    let mut s = encode_prompt(&w.coarse);
+    s.push(PROMPT_SEPARATOR);
+    for (i, v) in w.fine.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&v.to_string());
+    }
+    s.push(FINE_TERMINATOR);
+    s
+}
+
+/// Encodes a synthesis training example: coarse signals only, terminated.
+pub fn encode_synthesis_example(coarse: &CoarseSignals) -> String {
+    let mut s = encode_prompt(coarse);
+    s.push(FINE_TERMINATOR);
+    s
+}
+
+/// A sample string containing every character the encodings can produce —
+/// feed it (plus real examples) to `lejit-lm`-style vocabulary builders.
+pub fn vocab_corpus_sample() -> String {
+    let mut s = String::from("0123456789,;|=.");
+    for f in CoarseField::ALL {
+        s.push(f.key());
+    }
+    s
+}
+
+/// Parses a generated fine series like `20,15,25,30,10.` (terminator
+/// optional). Returns `Err` with a description on malformed input.
+pub fn parse_fine(text: &str) -> Result<Vec<i64>, String> {
+    let body = text.strip_suffix(FINE_TERMINATOR).unwrap_or(text);
+    if body.is_empty() {
+        return Err("empty fine series".to_string());
+    }
+    body.split(',')
+        .map(|part| {
+            if part.is_empty() {
+                return Err("empty value in fine series".to_string());
+            }
+            if part.len() > 1 && part.starts_with('0') {
+                return Err(format!("leading zero in `{part}`"));
+            }
+            part.parse::<i64>()
+                .map_err(|e| format!("bad value `{part}`: {e}"))
+        })
+        .collect()
+}
+
+/// Parses a synthesis output like `T=100;E=8;R=3;G=70;C=12;D=0.` back into
+/// coarse signals. All six fields must appear exactly once, in canonical
+/// order.
+pub fn parse_coarse(text: &str) -> Result<CoarseSignals, String> {
+    let body = text.strip_suffix(FINE_TERMINATOR).unwrap_or(text);
+    let mut out = CoarseSignals::default();
+    let parts: Vec<&str> = body.split(';').collect();
+    if parts.len() != CoarseField::ALL.len() {
+        return Err(format!(
+            "expected {} fields, found {}",
+            CoarseField::ALL.len(),
+            parts.len()
+        ));
+    }
+    for (expected, part) in CoarseField::ALL.into_iter().zip(parts) {
+        let mut chars = part.chars();
+        let key = chars.next().ok_or("empty field")?;
+        if key != expected.key() {
+            return Err(format!(
+                "field out of order: expected `{}`, found `{key}`",
+                expected.key()
+            ));
+        }
+        if chars.next() != Some('=') {
+            return Err(format!("missing `=` in `{part}`"));
+        }
+        let digits: String = chars.collect();
+        if digits.is_empty() {
+            return Err(format!("missing value in `{part}`"));
+        }
+        if digits.len() > 1 && digits.starts_with('0') {
+            return Err(format!("leading zero in `{part}`"));
+        }
+        let v: i64 = digits
+            .parse()
+            .map_err(|e| format!("bad value `{digits}`: {e}"))?;
+        out.set(expected, v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, TelemetryConfig};
+
+    fn sample_window() -> Window {
+        let mut coarse = CoarseSignals::default();
+        coarse.set(CoarseField::TotalIngress, 100);
+        coarse.set(CoarseField::EcnBytes, 8);
+        coarse.set(CoarseField::RetransBytes, 3);
+        coarse.set(CoarseField::EgressTotal, 70);
+        coarse.set(CoarseField::ConnCount, 12);
+        coarse.set(CoarseField::Drops, 0);
+        Window {
+            rack: 0,
+            index: 0,
+            coarse,
+            fine: vec![20, 15, 25, 30, 10],
+        }
+    }
+
+    #[test]
+    fn imputation_encoding_matches_spec() {
+        let w = sample_window();
+        assert_eq!(
+            encode_imputation_example(&w),
+            "T=100;E=8;R=3;G=70;C=12;D=0|20,15,25,30,10."
+        );
+    }
+
+    #[test]
+    fn synthesis_encoding_matches_spec() {
+        let w = sample_window();
+        assert_eq!(
+            encode_synthesis_example(&w.coarse),
+            "T=100;E=8;R=3;G=70;C=12;D=0."
+        );
+    }
+
+    #[test]
+    fn fine_roundtrip() {
+        assert_eq!(parse_fine("20,15,25,30,10.").unwrap(), vec![20, 15, 25, 30, 10]);
+        assert_eq!(parse_fine("0.").unwrap(), vec![0]);
+        assert_eq!(parse_fine("7").unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn fine_rejects_malformed() {
+        assert!(parse_fine("").is_err());
+        assert!(parse_fine(",5").is_err());
+        assert!(parse_fine("5,").is_err());
+        assert!(parse_fine("5,,6").is_err());
+        assert!(parse_fine("05").is_err());
+        assert!(parse_fine("5,x").is_err());
+    }
+
+    #[test]
+    fn coarse_roundtrip() {
+        let w = sample_window();
+        let text = encode_synthesis_example(&w.coarse);
+        assert_eq!(parse_coarse(&text).unwrap(), w.coarse);
+    }
+
+    #[test]
+    fn coarse_rejects_malformed() {
+        assert!(parse_coarse("T=100").is_err()); // missing fields
+        assert!(parse_coarse("E=8;T=100;R=3;G=70;C=12;D=0.").is_err()); // order
+        assert!(parse_coarse("T=;E=8;R=3;G=70;C=12;D=0.").is_err()); // empty value
+        assert!(parse_coarse("T100;E=8;R=3;G=70;C=12;D=0.").is_err()); // no '='
+        assert!(parse_coarse("T=01;E=8;R=3;G=70;C=12;D=0.").is_err()); // leading 0
+    }
+
+    #[test]
+    fn generated_dataset_roundtrips() {
+        let d = generate(TelemetryConfig {
+            racks_train: 2,
+            racks_test: 1,
+            windows_per_rack: 20,
+            ..TelemetryConfig::default()
+        });
+        for w in d.train.iter().chain(&d.test) {
+            let text = encode_imputation_example(w);
+            let (prompt, completion) = text.split_once(PROMPT_SEPARATOR).unwrap();
+            assert_eq!(parse_coarse(prompt).unwrap(), w.coarse);
+            assert_eq!(parse_fine(completion).unwrap(), w.fine);
+        }
+    }
+
+    #[test]
+    fn vocab_sample_covers_encodings() {
+        let d = generate(TelemetryConfig {
+            racks_train: 1,
+            racks_test: 1,
+            windows_per_rack: 10,
+            ..TelemetryConfig::default()
+        });
+        let allowed: std::collections::HashSet<char> = vocab_corpus_sample().chars().collect();
+        for w in d.train.iter().chain(&d.test) {
+            for c in encode_imputation_example(w).chars() {
+                assert!(allowed.contains(&c), "char `{c}` missing from vocab sample");
+            }
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! The synthetic datacenter telemetry generator.
+//!
+//! Substitutes the proprietary Meta dataset (Ghabashneh et al., IMC '22) the
+//! paper evaluates on. Each rack runs an independent two-state
+//! Markov-modulated ingress process with a diurnal load factor; coarse
+//! aggregates are derived *exactly* from the fine series so that the
+//! ground-truth data satisfies the domain rules the miner is supposed to
+//! discover. Everything is deterministic given the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::signals::{CoarseField, CoarseSignals, Dataset, Window};
+
+/// Parameters of the synthetic workload.
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryConfig {
+    /// Number of training racks (paper: 80).
+    pub racks_train: usize,
+    /// Number of held-out test racks (paper: 10).
+    pub racks_test: usize,
+    /// Windows generated per rack.
+    pub windows_per_rack: usize,
+    /// Fine steps per window (the paper's walkthrough uses T = 5).
+    pub window_len: usize,
+    /// Per-step bandwidth cap (the paper's walkthrough uses BW = 60).
+    pub bandwidth: i64,
+    /// RNG seed; the same seed reproduces the dataset bit-for-bit.
+    pub seed: u64,
+    /// Optional rate-limiter on the fine series: consecutive steps differ by
+    /// at most this much (models shallow-buffered racks whose ingress ramps
+    /// rather than jumps). `None` = unconstrained bursts (the default).
+    pub max_step_change: Option<i64>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            racks_train: 80,
+            racks_test: 10,
+            windows_per_rack: 40,
+            window_len: 5,
+            bandwidth: 60,
+            seed: 0xDA7ACE,
+            max_step_change: None,
+        }
+    }
+}
+
+/// ECN marking threshold as a fraction of bandwidth (¾·BW).
+fn ecn_threshold(bw: i64) -> i64 {
+    (bw * 3) / 4
+}
+
+/// Generates a dataset under `config`.
+pub fn generate(config: TelemetryConfig) -> Dataset {
+    let mut train = Vec::with_capacity(config.racks_train * config.windows_per_rack);
+    let mut test = Vec::with_capacity(config.racks_test * config.windows_per_rack);
+    let total_racks = config.racks_train + config.racks_test;
+    for rack in 0..total_racks {
+        let windows = generate_rack(&config, rack as u32);
+        if rack < config.racks_train {
+            train.extend(windows);
+        } else {
+            test.extend(windows);
+        }
+    }
+    Dataset {
+        train,
+        test,
+        bandwidth: config.bandwidth,
+        window_len: config.window_len,
+    }
+}
+
+/// Generates one rack's trace of consecutive windows.
+fn generate_rack(config: &TelemetryConfig, rack: u32) -> Vec<Window> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rack as u64 + 1)));
+    let bw = config.bandwidth;
+    let thresh = ecn_threshold(bw);
+    // Per-rack personality: how bursty and how loaded.
+    let burst_enter: f64 = rng.random_range(0.08..0.25);
+    let burst_exit: f64 = rng.random_range(0.3..0.6);
+    let idle_mean: f64 = rng.random_range(0.08..0.25) * bw as f64;
+    let egress_ratio: f64 = rng.random_range(0.55..0.9);
+    let conn_base: i64 = rng.random_range(2..10);
+
+    let mut bursting = false;
+    let mut prev_drops: i64 = 0;
+    let mut prev_fine: i64 = 0;
+    let mut out = Vec::with_capacity(config.windows_per_rack);
+
+    for index in 0..config.windows_per_rack {
+        // Diurnal load factor in [0.5, 1.5], period ~200 windows.
+        let phase = rack as f64 * 0.7;
+        let diurnal =
+            1.0 + 0.5 * (2.0 * std::f64::consts::PI * index as f64 / 200.0 + phase).sin();
+
+        let mut fine = Vec::with_capacity(config.window_len);
+        let mut drops: i64 = 0;
+        for _ in 0..config.window_len {
+            // Markov burst state transitions.
+            if bursting {
+                if rng.random_bool(burst_exit) {
+                    bursting = false;
+                }
+            } else if rng.random_bool((burst_enter * diurnal).clamp(0.01, 0.9)) {
+                bursting = true;
+            }
+            let raw: f64 = if bursting {
+                // Bursts land in the upper range, frequently at the cap.
+                rng.random_range(0.65..1.15) * bw as f64
+            } else {
+                // Idle traffic: exponential-ish around the idle mean.
+                let u: f64 = rng.random::<f64>().max(1e-9);
+                -idle_mean * diurnal * u.ln()
+            };
+            let mut capped = raw.round().clamp(0.0, bw as f64) as i64;
+            if raw > bw as f64 {
+                // Saturation: excess bytes are dropped.
+                drops += (raw - bw as f64).round() as i64;
+            }
+            if let Some(msc) = config.max_step_change {
+                // Rate-limited rack: ingress ramps instead of jumping.
+                capped = capped.clamp(prev_fine - msc, prev_fine + msc).clamp(0, bw);
+            }
+            prev_fine = capped;
+            fine.push(capped);
+        }
+
+        let total: i64 = fine.iter().sum();
+        // ECN bytes: bytes above the threshold across the window, which is
+        // > 0 exactly when some fine value crossed the threshold.
+        let ecn: i64 = fine.iter().map(|&v| (v - thresh).max(0)).sum();
+        // Retransmissions echo last window's drops, plus noise (never
+        // exceeding the window total).
+        let retrans: i64 = if prev_drops > 0 {
+            let jitter: f64 = rng.random_range(0.5..1.0);
+            ((prev_drops as f64 * jitter).round() as i64).min(total)
+        } else {
+            0
+        };
+        // Egress: a fraction of ingress (never exceeding it).
+        let egress: i64 = ((total as f64) * egress_ratio * rng.random_range(0.9..1.0))
+            .round()
+            .clamp(0.0, total as f64) as i64;
+        // Connections: base + load-driven, capped for digit-width stability.
+        let conn: i64 = (conn_base + total / (bw.max(1) * 2)).clamp(1, 99);
+        let drops = drops.min(total.max(0));
+        prev_drops = drops;
+
+        let mut coarse = CoarseSignals::default();
+        coarse.set(CoarseField::TotalIngress, total);
+        coarse.set(CoarseField::EcnBytes, ecn);
+        coarse.set(CoarseField::RetransBytes, retrans);
+        coarse.set(CoarseField::EgressTotal, egress);
+        coarse.set(CoarseField::ConnCount, conn);
+        coarse.set(CoarseField::Drops, drops);
+
+        out.push(Window {
+            rack,
+            index: index as u32,
+            coarse,
+            fine,
+        });
+    }
+    out
+}
+
+/// Invariants every generated window satisfies (used by tests, the rule
+/// miner's sanity checks, and the violation counter's ground-truth audit).
+pub fn window_invariants_hold(w: &Window, bandwidth: i64) -> bool {
+    let total: i64 = w.fine.iter().sum();
+    let thresh = ecn_threshold(bandwidth);
+    let max_fine = w.fine.iter().copied().max().unwrap_or(0);
+    w.fine.iter().all(|&v| (0..=bandwidth).contains(&v))
+        && w.coarse.get(CoarseField::TotalIngress) == total
+        && (w.coarse.get(CoarseField::EcnBytes) > 0) == (max_fine > thresh)
+        && w.coarse.get(CoarseField::EgressTotal) <= total
+        && w.coarse.get(CoarseField::Drops) <= total.max(0)
+        && w.coarse.get(CoarseField::ConnCount) >= 1
+        && w.coarse.iter().all(|(_, v)| v >= 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> TelemetryConfig {
+        TelemetryConfig {
+            racks_train: 4,
+            racks_test: 2,
+            windows_per_rack: 50,
+            ..TelemetryConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d1 = generate(small_config());
+        let d2 = generate(small_config());
+        assert_eq!(d1.train, d2.train);
+        assert_eq!(d1.test, d2.test);
+        let d3 = generate(TelemetryConfig {
+            seed: 123,
+            ..small_config()
+        });
+        assert_ne!(d1.train, d3.train);
+    }
+
+    #[test]
+    fn split_sizes() {
+        let cfg = small_config();
+        let d = generate(cfg);
+        assert_eq!(d.train.len(), cfg.racks_train * cfg.windows_per_rack);
+        assert_eq!(d.test.len(), cfg.racks_test * cfg.windows_per_rack);
+        // Racks don't overlap across splits.
+        let max_train_rack = d.train.iter().map(|w| w.rack).max().unwrap();
+        let min_test_rack = d.test.iter().map(|w| w.rack).min().unwrap();
+        assert!(max_train_rack < min_test_rack);
+    }
+
+    #[test]
+    fn all_invariants_hold() {
+        let cfg = small_config();
+        let d = generate(cfg);
+        for w in d.train.iter().chain(&d.test) {
+            assert!(
+                window_invariants_hold(w, cfg.bandwidth),
+                "invariant violated in {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn data_is_actually_bursty() {
+        // The point of the dataset: bursts exist (values near BW) and so do
+        // idle periods (small values), and ECN fires sometimes but not always.
+        let cfg = small_config();
+        let d = generate(cfg);
+        let all_fine: Vec<i64> = d.train.iter().flat_map(|w| w.fine.clone()).collect();
+        let near_cap = all_fine.iter().filter(|&&v| v >= cfg.bandwidth * 3 / 4).count();
+        let idle = all_fine.iter().filter(|&&v| v <= cfg.bandwidth / 4).count();
+        assert!(near_cap > all_fine.len() / 50, "too few bursts: {near_cap}");
+        assert!(idle > all_fine.len() / 10, "too few idle steps: {idle}");
+        let ecn_windows = d
+            .train
+            .iter()
+            .filter(|w| w.coarse.get(CoarseField::EcnBytes) > 0)
+            .count();
+        assert!(ecn_windows > 0 && ecn_windows < d.train.len());
+    }
+
+    #[test]
+    fn retrans_echoes_drops() {
+        let cfg = small_config();
+        let d = generate(cfg);
+        // Whenever retrans > 0 in window i, window i-1 of the same rack had
+        // drops > 0 (by construction).
+        for pair in d.train.windows(2) {
+            let (prev, cur) = (&pair[0], &pair[1]);
+            if prev.rack == cur.rack && cur.coarse.get(CoarseField::RetransBytes) > 0 {
+                assert!(prev.coarse.get(CoarseField::Drops) > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn train_max_reflects_data() {
+        let d = generate(small_config());
+        let m = d.train_max(CoarseField::TotalIngress);
+        assert!(d.train.iter().all(|w| w.coarse.get(CoarseField::TotalIngress) <= m));
+        assert!(d.train.iter().any(|w| w.coarse.get(CoarseField::TotalIngress) == m));
+    }
+}
+
+#[cfg(test)]
+mod ramp_tests {
+    use super::*;
+
+    #[test]
+    fn max_step_change_is_respected() {
+        let cfg = TelemetryConfig {
+            racks_train: 3,
+            racks_test: 1,
+            windows_per_rack: 40,
+            max_step_change: Some(15),
+            ..TelemetryConfig::default()
+        };
+        let d = generate(cfg);
+        for windows in [&d.train, &d.test] {
+            // Deltas are bounded within each rack's consecutive stream.
+            let mut prev: Option<(u32, i64)> = None;
+            for w in windows.iter() {
+                for &v in &w.fine {
+                    if let Some((rack, p)) = prev {
+                        if rack == w.rack {
+                            assert!(
+                                (v - p).abs() <= 15,
+                                "step change {} -> {} exceeds limit",
+                                p,
+                                v
+                            );
+                        }
+                    }
+                    prev = Some((w.rack, v));
+                }
+            }
+        }
+        // Invariants still hold with the rate limiter.
+        for w in d.train.iter().chain(&d.test) {
+            assert!(window_invariants_hold(w, cfg.bandwidth));
+        }
+    }
+
+    #[test]
+    fn ramped_data_still_has_load_variation() {
+        let d = generate(TelemetryConfig {
+            racks_train: 3,
+            racks_test: 1,
+            windows_per_rack: 60,
+            max_step_change: Some(15),
+            ..TelemetryConfig::default()
+        });
+        let all: Vec<i64> = d.train.iter().flat_map(|w| w.fine.clone()).collect();
+        let hi = *all.iter().max().unwrap();
+        let lo = *all.iter().min().unwrap();
+        assert!(hi - lo > 20, "rate limiter flattened the workload: {lo}..{hi}");
+    }
+}

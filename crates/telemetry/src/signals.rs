@@ -1,0 +1,232 @@
+//! Telemetry record types: coarse signals, windows, and datasets.
+
+use serde::{Deserialize, Serialize};
+
+/// The coarse (50 ms-window aggregate) signals, in a fixed order so rules
+/// and miners can iterate generically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum CoarseField {
+    /// Sum of fine-grained ingress bytes in the window.
+    TotalIngress,
+    /// ECN-marked byte count (congestion signal).
+    EcnBytes,
+    /// Retransmitted bytes (echoes recent drops).
+    RetransBytes,
+    /// Total egress bytes.
+    EgressTotal,
+    /// Active connection count.
+    ConnCount,
+    /// Dropped bytes.
+    Drops,
+}
+
+impl CoarseField {
+    /// All fields, in canonical order.
+    pub const ALL: [CoarseField; 6] = [
+        CoarseField::TotalIngress,
+        CoarseField::EcnBytes,
+        CoarseField::RetransBytes,
+        CoarseField::EgressTotal,
+        CoarseField::ConnCount,
+        CoarseField::Drops,
+    ];
+
+    /// Canonical index of the field.
+    pub fn index(self) -> usize {
+        match self {
+            CoarseField::TotalIngress => 0,
+            CoarseField::EcnBytes => 1,
+            CoarseField::RetransBytes => 2,
+            CoarseField::EgressTotal => 3,
+            CoarseField::ConnCount => 4,
+            CoarseField::Drops => 5,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoarseField::TotalIngress => "total_ingress",
+            CoarseField::EcnBytes => "ecn_bytes",
+            CoarseField::RetransBytes => "retrans_bytes",
+            CoarseField::EgressTotal => "egress_total",
+            CoarseField::ConnCount => "conn_count",
+            CoarseField::Drops => "drops",
+        }
+    }
+
+    /// The single-character key used in the text encoding.
+    pub fn key(self) -> char {
+        match self {
+            CoarseField::TotalIngress => 'T',
+            CoarseField::EcnBytes => 'E',
+            CoarseField::RetransBytes => 'R',
+            CoarseField::EgressTotal => 'G',
+            CoarseField::ConnCount => 'C',
+            CoarseField::Drops => 'D',
+        }
+    }
+
+    /// Looks a field up by its text-encoding key.
+    pub fn from_key(key: char) -> Option<CoarseField> {
+        CoarseField::ALL.into_iter().find(|f| f.key() == key)
+    }
+}
+
+/// The vector of coarse signal values for one window.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct CoarseSignals(pub [i64; 6]);
+
+impl CoarseSignals {
+    /// The value of a field.
+    pub fn get(&self, f: CoarseField) -> i64 {
+        self.0[f.index()]
+    }
+
+    /// Sets the value of a field.
+    pub fn set(&mut self, f: CoarseField, v: i64) {
+        self.0[f.index()] = v;
+    }
+
+    /// Iterates `(field, value)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (CoarseField, i64)> + '_ {
+        CoarseField::ALL.into_iter().map(move |f| (f, self.get(f)))
+    }
+}
+
+/// One telemetry window: the coarse aggregates plus the fine-grained ingress
+/// series they summarize.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Window {
+    /// Rack the window was measured on.
+    pub rack: u32,
+    /// Window index within the rack's trace.
+    pub index: u32,
+    /// Coarse aggregates.
+    pub coarse: CoarseSignals,
+    /// Fine-grained ingress bytes, one entry per sub-interval.
+    pub fine: Vec<i64>,
+}
+
+/// A train/test split of telemetry windows.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Training windows (80 racks in the paper's setup).
+    pub train: Vec<Window>,
+    /// Held-out test windows (10 racks in the paper's setup).
+    pub test: Vec<Window>,
+    /// Per-fine-step bandwidth cap used during generation.
+    pub bandwidth: i64,
+    /// Fine steps per window.
+    pub window_len: usize,
+}
+
+impl Dataset {
+    /// The maximum observed coarse value per field across the training set
+    /// (used to bound solver variables and size text fields).
+    pub fn train_max(&self, f: CoarseField) -> i64 {
+        self.train.iter().map(|w| w.coarse.get(f)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_keys_are_unique_and_roundtrip() {
+        for f in CoarseField::ALL {
+            assert_eq!(CoarseField::from_key(f.key()), Some(f));
+        }
+        let mut keys: Vec<char> = CoarseField::ALL.iter().map(|f| f.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), CoarseField::ALL.len());
+    }
+
+    #[test]
+    fn indices_match_order() {
+        for (i, f) in CoarseField::ALL.into_iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+    }
+
+    #[test]
+    fn signals_get_set() {
+        let mut s = CoarseSignals::default();
+        s.set(CoarseField::EcnBytes, 42);
+        assert_eq!(s.get(CoarseField::EcnBytes), 42);
+        assert_eq!(s.get(CoarseField::Drops), 0);
+        let pairs: Vec<(CoarseField, i64)> = s.iter().collect();
+        assert_eq!(pairs.len(), 6);
+        assert_eq!(pairs[1], (CoarseField::EcnBytes, 42));
+    }
+}
+
+impl Dataset {
+    /// Serializes the dataset as JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("datasets are serializable")
+    }
+
+    /// Parses a dataset from JSON.
+    pub fn from_json(s: &str) -> Result<Dataset, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes the dataset to a file (JSON).
+    pub fn save_to_path<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads a dataset from a file written by [`Self::save_to_path`].
+    pub fn load_from_path<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<Dataset> {
+        let text = std::fs::read_to_string(path)?;
+        Dataset::from_json(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use crate::generator::{generate, TelemetryConfig};
+    use crate::signals::Dataset;
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let d = generate(TelemetryConfig {
+            racks_train: 2,
+            racks_test: 1,
+            windows_per_rack: 10,
+            ..TelemetryConfig::default()
+        });
+        let back = Dataset::from_json(&d.to_json()).unwrap();
+        assert_eq!(back.train, d.train);
+        assert_eq!(back.test, d.test);
+        assert_eq!(back.bandwidth, d.bandwidth);
+        assert_eq!(back.window_len, d.window_len);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = generate(TelemetryConfig {
+            racks_train: 1,
+            racks_test: 1,
+            windows_per_rack: 5,
+            ..TelemetryConfig::default()
+        });
+        let path = std::env::temp_dir().join("lejit_dataset_test.json");
+        d.save_to_path(&path).unwrap();
+        let back = Dataset::load_from_path(&path).unwrap();
+        assert_eq!(back.train, d.train);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_file_is_rejected() {
+        let path = std::env::temp_dir().join("lejit_dataset_bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(Dataset::load_from_path(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,75 @@
+//! NetNomos-style rule mining: discover domain rules from training data.
+//!
+//! Mines both task rule sets from synthetic telemetry, prints a sample of
+//! each rule family, verifies confidence 1.0 on the training split, and
+//! round-trips the sets through the rule DSL and JSON.
+//!
+//! Run with: `cargo run --release --example rule_mining`
+
+use lejit::rules::{mine_rules, parse_rules, MinerConfig, RuleSet};
+use lejit::telemetry::{generate, TelemetryConfig};
+
+fn main() {
+    let data = generate(TelemetryConfig {
+        racks_train: 20,
+        racks_test: 5,
+        windows_per_rack: 50,
+        ..TelemetryConfig::default()
+    });
+    let mined = mine_rules(&data.train, data.bandwidth, MinerConfig::default());
+    println!(
+        "mined {} imputation rules and {} synthesis rules from {} windows",
+        mined.imputation.len(),
+        mined.synthesis.len(),
+        data.train.len()
+    );
+
+    // A sample from each family.
+    println!("\n-- sample imputation rules --");
+    for prefix in ["fine_bounds", "sum_consistency", "coarse_", "fimp_"] {
+        if let Some(r) = mined.imputation.rules.iter().find(|r| r.name.starts_with(prefix)) {
+            println!("  {r}");
+        }
+    }
+    println!("\n-- sample synthesis rules --");
+    for prefix in ["bound_", "order_", "zero_", "imp_"] {
+        if let Some(r) = mined.synthesis.rules.iter().find(|r| r.name.starts_with(prefix)) {
+            println!("  {r}");
+        }
+    }
+
+    // Confidence 1.0 on training data, generalization on test data.
+    let check = |rs: &RuleSet, label: &str| {
+        let train_bad = data
+            .train
+            .iter()
+            .filter(|w| !rs.compliant(&w.coarse, &w.fine))
+            .count();
+        let test_bad = data
+            .test
+            .iter()
+            .filter(|w| !rs.compliant(&w.coarse, &w.fine))
+            .count();
+        println!(
+            "{label}: {train_bad}/{} train violations (must be 0), {test_bad}/{} on held-out racks",
+            data.train.len(),
+            data.test.len()
+        );
+        assert_eq!(train_bad, 0);
+    };
+    println!();
+    check(&mined.imputation, "imputation set");
+    check(&mined.synthesis, "synthesis set");
+
+    // DSL round-trip: every mined rule re-parses to the same AST.
+    let text = mined.synthesis.to_string();
+    let reparsed = parse_rules(&text).expect("mined rules are valid DSL");
+    assert_eq!(reparsed.rules, mined.synthesis.rules);
+    println!("\nDSL round-trip OK ({} bytes of rule text)", text.len());
+
+    // JSON round-trip (the on-disk rule-set format).
+    let json = mined.imputation.to_json();
+    let back = RuleSet::from_json(&json).unwrap();
+    assert_eq!(back.rules, mined.imputation.rules);
+    println!("JSON round-trip OK ({} bytes)", json.len());
+}

@@ -1,0 +1,82 @@
+//! Synthetic network data generation (§4.2): the *same* model, repurposed.
+//!
+//! Trains one model on telemetry text, then swaps in the synthesis rule set
+//! (no retraining) to generate coarse-signal records, comparing fidelity
+//! (JSD vs the training marginals) and compliance against a simulated SOTA
+//! generator.
+//!
+//! Run with: `cargo run --release --example synthesis`
+
+use lejit::baselines::{CoarseGenerator, EWganGpLike};
+use lejit::core::{Synthesizer, TaskConfig};
+use lejit::lm::{NgramLm, Vocab};
+use lejit::metrics::{jsd, violation_stats};
+use lejit::rules::{mine_rules, MinerConfig};
+use lejit::telemetry::{
+    encode_imputation_example, generate, vocab_corpus_sample, CoarseField, CoarseSignals,
+    TelemetryConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let data = generate(TelemetryConfig {
+        racks_train: 15,
+        racks_test: 3,
+        windows_per_rack: 50,
+        ..TelemetryConfig::default()
+    });
+
+    // One model, trained once — on the same text as the imputation task.
+    let texts: Vec<String> = data.train.iter().map(encode_imputation_example).collect();
+    let vocab = Vocab::from_corpus(&(texts.join("\n") + &vocab_corpus_sample()));
+    let seqs: Vec<_> = texts.iter().map(|t| vocab.encode(t).unwrap()).collect();
+    let model = NgramLm::train(vocab, &seqs, 6);
+
+    // Swap in the *synthesis* rule set (mined over coarse signals only).
+    let mined = mine_rules(&data.train, data.bandwidth, MinerConfig::default());
+    println!("mined {} synthesis rules", mined.synthesis.len());
+    let mut hi = [1i64; 6];
+    for f in CoarseField::ALL {
+        hi[f.index()] = data.train_max(f).max(1);
+    }
+    let synth = Synthesizer::new(&model, mined.synthesis.clone(), hi, TaskConfig::default());
+
+    // Draw samples from LeJIT, vanilla, and a simulated SOTA generator.
+    let n = 200;
+    let mut rng = StdRng::seed_from_u64(9);
+    let lejit: Vec<CoarseSignals> = (0..n)
+        .filter_map(|_| synth.synthesize(&mut rng).ok().map(|(s, _)| s))
+        .collect();
+    let vanilla: Vec<CoarseSignals> = (0..n)
+        .filter_map(|_| synth.synthesize_vanilla(&mut rng).ok().map(|(s, _)| s))
+        .collect();
+    let kde = EWganGpLike::fit(&data.train);
+    let kde_samples: Vec<CoarseSignals> = (0..n).map(|_| kde.generate(&mut rng)).collect();
+
+    println!("\n{:<18} {:>10} {:>16}", "method", "mean JSD", "violation rate");
+    for (name, samples) in [
+        ("LeJIT", &lejit),
+        ("vanilla LM", &vanilla),
+        ("E-WGAN-GP-like", &kde_samples),
+    ] {
+        let mut total = 0.0;
+        for f in CoarseField::ALL {
+            let train: Vec<f64> = data.train.iter().map(|w| w.coarse.get(f) as f64).collect();
+            let gen: Vec<f64> = samples.iter().map(|s| s.get(f) as f64).collect();
+            total += jsd(&gen, &train, 16);
+        }
+        let outputs: Vec<(CoarseSignals, Vec<i64>)> =
+            samples.iter().map(|&s| (s, Vec::new())).collect();
+        let stats = violation_stats(&mined.synthesis, &outputs);
+        println!(
+            "{name:<18} {:>10.3} {:>15.1}%",
+            total / 6.0,
+            stats.rate() * 100.0
+        );
+    }
+    println!(
+        "\nLeJIT keeps fidelity close to the unconstrained model while driving"
+    );
+    println!("violations to zero — no retraining, just a different rule set.");
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration: the full pipeline from synthetic telemetry to
+//! rule-compliant imputation, exercising every workspace crate together.
+
+use lejit::core::{DecodeError, Imputer, TaskConfig};
+use lejit::lm::{NgramLm, Vocab};
+use lejit::metrics::{mae, violation_stats};
+use lejit::rules::{mine_rules, MinerConfig};
+use lejit::telemetry::{
+    encode_imputation_example, generate, parse_fine, vocab_corpus_sample, CoarseSignals,
+    TelemetryConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pipeline() -> (
+    lejit::telemetry::Dataset,
+    NgramLm,
+    lejit::rules::MinedRules,
+) {
+    let data = generate(TelemetryConfig {
+        racks_train: 8,
+        racks_test: 2,
+        windows_per_rack: 40,
+        ..TelemetryConfig::default()
+    });
+    let texts: Vec<String> = data.train.iter().map(encode_imputation_example).collect();
+    let vocab = Vocab::from_corpus(&(texts.join("\n") + &vocab_corpus_sample()));
+    let seqs: Vec<_> = texts.iter().map(|t| vocab.encode(t).unwrap()).collect();
+    let model = NgramLm::train(vocab, &seqs, 5);
+    let mined = mine_rules(&data.train, data.bandwidth, MinerConfig::default());
+    (data, model, mined)
+}
+
+#[test]
+fn lejit_imputation_is_always_compliant() {
+    let (data, model, mined) = pipeline();
+    let imputer = Imputer::new(
+        &model,
+        mined.imputation.clone(),
+        data.window_len,
+        data.bandwidth,
+        TaskConfig::default(),
+    );
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut produced = 0;
+    for w in data.test.iter().take(15) {
+        match imputer.impute(&w.coarse, &mut rng) {
+            Ok(out) => {
+                produced += 1;
+                assert!(
+                    mined.imputation.compliant(&w.coarse, &out.values),
+                    "violations: {:?}",
+                    mined.imputation.violations(&w.coarse, &out.values)
+                );
+                // The emitted text round-trips through the telemetry parser.
+                assert_eq!(parse_fine(&out.text).unwrap(), out.values);
+            }
+            Err(DecodeError::UnsatRules) => {
+                // Mined rules can be jointly unsatisfiable for an unseen
+                // coarse combination; that must be reported, not mis-decoded.
+            }
+            Err(e) => panic!("unexpected decode error: {e}"),
+        }
+    }
+    assert!(produced >= 10, "too many infeasible windows: {produced}/15");
+}
+
+#[test]
+fn lejit_beats_vanilla_on_violations_without_losing_accuracy() {
+    let (data, model, mined) = pipeline();
+    let imputer = Imputer::new(
+        &model,
+        mined.imputation.clone(),
+        data.window_len,
+        data.bandwidth,
+        TaskConfig::default(),
+    );
+    let mut rng = StdRng::seed_from_u64(2);
+    let windows = &data.test[..20];
+
+    let mut vanilla_out: Vec<(CoarseSignals, Vec<i64>)> = Vec::new();
+    let mut jit_out: Vec<(CoarseSignals, Vec<i64>)> = Vec::new();
+    let mut vanilla_err = Vec::new();
+    let mut jit_err = Vec::new();
+    for w in windows {
+        let v = imputer.impute_vanilla(&w.coarse, &mut rng).unwrap();
+        for (p, t) in v.values.iter().zip(&w.fine) {
+            vanilla_err.push((*p as f64, *t as f64));
+        }
+        vanilla_out.push((w.coarse, v.values));
+        if let Ok(j) = imputer.impute(&w.coarse, &mut rng) {
+            for (p, t) in j.values.iter().zip(&w.fine) {
+                jit_err.push((*p as f64, *t as f64));
+            }
+            jit_out.push((w.coarse, j.values));
+        }
+    }
+    let v_stats = violation_stats(&mined.imputation, &vanilla_out);
+    let j_stats = violation_stats(&mined.imputation, &jit_out);
+    assert!(v_stats.rate() > 0.2, "vanilla too compliant: {}", v_stats.rate());
+    assert_eq!(j_stats.rate(), 0.0, "LeJIT must be perfectly compliant");
+
+    let (vp, vt): (Vec<f64>, Vec<f64>) = vanilla_err.into_iter().unzip();
+    let (jp, jt): (Vec<f64>, Vec<f64>) = jit_err.into_iter().unzip();
+    let v_mae = mae(&vp, &vt);
+    let j_mae = mae(&jp, &jt);
+    // Enforcing rules must not destroy accuracy (paper: preserves fidelity).
+    assert!(
+        j_mae <= v_mae * 1.5 + 2.0,
+        "LeJIT MAE {j_mae} much worse than vanilla {v_mae}"
+    );
+}
+
+#[test]
+fn decoding_is_deterministic_given_seed() {
+    let (data, model, mined) = pipeline();
+    let imputer = Imputer::new(
+        &model,
+        mined.imputation,
+        data.window_len,
+        data.bandwidth,
+        TaskConfig::default(),
+    );
+    let w = &data.test[0];
+    let a = imputer
+        .impute(&w.coarse, &mut StdRng::seed_from_u64(7))
+        .unwrap();
+    let b = imputer
+        .impute(&w.coarse, &mut StdRng::seed_from_u64(7))
+        .unwrap();
+    assert_eq!(a.values, b.values);
+    assert_eq!(a.text, b.text);
+    let c = imputer
+        .impute(&w.coarse, &mut StdRng::seed_from_u64(8))
+        .unwrap();
+    // Different seeds may coincide on tiny windows, but text determinism
+    // above is the real assertion; just ensure no panic here.
+    let _ = c;
+}
+
+#[test]
+fn rejection_and_repair_agree_with_rules() {
+    let (data, model, mined) = pipeline();
+    let imputer = Imputer::new(
+        &model,
+        mined.imputation.clone(),
+        data.window_len,
+        data.bandwidth,
+        TaskConfig {
+            rejection_budget: 400,
+            ..TaskConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut accepted = 0;
+    for w in data.test.iter().take(6) {
+        let outcome = imputer.impute_rejection(&w.coarse, &mut rng).unwrap();
+        if outcome.accepted() {
+            accepted += 1;
+            assert!(mined
+                .imputation
+                .compliant(&w.coarse, &outcome.output().values));
+        }
+        if let Ok((repaired, _)) = imputer.impute_repaired(&w.coarse, &mut rng) {
+            assert!(mined.imputation.compliant(&w.coarse, &repaired));
+        }
+    }
+    // With a decent model and 400 attempts, at least some must be accepted.
+    assert!(accepted >= 1, "rejection sampling never succeeded");
+}

@@ -1,0 +1,87 @@
+//! Property-based end-to-end guarantees: for randomized rule parameters and
+//! coarse inputs, LeJIT either produces a compliant output or reports
+//! `UnsatRules` — never a violating output.
+
+use proptest::prelude::*;
+
+use lejit::core::{DecodeError, Imputer, TaskConfig};
+use lejit::lm::{NgramLm, Vocab};
+use lejit::rules::parse_rules;
+use lejit::telemetry::{CoarseField, CoarseSignals};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A tiny synthetic model over the decoding alphabet (uniform-ish; the
+/// guarantee must hold for *any* model).
+fn any_model() -> NgramLm {
+    let corpus = "0123456789,;|=.TERGCD 17,28,3.59,60,0.";
+    let vocab = Vocab::from_corpus(corpus);
+    let seqs = vec![vocab.encode("17,28,3.").unwrap(), vocab.encode("59,60,0.").unwrap()];
+    NgramLm::train(vocab, &seqs, 3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn jit_output_compliant_or_unsat(
+        total in 0i64..=300,
+        ecn in 0i64..=60,
+        bw in 20i64..=80,
+        seed in 0u64..1000,
+    ) {
+        let model = any_model();
+        let rules = parse_rules(&format!(
+            "rule r1: forall t: fine[t] >= 0 and fine[t] <= {bw};
+             rule r2: sum(fine) == total_ingress;
+             rule r3: ecn_bytes > 0 => max(fine) >= {};",
+            bw / 2
+        )).unwrap();
+        let imputer = Imputer::new(&model, rules, 5, bw, TaskConfig::default());
+        let mut coarse = CoarseSignals::default();
+        coarse.set(CoarseField::TotalIngress, total);
+        coarse.set(CoarseField::EcnBytes, ecn);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match imputer.impute(&coarse, &mut rng) {
+            Ok(out) => {
+                prop_assert!(
+                    imputer.rules().compliant(&coarse, &out.values),
+                    "violating output {:?} for total={total}, ecn={ecn}, bw={bw}",
+                    out.values
+                );
+                prop_assert_eq!(out.values.iter().sum::<i64>(), total);
+            }
+            Err(DecodeError::UnsatRules) => {
+                // Must truly be unsatisfiable: total > 5·bw is the only way
+                // these rules conflict (R3 is satisfiable whenever total
+                // allows a value ≥ bw/2 … which 5·bw ≥ total ≥ bw/2 ensures
+                // unless total < bw/2 with ecn > 0).
+                let max_total = 5 * bw;
+                let needs_burst = ecn > 0;
+                let burst_possible = total >= bw / 2;
+                prop_assert!(
+                    total > max_total || (needs_burst && !burst_possible),
+                    "solver said unsat but total={total}, ecn={ecn}, bw={bw} looks feasible"
+                );
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn vanilla_output_always_parses(
+        total in 0i64..=300,
+        seed in 0u64..1000,
+    ) {
+        let model = any_model();
+        let rules = parse_rules("rule r2: sum(fine) == total_ingress;").unwrap();
+        let imputer = Imputer::new(&model, rules, 5, 60, TaskConfig::default());
+        let mut coarse = CoarseSignals::default();
+        coarse.set(CoarseField::TotalIngress, total);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = imputer.impute_vanilla(&coarse, &mut rng).unwrap();
+        let parsed = lejit::telemetry::parse_fine(&out.text).unwrap();
+        prop_assert_eq!(&parsed, &out.values);
+        prop_assert_eq!(out.values.len(), 5);
+    }
+}

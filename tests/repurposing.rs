@@ -1,0 +1,99 @@
+//! The paper's headline claim: one model, repurposed across tasks by
+//! swapping rule sets — no retraining, no fine-tuning.
+
+use lejit::core::{Imputer, Synthesizer, TaskConfig};
+use lejit::lm::{NgramLm, Vocab};
+use lejit::rules::{mine_rules, MinerConfig};
+use lejit::telemetry::{
+    encode_imputation_example, generate, parse_coarse, vocab_corpus_sample, CoarseField,
+    TelemetryConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn one_model_two_tasks() {
+    let data = generate(TelemetryConfig {
+        racks_train: 8,
+        racks_test: 2,
+        windows_per_rack: 40,
+        ..TelemetryConfig::default()
+    });
+    // Train ONE model, once.
+    let texts: Vec<String> = data.train.iter().map(encode_imputation_example).collect();
+    let vocab = Vocab::from_corpus(&(texts.join("\n") + &vocab_corpus_sample()));
+    let seqs: Vec<_> = texts.iter().map(|t| vocab.encode(t).unwrap()).collect();
+    let model = NgramLm::train(vocab, &seqs, 5);
+
+    let mined = mine_rules(&data.train, data.bandwidth, MinerConfig::default());
+
+    // Task 1: imputation under the imputation rule set.
+    let imputer = Imputer::new(
+        &model,
+        mined.imputation.clone(),
+        data.window_len,
+        data.bandwidth,
+        TaskConfig::default(),
+    );
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut imputed = 0;
+    for w in data.test.iter().take(8) {
+        if let Ok(out) = imputer.impute(&w.coarse, &mut rng) {
+            imputed += 1;
+            assert!(mined.imputation.compliant(&w.coarse, &out.values));
+        }
+    }
+    assert!(imputed >= 5);
+
+    // Task 2: synthesis under the synthesis rule set — same `model` value.
+    let mut hi = [1i64; 6];
+    for f in CoarseField::ALL {
+        hi[f.index()] = data.train_max(f).max(1);
+    }
+    let synth = Synthesizer::new(&model, mined.synthesis.clone(), hi, TaskConfig::default());
+    for _ in 0..8 {
+        let (signals, out) = synth.synthesize(&mut rng).unwrap();
+        assert!(
+            mined.synthesis.compliant(&signals, &[]),
+            "synthesis violations: {:?}",
+            mined.synthesis.violations(&signals, &[])
+        );
+        // The record text round-trips through the telemetry parser.
+        assert_eq!(parse_coarse(&out.text).unwrap(), signals);
+    }
+}
+
+#[test]
+fn synthesis_respects_cross_field_rules() {
+    // Check a specific mined structural rule end to end: egress <= total.
+    let data = generate(TelemetryConfig {
+        racks_train: 6,
+        racks_test: 2,
+        windows_per_rack: 40,
+        ..TelemetryConfig::default()
+    });
+    let texts: Vec<String> = data.train.iter().map(encode_imputation_example).collect();
+    let vocab = Vocab::from_corpus(&(texts.join("\n") + &vocab_corpus_sample()));
+    let seqs: Vec<_> = texts.iter().map(|t| vocab.encode(t).unwrap()).collect();
+    let model = NgramLm::train(vocab, &seqs, 5);
+    let mined = mine_rules(&data.train, data.bandwidth, MinerConfig::default());
+    assert!(mined
+        .synthesis
+        .rules
+        .iter()
+        .any(|r| r.name == "order_egress_total_le_total_ingress"));
+
+    let mut hi = [1i64; 6];
+    for f in CoarseField::ALL {
+        hi[f.index()] = data.train_max(f).max(1);
+    }
+    let synth = Synthesizer::new(&model, mined.synthesis, hi, TaskConfig::default());
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..10 {
+        let (signals, _) = synth.synthesize(&mut rng).unwrap();
+        assert!(
+            signals.get(CoarseField::EgressTotal) <= signals.get(CoarseField::TotalIngress),
+            "egress > total in {signals:?}"
+        );
+    }
+}
