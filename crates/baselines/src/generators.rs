@@ -97,8 +97,7 @@ impl EWganGpLike {
             let vals = field_values(train, f);
             let n = vals.len() as f64;
             let mean = vals.iter().sum::<f64>() / n;
-            let std =
-                (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n).sqrt();
+            let std = (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n).sqrt();
             bandwidth.push((1.06 * std * n.powf(-0.2)).max(0.5));
             per_field.push(vals);
         }
@@ -323,12 +322,7 @@ impl RealTabFormerLike {
         let fields: Vec<(char, String, i64)> = CoarseField::ALL
             .into_iter()
             .map(|f| {
-                let hi = train
-                    .iter()
-                    .map(|w| w.coarse.get(f))
-                    .max()
-                    .unwrap()
-                    .max(1);
+                let hi = train.iter().map(|w| w.coarse.get(f)).max().unwrap().max(1);
                 (f.key(), f.name().to_string(), hi)
             })
             .collect();

@@ -15,8 +15,8 @@
 //! four manual rules, so Zoom2Net outputs still violate a sizable fraction
 //! of the full mined rule set.
 
-use lejit_core::{repair_nearest, JitSession, RepairError};
 use lejit_core::schema::DecodeSchema;
+use lejit_core::{repair_nearest, JitSession, RepairError};
 use lejit_rules::{ground_rule, GroundCtx, RuleSet};
 use lejit_smt::TermId;
 use lejit_telemetry::{CoarseField, CoarseSignals, Window};
@@ -56,10 +56,7 @@ impl KnnImputer {
         KnnImputer {
             k,
             std,
-            train: train
-                .iter()
-                .map(|w| (w.coarse, w.fine.clone()))
-                .collect(),
+            train: train.iter().map(|w| (w.coarse, w.fine.clone())).collect(),
             window_len: train[0].fine.len(),
         }
     }

@@ -22,7 +22,9 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig3_violations", |b| {
         b.iter(|| experiments::fig3_violations(env))
     });
-    g.bench_function("fig3_runtime", |b| b.iter(|| experiments::fig3_runtime(env)));
+    g.bench_function("fig3_runtime", |b| {
+        b.iter(|| experiments::fig3_runtime(env))
+    });
     g.bench_function("fig4_imputation", |b| {
         b.iter(|| experiments::fig4_imputation(env))
     });

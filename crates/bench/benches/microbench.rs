@@ -133,6 +133,64 @@ fn bench_decode(c: &mut Criterion) {
     g.finish();
 }
 
+/// Full vs interval-guided lookahead on the imputation workload: wall-clock
+/// per decoded window, plus a printed summary of solver checks per decoded
+/// character (the quantity the tentpole optimization targets).
+fn bench_lookahead(c: &mut Criterion) {
+    let data = generate(TelemetryConfig {
+        racks_train: 6,
+        racks_test: 2,
+        windows_per_rack: 30,
+        ..TelemetryConfig::default()
+    });
+    let texts: Vec<String> = data.train.iter().map(encode_imputation_example).collect();
+    let vocab = Vocab::from_corpus(&(texts.join("\n") + "0123456789,;|=.TERGCD"));
+    let seqs: Vec<_> = texts.iter().map(|t| vocab.encode(t).unwrap()).collect();
+    let model = NgramLm::train(vocab, &seqs, 5);
+    let windows: Vec<_> = data.test.iter().take(4).cloned().collect();
+
+    let mut g = c.benchmark_group("lookahead");
+    for (name, lookahead) in [
+        ("full", Lookahead::Full),
+        ("interval_guided", Lookahead::IntervalGuided),
+    ] {
+        let imputer = Imputer::new(
+            &model,
+            paper_rules(data.bandwidth),
+            data.window_len,
+            data.bandwidth,
+            TaskConfig {
+                lookahead,
+                ..TaskConfig::default()
+            },
+        );
+        // One instrumented pass for the checks-per-character summary.
+        let mut rng = StdRng::seed_from_u64(42);
+        let (mut checks, mut saved, mut chars) = (0u64, 0u64, 0u64);
+        for w in &windows {
+            let out = imputer.impute(&w.coarse, &mut rng).unwrap();
+            checks += out.stats.solver_checks;
+            saved += out.stats.solver_checks_saved;
+            chars += out.stats.tokens - out.stats.forced_tokens;
+        }
+        println!(
+            "lookahead/{name}: {:.2} solver checks/char, {:.2} saved/char \
+             ({checks} checks over {chars} generated chars)",
+            checks as f64 / chars.max(1) as f64,
+            saved as f64 / chars.max(1) as f64,
+        );
+        g.bench_function(&format!("impute_windows_{name}"), |b| {
+            let mut rng = StdRng::seed_from_u64(42);
+            b.iter(|| {
+                for w in &windows {
+                    black_box(imputer.impute(&w.coarse, &mut rng).unwrap());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_mining_and_metrics(c: &mut Criterion) {
     let data = generate(TelemetryConfig {
         racks_train: 6,
@@ -143,7 +201,13 @@ fn bench_mining_and_metrics(c: &mut Criterion) {
     let mut g = c.benchmark_group("mining_and_metrics");
     g.sample_size(20);
     g.bench_function("mine_rules", |b| {
-        b.iter(|| black_box(mine_rules(&data.train, data.bandwidth, MinerConfig::default())))
+        b.iter(|| {
+            black_box(mine_rules(
+                &data.train,
+                data.bandwidth,
+                MinerConfig::default(),
+            ))
+        })
     });
     let xs: Vec<f64> = (0..5000).map(|i| ((i * 37) % 61) as f64).collect();
     let ys: Vec<f64> = (0..5000).map(|i| ((i * 17 + 5) % 61) as f64).collect();
@@ -157,6 +221,7 @@ criterion_group!(
     bench_solver,
     bench_transition,
     bench_decode,
+    bench_lookahead,
     bench_mining_and_metrics
 );
 criterion_main!(benches);

@@ -17,5 +17,8 @@ fn main() {
         env.mined.synthesis.len()
     );
     let table = experiments::fig3_violations(&env);
-    print_table("Fig. 3 (left): rule violations in imputed time series", &table);
+    print_table(
+        "Fig. 3 (left): rule violations in imputed time series",
+        &table,
+    );
 }

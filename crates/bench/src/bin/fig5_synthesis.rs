@@ -7,5 +7,8 @@ use lejit_bench::{experiments, print_table, BenchEnv, Scale};
 fn main() {
     let env = BenchEnv::build(Scale::from_env());
     let table = experiments::fig5_synthesis(&env);
-    print_table("Fig. 5: synthetic data fidelity and rule compliance", &table);
+    print_table(
+        "Fig. 5: synthetic data fidelity and rule compliance",
+        &table,
+    );
 }

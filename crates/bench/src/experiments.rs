@@ -117,15 +117,16 @@ pub fn run_imputation(env: &BenchEnv, method: ImputeMethod, seed: u64) -> Imputa
             );
             windows
                 .iter()
-                .map(|w| imp.impute_vanilla(&w.coarse, &mut rng).ok().map(|o| o.values))
+                .map(|w| {
+                    imp.impute_vanilla(&w.coarse, &mut rng)
+                        .ok()
+                        .map(|o| o.values)
+                })
                 .collect()
         }
         ImputeMethod::Zoom2Net => {
             let z2n = Zoom2Net::new(&d.train, 5, env.manual.clone(), d.bandwidth);
-            windows
-                .iter()
-                .map(|w| z2n.impute(&w.coarse).ok())
-                .collect()
+            windows.iter().map(|w| z2n.impute(&w.coarse).ok()).collect()
         }
         ImputeMethod::LejitManual => {
             let imp = Imputer::new(
@@ -355,7 +356,10 @@ pub fn fig5_synthesis(env: &BenchEnv) -> Table {
     let budget = 200u32;
 
     let mut headers: Vec<&str> = vec!["method"];
-    let field_names: Vec<String> = CoarseField::ALL.iter().map(|f| f.name().to_string()).collect();
+    let field_names: Vec<String> = CoarseField::ALL
+        .iter()
+        .map(|f| f.name().to_string())
+        .collect();
     for n in &field_names {
         headers.push(n);
     }
@@ -414,11 +418,36 @@ pub fn fig5_synthesis(env: &BenchEnv) -> Table {
         |rng| lejit_synth.synthesize(rng).ok().map(|(s, _)| s),
         503,
     ));
-    runs.push(synth_samples(env, netshare.name(), |rng| Some(netshare.generate(rng)), 504));
-    runs.push(synth_samples(env, ewgan.name(), |rng| Some(ewgan.generate(rng)), 505));
-    runs.push(synth_samples(env, ctgan.name(), |rng| Some(ctgan.generate(rng)), 506));
-    runs.push(synth_samples(env, tvae.name(), |rng| Some(tvae.generate(rng)), 507));
-    runs.push(synth_samples(env, rtf.name(), |rng| Some(rtf.generate(rng)), 508));
+    runs.push(synth_samples(
+        env,
+        netshare.name(),
+        |rng| Some(netshare.generate(rng)),
+        504,
+    ));
+    runs.push(synth_samples(
+        env,
+        ewgan.name(),
+        |rng| Some(ewgan.generate(rng)),
+        505,
+    ));
+    runs.push(synth_samples(
+        env,
+        ctgan.name(),
+        |rng| Some(ctgan.generate(rng)),
+        506,
+    ));
+    runs.push(synth_samples(
+        env,
+        tvae.name(),
+        |rng| Some(tvae.generate(rng)),
+        507,
+    ));
+    runs.push(synth_samples(
+        env,
+        rtf.name(),
+        |rng| Some(rtf.generate(rng)),
+        508,
+    ));
 
     for (name, samples, _) in &runs {
         if samples.is_empty() {
@@ -445,7 +474,9 @@ pub fn fig5_synthesis(env: &BenchEnv) -> Table {
     table
 }
 
-/// Ablation A1: solver lookahead on vs off (dead-end rate, compliance).
+/// Ablation A1: solver lookahead policy — full per-digit probing vs the
+/// interval-guided tiers vs no lookahead at all (dead-end rate, compliance,
+/// and per-character solver cost).
 pub fn ablation_lookahead(env: &BenchEnv) -> Table {
     let windows = env.eval_windows();
     let d = &env.dataset;
@@ -454,11 +485,14 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
         "dead ends",
         "completed",
         "violation rate (completed)",
+        "solver checks/char",
+        "checks saved/char",
         "sec/sample",
     ]);
     let cached = CachedGpt::new(&env.gpt);
     for (label, lookahead) in [
         ("full (LeJIT)", Lookahead::Full),
+        ("interval-guided (LeJIT)", Lookahead::IntervalGuided),
         ("immediate only (grammar-style)", Lookahead::ImmediateOnly),
     ] {
         let imp = Imputer::new(
@@ -474,23 +508,40 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
         let mut rng = StdRng::seed_from_u64(600);
         let mut dead_ends = 0usize;
         let mut completed: Vec<(CoarseSignals, Vec<i64>)> = Vec::new();
+        let mut total_checks = 0u64;
+        let mut total_saved = 0u64;
+        let mut generated_chars = 0u64;
         let start = Instant::now();
         let mut attempted = 0usize;
         for w in windows {
             attempted += 1;
             match imp.impute(&w.coarse, &mut rng) {
-                Ok(o) => completed.push((w.coarse, o.values)),
+                Ok(o) => {
+                    total_checks += o.stats.solver_checks;
+                    total_saved += o.stats.solver_checks_saved;
+                    generated_chars += o.stats.tokens - o.stats.forced_tokens;
+                    completed.push((w.coarse, o.values));
+                }
                 Err(DecodeError::DeadEnd { .. }) => dead_ends += 1,
                 Err(_) => {}
             }
         }
         let wall = start.elapsed().as_secs_f64() / attempted.max(1) as f64;
         let stats = violation_stats(&env.mined.imputation, &completed);
+        let per_char = |n: u64| {
+            if generated_chars == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.2}", n as f64 / generated_chars as f64)
+            }
+        };
         table.row(vec![
             label.to_string(),
             dead_ends.to_string(),
             completed.len().to_string(),
             pct(stats.rate()),
+            per_char(total_checks),
+            per_char(total_saved),
             format!("{wall:.4}"),
         ]);
     }
@@ -543,7 +594,10 @@ pub fn ablation_temporal(env: &BenchEnv) -> Table {
     ]);
     let windows = &d.test[..env.scale.eval_windows().min(d.test.len())];
     for (label, rules) in [
-        (format!("mined w/o temporal ({n_temporal} removed)"), without_temporal),
+        (
+            format!("mined w/o temporal ({n_temporal} removed)"),
+            without_temporal,
+        ),
         ("mined + temporal delta".to_string(), with_temporal),
     ] {
         let rule_count = rules.len();
@@ -568,7 +622,14 @@ pub fn ablation_temporal(env: &BenchEnv) -> Table {
             }
         }
         if n == 0 {
-            table.row(vec![label, "0".into(), "-".into(), "-".into(), "-".into(), "0".into()]);
+            table.row(vec![
+                label,
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "0".into(),
+            ]);
             continue;
         }
         table.row(vec![

@@ -8,8 +8,7 @@ use lejit_lm::optim::AdamConfig;
 use lejit_lm::{GptConfig, LanguageModel, TinyGpt, Vocab};
 use lejit_rules::{manual_rules, mine_rules, paper_rules, MinedRules, MinerConfig, RuleSet};
 use lejit_telemetry::{
-    encode_imputation_example, generate, vocab_corpus_sample, CoarseField, Dataset,
-    TelemetryConfig,
+    encode_imputation_example, generate, vocab_corpus_sample, CoarseField, Dataset, TelemetryConfig,
 };
 
 /// Benchmark scale.

@@ -32,7 +32,10 @@ fn fig3_violations_has_the_paper_shape() {
     assert_eq!(lejit[1], "0.0%", "LeJIT must be perfectly compliant");
     let vanilla = row(&t, "Vanilla");
     let v_rate: f64 = vanilla[1].trim_end_matches('%').parse().unwrap();
-    assert!(v_rate > 10.0, "vanilla should violate substantially: {v_rate}");
+    assert!(
+        v_rate > 10.0,
+        "vanilla should violate substantially: {v_rate}"
+    );
 }
 
 #[test]
@@ -90,7 +93,10 @@ fn lookahead_ablation_shows_dead_ends() {
 fn rules_ablation_is_monotone_at_the_ends() {
     let t = experiments::ablation_rules(env());
     let zero: f64 = t.rows[0][1].trim_end_matches('%').parse().unwrap();
-    let full: f64 = t.rows.last().unwrap()[1].trim_end_matches('%').parse().unwrap();
+    let full: f64 = t.rows.last().unwrap()[1]
+        .trim_end_matches('%')
+        .parse()
+        .unwrap();
     assert!(zero > 50.0, "no rules should violate often: {zero}");
     assert_eq!(full, 0.0, "full rule set must reach zero violations");
 }

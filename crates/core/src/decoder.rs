@@ -54,6 +54,11 @@ impl fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// Counters describing one decode.
+///
+/// Token accounting contract: `tokens` counts every emitted character,
+/// `forced_tokens` the subset that were schema literals, and a
+/// [`DecodeTrace`] (when requested) records exactly the *generated*
+/// characters — `trace.steps.len() == tokens - forced_tokens`.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DecodeStats {
     /// Characters emitted in total (literals + generated).
@@ -62,6 +67,13 @@ pub struct DecodeStats {
     pub forced_tokens: u64,
     /// Satisfiability checks issued to the solver.
     pub solver_checks: u64,
+    /// Per-character solver queries answered without a solver check by the
+    /// interval-guided lookahead (hull rejection, witness acceptance, or
+    /// memo hit). Zero under [`Lookahead::Full`] / [`Lookahead::ImmediateOnly`].
+    pub solver_checks_saved: u64,
+    /// Guided queries answered from the exact-result memo cache (a subset
+    /// of `solver_checks_saved`).
+    pub cache_hits: u64,
     /// Steps where the model's unmasked argmax was pruned by the mask.
     pub interventions: u64,
     /// Steps where the mask left exactly one character (fully determined,
@@ -110,9 +122,7 @@ where
     let tok = |c: char| -> Result<TokenId, DecodeError> {
         vocab.id_of(c).ok_or(DecodeError::MissingChar(c))
     };
-    let digit_tokens: Vec<TokenId> = ('0'..='9')
-        .map(tok)
-        .collect::<Result<Vec<_>, _>>()?;
+    let digit_tokens: Vec<TokenId> = ('0'..='9').map(tok).collect::<Result<Vec<_>, _>>()?;
 
     let mut context: Vec<TokenId> = Vec::with_capacity(prompt.len() + 64);
     for c in prompt.chars() {
@@ -179,8 +189,16 @@ where
                     for &t in &allowed_tokens {
                         masked[t as usize] = logits[t as usize];
                     }
-                    let chosen = sample_token(&masked, sampler, rng)
-                        .expect("non-empty allowed set always yields a sample");
+                    // A model can assign -inf to every allowed token (e.g. a
+                    // character it never saw in training); the mask then
+                    // leaves no finite logit and sampling has no
+                    // distribution to draw from. The allowed set is still
+                    // exactly the feasible set, so fall back to a uniform
+                    // draw over it rather than panicking.
+                    let chosen = match sample_token(&masked, sampler, rng) {
+                        Some(t) => t,
+                        None => allowed_tokens[rng.random_range(0..allowed_tokens.len())],
+                    };
                     stats.tokens += 1;
                     context.push(chosen);
 
@@ -222,6 +240,31 @@ where
     })
 }
 
+/// The solver-backed [`DecodePolicy`]: character sets come from the
+/// transition system, commits become partial instantiations.
+struct JitPolicy<'s> {
+    session: &'s mut JitSession,
+    lookahead: Lookahead,
+}
+
+impl DecodePolicy for JitPolicy<'_> {
+    fn allowed(&mut self, k: usize, spec: &VarSpec, st: &VarState) -> CharOptions {
+        allowed_chars(self.session, k, spec, st, self.lookahead)
+    }
+    fn commit(&mut self, k: usize, value: i64) {
+        self.session.fix(k, value);
+    }
+}
+
+impl JitPolicy<'_> {
+    /// Copies the session's solver counters into the decode stats.
+    fn fill_stats(&self, stats: &mut DecodeStats) {
+        stats.solver_checks = self.session.checks();
+        stats.solver_checks_saved = self.session.solver_checks_saved();
+        stats.cache_hits = self.session.cache_hits();
+    }
+}
+
 /// The LeJIT decoder: SMT-guided constrained generation.
 pub struct JitDecoder<'m, M: LanguageModel> {
     model: &'m M,
@@ -258,18 +301,6 @@ impl<'m, M: LanguageModel> JitDecoder<'m, M> {
         if !session.satisfiable() {
             return Err(DecodeError::UnsatRules);
         }
-        struct JitPolicy<'s> {
-            session: &'s mut JitSession,
-            lookahead: Lookahead,
-        }
-        impl DecodePolicy for JitPolicy<'_> {
-            fn allowed(&mut self, k: usize, spec: &VarSpec, st: &VarState) -> CharOptions {
-                allowed_chars(self.session, k, spec, st, self.lookahead)
-            }
-            fn commit(&mut self, k: usize, value: i64) {
-                self.session.fix(k, value);
-            }
-        }
         let mut policy = JitPolicy {
             session,
             lookahead: self.lookahead,
@@ -283,7 +314,7 @@ impl<'m, M: LanguageModel> JitDecoder<'m, M> {
             &mut policy,
             None,
         )?;
-        out.stats.solver_checks = policy.session.checks();
+        policy.fill_stats(&mut out.stats);
         Ok(out)
     }
 
@@ -299,18 +330,6 @@ impl<'m, M: LanguageModel> JitDecoder<'m, M> {
         if !session.satisfiable() {
             return Err(DecodeError::UnsatRules);
         }
-        struct JitPolicy<'s> {
-            session: &'s mut JitSession,
-            lookahead: Lookahead,
-        }
-        impl DecodePolicy for JitPolicy<'_> {
-            fn allowed(&mut self, k: usize, spec: &VarSpec, st: &VarState) -> CharOptions {
-                allowed_chars(self.session, k, spec, st, self.lookahead)
-            }
-            fn commit(&mut self, k: usize, value: i64) {
-                self.session.fix(k, value);
-            }
-        }
         let mut policy = JitPolicy {
             session,
             lookahead: self.lookahead,
@@ -325,7 +344,7 @@ impl<'m, M: LanguageModel> JitDecoder<'m, M> {
             &mut policy,
             Some(&mut trace),
         )?;
-        out.stats.solver_checks = policy.session.checks();
+        policy.fill_stats(&mut out.stats);
         Ok((out, trace))
     }
 }
@@ -343,11 +362,20 @@ pub(crate) mod tests {
     /// A quick n-gram model over imputation-shaped text.
     pub(crate) fn toy_model() -> NgramLm {
         let corpus_text: Vec<String> = (0..60)
-            .map(|i| format!("T=100;E=8;R=0;G=70;C=12;D=0|2{},15,25,30,1{}.", i % 10, i % 10))
+            .map(|i| {
+                format!(
+                    "T=100;E=8;R=0;G=70;C=12;D=0|2{},15,25,30,1{}.",
+                    i % 10,
+                    i % 10
+                )
+            })
             .collect();
         let joined = corpus_text.join("\n");
         let vocab = Vocab::from_corpus(&(joined.clone() + "0123456789,;|=."));
-        let seqs: Vec<Vec<_>> = corpus_text.iter().map(|s| vocab.encode(s).unwrap()).collect();
+        let seqs: Vec<Vec<_>> = corpus_text
+            .iter()
+            .map(|s| vocab.encode(s).unwrap())
+            .collect();
         NgramLm::train(vocab, &seqs, 4)
     }
 
@@ -397,7 +425,12 @@ pub(crate) mod tests {
         for round in 0..10 {
             let (mut session, schema) = session_for(100, 8);
             let out = decoder
-                .decode(&mut session, &schema, "T=100;E=8;R=0;G=70;C=12;D=0|", &mut rng)
+                .decode(
+                    &mut session,
+                    &schema,
+                    "T=100;E=8;R=0;G=70;C=12;D=0|",
+                    &mut rng,
+                )
                 .unwrap_or_else(|e| panic!("round {round}: {e}"));
             assert_eq!(out.values.len(), 5);
             let sum: i64 = out.values.iter().sum();
@@ -414,7 +447,12 @@ pub(crate) mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let (mut session, schema) = session_for(100, 8);
         let out = decoder
-            .decode(&mut session, &schema, "T=100;E=8;R=0;G=70;C=12;D=0|", &mut rng)
+            .decode(
+                &mut session,
+                &schema,
+                "T=100;E=8;R=0;G=70;C=12;D=0|",
+                &mut rng,
+            )
             .unwrap();
         let parsed = lejit_telemetry::parse_fine(&out.text).unwrap();
         assert_eq!(parsed, out.values);
@@ -462,6 +500,41 @@ pub(crate) mod tests {
         assert!(out.stats.forced_choices >= 5);
     }
 
+    /// A deliberately impoverished model: it knows the vocabulary but
+    /// assigns `-inf` to every continuation, as a real model does for
+    /// characters absent from its training data.
+    struct AllNegInfLm {
+        vocab: Vocab,
+    }
+
+    impl LanguageModel for AllNegInfLm {
+        fn vocab(&self) -> &Vocab {
+            &self.vocab
+        }
+        fn next_logits(&self, _context: &[TokenId]) -> Vec<f32> {
+            vec![f32::NEG_INFINITY; self.vocab.len()]
+        }
+    }
+
+    #[test]
+    fn all_neg_inf_logits_fall_back_to_uniform_over_allowed() {
+        // Regression: when the mask leaves only -inf-scored tokens,
+        // `decode_loop` used to panic on "non-empty allowed set always
+        // yields a sample". The feasible set is still correct, so the
+        // decoder now draws uniformly from it instead.
+        let model = AllNegInfLm {
+            vocab: Vocab::from_corpus("0123456789,;|=."),
+        };
+        let decoder = JitDecoder::new(&model, SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        let (mut session, schema) = session_for(100, 8);
+        let out = decoder.decode(&mut session, &schema, "", &mut rng).unwrap();
+        assert_eq!(out.values.len(), 5);
+        assert_eq!(out.values.iter().sum::<i64>(), 100, "R2 still enforced");
+        assert!(out.values.iter().all(|&v| (0..=60).contains(&v)), "R1");
+        assert!(*out.values.iter().max().unwrap() >= 30, "R3");
+    }
+
     #[test]
     fn stats_are_populated() {
         let model = toy_model();
@@ -469,11 +542,19 @@ pub(crate) mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let (mut session, schema) = session_for(100, 8);
         let out = decoder
-            .decode(&mut session, &schema, "T=100;E=8;R=0;G=70;C=12;D=0|", &mut rng)
+            .decode(
+                &mut session,
+                &schema,
+                "T=100;E=8;R=0;G=70;C=12;D=0|",
+                &mut rng,
+            )
             .unwrap();
         assert!(out.stats.solver_checks > 0);
         assert!(out.stats.tokens >= 9, "5 values + 4 separators + dot");
-        assert_eq!(out.stats.forced_tokens, 0, "separators come from terminators");
+        assert_eq!(
+            out.stats.forced_tokens, 0,
+            "separators come from terminators"
+        );
     }
 }
 
@@ -491,9 +572,19 @@ mod trace_tests {
         let mut rng = StdRng::seed_from_u64(21);
         let (mut session, schema) = session_for(100, 8);
         let (out, trace) = decoder
-            .decode_traced(&mut session, &schema, "T=100;E=8;R=0;G=70;C=12;D=0|", &mut rng)
+            .decode_traced(
+                &mut session,
+                &schema,
+                "T=100;E=8;R=0;G=70;C=12;D=0|",
+                &mut rng,
+            )
             .unwrap();
-        assert_eq!(trace.steps.len() as u64, out.stats.tokens);
+        // The trace/stats contract: one step per *generated* character.
+        assert_eq!(
+            trace.steps.len() as u64,
+            out.stats.tokens - out.stats.forced_tokens
+        );
+        assert_eq!(out.stats.forced_tokens, 0, "fine_series has no literals");
         assert_eq!(trace.interventions() as u64, out.stats.interventions);
         // Every step's chosen char was actually allowed.
         for s in &trace.steps {
@@ -509,6 +600,35 @@ mod trace_tests {
         for k in 0..5 {
             assert!(rendered.contains(&format!("fine{k}")));
         }
+    }
+
+    #[test]
+    fn literal_prefixed_schema_traces_only_generated_chars() {
+        // A schema with forced literals ("T=", "E=") exercises the
+        // contract's non-trivial side: forced_tokens > 0 and the trace
+        // still holds exactly one step per generated character.
+        let model = toy_model();
+        let decoder = JitDecoder::new(&model, SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(23);
+        let schema = DecodeSchema::coarse_record(&[
+            ('T', "total".to_string(), 99),
+            ('E', "ecn".to_string(), 99),
+        ]);
+        // Rule-free session: only the declared bounds constrain the values.
+        let mut session = JitSession::new(&schema);
+        let (out, trace) = decoder
+            .decode_traced(&mut session, &schema, "", &mut rng)
+            .unwrap();
+        assert!(out.stats.forced_tokens > 0, "schema literals were emitted");
+        assert_eq!(
+            trace.steps.len() as u64,
+            out.stats.tokens - out.stats.forced_tokens
+        );
+        // "T=" plus "E=" are forced; the terminators ';' and '.' are
+        // generated (they commit values), so they appear as trace steps.
+        assert_eq!(out.stats.forced_tokens, 4);
+        assert!(out.text.starts_with("T="));
+        assert_eq!(out.values.len(), 2);
     }
 
     #[test]

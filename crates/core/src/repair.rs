@@ -57,10 +57,7 @@ pub fn repair_arbitrary(session: &mut JitSession) -> Result<Vec<i64>, RepairErro
 /// # Panics
 /// Panics if `original.len()` differs from the session's variable count.
 #[allow(clippy::needless_range_loop)] // k indexes vars, originals and names
-pub fn repair_nearest(
-    session: &mut JitSession,
-    original: &[i64],
-) -> Result<Vec<i64>, RepairError> {
+pub fn repair_nearest(session: &mut JitSession, original: &[i64]) -> Result<Vec<i64>, RepairError> {
     assert_eq!(
         original.len(),
         session.num_vars(),
@@ -232,12 +229,8 @@ mod tests {
         let arb = repair_arbitrary(&mut s1).unwrap();
         let mut s2 = session(100, 8);
         let near = repair_nearest(&mut s2, &original).unwrap();
-        let l1 = |vals: &[i64]| -> i64 {
-            vals.iter()
-                .zip(&original)
-                .map(|(a, b)| (a - b).abs())
-                .sum()
-        };
+        let l1 =
+            |vals: &[i64]| -> i64 { vals.iter().zip(&original).map(|(a, b)| (a - b).abs()).sum() };
         assert!(
             l1(&near) <= l1(&arb),
             "nearest ({:?}, {}) worse than arbitrary ({:?}, {})",

@@ -14,9 +14,73 @@
 //! *dynamic partial instantiation*: once `I_2 = 25` is fixed, every later
 //! query is answered relative to it.
 
+use std::collections::{BTreeSet, HashMap};
+
 use lejit_smt::{SatResult, Solver, TermId, VarId};
 
 use crate::schema::{DecodeSchema, SchemaItem};
+
+/// Bucket stride of the hull sweep: one bucket per decimal decade, matching
+/// the shape of the digit-window queries the transition system issues.
+const HULL_SWEEP_STRIDE: i64 = 10;
+
+/// Hulls at most this wide are enumerated exactly during the hull analysis,
+/// classifying every value up front (common for late variables, whose
+/// ranges collapse as earlier values are fixed).
+const HULL_ENUMERATE_WIDTH: i64 = 25;
+
+/// Minimum width of an undetermined span worth enumerating (one range
+/// analysis, counted as 2 checks) instead of probing exactly (1 check).
+const SPAN_ENUMERATE_MIN: i64 = 4;
+
+/// Per-variable interval knowledge cached for one fix epoch.
+///
+/// `hull` is the feasible range `[lo, hi]` of the variable (`None` once
+/// computed on an unsatisfiable system). `witnesses` holds values proven
+/// feasible by some satisfying model seen at this epoch — hull endpoints,
+/// sweep-bucket models, enumerated span members, and the model value from
+/// every satisfiable exact query. `gaps` holds disjoint closed intervals
+/// proven *infeasible* by an UNSAT answer (a single UNSAT over a range
+/// certifies every value in it at once). A window containing a witness is
+/// feasible and a window covered by gaps is infeasible, both with no
+/// solver call; `complete` marks hulls narrow enough that the enumeration
+/// classified every value, leaving nothing unknown.
+#[derive(Clone, Debug, Default)]
+struct VarIntervals {
+    epoch: u64,
+    valid: bool,
+    hull: Option<(i64, i64)>,
+    witnesses: BTreeSet<i64>,
+    /// Sorted, disjoint, non-adjacent certified-infeasible intervals.
+    gaps: Vec<(i64, i64)>,
+    /// Whether `witnesses` is the exact feasible set within the hull.
+    complete: bool,
+}
+
+impl VarIntervals {
+    /// Records `[a, b]` as certified infeasible, merging with overlapping
+    /// or adjacent gaps so the list stays sorted, disjoint, non-adjacent.
+    fn insert_gap(&mut self, a: i64, b: i64) {
+        debug_assert!(a <= b);
+        let i = self.gaps.partition_point(|&(_, ge)| ge < a - 1);
+        let mut j = i;
+        let (mut na, mut nb) = (a, b);
+        while j < self.gaps.len() && self.gaps[j].0 <= b + 1 {
+            na = na.min(self.gaps[j].0);
+            nb = nb.max(self.gaps[j].1);
+            j += 1;
+        }
+        self.gaps.splice(i..j, [(na, nb)]);
+    }
+
+    /// Whether every value in `[a, b]` is certified infeasible. Because
+    /// gaps are merged and non-adjacent, coverage means one gap contains
+    /// the whole interval.
+    fn covered_infeasible(&self, a: i64, b: i64) -> bool {
+        let i = self.gaps.partition_point(|&(ga, _)| ga <= a);
+        i > 0 && self.gaps[i - 1].1 >= b
+    }
+}
 
 /// Solver session for one output record.
 pub struct JitSession {
@@ -24,6 +88,17 @@ pub struct JitSession {
     vars: Vec<VarId>,
     var_terms: Vec<TermId>,
     checks: u64,
+    /// Bumped by every [`Self::fix`]; all interval-guided caches are keyed
+    /// or tagged by this epoch so a fix invalidates them wholesale.
+    fix_epoch: u64,
+    intervals: Vec<VarIntervals>,
+    /// Memo of exact guided query results, keyed by
+    /// `(variable, prefix, extra_digits, fix_epoch)`. Repeated states across
+    /// a decode (and across rejection-sampling retries against the same
+    /// session) hit this instead of the solver.
+    memo: HashMap<(usize, i64, usize, u64), bool>,
+    cache_hits: u64,
+    checks_saved: u64,
 }
 
 impl JitSession {
@@ -45,11 +120,17 @@ impl JitSession {
                 var_terms.push(solver.var(var));
             }
         }
+        let n = vars.len();
         JitSession {
             solver,
             vars,
             var_terms,
             checks: 0,
+            fix_epoch: 0,
+            intervals: vec![VarIntervals::default(); n],
+            memo: HashMap::new(),
+            cache_hits: 0,
+            checks_saved: 0,
         }
     }
 
@@ -78,6 +159,25 @@ impl JitSession {
         self.checks
     }
 
+    /// Number of solver checks the interval-guided lookahead avoided: each
+    /// guided query resolved from the hull, a witness, or the memo would
+    /// have cost one check under [`Lookahead::Full`].
+    ///
+    /// [`Lookahead::Full`]: crate::transition::Lookahead::Full
+    pub fn solver_checks_saved(&self) -> u64 {
+        self.checks_saved
+    }
+
+    /// Number of guided queries answered from the exact-result memo cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// The current fix epoch (bumped by every [`Self::fix`]).
+    pub fn fix_epoch(&self) -> u64 {
+        self.fix_epoch
+    }
+
     /// Whether the full constraint system is currently satisfiable.
     pub fn satisfiable(&mut self) -> bool {
         self.checks += 1;
@@ -85,11 +185,15 @@ impl JitSession {
     }
 
     /// Permanently fixes variable `k` to `value` (partial instantiation).
+    ///
+    /// Bumps the fix epoch: cached hulls, witnesses, and memo entries from
+    /// before the fix describe a weaker constraint system and stop matching.
     pub fn fix(&mut self, k: usize, value: i64) {
         let t = self.var_terms[k];
         let c = self.solver.int(value);
         let eq = self.solver.eq(t, c);
         self.solver.assert(eq);
+        self.fix_epoch += 1;
     }
 
     /// Whether variable `k` can take exactly `value` given the rules and
@@ -155,6 +259,237 @@ impl JitSession {
     pub fn model_value(&self, k: usize) -> Option<i64> {
         self.solver.model().and_then(|m| m.int_value(self.vars[k]))
     }
+
+    // --- interval-guided lookahead --------------------------------------
+
+    /// The feasible hull `[lo, hi]` of variable `k` at the current fix
+    /// epoch, or `None` when the constraint system is unsatisfiable.
+    ///
+    /// Computed at most once per `(variable, epoch)` via
+    /// [`Solver::interval_map`] and counted as two solver checks, matching
+    /// [`Self::feasible_range`] — both are one round of range analysis over
+    /// the variable (the raw solver iterations inside it are still visible
+    /// in [`lejit_smt::SolverStats::checks`]). Later calls in the same
+    /// epoch are free. The analysis also seeds the witness set, certifies
+    /// decade-sized gap intervals, and — for narrow hulls — classifies the
+    /// entire feasible set, so most per-character queries at this epoch
+    /// never reach the solver again.
+    pub fn hull(&mut self, k: usize) -> Option<(i64, i64)> {
+        let epoch = self.fix_epoch;
+        if self.intervals[k].valid && self.intervals[k].epoch == epoch {
+            return self.intervals[k].hull;
+        }
+        self.checks += 2;
+        let map = self
+            .solver
+            .interval_map(self.vars[k], HULL_SWEEP_STRIDE, HULL_ENUMERATE_WIDTH);
+        let cache = &mut self.intervals[k];
+        cache.epoch = epoch;
+        cache.valid = true;
+        cache.witnesses.clear();
+        cache.gaps.clear();
+        cache.complete = false;
+        match map {
+            Some(m) => {
+                cache.hull = Some((m.lo, m.hi));
+                cache.witnesses.extend(m.witnesses);
+                cache.complete = m.complete;
+                for (a, b) in m.gaps {
+                    cache.insert_gap(a, b);
+                }
+            }
+            None => cache.hull = None,
+        }
+        cache.hull
+    }
+
+    /// [`Self::value_feasible`] routed through the interval-guided tiers
+    /// (memo, hull rejection, witnesses, certified gaps, span enumeration,
+    /// exact check — see `resolve_guided`).
+    /// Always returns the same answer as `value_feasible`.
+    pub fn value_feasible_guided(&mut self, k: usize, value: i64) -> bool {
+        self.resolve_guided(k, value, 0, &[(value, value)])
+    }
+
+    /// [`Self::prefix_feasible`] routed through the interval-guided tiers.
+    /// Always returns the same answer as `prefix_feasible`.
+    pub fn prefix_feasible_guided(&mut self, k: usize, prefix: i64, extra_digits: usize) -> bool {
+        debug_assert!(prefix >= 0);
+        if prefix == 0 {
+            // A leading zero admits only the exact value 0.
+            return self.value_feasible_guided(k, 0);
+        }
+        let mut windows = Vec::with_capacity(extra_digits + 1);
+        let mut pow: i64 = 1;
+        for _ in 0..=extra_digits {
+            let lo = prefix.saturating_mul(pow);
+            let hi = lo.saturating_add(pow - 1);
+            windows.push((lo, hi));
+            pow = pow.saturating_mul(10);
+        }
+        self.resolve_guided(k, prefix, extra_digits, &windows)
+    }
+
+    /// Resolves "can variable `k` land in any of `windows`?" exactly, using
+    /// the cheapest sufficient tier:
+    ///
+    /// 1. memoized answer for `(k, prefix, extra_digits)` this epoch;
+    /// 2. every window misses the feasible hull → infeasible, no check;
+    /// 3. some window contains a known-feasible witness → feasible, no check;
+    /// 4. every in-hull window is covered by certified gaps (or the hull is
+    ///    fully classified) → infeasible, no check;
+    /// 5. undetermined windows packed into one decade → enumerate the decade
+    ///    exactly (one range analysis, counted as 2 checks) and decide —
+    ///    sibling digit queries then resolve from tiers 3/4 for free;
+    /// 6. otherwise one exact solver check (the query [`Lookahead::Full`]
+    ///    would have issued), whose satisfying model is harvested as a new
+    ///    witness — or, when UNSAT, whose windows become certified gaps.
+    ///
+    /// Every tier is exact. Witnesses come from satisfying models and gaps
+    /// from UNSAT certificates, so neither can misclassify; the region
+    /// between hull endpoints can be non-convex (e.g. R3's
+    /// `max(fine) >= 30` punches a hole below the threshold), which is why
+    /// a window merely *overlapping* the hull proves nothing and falls to
+    /// the later tiers. The zero-violation guarantee is untouched, and
+    /// guided answers always equal the `Full` ones.
+    ///
+    /// [`Lookahead::Full`]: crate::transition::Lookahead::Full
+    fn resolve_guided(
+        &mut self,
+        k: usize,
+        prefix: i64,
+        extra_digits: usize,
+        windows: &[(i64, i64)],
+    ) -> bool {
+        let key = (k, prefix, extra_digits, self.fix_epoch);
+        if let Some(&answer) = self.memo.get(&key) {
+            self.cache_hits += 1;
+            self.checks_saved += 1;
+            return answer;
+        }
+        let Some((lo, hi)) = self.hull(k) else {
+            self.checks_saved += 1;
+            self.memo.insert(key, false);
+            return false;
+        };
+        // Classify each window against the epoch's interval knowledge,
+        // clipping to the hull first (values outside it are infeasible).
+        let kn = &self.intervals[k];
+        let mut witnessed = false;
+        let mut unknown: Vec<(i64, i64)> = Vec::new();
+        for &(a, b) in windows {
+            let (ca, cb) = (a.max(lo), b.min(hi));
+            if ca > cb {
+                continue; // entirely outside the hull
+            }
+            if kn.witnesses.range(ca..=cb).next().is_some() {
+                witnessed = true;
+                break;
+            }
+            if !kn.complete && !kn.covered_infeasible(ca, cb) {
+                unknown.push((ca, cb));
+            }
+        }
+        let answer = if witnessed {
+            self.checks_saved += 1;
+            true
+        } else if unknown.is_empty() {
+            self.checks_saved += 1;
+            false
+        } else {
+            self.resolve_unknown(k, &unknown)
+        };
+        self.memo.insert(key, answer);
+        answer
+    }
+
+    /// Decides windows the cached interval knowledge cannot classify.
+    ///
+    /// When the undetermined values are packed into a single narrow decade
+    /// — the common case of per-digit singleton queries walking one decade
+    /// of a partially-typed number — the whole decade (clipped to the hull)
+    /// is enumerated exactly instead: one range analysis, counted as two
+    /// checks like [`Self::feasible_range`], after which every sibling
+    /// query in the decade is answered from witnesses and gaps for free.
+    /// Wider or scattered windows get the exact disjunctive check
+    /// [`Lookahead::Full`] would issue.
+    ///
+    /// [`Lookahead::Full`]: crate::transition::Lookahead::Full
+    fn resolve_unknown(&mut self, k: usize, windows: &[(i64, i64)]) -> bool {
+        let span_lo = windows.iter().map(|w| w.0).min().unwrap();
+        let span_hi = windows.iter().map(|w| w.1).max().unwrap();
+        let same_decade =
+            span_lo.div_euclid(HULL_SWEEP_STRIDE) == span_hi.div_euclid(HULL_SWEEP_STRIDE);
+        if same_decade {
+            let (lo, hi) = self.intervals[k]
+                .hull
+                .expect("resolve_unknown needs a hull");
+            let decade = span_lo.div_euclid(HULL_SWEEP_STRIDE) * HULL_SWEEP_STRIDE;
+            let (elo, ehi) = (decade.max(lo), (decade + HULL_SWEEP_STRIDE - 1).min(hi));
+            if ehi - elo + 1 >= SPAN_ENUMERATE_MIN {
+                self.checks += 2;
+                let known: Vec<i64> = self.intervals[k]
+                    .witnesses
+                    .range(elo..=ehi)
+                    .copied()
+                    .collect();
+                if let Some(values) = self
+                    .solver
+                    .feasible_values_in(self.vars[k], elo, ehi, &known)
+                {
+                    let kn = &mut self.intervals[k];
+                    kn.witnesses.extend(values.iter().copied());
+                    let mut next = elo;
+                    for &v in &values {
+                        if v > next {
+                            kn.insert_gap(next, v - 1);
+                        }
+                        next = next.max(v + 1);
+                    }
+                    if next <= ehi {
+                        kn.insert_gap(next, ehi);
+                    }
+                    let witnesses = &self.intervals[k].witnesses;
+                    return windows
+                        .iter()
+                        .any(|&(a, b)| witnesses.range(a..=b).next().is_some());
+                }
+                // Enumeration went Unknown: fall through to the exact check.
+            }
+        }
+        // Exact fallback: the same disjunctive window query `Full` issues,
+        // but via `check_assuming` so the satisfying model stays readable
+        // for witness harvesting.
+        let t = self.var_terms[k];
+        let mut options = Vec::with_capacity(windows.len());
+        for &(lo_val, hi_val) in windows {
+            let lo_c = self.solver.int(lo_val);
+            let hi_c = self.solver.int(hi_val);
+            let ge = self.solver.ge(t, lo_c);
+            let le = self.solver.le(t, hi_c);
+            options.push(self.solver.and(&[ge, le]));
+        }
+        let any = self.solver.or(&options);
+        self.checks += 1;
+        match self.solver.check_assuming(&[any]) {
+            SatResult::Sat => {
+                if let Some(w) = self.solver.model().and_then(|m| m.int_value(self.vars[k])) {
+                    self.intervals[k].witnesses.insert(w);
+                }
+                true
+            }
+            SatResult::Unsat => {
+                let kn = &mut self.intervals[k];
+                for &(a, b) in windows {
+                    kn.insert_gap(a, b);
+                }
+                false
+            }
+            // `Full` maps Unknown to "not feasible"; mirror that, but do
+            // not certify a gap from a non-answer.
+            SatResult::Unknown => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -180,10 +515,12 @@ mod tests {
             .into_iter()
             .map(|f| solver.int(coarse_vals[f.index()]))
             .collect();
-        let fine: Vec<_> = (0..5).map(|k| {
-            let v = solver.pool().find_var(&format!("fine{k}")).unwrap();
-            solver.var(v)
-        }).collect();
+        let fine: Vec<_> = (0..5)
+            .map(|k| {
+                let v = solver.pool().find_var(&format!("fine{k}")).unwrap();
+                solver.var(v)
+            })
+            .collect();
         let ctx = GroundCtx {
             coarse: coarse_vec.try_into().unwrap(),
             fine,
@@ -278,5 +615,96 @@ mod tests {
         let _ = s.value_feasible(0, 10);
         let _ = s.prefix_feasible(1, 2, 1);
         assert!(s.checks() >= before + 2);
+    }
+
+    #[test]
+    fn hull_matches_feasible_range_and_is_cached() {
+        let mut s = paper_session();
+        s.fix(0, 20);
+        s.fix(1, 15);
+        s.fix(2, 25);
+        assert_eq!(s.hull(3), Some((0, 40)));
+        assert_eq!(s.hull(3), s.feasible_range(3));
+        // Second hull call in the same epoch is free.
+        let before = s.checks();
+        assert_eq!(s.hull(3), Some((0, 40)));
+        assert_eq!(s.checks(), before);
+        // A fix invalidates the cache: the hull is recomputed and shrinks.
+        s.fix(3, 39);
+        assert_eq!(s.hull(4), Some((1, 1)));
+    }
+
+    #[test]
+    fn guided_queries_agree_with_exact_queries() {
+        // Two sessions over the same rules: one answers via the guided
+        // tiers, one via the exact queries. Every (value, prefix) probe
+        // must agree — the hull/witness tiers are a shortcut, not an
+        // approximation.
+        let mut guided = paper_session();
+        let mut exact = paper_session();
+        for s in [&mut guided, &mut exact] {
+            s.fix(0, 20);
+            s.fix(1, 15);
+            s.fix(2, 25);
+        }
+        for value in 0..=60 {
+            assert_eq!(
+                guided.value_feasible_guided(3, value),
+                exact.value_feasible(3, value),
+                "value {value}"
+            );
+        }
+        for prefix in 0..=60 {
+            for extra in 0..=1 {
+                assert_eq!(
+                    guided.prefix_feasible_guided(3, prefix, extra),
+                    exact.prefix_feasible(3, prefix, extra),
+                    "prefix {prefix} extra {extra}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn guided_queries_save_checks_and_hit_memo() {
+        let mut s = paper_session();
+        s.fix(0, 20);
+        s.fix(1, 15);
+        s.fix(2, 25);
+        // I_3 ∈ [0, 40]: 41 misses the hull (tier 1), the hull endpoints are
+        // witnesses (tier 2) — none of these cost a solver check beyond the
+        // one-off hull computation.
+        let hull_cost = {
+            let before = s.checks();
+            assert_eq!(s.hull(3), Some((0, 40)));
+            s.checks() - before
+        };
+        assert_eq!(
+            hull_cost, 2,
+            "hull counts as two checks, like feasible_range"
+        );
+        let before = s.checks();
+        assert!(!s.value_feasible_guided(3, 41));
+        assert!(s.value_feasible_guided(3, 0));
+        assert!(s.value_feasible_guided(3, 40));
+        assert_eq!(s.checks(), before, "hull/witness tiers issue no checks");
+        assert!(s.solver_checks_saved() >= 3);
+        // An interior value that is no witness needs one exact check; asking
+        // again is a memo hit.
+        let hits_before = s.cache_hits();
+        let answer = s.value_feasible_guided(3, 17);
+        let checks_after_exact = s.checks();
+        assert_eq!(s.value_feasible_guided(3, 17), answer);
+        assert!(s.cache_hits() > hits_before || s.checks() == checks_after_exact);
+    }
+
+    #[test]
+    fn guided_queries_on_unsat_system_reject_everything() {
+        let mut s = paper_session();
+        for k in 0..5 {
+            s.fix(k, 1);
+        }
+        assert!(!s.value_feasible_guided(0, 1));
+        assert!(!s.prefix_feasible_guided(0, 3, 1));
     }
 }

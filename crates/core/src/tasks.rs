@@ -187,8 +187,11 @@ impl<'m, M: LanguageModel> Imputer<'m, M> {
         rng: &mut R,
     ) -> Result<RejectionOutcome, DecodeError> {
         let schema = DecodeSchema::fine_series(self.window_len, self.bandwidth);
-        let sampler =
-            RejectionSampler::new(self.model, self.config.sampler, self.config.rejection_budget);
+        let sampler = RejectionSampler::new(
+            self.model,
+            self.config.sampler,
+            self.config.rejection_budget,
+        );
         sampler.sample(
             &schema,
             &self.prompt(coarse),
@@ -320,8 +323,8 @@ impl<'m, M: LanguageModel> Synthesizer<'m, M> {
         &self,
         rng: &mut R,
     ) -> Result<(CoarseSignals, DecodedOutput), DecodeError> {
-        let out = VanillaDecoder::new(self.model, self.config.sampler)
-            .decode(&self.schema(), "", rng)?;
+        let out =
+            VanillaDecoder::new(self.model, self.config.sampler).decode(&self.schema(), "", rng)?;
         Ok((Self::signals_from(&out.values), out))
     }
 
@@ -330,8 +333,11 @@ impl<'m, M: LanguageModel> Synthesizer<'m, M> {
         &self,
         rng: &mut R,
     ) -> Result<(CoarseSignals, RejectionOutcome), DecodeError> {
-        let sampler =
-            RejectionSampler::new(self.model, self.config.sampler, self.config.rejection_budget);
+        let sampler = RejectionSampler::new(
+            self.model,
+            self.config.sampler,
+            self.config.rejection_budget,
+        );
         let rules = &self.rules;
         let outcome = sampler.sample(
             &self.schema(),
@@ -349,7 +355,9 @@ mod tests {
     use super::*;
     use lejit_lm::{NgramLm, Vocab};
     use lejit_rules::parse_rules;
-    use lejit_telemetry::{encode_imputation_example, encode_synthesis_example, generate, TelemetryConfig};
+    use lejit_telemetry::{
+        encode_imputation_example, encode_synthesis_example, generate, TelemetryConfig,
+    };
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -398,7 +406,13 @@ mod tests {
     fn imputation_outputs_are_compliant() {
         let d = dataset();
         let model = imputation_model(&d);
-        let imputer = Imputer::new(&model, paper_ruleset(), d.window_len, d.bandwidth, TaskConfig::default());
+        let imputer = Imputer::new(
+            &model,
+            paper_ruleset(),
+            d.window_len,
+            d.bandwidth,
+            TaskConfig::default(),
+        );
         let mut rng = StdRng::seed_from_u64(1);
         for w in d.test.iter().take(5) {
             let out = imputer.impute(&w.coarse, &mut rng).unwrap();
@@ -419,7 +433,13 @@ mod tests {
     fn vanilla_imputation_violates_sometimes() {
         let d = dataset();
         let model = imputation_model(&d);
-        let imputer = Imputer::new(&model, paper_ruleset(), d.window_len, d.bandwidth, TaskConfig::default());
+        let imputer = Imputer::new(
+            &model,
+            paper_ruleset(),
+            d.window_len,
+            d.bandwidth,
+            TaskConfig::default(),
+        );
         let mut rng = StdRng::seed_from_u64(2);
         let mut violations = 0;
         for w in d.test.iter().take(20) {
@@ -428,7 +448,10 @@ mod tests {
                 violations += 1;
             }
         }
-        assert!(violations > 0, "an n-gram model should violate sum-consistency");
+        assert!(
+            violations > 0,
+            "an n-gram model should violate sum-consistency"
+        );
     }
 
     #[test]
@@ -451,7 +474,9 @@ mod tests {
         let w = &d.test[0];
         let outcome = imputer.impute_rejection(&w.coarse, &mut rng).unwrap();
         if outcome.accepted() {
-            assert!(imputer.rules().compliant(&w.coarse, &outcome.output().values));
+            assert!(imputer
+                .rules()
+                .compliant(&w.coarse, &outcome.output().values));
         }
         assert!(outcome.attempts() >= 1);
     }
@@ -460,7 +485,13 @@ mod tests {
     fn repaired_imputation_is_compliant() {
         let d = dataset();
         let model = imputation_model(&d);
-        let imputer = Imputer::new(&model, paper_ruleset(), d.window_len, d.bandwidth, TaskConfig::default());
+        let imputer = Imputer::new(
+            &model,
+            paper_ruleset(),
+            d.window_len,
+            d.bandwidth,
+            TaskConfig::default(),
+        );
         let mut rng = StdRng::seed_from_u64(4);
         for w in d.test.iter().take(5) {
             let (repaired, _raw) = imputer.impute_repaired(&w.coarse, &mut rng).unwrap();
@@ -513,7 +544,13 @@ mod tests {
         // The paper's headline property: one model, two tasks, swapped rules.
         let d = dataset();
         let model = imputation_model(&d); // trained once, on imputation text
-        let imputer = Imputer::new(&model, paper_ruleset(), d.window_len, d.bandwidth, TaskConfig::default());
+        let imputer = Imputer::new(
+            &model,
+            paper_ruleset(),
+            d.window_len,
+            d.bandwidth,
+            TaskConfig::default(),
+        );
         let synth_rules = parse_rules("rule a: egress_total <= total_ingress;").unwrap();
         let hi = [300, 120, 300, 300, 99, 300];
         let synth = Synthesizer::new(&model, synth_rules, hi, TaskConfig::default());

@@ -28,9 +28,16 @@ pub struct TraceStep {
 }
 
 /// A full decode trace.
+///
+/// Contract with [`DecodeStats`]: literals are not traced (they are forced,
+/// the model never sees a choice), so for the decode that produced stats
+/// `s`, `steps.len() == s.tokens - s.forced_tokens` — one step per
+/// *generated* character.
+///
+/// [`DecodeStats`]: crate::decoder::DecodeStats
 #[derive(Clone, Debug, Default)]
 pub struct DecodeTrace {
-    /// Steps in emission order (literals are not traced — they are forced).
+    /// Steps in emission order, one per generated (non-literal) character.
     pub steps: Vec<TraceStep>,
 }
 

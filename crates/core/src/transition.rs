@@ -25,11 +25,20 @@ use crate::session::JitSession;
 /// Lookahead policy for the transition system.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Lookahead {
-    /// Full LeJIT behaviour: every digit is checked for completability.
+    /// Full LeJIT behaviour: every digit is checked for completability with
+    /// its own solver query.
     Full,
     /// Ablation: digits filtered structurally; solver consulted only when
     /// terminating a value. Can dead-end.
     ImmediateOnly,
+    /// Interval-guided lookahead: identical decisions to [`Full`] (same
+    /// allowed sets, same zero-violation guarantee), but most per-character
+    /// queries are answered from the variable's cached feasible hull, a
+    /// proven-feasible witness, or a memo of earlier exact answers instead
+    /// of fresh solver checks. See [`JitSession::prefix_feasible_guided`].
+    ///
+    /// [`Full`]: Lookahead::Full
+    IntervalGuided,
 }
 
 /// The characters allowed in the current state.
@@ -86,7 +95,10 @@ pub fn allowed_chars(
     // feasible (both policies consult the solver here — emitting the
     // terminator *commits* the value).
     if st.len > 0 {
-        out.terminator = session.value_feasible(k, st.prefix);
+        out.terminator = match lookahead {
+            Lookahead::IntervalGuided => session.value_feasible_guided(k, st.prefix),
+            _ => session.value_feasible(k, st.prefix),
+        };
     }
 
     // Digits.
@@ -100,6 +112,7 @@ pub fn allowed_chars(
                     let ok = match lookahead {
                         Lookahead::Full => session.value_feasible(k, 0),
                         Lookahead::ImmediateOnly => spec.lo <= 0 && 0 <= spec.hi,
+                        Lookahead::IntervalGuided => session.value_feasible_guided(k, 0),
                     };
                     if ok {
                         out.digits.push(0);
@@ -112,6 +125,9 @@ pub fn allowed_chars(
                     Lookahead::Full => session.prefix_feasible(k, new_prefix, extra),
                     Lookahead::ImmediateOnly => {
                         prefix_within_declared_bounds(new_prefix, extra, spec)
+                    }
+                    Lookahead::IntervalGuided => {
+                        session.prefix_feasible_guided(k, new_prefix, extra)
                     }
                 };
                 if ok {
@@ -274,7 +290,10 @@ mod tests {
 
         st.push(9);
         let opts = allowed_chars(&mut s, 3, &sp, &st, Lookahead::ImmediateOnly);
-        assert!(opts.is_dead_end(), "59 cannot terminate or extend: dead end");
+        assert!(
+            opts.is_dead_end(),
+            "59 cannot terminate or extend: dead end"
+        );
     }
 
     #[test]
@@ -301,6 +320,34 @@ mod tests {
             }
         }
         assert!(visited > 10, "explored only {visited} states");
+    }
+
+    #[test]
+    fn interval_guided_equals_full_on_every_reachable_state() {
+        // Walk every reachable state for I_3 with paired sessions and check
+        // the tentpole invariant: IntervalGuided computes the *same*
+        // CharOptions as Full at every state, while issuing fewer checks.
+        let mut full = constrained_session();
+        let mut guided = constrained_session();
+        let sp = spec(60);
+        let mut stack = vec![VarState::start()];
+        while let Some(st) = stack.pop() {
+            let f = allowed_chars(&mut full, 3, &sp, &st, Lookahead::Full);
+            let g = allowed_chars(&mut guided, 3, &sp, &st, Lookahead::IntervalGuided);
+            assert_eq!(f, g, "divergence at prefix {} (len {})", st.prefix, st.len);
+            for &d in &f.digits {
+                let mut next = st.clone();
+                next.push(d);
+                stack.push(next);
+            }
+        }
+        assert!(
+            guided.checks() < full.checks(),
+            "guided should be cheaper: {} vs {} checks",
+            guided.checks(),
+            full.checks()
+        );
+        assert!(guided.solver_checks_saved() > 0);
     }
 
     #[test]

@@ -168,7 +168,10 @@ mod tests {
             .collect();
         let joined = corpus_text.join(" ");
         let vocab = Vocab::from_corpus(&(joined + "0123456789,."));
-        let seqs: Vec<Vec<_>> = corpus_text.iter().map(|s| vocab.encode(s).unwrap()).collect();
+        let seqs: Vec<Vec<_>> = corpus_text
+            .iter()
+            .map(|s| vocab.encode(s).unwrap())
+            .collect();
         NgramLm::train(vocab, &seqs, 3)
     }
 
@@ -203,7 +206,10 @@ mod tests {
                 violations += 1;
             }
         }
-        assert!(violations > 0, "vanilla decoding never violated the sum rule");
+        assert!(
+            violations > 0,
+            "vanilla decoding never violated the sum rule"
+        );
     }
 
     #[test]
@@ -213,7 +219,12 @@ mod tests {
         let schema = DecodeSchema::fine_series(2, 60);
         let mut rng = StdRng::seed_from_u64(3);
         let outcome = rej
-            .sample(&schema, "", |vals| vals.iter().sum::<i64>() % 2 == 0, &mut rng)
+            .sample(
+                &schema,
+                "",
+                |vals| vals.iter().sum::<i64>() % 2 == 0,
+                &mut rng,
+            )
             .unwrap();
         assert!(outcome.accepted());
         assert!(outcome.output().values.iter().sum::<i64>() % 2 == 0);

@@ -333,16 +333,10 @@ impl Tape {
                         let gy_r = gy.row(r);
                         let xh_r = xhat.row(r);
                         // dxhat = gy * gamma
-                        let dxhat: Vec<f32> = (0..cols)
-                            .map(|c| gy_r[c] * gmat.get(0, c))
-                            .collect();
+                        let dxhat: Vec<f32> = (0..cols).map(|c| gy_r[c] * gmat.get(0, c)).collect();
                         let mean_dxhat: f32 = dxhat.iter().sum::<f32>() / cols as f32;
-                        let mean_dxhat_xhat: f32 = dxhat
-                            .iter()
-                            .zip(xh_r)
-                            .map(|(d, x)| d * x)
-                            .sum::<f32>()
-                            / cols as f32;
+                        let mean_dxhat_xhat: f32 =
+                            dxhat.iter().zip(xh_r).map(|(d, x)| d * x).sum::<f32>() / cols as f32;
                         for c in 0..cols {
                             let v = rstd[r] * (dxhat[c] - mean_dxhat - xh_r[c] * mean_dxhat_xhat);
                             dx.set(r, c, v);
@@ -492,10 +486,14 @@ mod tests {
     fn matmul_gradients() {
         let a = Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 1.5, 0.3, -0.7]);
         let b = Matrix::from_vec(3, 2, vec![1.0, 0.2, -0.4, 0.9, 0.6, -1.1]);
-        finite_diff_check(vec![a, b], |t, l| {
-            let y = t.matmul(l[0], l[1]);
-            sum_to_scalar(t, y)
-        }, 1e-2);
+        finite_diff_check(
+            vec![a, b],
+            |t, l| {
+                let y = t.matmul(l[0], l[1]);
+                sum_to_scalar(t, y)
+            },
+            1e-2,
+        );
     }
 
     #[test]
@@ -503,21 +501,29 @@ mod tests {
         let a = Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 1.5, 0.3, -0.7]);
         let b = Matrix::from_vec(2, 3, vec![0.1; 6]);
         let bias = Matrix::from_vec(1, 3, vec![0.2, -0.3, 0.4]);
-        finite_diff_check(vec![a, b, bias], |t, l| {
-            let s = t.add(l[0], l[1]);
-            let s = t.add_bias(s, l[2]);
-            let s = t.scale(s, 1.7);
-            sum_to_scalar(t, s)
-        }, 1e-2);
+        finite_diff_check(
+            vec![a, b, bias],
+            |t, l| {
+                let s = t.add(l[0], l[1]);
+                let s = t.add_bias(s, l[2]);
+                let s = t.scale(s, 1.7);
+                sum_to_scalar(t, s)
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn gelu_gradients() {
         let a = Matrix::from_vec(2, 2, vec![0.5, -1.0, 2.0, 0.1]);
-        finite_diff_check(vec![a], |t, l| {
-            let y = t.gelu(l[0]);
-            sum_to_scalar(t, y)
-        }, 2e-2);
+        finite_diff_check(
+            vec![a],
+            |t, l| {
+                let y = t.gelu(l[0]);
+                sum_to_scalar(t, y)
+            },
+            2e-2,
+        );
     }
 
     #[test]
@@ -527,11 +533,15 @@ mod tests {
         let beta = Matrix::from_vec(1, 4, vec![0.0, 0.1, -0.1, 0.2]);
         // Weight rows unequally so gradient flow isn't symmetric.
         let w = Matrix::from_vec(4, 1, vec![1.0, 2.0, -1.0, 0.5]);
-        finite_diff_check(vec![x, gamma, beta, w], |t, l| {
-            let y = t.layer_norm(l[0], l[1], l[2]);
-            let reduced = t.matmul(y, l[3]); // 2×1
-            sum_to_scalar(t, reduced)
-        }, 3e-2);
+        finite_diff_check(
+            vec![x, gamma, beta, w],
+            |t, l| {
+                let y = t.layer_norm(l[0], l[1], l[2]);
+                let reduced = t.matmul(y, l[3]); // 2×1
+                sum_to_scalar(t, reduced)
+            },
+            3e-2,
+        );
     }
 
     #[test]
@@ -560,11 +570,15 @@ mod tests {
     fn causal_softmax_gradients() {
         let x = Matrix::from_vec(3, 3, vec![0.5, -1.0, 2.0, 0.3, 1.1, 0.0, -0.4, 0.8, 0.2]);
         let w = Matrix::from_vec(3, 1, vec![1.0, -2.0, 0.7]);
-        finite_diff_check(vec![x, w], |t, l| {
-            let p = t.causal_softmax(l[0]);
-            let reduced = t.matmul(p, l[1]);
-            sum_to_scalar(t, reduced)
-        }, 3e-2);
+        finite_diff_check(
+            vec![x, w],
+            |t, l| {
+                let p = t.causal_softmax(l[0]);
+                let reduced = t.matmul(p, l[1]);
+                sum_to_scalar(t, reduced)
+            },
+            3e-2,
+        );
     }
 
     #[test]
@@ -584,13 +598,17 @@ mod tests {
     #[test]
     fn slice_concat_gradients() {
         let a = Matrix::from_vec(2, 4, vec![0.5, -1.0, 2.0, 0.3, 1.1, 0.0, -0.4, 0.8]);
-        finite_diff_check(vec![a], |t, l| {
-            let left = t.slice_cols(l[0], 0, 2);
-            let right = t.slice_cols(l[0], 2, 4);
-            let swapped = t.concat_cols(&[right, left]);
-            let scaled = t.scale(swapped, 2.0);
-            sum_to_scalar(t, scaled)
-        }, 1e-2);
+        finite_diff_check(
+            vec![a],
+            |t, l| {
+                let left = t.slice_cols(l[0], 0, 2);
+                let right = t.slice_cols(l[0], 2, 4);
+                let swapped = t.concat_cols(&[right, left]);
+                let scaled = t.scale(swapped, 2.0);
+                sum_to_scalar(t, scaled)
+            },
+            1e-2,
+        );
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl TinyGpt {
     pub fn append_token(&self, cache: &mut KvCache, tok: TokenId) -> Vec<f32> {
         let cfg = *self.config();
         let pos = cache.tokens.len();
-        assert!(pos < cfg.max_seq_len, "KV cache full; rebuild with truncation");
+        assert!(
+            pos < cfg.max_seq_len,
+            "KV cache full; rebuild with truncation"
+        );
         let d = cfg.d_model;
         let hd = d / cfg.n_heads;
 

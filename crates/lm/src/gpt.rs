@@ -98,7 +98,10 @@ impl TinyGpt {
         const STD: f32 = 0.02;
 
         let tok_emb = push(&mut params, Matrix::randn(v, d, STD, &mut rng));
-        let pos_emb = push(&mut params, Matrix::randn(config.max_seq_len, d, STD, &mut rng));
+        let pos_emb = push(
+            &mut params,
+            Matrix::randn(config.max_seq_len, d, STD, &mut rng),
+        );
         let mut blocks = Vec::with_capacity(config.n_layers);
         for _ in 0..config.n_layers {
             let ln1_g = push(&mut params, Matrix::from_vec(1, d, vec![1.0; d]));
@@ -193,15 +196,17 @@ impl TinyGpt {
 
     /// Total number of scalar parameters.
     pub fn num_params(&self) -> usize {
-        self.params
-            .iter()
-            .map(|m| m.rows() * m.cols())
-            .sum()
+        self.params.iter().map(|m| m.rows() * m.cols()).sum()
     }
 
     /// Forward pass on a tape. Returns the T×V logits node and the leaf ids
     /// aligned with `self.params` (for gradient extraction).
-    fn forward(&self, tape: &mut Tape, tokens: &[TokenId], requires_grad: bool) -> (NodeId, Vec<NodeId>) {
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        tokens: &[TokenId],
+        requires_grad: bool,
+    ) -> (NodeId, Vec<NodeId>) {
         let t_len = tokens.len();
         assert!(t_len >= 1, "empty input");
         assert!(
@@ -538,7 +543,12 @@ mod tests {
         let model = TinyGpt::new(cfg, vocab.clone(), 1);
         let d = cfg.d_model;
         let v = vocab.len();
-        let per_block = 2 * d + (d * 3 * d + 3 * d) + (d * d + d) + 2 * d + (d * 4 * d + 4 * d) + (4 * d * d + d);
+        let per_block = 2 * d
+            + (d * 3 * d + 3 * d)
+            + (d * d + d)
+            + 2 * d
+            + (d * 4 * d + 4 * d)
+            + (4 * d * d + d);
         let expected = v * d + cfg.max_seq_len * d + cfg.n_layers * per_block + 2 * d + (d * v + v);
         assert_eq!(model.num_params(), expected);
     }

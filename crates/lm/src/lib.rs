@@ -43,8 +43,8 @@ pub mod tokenizer;
 pub use cache::{CachedGpt, KvCache};
 pub use gpt::{GptConfig, TinyGpt};
 pub use ngram::NgramLm;
-pub use serialize::LoadError;
 pub use sample::{cross_entropy, perplexity, sample_token, LogitsProcessor, SamplerConfig};
+pub use serialize::LoadError;
 pub use tensor::Matrix;
 pub use tokenizer::{TokenId, Vocab};
 

@@ -82,9 +82,7 @@ impl NgramLm {
             if ctx_len == 0 {
                 // Unigram with add-k smoothing — always available.
                 let table = self.counts[0].get(&Vec::new());
-                let total: f32 = table
-                    .map(|t| t.values().sum::<u32>() as f32)
-                    .unwrap_or(0.0)
+                let total: f32 = table.map(|t| t.values().sum::<u32>() as f32).unwrap_or(0.0)
                     + self.add_k * v as f32;
                 for (i, p) in probs.iter_mut().enumerate() {
                     let c = table

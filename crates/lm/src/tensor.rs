@@ -419,7 +419,12 @@ mod tests {
         let a = Matrix::randn(50, 50, 1.0, &mut rng);
         let n = 2500.0;
         let mean = a.sum() / n;
-        let var = a.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let var = a
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n;
         assert!(mean.abs() < 0.1, "mean {mean} too far from 0");
         assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
     }

@@ -134,7 +134,14 @@ mod tests {
         let s = [5, 40, 45, 50, 10];
         let b = detect_bursts(&s, 30);
         assert_eq!(b.len(), 1);
-        assert_eq!(b[0], Burst { start: 1, duration: 3, volume: 135 });
+        assert_eq!(
+            b[0],
+            Burst {
+                start: 1,
+                duration: 3,
+                volume: 135
+            }
+        );
     }
 
     #[test]
@@ -143,7 +150,14 @@ mod tests {
         let b = detect_bursts(&s, 30);
         assert_eq!(b.len(), 3);
         assert_eq!(b[0].start, 0);
-        assert_eq!(b[1], Burst { start: 2, duration: 2, volume: 100 });
+        assert_eq!(
+            b[1],
+            Burst {
+                start: 2,
+                duration: 2,
+                volume: 100
+            }
+        );
         assert_eq!(b[2].start, 5);
     }
 
@@ -195,8 +209,18 @@ mod tests {
     #[test]
     fn mean_aggregation() {
         let items = vec![
-            BurstAccuracy { count: 1.0, duration: 1.0, volume: 1.0, position: 1.0 },
-            BurstAccuracy { count: 0.0, duration: 0.5, volume: 0.2, position: 0.0 },
+            BurstAccuracy {
+                count: 1.0,
+                duration: 1.0,
+                volume: 1.0,
+                position: 1.0,
+            },
+            BurstAccuracy {
+                count: 0.0,
+                duration: 0.5,
+                volume: 0.2,
+                position: 0.0,
+            },
         ];
         let m = BurstAccuracy::mean(&items);
         assert!((m.count - 0.5).abs() < 1e-12);

@@ -50,11 +50,7 @@ pub fn emd(xs: &[f64], ys: &[f64]) -> f64 {
 pub fn jsd(xs: &[f64], ys: &[f64], bins: usize) -> f64 {
     assert!(!xs.is_empty() && !ys.is_empty(), "jsd of empty sample");
     assert!(bins > 0, "jsd needs at least one bin");
-    let lo = xs
-        .iter()
-        .chain(ys)
-        .copied()
-        .fold(f64::INFINITY, f64::min);
+    let lo = xs.iter().chain(ys).copied().fold(f64::INFINITY, f64::min);
     let hi = xs
         .iter()
         .chain(ys)
@@ -114,7 +110,8 @@ pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
 pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(pred.len(), truth.len(), "rmse length mismatch");
     assert!(!pred.is_empty(), "rmse of empty input");
-    (pred.iter()
+    (pred
+        .iter()
         .zip(truth)
         .map(|(a, b)| (a - b) * (a - b))
         .sum::<f64>()

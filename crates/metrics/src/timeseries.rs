@@ -87,7 +87,9 @@ mod tests {
 
     #[test]
     fn acf_of_alternating_series() {
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&xs, 1) < -0.9);
         assert!(autocorrelation(&xs, 2) > 0.9);
     }

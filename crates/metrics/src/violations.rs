@@ -32,11 +32,8 @@ impl ViolationStats {
 
     /// The most frequently violated rules, descending.
     pub fn top_rules(&self, n: usize) -> Vec<(String, usize)> {
-        let mut v: Vec<(String, usize)> = self
-            .per_rule
-            .iter()
-            .map(|(k, &c)| (k.clone(), c))
-            .collect();
+        let mut v: Vec<(String, usize)> =
+            self.per_rule.iter().map(|(k, &c)| (k.clone(), c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(n);
         v
@@ -44,10 +41,7 @@ impl ViolationStats {
 }
 
 /// Checks every output against the rule set.
-pub fn violation_stats(
-    rules: &RuleSet,
-    outputs: &[(CoarseSignals, Vec<i64>)],
-) -> ViolationStats {
+pub fn violation_stats(rules: &RuleSet, outputs: &[(CoarseSignals, Vec<i64>)]) -> ViolationStats {
     let mut stats = ViolationStats {
         outputs: outputs.len(),
         ..ViolationStats::default()

@@ -74,9 +74,10 @@ pub enum Expr {
     /// bounds. (The paper's §5 calls for richer temporal constraints; this
     /// is the extension that supports them.)
     FineVarPlus(usize),
-    /// N-ary sum of subexpressions. Canonical form is *flat*: an `Add`
-    /// should not directly contain another `Add` (the DSL parser flattens
-    /// `+` chains, so only flat sums round-trip syntactically).
+    /// N-ary sum of subexpressions. An unparenthesized `+` chain parses to
+    /// one flat `Add`; a parenthesized sum inside a sum stays a nested
+    /// `Add` element, so both flat and nested sums round-trip through the
+    /// DSL printer and parser.
     Add(Vec<Expr>),
     /// Subtraction.
     Sub(Box<Expr>, Box<Expr>),

@@ -346,27 +346,34 @@ impl Parser {
     }
 
     // expr := term (("+"|"-") term)*
+    //
+    // A `+` chain accumulates into a local operand list rather than merging
+    // into an `Expr::Add` accumulator: a parenthesized operand that is
+    // itself an `Add` (e.g. the `(0 + 0)` in `((0 + 0) + 0)`) must stay a
+    // single nested element, or printing and reparsing flattens it.
     fn expr(&mut self) -> Result<Expr, ParseError> {
-        let mut acc = self.term()?;
+        fn collapse(mut operands: Vec<Expr>) -> Expr {
+            if operands.len() == 1 {
+                operands.pop().unwrap()
+            } else {
+                Expr::Add(operands)
+            }
+        }
+        let mut operands = vec![self.term()?];
         loop {
             match self.peek() {
                 Some(Tok::Plus) => {
                     self.pos += 1;
                     let rhs = self.term()?;
-                    acc = match acc {
-                        Expr::Add(mut kids) => {
-                            kids.push(rhs);
-                            Expr::Add(kids)
-                        }
-                        other => Expr::Add(vec![other, rhs]),
-                    };
+                    operands.push(rhs);
                 }
                 Some(Tok::Minus) => {
                     self.pos += 1;
                     let rhs = self.term()?;
-                    acc = Expr::Sub(Box::new(acc), Box::new(rhs));
+                    let lhs = collapse(operands);
+                    operands = vec![Expr::Sub(Box::new(lhs), Box::new(rhs))];
                 }
-                _ => return Ok(acc),
+                _ => return Ok(collapse(operands)),
             }
         }
     }
@@ -468,9 +475,9 @@ fn validate_pred(p: &Pred, under_quantifier: bool) -> Result<(), String> {
             }
             Ok(())
         }
-        Pred::And(kids) | Pred::Or(kids) => {
-            kids.iter().try_for_each(|k| validate_pred(k, under_quantifier))
-        }
+        Pred::And(kids) | Pred::Or(kids) => kids
+            .iter()
+            .try_for_each(|k| validate_pred(k, under_quantifier)),
         Pred::Not(x) => validate_pred(x, under_quantifier),
         Pred::Implies(a, b) => {
             validate_pred(a, under_quantifier)?;
@@ -543,7 +550,7 @@ mod tests {
         assert!(rs.rules[0].holds(&c, &[])); // 85 <= 90
         c.set(CoarseField::EgressTotal, 45);
         assert!(!rs.rules[0].holds(&c, &[])); // 95 > 90
-        // b: `and` binds tighter than `or`.
+                                              // b: `and` binds tighter than `or`.
         let mut c2 = CoarseSignals::default();
         c2.set(CoarseField::RetransBytes, 1);
         assert!(rs.rules[1].holds(&c2, &[]));

@@ -71,10 +71,7 @@ fn ground_expr(pool: &mut TermPool, ctx: &GroundCtx, e: &Expr, t: Option<usize>)
             ctx.fine[base + k]
         }
         Expr::Add(kids) => {
-            let terms: Vec<TermId> = kids
-                .iter()
-                .map(|k| ground_expr(pool, ctx, k, t))
-                .collect();
+            let terms: Vec<TermId> = kids.iter().map(|k| ground_expr(pool, ctx, k, t)).collect();
             pool.add(&terms)
         }
         Expr::Sub(a, b) => {
@@ -353,7 +350,11 @@ mod tests {
         let fine: Vec<i64> = vars.iter().map(|&v| m.int_value(v).unwrap()).collect();
         let coarse = CoarseSignals(coarse_vals);
         for r in &rs.rules {
-            assert!(r.holds(&coarse, &fine), "model violates {}: {fine:?}", r.name);
+            assert!(
+                r.holds(&coarse, &fine),
+                "model violates {}: {fine:?}",
+                r.name
+            );
         }
     }
 

@@ -214,7 +214,10 @@ impl FineAgg {
 /// Every emitted rule holds on **all** of `windows` (confidence 1.0); this
 /// is asserted in debug builds.
 pub fn mine_rules(windows: &[Window], bandwidth: i64, cfg: MinerConfig) -> MinedRules {
-    assert!(!windows.is_empty(), "cannot mine from an empty training set");
+    assert!(
+        !windows.is_empty(),
+        "cannot mine from an empty training set"
+    );
     let mut synthesis: Vec<Rule> = Vec::new();
     let mut imputation: Vec<Rule> = Vec::new();
 
@@ -259,10 +262,8 @@ pub fn mine_rules(windows: &[Window], bandwidth: i64, cfg: MinerConfig) -> Mined
             if f == g {
                 continue;
             }
-            let antecedent: Vec<&Window> = windows
-                .iter()
-                .filter(|w| w.coarse.get(f) <= 0)
-                .collect();
+            let antecedent: Vec<&Window> =
+                windows.iter().filter(|w| w.coarse.get(f) <= 0).collect();
             if antecedent.len() >= cfg.min_support
                 && antecedent.len() < windows.len()
                 && antecedent.iter().all(|w| w.coarse.get(g) <= 0)
@@ -289,8 +290,7 @@ pub fn mine_rules(windows: &[Window], bandwidth: i64, cfg: MinerConfig) -> Mined
             let g_hi = windows.iter().map(|w| w.coarse.get(g)).max().unwrap();
             for &th in &ths {
                 // f > th  =>  g >= phi (tightest phi valid on training data).
-                let above: Vec<&Window> =
-                    windows.iter().filter(|w| w.coarse.get(f) > th).collect();
+                let above: Vec<&Window> = windows.iter().filter(|w| w.coarse.get(f) > th).collect();
                 if above.len() >= cfg.min_support {
                     let phi = relax_ge(
                         above.iter().map(|w| w.coarse.get(g)).min().unwrap(),
@@ -409,8 +409,7 @@ pub fn mine_rules(windows: &[Window], bandwidth: i64, cfg: MinerConfig) -> Mined
         let ths = thresholds(windows, f, cfg.thresholds_per_field);
         for &(agg, a_lo, a_hi) in &global {
             for &th in &ths {
-                let above: Vec<&Window> =
-                    windows.iter().filter(|w| w.coarse.get(f) > th).collect();
+                let above: Vec<&Window> = windows.iter().filter(|w| w.coarse.get(f) > th).collect();
                 if above.len() >= cfg.min_support {
                     let phi = relax_ge(
                         above.iter().map(|w| agg.eval(&w.fine)).min().unwrap(),
@@ -418,13 +417,7 @@ pub fn mine_rules(windows: &[Window], bandwidth: i64, cfg: MinerConfig) -> Mined
                     );
                     if phi > a_lo {
                         imputation.push(Rule::new(
-                            format!(
-                                "fimp_{}_gt{}_then_{}_ge{}",
-                                f.name(),
-                                th,
-                                agg.name(),
-                                phi
-                            ),
+                            format!("fimp_{}_gt{}_then_{}_ge{}", f.name(), th, agg.name(), phi),
                             Pred::Implies(
                                 Box::new(Pred::Cmp(CmpOp::Gt, Expr::Coarse(f), Expr::Const(th))),
                                 Box::new(Pred::Cmp(CmpOp::Ge, agg.expr(), Expr::Const(phi))),
@@ -441,13 +434,7 @@ pub fn mine_rules(windows: &[Window], bandwidth: i64, cfg: MinerConfig) -> Mined
                     );
                     if psi < a_hi {
                         imputation.push(Rule::new(
-                            format!(
-                                "fimp_{}_le{}_then_{}_le{}",
-                                f.name(),
-                                th,
-                                agg.name(),
-                                psi
-                            ),
+                            format!("fimp_{}_le{}_then_{}_le{}", f.name(), th, agg.name(), psi),
                             Pred::Implies(
                                 Box::new(Pred::Cmp(CmpOp::Le, Expr::Coarse(f), Expr::Const(th))),
                                 Box::new(Pred::Cmp(CmpOp::Le, agg.expr(), Expr::Const(psi))),
@@ -668,15 +655,15 @@ mod temporal_mining_tests {
         for w in &mut smooth {
             w.fine = vec![10, 12, 14, 13, 11];
             let total: i64 = w.fine.iter().sum();
-            w.coarse.set(lejit_telemetry::CoarseField::TotalIngress, total);
+            w.coarse
+                .set(lejit_telemetry::CoarseField::TotalIngress, total);
             w.coarse.set(lejit_telemetry::CoarseField::EcnBytes, 0);
             let egress = w.coarse.get(lejit_telemetry::CoarseField::EgressTotal);
-            w.coarse.set(
-                lejit_telemetry::CoarseField::EgressTotal,
-                egress.min(total),
-            );
+            w.coarse
+                .set(lejit_telemetry::CoarseField::EgressTotal, egress.min(total));
             let drops = w.coarse.get(lejit_telemetry::CoarseField::Drops);
-            w.coarse.set(lejit_telemetry::CoarseField::Drops, drops.min(total));
+            w.coarse
+                .set(lejit_telemetry::CoarseField::Drops, drops.min(total));
         }
         let mined_smooth = mine_rules(&smooth, d.bandwidth, MinerConfig::default());
         assert!(

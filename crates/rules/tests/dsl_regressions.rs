@@ -1,0 +1,117 @@
+//! Deterministic regressions distilled from the shrunk failure cases in
+//! `dsl_roundtrip_prop.proptest-regressions`. Each case is constructed
+//! literally so the failures replay without depending on proptest's RNG
+//! stream, and each is run through the same three properties as the
+//! property test: display→parse round-trip, evaluation equivalence, and
+//! JSON round-trip.
+
+use lejit_rules::{parse_rules, CmpOp, Expr, Pred, Rule, RuleSet};
+use lejit_telemetry::{CoarseField, CoarseSignals};
+
+fn coarse(values: [i64; 6]) -> CoarseSignals {
+    let mut cs = CoarseSignals::default();
+    for (f, v) in CoarseField::ALL.into_iter().zip(values) {
+        cs.set(f, v);
+    }
+    cs
+}
+
+/// Runs one shrunk predicate through all three round-trip properties.
+fn check_roundtrip(pred: Pred, window: (CoarseSignals, Vec<i64>)) {
+    let rs = RuleSet::new(vec![Rule::new("p", pred)]);
+    let text = rs.to_string();
+    let back = parse_rules(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\ntext: {text}"));
+    assert_eq!(back.rules, rs.rules, "text was: {text}");
+
+    let (c, fine) = window;
+    assert_eq!(
+        rs.rules[0].holds(&c, &fine),
+        back.rules[0].holds(&c, &fine),
+        "evaluation diverged after round-trip; text was: {text}"
+    );
+
+    let json_back = RuleSet::from_json(&rs.to_json()).unwrap();
+    assert_eq!(json_back.rules, rs.rules);
+}
+
+/// Seed 111fe6af…: an implication whose branches mix `Add` with `MulConst`
+/// and `Sub`, disjoined with a standalone-aggregate comparison.
+#[test]
+fn regression_implies_with_mulconst_chains() {
+    let pred = Pred::Or(vec![
+        Pred::Implies(
+            Box::new(Pred::Cmp(CmpOp::Lt, Expr::Const(0), Expr::Const(0))),
+            Box::new(Pred::Cmp(
+                CmpOp::Lt,
+                Expr::Add(vec![
+                    Expr::Const(0),
+                    Expr::MulConst(-1, Box::new(Expr::FineAt(3))),
+                ]),
+                Expr::Sub(
+                    Box::new(Expr::Add(vec![Expr::FineAt(3), Expr::FineAt(1)])),
+                    Box::new(Expr::MulConst(4, Box::new(Expr::SumFine))),
+                ),
+            )),
+        ),
+        Pred::Cmp(
+            CmpOp::Ge,
+            Expr::Sub(
+                Box::new(Expr::Coarse(CoarseField::EcnBytes)),
+                Box::new(Expr::Coarse(CoarseField::EcnBytes)),
+            ),
+            Expr::MaxFine,
+        ),
+    ]);
+    check_roundtrip(
+        pred,
+        (coarse([100, 20, 5, 3, 7, 40]), vec![20, 15, 25, 30, 10]),
+    );
+}
+
+/// Seed 8b43d990…: nested `MulConst` under negation, with the window that
+/// exposed the evaluation divergence.
+#[test]
+fn regression_nested_mulconst_under_not() {
+    let pred = Pred::And(vec![
+        Pred::Not(Box::new(Pred::Cmp(
+            CmpOp::Lt,
+            Expr::MulConst(-1, Box::new(Expr::MulConst(-1, Box::new(Expr::Const(0))))),
+            Expr::Const(0),
+        ))),
+        Pred::Or(vec![
+            Pred::Cmp(CmpOp::Lt, Expr::Const(0), Expr::Const(0)),
+            Pred::Cmp(
+                CmpOp::Lt,
+                Expr::Sub(Box::new(Expr::Const(0)), Box::new(Expr::FineAt(0))),
+                Expr::Add(vec![Expr::Coarse(CoarseField::EcnBytes), Expr::SumFine]),
+            ),
+        ]),
+    ]);
+    check_roundtrip(
+        pred,
+        (
+            coarse([166, 49, 56, 169, 20, 136]),
+            vec![32, 16, 33, 40, 38],
+        ),
+    );
+}
+
+/// Seed 39991783…: a parenthesized sum nested directly inside another sum.
+/// `Add([Add([0, 0]), 0])` prints as `((0 + 0) + 0)`; a parser that merges
+/// parenthesized `Add` operands into the surrounding `+` chain reparses it
+/// as the flat `Add([0, 0, 0])` and the round-trip loses the nesting.
+#[test]
+fn regression_nested_add_preserved() {
+    let pred = Pred::Not(Box::new(Pred::Or(vec![
+        Pred::Cmp(
+            CmpOp::Lt,
+            Expr::Add(vec![
+                Expr::Add(vec![Expr::Const(0), Expr::Const(0)]),
+                Expr::Const(0),
+            ]),
+            Expr::Const(0),
+        ),
+        Pred::Cmp(CmpOp::Lt, Expr::Const(0), Expr::Const(0)),
+    ])));
+    check_roundtrip(pred, (coarse([10, 0, 0, 0, 0, 0]), vec![1, 2, 3, 4, 5]));
+}

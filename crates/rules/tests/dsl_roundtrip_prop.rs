@@ -26,8 +26,9 @@ fn arb_linear_expr(depth: u32, in_quantifier: bool) -> BoxedStrategy<Expr> {
     };
     leaf.prop_recursive(depth, 16, 3, |inner| {
         prop_oneof![
-            // `Add` is flat by convention (the parser flattens `+` chains),
-            // so nested sums are merged to keep the AST canonical.
+            // Generated sums are kept flat by convention; nested sums also
+            // round-trip (see dsl_regressions.rs) but flat is the common
+            // shape the miner and grounding produce.
             proptest::collection::vec(inner.clone(), 2..=3).prop_map(|kids| {
                 let mut flat = Vec::new();
                 for k in kids {
@@ -38,9 +39,11 @@ fn arb_linear_expr(depth: u32, in_quantifier: bool) -> BoxedStrategy<Expr> {
                 }
                 Expr::Add(flat)
             }),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
-            ((-5i64..=5).prop_filter("non-trivial coeff", |c| *c != 0 && *c != 1), inner)
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (
+                (-5i64..=5).prop_filter("non-trivial coeff", |c| *c != 0 && *c != 1),
+                inner
+            )
                 .prop_map(|(c, e)| Expr::MulConst(c, Box::new(e))),
         ]
     })
@@ -97,7 +100,10 @@ fn arb_pred(depth: u32, in_quantifier: bool) -> BoxedStrategy<Pred> {
             .prop_map(Pred::Or)
             .boxed(),
         inner.clone().prop_map(|p| Pred::Not(Box::new(p))).boxed(),
-        (arb_pred(depth - 1, in_quantifier), arb_pred(depth - 1, in_quantifier))
+        (
+            arb_pred(depth - 1, in_quantifier),
+            arb_pred(depth - 1, in_quantifier),
+        )
             .prop_map(|(a, b)| Pred::Implies(Box::new(a), Box::new(b)))
             .boxed(),
     ];

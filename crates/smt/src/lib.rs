@@ -83,5 +83,5 @@ pub use linear::{LinAtom, LinExpr};
 pub use rational::Rational;
 pub use sat::{Lit, SatSolver, SatVar};
 pub use smtlib::{run_script, ScriptOutput, SmtLibError};
-pub use solver::{Model, SatResult, Solver, SolverStats};
+pub use solver::{IntervalMap, Model, SatResult, Solver, SolverStats, VarBounds};
 pub use term::{Sort, Term, TermId, TermPool, VarId, VarInfo};

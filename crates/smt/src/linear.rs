@@ -40,7 +40,10 @@ impl LinExpr {
     pub fn var(v: VarId) -> LinExpr {
         let mut coeffs = BTreeMap::new();
         coeffs.insert(v, 1);
-        LinExpr { coeffs, constant: 0 }
+        LinExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// Whether the expression mentions no variables.

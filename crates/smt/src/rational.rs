@@ -167,7 +167,13 @@ impl Add for Rational {
         let num = self
             .num
             .checked_mul(lcm_part)
-            .and_then(|x| x.checked_add(rhs.num.checked_mul(self.den / g).expect("rational overflow")))
+            .and_then(|x| {
+                x.checked_add(
+                    rhs.num
+                        .checked_mul(self.den / g)
+                        .expect("rational overflow"),
+                )
+            })
             .expect("rational overflow");
         let den = self.den.checked_mul(lcm_part).expect("rational overflow");
         Rational::new(num, den)

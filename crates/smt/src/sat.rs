@@ -65,7 +65,12 @@ impl std::ops::Not for Lit {
 
 impl fmt::Debug for Lit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x{}", if self.is_positive() { "" } else { "-" }, self.0 >> 1)
+        write!(
+            f,
+            "{}x{}",
+            if self.is_positive() { "" } else { "-" },
+            self.0 >> 1
+        )
     }
 }
 
@@ -194,7 +199,11 @@ impl SatSolver {
     /// Current statistics.
     pub fn stats(&self) -> SatStats {
         let mut s = self.stats;
-        s.learnts = self.clauses.iter().filter(|c| c.learnt && !c.lits.is_empty()).count();
+        s.learnts = self
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && !c.lits.is_empty())
+            .count();
         s
     }
 
@@ -307,8 +316,14 @@ impl SatSolver {
         debug_assert!(lits.len() >= 2);
         let (l0, l1) = (lits[0], lits[1]);
         let cr = self.alloc_clause(lits, learnt);
-        self.watches[(!l0).code()].push(Watcher { clause: cr, blocker: l1 });
-        self.watches[(!l1).code()].push(Watcher { clause: cr, blocker: l0 });
+        self.watches[(!l0).code()].push(Watcher {
+            clause: cr,
+            blocker: l1,
+        });
+        self.watches[(!l1).code()].push(Watcher {
+            clause: cr,
+            blocker: l0,
+        });
         cr
     }
 
@@ -356,7 +371,10 @@ impl SatSolver {
                 }
                 let first = self.clauses[cr].lits[0];
                 if first != w.blocker && self.value_lit(first) == LBool::True {
-                    ws[i] = Watcher { clause: cr, blocker: first };
+                    ws[i] = Watcher {
+                        clause: cr,
+                        blocker: first,
+                    };
                     i += 1;
                     continue;
                 }
@@ -366,13 +384,19 @@ impl SatSolver {
                     let lk = self.clauses[cr].lits[k];
                     if self.value_lit(lk) != LBool::False {
                         self.clauses[cr].lits.swap(1, k);
-                        self.watches[(!lk).code()].push(Watcher { clause: cr, blocker: first });
+                        self.watches[(!lk).code()].push(Watcher {
+                            clause: cr,
+                            blocker: first,
+                        });
                         ws.swap_remove(i);
                         continue 'watchers;
                     }
                 }
                 // No new watch: clause is unit or conflicting.
-                ws[i] = Watcher { clause: cr, blocker: first };
+                ws[i] = Watcher {
+                    clause: cr,
+                    blocker: first,
+                };
                 i += 1;
                 if self.value_lit(first) == LBool::False {
                     conflict = Some(cr);
@@ -810,7 +834,9 @@ mod tests {
         // Deterministic LCG so the test is reproducible.
         let mut state: u64 = 0xdeadbeef;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for round in 0..40 {

@@ -163,7 +163,12 @@ impl Simplex {
 
     /// Asserts `v ≥ b`. Returns an immediate certificate if this contradicts
     /// the current upper bound of `v`.
-    pub fn assert_lower(&mut self, v: SVar, b: Rational, tag: BoundTag) -> Result<(), Vec<BoundTag>> {
+    pub fn assert_lower(
+        &mut self,
+        v: SVar,
+        b: Rational,
+        tag: BoundTag,
+    ) -> Result<(), Vec<BoundTag>> {
         if let Some(lo) = self.lower[v] {
             if b <= lo.value {
                 return Ok(()); // no tightening
@@ -184,7 +189,12 @@ impl Simplex {
 
     /// Asserts `v ≤ b`. Returns an immediate certificate if this contradicts
     /// the current lower bound of `v`.
-    pub fn assert_upper(&mut self, v: SVar, b: Rational, tag: BoundTag) -> Result<(), Vec<BoundTag>> {
+    pub fn assert_upper(
+        &mut self,
+        v: SVar,
+        b: Rational,
+        tag: BoundTag,
+    ) -> Result<(), Vec<BoundTag>> {
         if let Some(up) = self.upper[v] {
             if b >= up.value {
                 return Ok(());
@@ -228,7 +238,8 @@ impl Simplex {
                 let found = if let Some(b) = self.violated_lower(xb) {
                     Some((r, xb, true, b.value, b.tag))
                 } else {
-                    self.violated_upper(xb).map(|b| (r, xb, false, b.value, b.tag))
+                    self.violated_upper(xb)
+                        .map(|b| (r, xb, false, b.value, b.tag))
                 };
                 if let Some(c) = found {
                     if candidate.is_none_or(|(_, v, ..)| c.1 < v) {
@@ -544,8 +555,10 @@ mod tests {
         // with I_4 <= 60, requiring I_3 >= 41 is infeasible (sum would
         // exceed 100 with I_4 >= 0 forced to -1), while I_3 <= 40 is fine.
         for (i, val) in [(0usize, 20i64), (1, 15), (2, 25)] {
-            s.assert_lower(vars[i], r(val), BoundTag(300 + i as u32)).unwrap();
-            s.assert_upper(vars[i], r(val), BoundTag(400 + i as u32)).unwrap();
+            s.assert_lower(vars[i], r(val), BoundTag(300 + i as u32))
+                .unwrap();
+            s.assert_upper(vars[i], r(val), BoundTag(400 + i as u32))
+                .unwrap();
         }
         let snap = s.snapshot();
         s.assert_lower(vars[3], r(41), BoundTag(500)).unwrap();

@@ -82,9 +82,7 @@ fn parse_sexps(src: &str) -> Result<Vec<Sexp>, SmtLibError> {
             }
             ')' => {
                 let done = stack.pop().ok_or_else(|| err(i, "unbalanced `)`"))?;
-                let parent = stack
-                    .last_mut()
-                    .ok_or_else(|| err(i, "unbalanced `)`"))?;
+                let parent = stack.last_mut().ok_or_else(|| err(i, "unbalanced `)`"))?;
                 parent.push(Sexp::List(done));
                 i += 1;
             }
@@ -188,9 +186,7 @@ fn exec(solver: &mut Solver, form: &Sexp, out: &mut ScriptOutput) -> Result<(), 
             }
         }
         "assert" => {
-            let t = items
-                .get(1)
-                .ok_or_else(|| err(0, "assert needs a term"))?;
+            let t = items.get(1).ok_or_else(|| err(0, "assert needs a term"))?;
             let term = build_term(solver, t)?;
             if solver.pool().sort_of(term) != Sort::Bool {
                 return Err(err(0, "assert needs a boolean term"));
@@ -270,9 +266,7 @@ fn parse_int(s: &Sexp) -> Result<i64, SmtLibError> {
             .parse::<i64>()
             .map_err(|e| err(0, format!("bad integer `{a}`: {e}"))),
         // SMT-LIB negative literals: (- 5)
-        Sexp::List(parts)
-            if parts.len() == 2 && atom(&parts[0]) == Some("-") =>
-        {
+        Sexp::List(parts) if parts.len() == 2 && atom(&parts[0]) == Some("-") => {
             Ok(-parse_int(&parts[1])?)
         }
         other => Err(err(0, format!("expected integer, found {other:?}"))),
@@ -334,7 +328,10 @@ fn build_term(solver: &mut Solver, s: &Sexp) -> Result<TermId, SmtLibError> {
                     match (solver.pool().as_int_const(a), solver.pool().as_int_const(b)) {
                         (Some(c), _) => Ok(solver.mul_const(c, b)),
                         (_, Some(c)) => Ok(solver.mul_const(c, a)),
-                        _ => Err(err(0, "`*` needs a literal coefficient (linear arithmetic)")),
+                        _ => Err(err(
+                            0,
+                            "`*` needs a literal coefficient (linear arithmetic)",
+                        )),
                     }
                 }
                 "<" | "<=" | ">" | ">=" | "=" | "distinct" => {
@@ -514,7 +511,7 @@ mod tests {
     }
 
     #[test]
-    fn comments_are_ignored()  {
+    fn comments_are_ignored() {
         let out = run_script(
             "; a header comment
              (declare-const x (Int 0 3)) ; trailing
@@ -526,14 +523,23 @@ mod tests {
 
     #[test]
     fn errors_are_reported() {
-        assert!(run_script("(assert (> x 0))").unwrap_err().message.contains("undeclared"));
+        assert!(run_script("(assert (> x 0))")
+            .unwrap_err()
+            .message
+            .contains("undeclared"));
         assert!(run_script("(pop)").unwrap_err().message.contains("pop"));
-        assert!(run_script("(declare-const x Real)").unwrap_err().message.contains("sort"));
+        assert!(run_script("(declare-const x Real)")
+            .unwrap_err()
+            .message
+            .contains("sort"));
         assert!(run_script("(declare-const x (Int 0 10)) (assert (* x x))")
             .unwrap_err()
             .message
             .contains("coefficient"));
-        assert!(run_script("(foo)").unwrap_err().message.contains("unsupported command"));
+        assert!(run_script("(foo)")
+            .unwrap_err()
+            .message
+            .contains("unsupported command"));
         assert!(run_script("((").unwrap_err().message.contains("unbalanced"));
         assert!(run_script(")").unwrap_err().message.contains("unbalanced"));
     }

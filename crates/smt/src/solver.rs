@@ -88,6 +88,60 @@ pub struct SolverStats {
     pub theory_conflicts: u64,
 }
 
+/// Result of [`Solver::bounds`]: the feasible hull of an integer variable
+/// plus the feasible values witnessed while computing it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarBounds {
+    /// Minimum feasible value.
+    pub lo: i64,
+    /// Maximum feasible value.
+    pub hi: i64,
+    /// Distinct values of the variable seen in satisfying models during the
+    /// search, sorted ascending. Every entry is proven feasible under the
+    /// live assertions; `lo` and `hi` are always included.
+    pub witnesses: Vec<i64>,
+}
+
+/// Result of [`Solver::interval_map`]: a partial classification of an
+/// integer variable's feasible set, built from one round of range analysis.
+///
+/// Every value in `witnesses` is proven feasible (it appears in a model of
+/// the live assertions); every value inside a `gaps` interval is proven
+/// infeasible (an unsatisfiable range probe certified the whole interval at
+/// once). Values in `[lo, hi]` covered by neither are undetermined — unless
+/// `complete` is set, in which case `witnesses` is exactly the feasible set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntervalMap {
+    /// Minimum feasible value.
+    pub lo: i64,
+    /// Maximum feasible value.
+    pub hi: i64,
+    /// Proven-feasible values, sorted ascending (always includes `lo`, `hi`).
+    pub witnesses: Vec<i64>,
+    /// Disjoint closed intervals inside `[lo, hi]` proven infeasible, sorted.
+    pub gaps: Vec<(i64, i64)>,
+    /// Whether `witnesses` is the *exact* feasible set (narrow ranges are
+    /// enumerated outright instead of swept).
+    pub complete: bool,
+}
+
+/// The maximal intervals of `[lo, hi]` containing none of `values`
+/// (`values` must be sorted ascending).
+fn gap_complement(lo: i64, hi: i64, values: &[i64]) -> Vec<(i64, i64)> {
+    let mut gaps = Vec::new();
+    let mut next = lo;
+    for &v in values {
+        if v > next {
+            gaps.push((next, v - 1));
+        }
+        next = next.max(v + 1);
+    }
+    if next <= hi {
+        gaps.push((next, hi));
+    }
+    gaps
+}
+
 /// Maximum DPLL(T) refinement iterations per `check()` before `Unknown`.
 const MAX_REFINEMENTS: u64 = 100_000;
 
@@ -384,6 +438,198 @@ impl Solver {
         self.optimize(v, false)
     }
 
+    /// The feasible range of integer variable `v` plus every feasible value
+    /// witnessed along the way, or `None` if the formula is unsatisfiable or
+    /// undecided.
+    ///
+    /// Cheaper than [`Self::minimize`] followed by [`Self::maximize`]: the
+    /// initial satisfiability check is shared between the two binary
+    /// searches, and every satisfying model seen during the search
+    /// contributes its value of `v` to [`VarBounds::witnesses`]. Each
+    /// witness is the value of `v` in a model of the live assertions, so
+    /// callers can treat witnesses as *proven-feasible* values without any
+    /// further solver query.
+    pub fn bounds(&mut self, v: VarId) -> Option<VarBounds> {
+        let info = self.pool.var_info(v).clone();
+        assert_eq!(info.sort, Sort::Int, "bounds on non-integer variable");
+        if self.check() != SatResult::Sat {
+            return None;
+        }
+        let witness = self.model.as_ref().unwrap().int_value(v).unwrap();
+        let mut witnesses = vec![witness];
+        let lo = self.bound_search(v, info.lo, witness, true, &mut witnesses)?;
+        let hi = self.bound_search(v, witness, info.hi, false, &mut witnesses)?;
+        witnesses.sort_unstable();
+        witnesses.dedup();
+        Some(VarBounds { lo, hi, witnesses })
+    }
+
+    /// One direction of the [`Self::bounds`] binary search. On entry the
+    /// `witness`-side endpoint is known feasible; satisfying probes tighten
+    /// using the model value of `v` (which can overshoot `mid`), not just
+    /// `mid` itself.
+    fn bound_search(
+        &mut self,
+        v: VarId,
+        mut lo: i64,
+        mut hi: i64,
+        minimize: bool,
+        witnesses: &mut Vec<i64>,
+    ) -> Option<i64> {
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2; // biased toward lo
+            let vt = self.var(v);
+            let c = self.int(mid);
+            let probe = if minimize {
+                self.le(vt, c)
+            } else {
+                let c1 = self.int(mid + 1);
+                self.ge(vt, c1)
+            };
+            match self.check_assuming(&[probe]) {
+                SatResult::Sat => {
+                    let w = self.model.as_ref().unwrap().int_value(v).unwrap();
+                    witnesses.push(w);
+                    if minimize {
+                        hi = w.min(mid);
+                    } else {
+                        lo = w.max(mid + 1);
+                    }
+                }
+                SatResult::Unsat if minimize => lo = mid + 1,
+                SatResult::Unsat => hi = mid,
+                SatResult::Unknown => return None,
+            }
+        }
+        Some(lo)
+    }
+
+    /// One round of interval analysis of `v`: the feasible hull plus a
+    /// classification of the values inside it, built on [`Self::bounds`].
+    ///
+    /// If the hull is at most `enumerate_width` values wide the exact
+    /// feasible set is computed by solve-and-block enumeration and
+    /// [`IntervalMap::complete`] is set. Otherwise each `stride`-aligned
+    /// bucket intersecting the hull is probed once: a satisfiable bucket
+    /// contributes a witness, an unsatisfiable one becomes a certified gap
+    /// (every value in it is proven infeasible by a single UNSAT answer).
+    /// Buckets the solver cannot decide are left unclassified, which is
+    /// sound: callers treat unclassified values as "unknown".
+    ///
+    /// Returns `None` when the live assertions are unsatisfiable or the
+    /// initial bound search is undecided.
+    pub fn interval_map(
+        &mut self,
+        v: VarId,
+        stride: i64,
+        enumerate_width: i64,
+    ) -> Option<IntervalMap> {
+        assert!(stride > 0, "interval_map stride must be positive");
+        let VarBounds {
+            lo,
+            hi,
+            mut witnesses,
+        } = self.bounds(v)?;
+        if hi - lo < enumerate_width {
+            if let Some(values) = self.feasible_values_in(v, lo, hi, &witnesses) {
+                let gaps = gap_complement(lo, hi, &values);
+                return Some(IntervalMap {
+                    lo,
+                    hi,
+                    witnesses: values,
+                    gaps,
+                    complete: true,
+                });
+            }
+            // Enumeration went Unknown: fall back to the swept partial map.
+        }
+        let mut gaps = Vec::new();
+        let mut harvested = Vec::new();
+        let mut wi = 0usize;
+        let mut bucket = lo - lo.rem_euclid(stride);
+        while bucket <= hi {
+            let (a, b) = (bucket.max(lo), (bucket + stride - 1).min(hi));
+            while wi < witnesses.len() && witnesses[wi] < a {
+                wi += 1;
+            }
+            let has_witness = wi < witnesses.len() && witnesses[wi] <= b;
+            if !has_witness {
+                let vt = self.var(v);
+                let (ca, cb) = (self.int(a), self.int(b));
+                let ge = self.ge(vt, ca);
+                let le = self.le(vt, cb);
+                match self.check_assuming(&[ge, le]) {
+                    SatResult::Sat => {
+                        let w = self.model.as_ref().unwrap().int_value(v).unwrap();
+                        harvested.push(w);
+                    }
+                    SatResult::Unsat => gaps.push((a, b)),
+                    SatResult::Unknown => {} // bucket stays unclassified
+                }
+            }
+            bucket += stride;
+        }
+        witnesses.extend(harvested);
+        witnesses.sort_unstable();
+        witnesses.dedup();
+        Some(IntervalMap {
+            lo,
+            hi,
+            witnesses,
+            gaps,
+            complete: false,
+        })
+    }
+
+    /// The exact feasible subset of `[lo, hi]` for `v`, computed by
+    /// solve-and-block enumeration: repeatedly find a model with `v` in the
+    /// range and none of the values found so far, until UNSAT. Values in
+    /// `known` are assumed already proven feasible and are blocked up front
+    /// rather than re-discovered. Returns `None` if the solver answers
+    /// `Unknown` mid-enumeration (the partial set would be unsound to treat
+    /// as exact).
+    pub fn feasible_values_in(
+        &mut self,
+        v: VarId,
+        lo: i64,
+        hi: i64,
+        known: &[i64],
+    ) -> Option<Vec<i64>> {
+        let mut found: Vec<i64> = known
+            .iter()
+            .copied()
+            .filter(|w| (lo..=hi).contains(w))
+            .collect();
+        found.sort_unstable();
+        found.dedup();
+        let width = (hi - lo + 1) as usize;
+        while found.len() < width {
+            let vt = self.var(v);
+            let (ca, cb) = (self.int(lo), self.int(hi));
+            let ge = self.ge(vt, ca);
+            let le = self.le(vt, cb);
+            let mut assumptions = vec![ge, le];
+            for &w in &found {
+                let cw = self.int(w);
+                let eq = self.eq(vt, cw);
+                let neq = self.not(eq);
+                assumptions.push(neq);
+            }
+            match self.check_assuming(&assumptions) {
+                SatResult::Sat => {
+                    let w = self.model.as_ref().unwrap().int_value(v).unwrap();
+                    debug_assert!((lo..=hi).contains(&w));
+                    let pos = found.partition_point(|&x| x < w);
+                    debug_assert!(found.get(pos) != Some(&w), "blocked value re-found");
+                    found.insert(pos, w);
+                }
+                SatResult::Unsat => break,
+                SatResult::Unknown => return None,
+            }
+        }
+        Some(found)
+    }
+
     fn optimize(&mut self, v: VarId, minimize: bool) -> Option<i64> {
         let info = self.pool.var_info(v).clone();
         assert_eq!(info.sort, Sort::Int, "optimize on non-integer variable");
@@ -586,6 +832,82 @@ mod tests {
         let f = s.ge(tx, c11);
         s.assert(f);
         assert_eq!(s.minimize(x), None);
+    }
+
+    #[test]
+    fn bounds_agree_with_minimize_maximize() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 0, 100);
+        let y = s.int_var("y", 0, 100);
+        let tx = s.var(x);
+        let ty = s.var(y);
+        let sum = s.add(&[tx, ty]);
+        let c = s.int(70);
+        let f = s.eq(sum, c);
+        s.assert(f);
+        let c55 = s.int(55);
+        let cap = s.le(ty, c55);
+        s.assert(cap);
+        // x + y = 70, y <= 55 → x ∈ [15, 70].
+        let b = s.bounds(x).unwrap();
+        assert_eq!((b.lo, b.hi), (15, 70));
+        assert_eq!(s.minimize(x), Some(b.lo));
+        assert_eq!(s.maximize(x), Some(b.hi));
+    }
+
+    #[test]
+    fn bounds_witnesses_are_feasible_and_cover_endpoints() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", -5, 90);
+        let tx = s.var(x);
+        let c3 = s.int(3);
+        let c77 = s.int(77);
+        let ge = s.ge(tx, c3);
+        let le = s.le(tx, c77);
+        s.assert(ge);
+        s.assert(le);
+        let b = s.bounds(x).unwrap();
+        assert_eq!((b.lo, b.hi), (3, 77));
+        assert!(b.witnesses.contains(&b.lo));
+        assert!(b.witnesses.contains(&b.hi));
+        assert!(
+            b.witnesses.windows(2).all(|w| w[0] < w[1]),
+            "sorted, deduped"
+        );
+        for &w in &b.witnesses {
+            let c = s.int(w);
+            let eq = s.eq(tx, c);
+            assert_eq!(s.check_assuming(&[eq]), SatResult::Sat, "witness {w}");
+        }
+    }
+
+    #[test]
+    fn bounds_on_unsat_returns_none() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 0, 10);
+        let tx = s.var(x);
+        let c11 = s.int(11);
+        let f = s.ge(tx, c11);
+        s.assert(f);
+        assert!(s.bounds(x).is_none());
+    }
+
+    #[test]
+    fn bounds_shares_the_initial_check() {
+        // minimize + maximize issue two initial checks; bounds issues one.
+        let mut s = Solver::new();
+        let x = s.int_var("x", 0, 40);
+        let before = s.stats().checks;
+        let _ = s.minimize(x);
+        let _ = s.maximize(x);
+        let separate = s.stats().checks - before;
+        let before = s.stats().checks;
+        let _ = s.bounds(x);
+        let combined = s.stats().checks - before;
+        assert!(
+            combined < separate,
+            "bounds ({combined} checks) should beat minimize+maximize ({separate})"
+        );
     }
 
     #[test]

@@ -88,12 +88,8 @@ pub fn check_conjunction(
     for (i, atom) in atoms.iter().enumerate() {
         let tag = BoundTag(i as u32);
         // Σ c·x + k ≤ 0  ⇔  Σ c·x ≤ −k.
-        let bound = Rational::from_int(
-            atom.expr
-                .constant
-                .checked_neg()
-                .expect("constant overflow"),
-        );
+        let bound =
+            Rational::from_int(atom.expr.constant.checked_neg().expect("constant overflow"));
         if atom.expr.is_constant() {
             // k ≤ 0 ?
             if atom.expr.constant > 0 {
@@ -175,7 +171,11 @@ fn branch_and_bound(
             let frac = val - fl;
             // Distance from 1/2, smaller is more fractional.
             let half = Rational::new(1, 2);
-            let dist = if frac > half { frac - half } else { half - frac };
+            let dist = if frac > half {
+                frac - half
+            } else {
+                half - frac
+            };
             if pick.is_none() || dist < best_frac {
                 best_frac = dist;
                 pick = Some((sv, val));
@@ -254,7 +254,9 @@ mod tests {
 
     fn pool_with_vars(n: usize, lo: i64, hi: i64) -> (TermPool, Vec<VarId>) {
         let mut p = TermPool::new();
-        let vs = (0..n).map(|i| p.int_var(&format!("x{i}"), lo, hi)).collect();
+        let vs = (0..n)
+            .map(|i| p.int_var(&format!("x{i}"), lo, hi))
+            .collect();
         (p, vs)
     }
 

@@ -29,33 +29,28 @@ fn rand_atom(num_vars: usize) -> impl Strategy<Value = RandAtom> {
         -20i64..=20,
         0u8..=2,
     )
-        .prop_map(|(coeffs, constant, op)| RandAtom { coeffs, constant, op })
+        .prop_map(|(coeffs, constant, op)| RandAtom {
+            coeffs,
+            constant,
+            op,
+        })
 }
 
 fn rand_formula() -> impl Strategy<Value = RandFormula> {
     (2usize..=3, 0i64..=2, 4i64..=8).prop_flat_map(|(num_vars, lo, hi_off)| {
         let hi = lo + hi_off;
-        proptest::collection::vec(
-            proptest::collection::vec(rand_atom(num_vars), 1..=2),
-            1..=4,
-        )
-        .prop_map(move |clauses| RandFormula {
-            num_vars,
-            lo,
-            hi,
-            clauses,
-        })
+        proptest::collection::vec(proptest::collection::vec(rand_atom(num_vars), 1..=2), 1..=4)
+            .prop_map(move |clauses| RandFormula {
+                num_vars,
+                lo,
+                hi,
+                clauses,
+            })
     })
 }
 
 fn atom_holds(a: &RandAtom, assign: &[i64]) -> bool {
-    let lhs: i64 = a
-        .coeffs
-        .iter()
-        .zip(assign)
-        .map(|(c, v)| c * v)
-        .sum::<i64>()
-        + a.constant;
+    let lhs: i64 = a.coeffs.iter().zip(assign).map(|(c, v)| c * v).sum::<i64>() + a.constant;
     match a.op {
         0 => lhs <= 0,
         1 => lhs >= 0,

@@ -90,7 +90,10 @@ fn nested_push_pop_stack() {
          (pop)
          (minimize x)",
     );
-    assert_eq!(out, vec!["unsat", "sat", "(minimize x 10)", "(minimize x 0)"]);
+    assert_eq!(
+        out,
+        vec!["unsat", "sat", "(minimize x 10)", "(minimize x 0)"]
+    );
 }
 
 #[test]

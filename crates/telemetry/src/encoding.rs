@@ -168,7 +168,10 @@ mod tests {
 
     #[test]
     fn fine_roundtrip() {
-        assert_eq!(parse_fine("20,15,25,30,10.").unwrap(), vec![20, 15, 25, 30, 10]);
+        assert_eq!(
+            parse_fine("20,15,25,30,10.").unwrap(),
+            vec![20, 15, 25, 30, 10]
+        );
         assert_eq!(parse_fine("0.").unwrap(), vec![0]);
         assert_eq!(parse_fine("7").unwrap(), vec![7]);
     }

@@ -75,7 +75,9 @@ pub fn generate(config: TelemetryConfig) -> Dataset {
 
 /// Generates one rack's trace of consecutive windows.
 fn generate_rack(config: &TelemetryConfig, rack: u32) -> Vec<Window> {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rack as u64 + 1)));
+    let mut rng = StdRng::seed_from_u64(
+        config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rack as u64 + 1)),
+    );
     let bw = config.bandwidth;
     let thresh = ecn_threshold(bw);
     // Per-rack personality: how bursty and how loaded.
@@ -93,8 +95,7 @@ fn generate_rack(config: &TelemetryConfig, rack: u32) -> Vec<Window> {
     for index in 0..config.windows_per_rack {
         // Diurnal load factor in [0.5, 1.5], period ~200 windows.
         let phase = rack as f64 * 0.7;
-        let diurnal =
-            1.0 + 0.5 * (2.0 * std::f64::consts::PI * index as f64 / 200.0 + phase).sin();
+        let diurnal = 1.0 + 0.5 * (2.0 * std::f64::consts::PI * index as f64 / 200.0 + phase).sin();
 
         let mut fine = Vec::with_capacity(config.window_len);
         let mut drops: i64 = 0;
@@ -239,7 +240,10 @@ mod tests {
         let cfg = small_config();
         let d = generate(cfg);
         let all_fine: Vec<i64> = d.train.iter().flat_map(|w| w.fine.clone()).collect();
-        let near_cap = all_fine.iter().filter(|&&v| v >= cfg.bandwidth * 3 / 4).count();
+        let near_cap = all_fine
+            .iter()
+            .filter(|&&v| v >= cfg.bandwidth * 3 / 4)
+            .count();
         let idle = all_fine.iter().filter(|&&v| v <= cfg.bandwidth / 4).count();
         assert!(near_cap > all_fine.len() / 50, "too few bursts: {near_cap}");
         assert!(idle > all_fine.len() / 10, "too few idle steps: {idle}");
@@ -269,8 +273,14 @@ mod tests {
     fn train_max_reflects_data() {
         let d = generate(small_config());
         let m = d.train_max(CoarseField::TotalIngress);
-        assert!(d.train.iter().all(|w| w.coarse.get(CoarseField::TotalIngress) <= m));
-        assert!(d.train.iter().any(|w| w.coarse.get(CoarseField::TotalIngress) == m));
+        assert!(d
+            .train
+            .iter()
+            .all(|w| w.coarse.get(CoarseField::TotalIngress) <= m));
+        assert!(d
+            .train
+            .iter()
+            .any(|w| w.coarse.get(CoarseField::TotalIngress) == m));
     }
 }
 
@@ -325,6 +335,9 @@ mod ramp_tests {
         let all: Vec<i64> = d.train.iter().flat_map(|w| w.fine.clone()).collect();
         let hi = *all.iter().max().unwrap();
         let lo = *all.iter().min().unwrap();
-        assert!(hi - lo > 20, "rate limiter flattened the workload: {lo}..{hi}");
+        assert!(
+            hi - lo > 20,
+            "rate limiter flattened the workload: {lo}..{hi}"
+        );
     }
 }

@@ -125,7 +125,11 @@ impl Dataset {
     /// The maximum observed coarse value per field across the training set
     /// (used to bound solver variables and size text fields).
     pub fn train_max(&self, f: CoarseField) -> i64 {
-        self.train.iter().map(|w| w.coarse.get(f)).max().unwrap_or(0)
+        self.train
+            .iter()
+            .map(|w| w.coarse.get(f))
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -93,7 +93,11 @@ fn main() {
             .filter_map(|(w, o)| o.as_ref().map(|v| (v, &w.fine)))
             .flat_map(|(v, f)| v.iter().zip(f).map(|(&p, &t)| (p as f64, t as f64)))
             .unzip();
-        let acc = if pred.is_empty() { f64::NAN } else { mae(&pred, &truth) };
+        let acc = if pred.is_empty() {
+            f64::NAN
+        } else {
+            mae(&pred, &truth)
+        };
         println!(
             "{name:<22} violation rate {:>6.1}%   MAE {acc:.2}   ({}/{} produced)",
             stats.rate() * 100.0,
@@ -107,14 +111,24 @@ fn main() {
         "vanilla GPT",
         windows
             .iter()
-            .map(|w| imputer.impute_vanilla(&w.coarse, &mut rng).ok().map(|o| o.values))
+            .map(|w| {
+                imputer
+                    .impute_vanilla(&w.coarse, &mut rng)
+                    .ok()
+                    .map(|o| o.values)
+            })
             .collect(),
     );
     report(
         "post-hoc repair",
         windows
             .iter()
-            .map(|w| imputer.impute_repaired(&w.coarse, &mut rng).ok().map(|(v, _)| v))
+            .map(|w| {
+                imputer
+                    .impute_repaired(&w.coarse, &mut rng)
+                    .ok()
+                    .map(|(v, _)| v)
+            })
             .collect(),
     );
     report(

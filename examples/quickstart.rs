@@ -45,7 +45,13 @@ fn main() {
     println!("\nrules:\n{rules}");
 
     // 4. Impute a held-out window with and without JIT enforcement.
-    let imputer = Imputer::new(&model, rules, data.window_len, data.bandwidth, TaskConfig::default());
+    let imputer = Imputer::new(
+        &model,
+        rules,
+        data.window_len,
+        data.bandwidth,
+        TaskConfig::default(),
+    );
     let mut rng = StdRng::seed_from_u64(42);
     let window = data
         .test

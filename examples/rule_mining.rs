@@ -27,13 +27,23 @@ fn main() {
     // A sample from each family.
     println!("\n-- sample imputation rules --");
     for prefix in ["fine_bounds", "sum_consistency", "coarse_", "fimp_"] {
-        if let Some(r) = mined.imputation.rules.iter().find(|r| r.name.starts_with(prefix)) {
+        if let Some(r) = mined
+            .imputation
+            .rules
+            .iter()
+            .find(|r| r.name.starts_with(prefix))
+        {
             println!("  {r}");
         }
     }
     println!("\n-- sample synthesis rules --");
     for prefix in ["bound_", "order_", "zero_", "imp_"] {
-        if let Some(r) = mined.synthesis.rules.iter().find(|r| r.name.starts_with(prefix)) {
+        if let Some(r) = mined
+            .synthesis
+            .rules
+            .iter()
+            .find(|r| r.name.starts_with(prefix))
+        {
             println!("  {r}");
         }
     }

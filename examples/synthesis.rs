@@ -54,7 +54,10 @@ fn main() {
     let kde = EWganGpLike::fit(&data.train);
     let kde_samples: Vec<CoarseSignals> = (0..n).map(|_| kde.generate(&mut rng)).collect();
 
-    println!("\n{:<18} {:>10} {:>16}", "method", "mean JSD", "violation rate");
+    println!(
+        "\n{:<18} {:>10} {:>16}",
+        "method", "mean JSD", "violation rate"
+    );
     for (name, samples) in [
         ("LeJIT", &lejit),
         ("vanilla LM", &vanilla),
@@ -75,8 +78,6 @@ fn main() {
             stats.rate() * 100.0
         );
     }
-    println!(
-        "\nLeJIT keeps fidelity close to the unconstrained model while driving"
-    );
+    println!("\nLeJIT keeps fidelity close to the unconstrained model while driving");
     println!("violations to zero — no retraining, just a different rule set.");
 }

@@ -71,10 +71,16 @@ fn main() {
     let spec = schema.variables()[3].clone();
     let mut state = VarState::start();
     let opts = allowed_chars(&mut session, 3, &spec, &state, Lookahead::Full);
-    println!("   state \"\"  -> digits {:?}, terminator: {}", opts.digits, opts.terminator);
+    println!(
+        "   state \"\"  -> digits {:?}, terminator: {}",
+        opts.digits, opts.terminator
+    );
     state.push(3);
     let opts = allowed_chars(&mut session, 3, &spec, &state, Lookahead::Full);
-    println!("   state \"3\" -> digits {:?}, terminator: {}", opts.digits, opts.terminator);
+    println!(
+        "   state \"3\" -> digits {:?}, terminator: {}",
+        opts.digits, opts.terminator
+    );
     println!("   (after '3' every extension 30..39 lies inside [0, 40], so all");
     println!("    digits survive; contrast state \"4\", where only '0' does:)");
     let mut st4 = lejit::core::VarState::start();
@@ -101,8 +107,14 @@ fn main() {
     println!("   leaves a single valid value; the transition system forces it:");
     let spec4 = schema.variables()[4].clone();
     let opts = allowed_chars(&mut session, 4, &spec4, &VarState::start(), Lookahead::Full);
-    println!("   state \"\" -> digits {:?}, terminator: {}", opts.digits, opts.terminator);
+    println!(
+        "   state \"\" -> digits {:?}, terminator: {}",
+        opts.digits, opts.terminator
+    );
     assert_eq!((lo4, hi4), (1, 1));
     println!("\nFinal imputed series: [20, 15, 25, 39, 1] — sum = 100, max = 39 >= 30.");
-    println!("All of R1–R3 hold by construction. ({} solver checks issued)", session.checks());
+    println!(
+        "All of R1–R3 hold by construction. ({} solver checks issued)",
+        session.checks()
+    );
 }

@@ -12,11 +12,7 @@ use lejit::telemetry::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn pipeline() -> (
-    lejit::telemetry::Dataset,
-    NgramLm,
-    lejit::rules::MinedRules,
-) {
+fn pipeline() -> (lejit::telemetry::Dataset, NgramLm, lejit::rules::MinedRules) {
     let data = generate(TelemetryConfig {
         racks_train: 8,
         racks_test: 2,
@@ -97,7 +93,11 @@ fn lejit_beats_vanilla_on_violations_without_losing_accuracy() {
     }
     let v_stats = violation_stats(&mined.imputation, &vanilla_out);
     let j_stats = violation_stats(&mined.imputation, &jit_out);
-    assert!(v_stats.rate() > 0.2, "vanilla too compliant: {}", v_stats.rate());
+    assert!(
+        v_stats.rate() > 0.2,
+        "vanilla too compliant: {}",
+        v_stats.rate()
+    );
     assert_eq!(j_stats.rate(), 0.0, "LeJIT must be perfectly compliant");
 
     let (vp, vt): (Vec<f64>, Vec<f64>) = vanilla_err.into_iter().unzip();

@@ -16,7 +16,10 @@ use rand::SeedableRng;
 fn any_model() -> NgramLm {
     let corpus = "0123456789,;|=.TERGCD 17,28,3.59,60,0.";
     let vocab = Vocab::from_corpus(corpus);
-    let seqs = vec![vocab.encode("17,28,3.").unwrap(), vocab.encode("59,60,0.").unwrap()];
+    let seqs = vec![
+        vocab.encode("17,28,3.").unwrap(),
+        vocab.encode("59,60,0.").unwrap(),
+    ];
     NgramLm::train(vocab, &seqs, 3)
 }
 

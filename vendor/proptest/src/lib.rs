@@ -1,0 +1,381 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Generator-only: strategies produce random values from a deterministic
+//! per-test RNG, and `proptest!` runs each test body for `cases` generated
+//! inputs, printing the inputs on failure. There is **no shrinking** — a
+//! failing case is reported as generated. Regression-seed files
+//! (`*.proptest-regressions`) are not replayed (the seed format is
+//! proptest-internal); known regressions should be checked in as explicit
+//! unit tests instead.
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Test configuration and the deterministic RNG behind generation.
+
+    /// Configuration accepted by `proptest!`'s `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic splitmix64 RNG seeded from the test's full path, so
+    /// every test sees a stable stream across runs and machines.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// An RNG seeded from `name` (typically `module_path!() :: test`).
+        pub fn deterministic(name: &str) -> TestRng {
+            // FNV-1a over the name, mixed with a fixed offset.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng {
+                state: h ^ 0x9E3779B97F4A7C15,
+            }
+        }
+
+        /// The next 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`.
+        ///
+        /// # Panics
+        /// Panics if `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            self.next_u64() % n
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive size range for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        /// Minimum length (inclusive).
+        pub lo: usize,
+        /// Maximum length (inclusive).
+        pub hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector strategy: each element drawn from `element`, length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit option lists.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy drawing uniformly from a fixed list.
+    #[derive(Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniform choice among `options`.
+    ///
+    /// # Panics
+    /// Panics (on first use) if `options` is empty.
+    pub fn select<T: Clone + 'static>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+
+    impl<T: Clone + 'static> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy behind [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniform `true` / `false`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface mirrored from real proptest.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Runs property tests: each `#[test] fn name(args in strategies) { body }`
+/// becomes a test running `cases` generated inputs. Inputs are printed on
+/// failure (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+     $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    let mut __inputs: Vec<(&'static str, String)> = Vec::new();
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);
+                        __inputs.push((stringify!($arg), format!("{:?}", &$arg)));
+                    )+
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body }),
+                    );
+                    if let Err(__panic) = __result {
+                        eprintln!(
+                            "proptest case {}/{} of `{}` failed with inputs:",
+                            __case + 1,
+                            __config.cases,
+                            stringify!($name),
+                        );
+                        for (__n, __v) in &__inputs {
+                            eprintln!("    {__n} = {__v}");
+                        }
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Weighted or unweighted choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..500 {
+            let v = Strategy::generate(&(3i64..=7), &mut rng);
+            assert!((3..=7).contains(&v));
+            let w = Strategy::generate(&(0usize..5), &mut rng);
+            assert!(w < 5);
+            let n = Strategy::generate(&(-5i32..=5), &mut rng);
+            assert!((-5..=5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::deterministic("vec");
+        for _ in 0..200 {
+            let v = Strategy::generate(&crate::collection::vec(0i64..=9, 2..=4), &mut rng);
+            assert!((2..=4).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..=9).contains(x)));
+            let exact = Strategy::generate(&crate::collection::vec(0i64..=9, 3), &mut rng);
+            assert_eq!(exact.len(), 3);
+        }
+    }
+
+    #[test]
+    fn map_filter_flat_map_compose() {
+        let mut rng = TestRng::deterministic("combinators");
+        let s = (1i64..=5)
+            .prop_map(|x| x * 2)
+            .prop_filter("even", |x| x % 2 == 0)
+            .prop_flat_map(|x| x..=x + 1);
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((2..=11).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_and_oneof_pick_all_branches() {
+        let mut rng = TestRng::deterministic("union");
+        let s = prop_oneof![3 => Just(1u8), 1 => Just(2u8)];
+        let mut seen = [0u32; 3];
+        for _ in 0..400 {
+            let v = Strategy::generate(&s, &mut rng);
+            seen[v as usize] += 1;
+        }
+        assert!(seen[1] > seen[2], "weighting ignored: {seen:?}");
+        assert!(seen[2] > 0, "unweighted branch never chosen");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 3, |inner| {
+                crate::collection::vec(inner, 1..=3).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::deterministic("recursive");
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            let t = Strategy::generate(&s, &mut rng);
+            max_depth = max_depth.max(depth(&t));
+            assert!(depth(&t) <= 3, "depth bound exceeded: {t:?}");
+        }
+        assert!(max_depth >= 1, "never recursed");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn proptest_macro_runs(x in 0i64..=100, ys in crate::collection::vec(0i64..=9, 1..4)) {
+            prop_assert!((0..=100).contains(&x));
+            prop_assert_eq!(ys.len(), ys.len(), "trivial: {:?}", ys);
+        }
+    }
+}

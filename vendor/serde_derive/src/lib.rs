@@ -1,0 +1,281 @@
+//! Syn-free `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stand-in. Supports exactly the shapes this workspace derives on:
+//!
+//! * enums with unit and tuple variants (externally tagged),
+//! * structs with named fields (objects),
+//! * tuple structs (newtype = transparent; otherwise an array).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct with the given field names.
+    Struct(Vec<String>),
+    /// Tuple struct with the given arity.
+    TupleStruct(usize),
+    /// Enum: `(variant name, tuple arity)`; arity 0 = unit variant.
+    Enum(Vec<(String, usize)>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Splits the top level of a token group on commas.
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for t in tokens {
+        if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+            out.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(t);
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strips leading `#[...]` attributes (incl. doc comments) from a token run.
+fn strip_attrs(tokens: &mut Vec<TokenTree>) {
+    loop {
+        match tokens.as_slice() {
+            [TokenTree::Punct(p), TokenTree::Group(g), ..]
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                tokens.drain(0..2);
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Strips a leading `pub` / `pub(...)` visibility from a token run.
+fn strip_vis(tokens: &mut Vec<TokenTree>) {
+    if matches!(tokens.first(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.remove(0);
+        if matches!(tokens.first(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.remove(0);
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens: Vec<TokenTree> = input.into_iter().collect();
+    strip_attrs(&mut tokens);
+    strip_vis(&mut tokens);
+
+    let kind = match tokens.first() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    tokens.remove(0);
+    let name = match tokens.first() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    tokens.remove(0);
+    if matches!(tokens.first(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic types");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.first() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = split_commas(g.stream().into_iter().collect())
+                    .into_iter()
+                    .filter(|f| !f.is_empty())
+                    .map(|mut f| {
+                        strip_attrs(&mut f);
+                        strip_vis(&mut f);
+                        match f.first() {
+                            Some(TokenTree::Ident(i)) => i.to_string(),
+                            other => panic!("expected field name, found {other:?}"),
+                        }
+                    })
+                    .collect();
+                Shape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_commas(g.stream().into_iter().collect())
+                    .into_iter()
+                    .filter(|f| !f.is_empty())
+                    .count();
+                Shape::TupleStruct(arity)
+            }
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => {
+            let body = match tokens.first() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body, found {other:?}"),
+            };
+            let variants = split_commas(body.into_iter().collect())
+                .into_iter()
+                .filter(|v| !v.is_empty())
+                .map(|mut v| {
+                    strip_attrs(&mut v);
+                    let vname = match v.first() {
+                        Some(TokenTree::Ident(i)) => i.to_string(),
+                        other => panic!("expected variant name, found {other:?}"),
+                    };
+                    let arity = match v.get(1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            split_commas(g.stream().into_iter().collect())
+                                .into_iter()
+                                .filter(|f| !f.is_empty())
+                                .count()
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            panic!("struct-like enum variants are not supported")
+                        }
+                        _ => 0,
+                    };
+                    (vname, arity)
+                })
+                .collect();
+            Shape::Enum(variants)
+        }
+        other => panic!("cannot derive serde impls for `{other}`"),
+    };
+
+    Input { name, shape }
+}
+
+fn binders(arity: usize) -> Vec<String> {
+    (0..arity).map(|i| format!("f{i}")).collect()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!("{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),"),
+                    1 => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::serialize(f0))]),"
+                    ),
+                    n => {
+                        let bs = binders(*n);
+                        let items: Vec<String> = bs
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),",
+                            bs.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(__v.field(\"{f}\")?)?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(__t[{i}])?"))
+                .collect();
+            format!(
+                "let __t = __v.expect_tuple({n})?;\nOk({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a > 0)
+                .map(|(v, arity)| {
+                    let items: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::deserialize(__t[{i}])?"))
+                        .collect();
+                    format!(
+                        "\"{v}\" => {{ let __t = __val.expect_tuple({arity})?; \
+                         Ok({name}::{v}({})) }}",
+                        items.join(", ")
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {units}\n\
+                         __other => Err(::serde::Error::custom(format!(\n\
+                             \"unknown unit variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __val) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged}\n\
+                             __other => Err(::serde::Error::custom(format!(\n\
+                                 \"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => Err(::serde::Error::custom(\n\
+                         format!(\"cannot deserialize {name} from this value\"))),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
