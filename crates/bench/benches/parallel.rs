@@ -1,0 +1,51 @@
+//! Criterion group for the parallel runtime: record-level decode throughput
+//! at 1/2/4 worker threads, and the blocked matmul kernel serial vs pooled.
+//!
+//! On a single-core machine the thread variants measure the scheduling
+//! overhead floor rather than speedup; on multi-core hardware the decode
+//! group is where the ≥2× at 4 threads shows up. Outputs are byte-identical
+//! across all variants (asserted in `tests/parallel_determinism.rs` and the
+//! `thread_scaling` table) — these benches measure time only.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use lejit_bench::experiments::{run_imputation_threads, ImputeMethod};
+use lejit_bench::setup::{BenchEnv, Scale};
+use lejit_lm::Matrix;
+
+fn bench_parallel_decode(c: &mut Criterion) {
+    std::env::set_var("LEJIT_NO_MODEL_CACHE", "1");
+    let env = BenchEnv::build(Scale::Tiny);
+    let mut g = c.benchmark_group("parallel_decode");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        g.bench_function(&format!("impute_lejit_full_t{threads}"), |b| {
+            b.iter(|| {
+                let run = run_imputation_threads(&env, ImputeMethod::LejitFull, 650, threads);
+                black_box(run.outputs.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let a = Matrix::randn(192, 192, 1.0, &mut rng);
+    let b = Matrix::randn(192, 192, 1.0, &mut rng);
+    let mut g = c.benchmark_group("parallel_matmul");
+    for threads in [1usize, 2, 4] {
+        g.bench_function(&format!("matmul_192_t{threads}"), |bch| {
+            minipool::set_global_threads(threads);
+            bch.iter(|| black_box(a.matmul(&b)))
+        });
+    }
+    minipool::set_global_threads(1);
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_decode, bench_parallel_matmul);
+criterion_main!(benches);

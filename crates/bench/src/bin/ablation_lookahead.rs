@@ -1,6 +1,9 @@
-//! Ablation A1: solver lookahead on vs off (dead-end rate).
+//! Ablation A1: solver lookahead on vs off (dead-end rate), plus the
+//! thread-scaling study of the parallel record-level decoder.
 //!
 //! Usage: `cargo run -p lejit-bench --release --bin ablation_lookahead`
+//! (`LEJIT_THREADS=n` pins the worker count; outputs are byte-identical
+//! for every value, only wall time changes.)
 
 use lejit_bench::{experiments, print_table, BenchEnv, Scale};
 
@@ -8,4 +11,13 @@ fn main() {
     let env = BenchEnv::build(Scale::from_env());
     let table = experiments::ablation_lookahead(&env);
     print_table("Ablation A1: solver lookahead", &table);
+    let scaling = experiments::thread_scaling(&env);
+    print_table(
+        &format!(
+            "Thread scaling: LeJIT imputation, {} windows (env default: {} threads)",
+            env.eval_windows().len(),
+            env.threads
+        ),
+        &scaling,
+    );
 }

@@ -10,7 +10,10 @@ use rand::SeedableRng;
 use lejit_baselines::{
     CoarseGenerator, CtganLike, EWganGpLike, NetShareLike, RealTabFormerLike, TvaeLike, Zoom2Net,
 };
-use lejit_core::{DecodeError, Imputer, Lookahead, Synthesizer, TaskConfig};
+use lejit_core::{
+    par_records, par_records_with, record_seed, DecodeError, Imputer, Lookahead, Synthesizer,
+    TaskConfig,
+};
 use lejit_lm::{CachedGpt, SamplerConfig};
 use lejit_metrics::{
     burst_accuracy, emd, jsd, mae, mean_acf_distance, p99_relative_error, violation_stats,
@@ -87,95 +90,92 @@ impl ImputeMethod {
 fn task_config(rejection_budget: u32) -> TaskConfig {
     TaskConfig {
         sampler: SamplerConfig::default(),
-        lookahead: Lookahead::Full,
         rejection_budget,
+        ..TaskConfig::default()
     }
 }
 
-/// Runs one imputation method over the evaluation windows.
-pub fn run_imputation(env: &BenchEnv, method: ImputeMethod, seed: u64) -> ImputationRun {
-    let windows = env.eval_windows();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let budget = match env.scale {
+fn rejection_budget(env: &BenchEnv) -> u32 {
+    match env.scale {
         crate::setup::Scale::Tiny => 50,
         crate::setup::Scale::Quick => 300,
         crate::setup::Scale::Full => 1000,
-    };
+    }
+}
+
+/// Runs one imputation method over the evaluation windows with the
+/// environment's thread count.
+pub fn run_imputation(env: &BenchEnv, method: ImputeMethod, seed: u64) -> ImputationRun {
+    run_imputation_threads(env, method, seed, env.threads)
+}
+
+/// Per-record decode callback shared by the imputation methods: given the
+/// worker's imputer, the record index, and that record's seeded RNG, return
+/// the imputed series (or `None` on decode failure).
+type ImputeRecordFn<'a> =
+    dyn for<'m> Fn(&Imputer<CachedGpt<'m>>, usize, &mut StdRng) -> Option<Vec<i64>> + Sync + 'a;
+
+/// [`run_imputation`] with an explicit worker-thread count.
+///
+/// Records decode in parallel: the trained model is shared read-only across
+/// workers, each worker owns its KV cache ([`CachedGpt`] is interior-mutable
+/// and worker-local), and record `i` draws from its own RNG seeded by
+/// [`record_seed`]`(seed, i)` — so the outputs are byte-identical for every
+/// `threads` value, including the sequential `threads == 1` program.
+pub fn run_imputation_threads(
+    env: &BenchEnv,
+    method: ImputeMethod,
+    seed: u64,
+    threads: usize,
+) -> ImputationRun {
+    let windows = env.eval_windows();
+    let budget = rejection_budget(env);
     let d = &env.dataset;
+    let start = Instant::now();
     // KV-cached inference: the decoder queries the model per character with
     // a growing context, so caching turns O(T^3) records into O(T^2).
-    let cached = CachedGpt::new(&env.gpt);
-    let start = Instant::now();
+    let with_imputer = |rules: &RuleSet, f: &ImputeRecordFn| {
+        par_records_with(
+            threads,
+            windows.len(),
+            || CachedGpt::new(&env.gpt),
+            |cached, i| {
+                let imp = Imputer::new(
+                    &*cached,
+                    rules.clone(),
+                    d.window_len,
+                    d.bandwidth,
+                    task_config(budget),
+                );
+                let mut rng = StdRng::seed_from_u64(record_seed(seed, i as u64));
+                f(&imp, i, &mut rng)
+            },
+        )
+    };
     let outputs: Vec<Option<Vec<i64>>> = match method {
-        ImputeMethod::Vanilla => {
-            let imp = Imputer::new(
-                &cached,
-                env.mined.imputation.clone(),
-                d.window_len,
-                d.bandwidth,
-                task_config(budget),
-            );
-            windows
-                .iter()
-                .map(|w| {
-                    imp.impute_vanilla(&w.coarse, &mut rng)
-                        .ok()
-                        .map(|o| o.values)
-                })
-                .collect()
-        }
+        ImputeMethod::Vanilla => with_imputer(&env.mined.imputation, &|imp, i, rng| {
+            imp.impute_vanilla(&windows[i].coarse, rng)
+                .ok()
+                .map(|o| o.values)
+        }),
         ImputeMethod::Zoom2Net => {
             let z2n = Zoom2Net::new(&d.train, 5, env.manual.clone(), d.bandwidth);
-            windows.iter().map(|w| z2n.impute(&w.coarse).ok()).collect()
+            par_records(threads, windows.len(), |i| {
+                z2n.impute(&windows[i].coarse).ok()
+            })
         }
-        ImputeMethod::LejitManual => {
-            let imp = Imputer::new(
-                &cached,
-                env.manual.clone(),
-                d.window_len,
-                d.bandwidth,
-                task_config(budget),
-            );
-            windows
-                .iter()
-                .map(|w| imp.impute(&w.coarse, &mut rng).ok().map(|o| o.values))
-                .collect()
-        }
-        ImputeMethod::Rejection => {
-            let imp = Imputer::new(
-                &cached,
-                env.mined.imputation.clone(),
-                d.window_len,
-                d.bandwidth,
-                task_config(budget),
-            );
-            windows
-                .iter()
-                .map(|w| {
-                    imp.impute_rejection(&w.coarse, &mut rng)
-                        .ok()
-                        .filter(|o| o.accepted())
-                        .map(|o| o.output().values.clone())
-                })
-                .collect()
-        }
-        ImputeMethod::LejitFull => {
-            let imp = Imputer::new(
-                &cached,
-                env.mined.imputation.clone(),
-                d.window_len,
-                d.bandwidth,
-                task_config(budget),
-            );
-            windows
-                .iter()
-                .map(|w| match imp.impute(&w.coarse, &mut rng) {
-                    Ok(o) => Some(o.values),
-                    Err(DecodeError::UnsatRules) => None,
-                    Err(_) => None,
-                })
-                .collect()
-        }
+        ImputeMethod::LejitManual => with_imputer(&env.manual, &|imp, i, rng| {
+            imp.impute(&windows[i].coarse, rng).ok().map(|o| o.values)
+        }),
+        ImputeMethod::Rejection => with_imputer(&env.mined.imputation, &|imp, i, rng| {
+            imp.impute_rejection(&windows[i].coarse, rng)
+                .ok()
+                .filter(|o| o.accepted())
+                .map(|o| o.output().values.clone())
+        }),
+        ImputeMethod::LejitFull => with_imputer(&env.mined.imputation, &|imp, i, rng| {
+            imp.impute(&windows[i].coarse, rng).ok().map(|o| o.values)
+        }),
     };
     ImputationRun {
         method: method.label().to_string(),
@@ -329,23 +329,37 @@ pub fn fig4_downstream(env: &BenchEnv) -> Table {
     table
 }
 
-/// One synthesis method's samples.
-fn synth_samples(
+/// Rebuild period for reused synthesis sessions: every retracted
+/// checkpoint frame leaves one disabled selector clause in the solver, so a
+/// worker replaces its session after this many draws to keep the clause
+/// database bounded. Behaviorally invisible — a rebuilt session answers
+/// exactly like a rolled-back one.
+const SYNTH_SESSION_REBUILD_PERIOD: usize = 128;
+
+/// One synthesis method's samples, drawn in parallel.
+///
+/// `init()` builds per-worker state (a KV cache, a reusable session);
+/// `draw` must be a pure function of that state and the per-sample RNG,
+/// which is seeded by [`record_seed`]`(seed, i)` — sample `i` is identical
+/// for every thread count.
+fn synth_samples<S>(
     env: &BenchEnv,
     name: &str,
-    mut draw: impl FnMut(&mut StdRng) -> Option<CoarseSignals>,
+    init: impl Fn() -> S + Sync,
+    draw: impl Fn(&mut S, &mut StdRng) -> Option<CoarseSignals> + Sync,
     seed: u64,
 ) -> (String, Vec<CoarseSignals>, Duration) {
-    let mut rng = StdRng::seed_from_u64(seed);
     let n = env.scale.synth_samples();
     let start = Instant::now();
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        if let Some(s) = draw(&mut rng) {
-            out.push(s);
-        }
-    }
-    (name.to_string(), out, start.elapsed())
+    let out = par_records_with(env.threads, n, init, |state, i| {
+        let mut rng = StdRng::seed_from_u64(record_seed(seed, i as u64));
+        draw(state, &mut rng)
+    });
+    (
+        name.to_string(),
+        out.into_iter().flatten().collect(),
+        start.elapsed(),
+    )
 }
 
 /// Fig. 5: synthesis fidelity (per-field JSD vs the training distribution)
@@ -373,20 +387,32 @@ pub fn fig5_synthesis(env: &BenchEnv) -> Table {
         .map(|f| d.train.iter().map(|w| w.coarse.get(f) as f64).collect())
         .collect();
 
-    let cached_a = CachedGpt::new(&env.gpt);
-    let cached_b = CachedGpt::new(&env.gpt);
-    let lejit_synth = Synthesizer::new(
-        &cached_a,
-        env.mined.synthesis.clone(),
-        env.coarse_hi,
-        task_config(budget),
-    );
-    let vanilla_synth = Synthesizer::new(
-        &cached_b,
-        env.mined.synthesis.clone(),
-        env.coarse_hi,
-        task_config(budget),
-    );
+    // Per-draw Synthesizer construction against a worker-local KV cache:
+    // the model is shared read-only, everything mutable is worker state.
+    fn synth_with<'a, 'm>(
+        env: &BenchEnv,
+        budget: u32,
+        cached: &'a CachedGpt<'m>,
+    ) -> Synthesizer<'a, CachedGpt<'m>> {
+        Synthesizer::new(
+            cached,
+            env.mined.synthesis.clone(),
+            env.coarse_hi,
+            task_config(budget),
+        )
+    }
+    // Session factory for the reused-session LeJIT loop: building a session
+    // needs only the rules and bounds, not the model, so ground once per
+    // worker (and on periodic rebuild) against the raw GPT.
+    let fresh_session = || {
+        Synthesizer::new(
+            &env.gpt,
+            env.mined.synthesis.clone(),
+            env.coarse_hi,
+            task_config(budget),
+        )
+        .build_session()
+    };
     let netshare = NetShareLike::fit(&d.train, 0.08);
     let ewgan = EWganGpLike::fit(&d.train);
     let ctgan = CtganLike::fit(&d.train, 20);
@@ -397,14 +423,21 @@ pub fn fig5_synthesis(env: &BenchEnv) -> Table {
     runs.push(synth_samples(
         env,
         "Vanilla GPT-2",
-        |rng| vanilla_synth.synthesize_vanilla(rng).ok().map(|(s, _)| s),
+        || CachedGpt::new(&env.gpt),
+        |cached, rng| {
+            synth_with(env, budget, cached)
+                .synthesize_vanilla(rng)
+                .ok()
+                .map(|(s, _)| s)
+        },
         501,
     ));
     runs.push(synth_samples(
         env,
         "Rejection sampling",
-        |rng| {
-            vanilla_synth
+        || CachedGpt::new(&env.gpt),
+        |cached, rng| {
+            synth_with(env, budget, cached)
                 .synthesize_rejection(rng)
                 .ok()
                 .filter(|(_, o)| o.accepted())
@@ -412,40 +445,58 @@ pub fn fig5_synthesis(env: &BenchEnv) -> Table {
         },
         502,
     ));
+    // LeJIT reuses one grounded session per worker across draws
+    // (checkpoint/rollback inside `synthesize_in`) instead of rebuilding
+    // and re-grounding the rules per sample.
     runs.push(synth_samples(
         env,
         "LeJIT",
-        |rng| lejit_synth.synthesize(rng).ok().map(|(s, _)| s),
+        || (CachedGpt::new(&env.gpt), fresh_session(), 0usize),
+        |(cached, (session, schema), draws), rng| {
+            if *draws > 0 && *draws % SYNTH_SESSION_REBUILD_PERIOD == 0 {
+                *session = fresh_session().0;
+            }
+            *draws += 1;
+            synth_with(env, budget, cached)
+                .synthesize_in(session, schema, rng)
+                .ok()
+                .map(|(s, _)| s)
+        },
         503,
     ));
     runs.push(synth_samples(
         env,
         netshare.name(),
-        |rng| Some(netshare.generate(rng)),
+        || (),
+        |_, rng| Some(netshare.generate(rng)),
         504,
     ));
     runs.push(synth_samples(
         env,
         ewgan.name(),
-        |rng| Some(ewgan.generate(rng)),
+        || (),
+        |_, rng| Some(ewgan.generate(rng)),
         505,
     ));
     runs.push(synth_samples(
         env,
         ctgan.name(),
-        |rng| Some(ctgan.generate(rng)),
+        || (),
+        |_, rng| Some(ctgan.generate(rng)),
         506,
     ));
     runs.push(synth_samples(
         env,
         tvae.name(),
-        |rng| Some(tvae.generate(rng)),
+        || (),
+        |_, rng| Some(tvae.generate(rng)),
         507,
     ));
     runs.push(synth_samples(
         env,
         rtf.name(),
-        |rng| Some(rtf.generate(rng)),
+        || (),
+        |_, rng| Some(rtf.generate(rng)),
         508,
     ));
 
@@ -489,44 +540,58 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
         "checks saved/char",
         "sec/sample",
     ]);
-    let cached = CachedGpt::new(&env.gpt);
     for (label, lookahead) in [
         ("full (LeJIT)", Lookahead::Full),
         ("interval-guided (LeJIT)", Lookahead::IntervalGuided),
         ("immediate only (grammar-style)", Lookahead::ImmediateOnly),
     ] {
-        let imp = Imputer::new(
-            &cached,
-            env.mined.imputation.clone(),
-            d.window_len,
-            d.bandwidth,
-            TaskConfig {
-                lookahead,
-                ..task_config(100)
+        let start = Instant::now();
+        let results = par_records_with(
+            env.threads,
+            windows.len(),
+            || CachedGpt::new(&env.gpt),
+            |cached, i| {
+                let imp = Imputer::new(
+                    &*cached,
+                    env.mined.imputation.clone(),
+                    d.window_len,
+                    d.bandwidth,
+                    TaskConfig {
+                        lookahead,
+                        ..task_config(100)
+                    },
+                );
+                let mut rng = StdRng::seed_from_u64(record_seed(600, i as u64));
+                match imp.impute(&windows[i].coarse, &mut rng) {
+                    Ok(o) => Ok((
+                        o.stats.solver_checks,
+                        o.stats.solver_checks_saved,
+                        o.stats.tokens - o.stats.forced_tokens,
+                        o.values,
+                    )),
+                    Err(DecodeError::DeadEnd { .. }) => Err(true),
+                    Err(_) => Err(false),
+                }
             },
         );
-        let mut rng = StdRng::seed_from_u64(600);
+        let wall = start.elapsed().as_secs_f64() / windows.len().max(1) as f64;
         let mut dead_ends = 0usize;
         let mut completed: Vec<(CoarseSignals, Vec<i64>)> = Vec::new();
         let mut total_checks = 0u64;
         let mut total_saved = 0u64;
         let mut generated_chars = 0u64;
-        let start = Instant::now();
-        let mut attempted = 0usize;
-        for w in windows {
-            attempted += 1;
-            match imp.impute(&w.coarse, &mut rng) {
-                Ok(o) => {
-                    total_checks += o.stats.solver_checks;
-                    total_saved += o.stats.solver_checks_saved;
-                    generated_chars += o.stats.tokens - o.stats.forced_tokens;
-                    completed.push((w.coarse, o.values));
+        for (w, r) in windows.iter().zip(results) {
+            match r {
+                Ok((checks, saved, chars, values)) => {
+                    total_checks += checks;
+                    total_saved += saved;
+                    generated_chars += chars;
+                    completed.push((w.coarse, values));
                 }
-                Err(DecodeError::DeadEnd { .. }) => dead_ends += 1,
-                Err(_) => {}
+                Err(true) => dead_ends += 1,
+                Err(false) => {}
             }
         }
-        let wall = start.elapsed().as_secs_f64() / attempted.max(1) as f64;
         let stats = violation_stats(&env.mined.imputation, &completed);
         let per_char = |n: u64| {
             if generated_chars == 0 {
@@ -543,6 +608,55 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
             per_char(total_checks),
             per_char(total_saved),
             format!("{wall:.4}"),
+        ]);
+    }
+    table
+}
+
+/// Thread-scaling study: LeJIT full-rule imputation wall time vs worker
+/// count, with a byte-identity check against the sequential run.
+///
+/// Speedup is wall-clock and therefore hardware-dependent (a single-core
+/// machine reports ~1.0×); the "byte-identical" column is the
+/// hardware-independent claim — every thread count decodes the exact same
+/// records.
+pub fn thread_scaling(env: &BenchEnv) -> Table {
+    let windows = env.eval_windows();
+    let mut table = Table::new(&[
+        "threads",
+        "wall (s)",
+        "sec/sample",
+        "speedup vs 1 thread",
+        "byte-identical to 1 thread",
+    ]);
+    let mut counts = vec![1usize, 2, 4];
+    if !counts.contains(&env.threads) {
+        counts.push(env.threads);
+    }
+    let mut reference: Option<(f64, Vec<Option<Vec<i64>>>)> = None;
+    for threads in counts {
+        let run = run_imputation_threads(env, ImputeMethod::LejitFull, 650, threads);
+        let wall = run.wall.as_secs_f64();
+        let (speedup, identical) = match &reference {
+            None => {
+                reference = Some((wall, run.outputs.clone()));
+                ("1.00x".to_string(), "reference".to_string())
+            }
+            Some((base_wall, base_outputs)) => (
+                format!("{:.2}x", base_wall / wall.max(1e-9)),
+                if *base_outputs == run.outputs {
+                    "yes".to_string()
+                } else {
+                    "NO — DETERMINISM BUG".to_string()
+                },
+            ),
+        };
+        table.row(vec![
+            threads.to_string(),
+            f3(wall),
+            format!("{:.4}", wall / windows.len().max(1) as f64),
+            speedup,
+            identical,
         ]);
     }
     table
@@ -602,23 +716,30 @@ pub fn ablation_temporal(env: &BenchEnv) -> Table {
     ] {
         let rule_count = rules.len();
         let imp = Imputer::new(&model, rules, d.window_len, d.bandwidth, task_config(100));
-        let mut rng = StdRng::seed_from_u64(800);
+        // The n-gram model is stateless (no KV cache), so workers share it
+        // directly; each window still gets its own seeded RNG.
+        let results = par_records(env.threads, windows.len(), |i| {
+            let mut rng = StdRng::seed_from_u64(record_seed(800, i as u64));
+            imp.impute(&windows[i].coarse, &mut rng)
+                .ok()
+                .map(|o| o.values)
+        });
         let mut pred_concat: Vec<f64> = Vec::new();
         let mut truth_concat: Vec<f64> = Vec::new();
         let mut pred_all: Vec<f64> = Vec::new();
         let mut truth_all: Vec<f64> = Vec::new();
         let mut accs: Vec<BurstAccuracy> = Vec::new();
         let mut n = 0usize;
-        for w in windows {
-            if let Ok(o) = imp.impute(&w.coarse, &mut rng) {
+        for (w, values) in windows.iter().zip(results) {
+            if let Some(values) = values {
                 n += 1;
-                pred_concat.extend(o.values.iter().map(|&x| x as f64));
+                pred_concat.extend(values.iter().map(|&x| x as f64));
                 truth_concat.extend(w.fine.iter().map(|&x| x as f64));
-                for (&p, &t) in o.values.iter().zip(&w.fine) {
+                for (&p, &t) in values.iter().zip(&w.fine) {
                     pred_all.push(p as f64);
                     truth_all.push(t as f64);
                 }
-                accs.push(burst_accuracy(&o.values, &w.fine, d.bandwidth / 2));
+                accs.push(burst_accuracy(&values, &w.fine, d.bandwidth / 2));
             }
         }
         if n == 0 {
@@ -655,28 +776,41 @@ pub fn ablation_rules(env: &BenchEnv) -> Table {
         "EMD",
         "sec/sample",
     ]);
-    let cached = CachedGpt::new(&env.gpt);
     for frac in [0.0f64, 0.25, 0.5, 1.0] {
         let k = ((full.len() as f64) * frac).round() as usize;
         let subset = RuleSet::new(full.rules[..k].to_vec());
-        let imp = Imputer::new(&cached, subset, d.window_len, d.bandwidth, task_config(100));
-        let mut rng = StdRng::seed_from_u64(700);
         let start = Instant::now();
+        let results = par_records_with(
+            env.threads,
+            windows.len(),
+            || CachedGpt::new(&env.gpt),
+            |cached, i| {
+                let imp = Imputer::new(
+                    &*cached,
+                    subset.clone(),
+                    d.window_len,
+                    d.bandwidth,
+                    task_config(100),
+                );
+                let mut rng = StdRng::seed_from_u64(record_seed(700, i as u64));
+                let result = if k == 0 {
+                    imp.impute_vanilla(&windows[i].coarse, &mut rng)
+                } else {
+                    imp.impute(&windows[i].coarse, &mut rng)
+                };
+                result.ok().map(|o| o.values)
+            },
+        );
         let mut outputs: Vec<(CoarseSignals, Vec<i64>)> = Vec::new();
         let mut pred_all = Vec::new();
         let mut truth_all = Vec::new();
-        for w in windows {
-            let result = if k == 0 {
-                imp.impute_vanilla(&w.coarse, &mut rng)
-            } else {
-                imp.impute(&w.coarse, &mut rng)
-            };
-            if let Ok(o) = result {
-                for (&p, &t) in o.values.iter().zip(&w.fine) {
+        for (w, values) in windows.iter().zip(results) {
+            if let Some(values) = values {
+                for (&p, &t) in values.iter().zip(&w.fine) {
                     pred_all.push(p as f64);
                     truth_all.push(t as f64);
                 }
-                outputs.push((w.coarse, o.values));
+                outputs.push((w.coarse, values));
             }
         }
         let wall = start.elapsed().as_secs_f64() / windows.len() as f64;

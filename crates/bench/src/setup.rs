@@ -23,6 +23,25 @@ pub enum Scale {
     Full,
 }
 
+/// Reads `LEJIT_THREADS` (worker threads for record-level parallel
+/// decoding), defaulting to the machine's available parallelism.
+///
+/// Decoded outputs are byte-identical for every value — the knob trades
+/// wall time only. The value also becomes the process-global pool default
+/// ([`minipool::set_global_threads`]) when [`BenchEnv::build`] runs, so the
+/// blocked matmul kernels scale with it too.
+pub fn threads_from_env() -> usize {
+    std::env::var("LEJIT_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
 impl Scale {
     /// Reads `LEJIT_SCALE` (`tiny`/`quick`/`full`), defaulting to `Quick`.
     pub fn from_env() -> Scale {
@@ -101,12 +120,18 @@ pub struct BenchEnv {
     pub paper: RuleSet,
     /// Per-field training maxima (variable bounds for synthesis).
     pub coarse_hi: [i64; 6],
+    /// Worker threads for record-level parallel decoding
+    /// ([`threads_from_env`]). Outputs are byte-identical for every value.
+    pub threads: usize,
 }
 
 impl BenchEnv {
     /// Builds the environment: generate data, train the GPT, mine rules.
-    /// Deterministic for a given scale.
+    /// Output-deterministic for a given scale (the thread count only
+    /// changes wall time).
     pub fn build(scale: Scale) -> BenchEnv {
+        let threads = threads_from_env();
+        minipool::set_global_threads(threads);
         let dataset = generate(scale.telemetry());
 
         // Train the char-level GPT from scratch on imputation-example text
@@ -151,6 +176,7 @@ impl BenchEnv {
                         manual,
                         paper,
                         coarse_hi,
+                        threads,
                     };
                 }
             }
@@ -197,6 +223,7 @@ impl BenchEnv {
             manual,
             paper,
             coarse_hi,
+            threads,
         }
     }
 

@@ -1,0 +1,113 @@
+//! Record-level parallel decoding with a byte-identical determinism
+//! contract.
+//!
+//! Batch workloads — imputing hundreds of windows, synthesizing thousands
+//! of records — are embarrassingly parallel *across* records: each record
+//! decodes against its own solver state and its own RNG, and the model is
+//! only read. This module is the thin harness that makes the parallel run
+//! reproduce the sequential one byte for byte:
+//!
+//! * **Per-record RNG.** Each record draws from its own `StdRng` seeded by
+//!   [`record_seed`]`(base, index)` — never from a stream shared across
+//!   records. A shared stream would interleave differently under every
+//!   schedule; a per-record seed makes record `i`'s randomness a pure
+//!   function of `(base, i)`.
+//! * **Worker-local mutable state.** Anything mutable a record touches (a
+//!   KV cache, a reusable [`crate::session::JitSession`]) lives in
+//!   worker-local state built by the `init` closure of
+//!   [`par_records_with`]. Such state may only *cache pure functions* (a KV
+//!   cache rebuilt from any prompt gives float-identical logits; a session
+//!   rolled back to its base frame answers like a fresh one), so which
+//!   worker processed which records is unobservable in the output.
+//! * **Ordered results.** [`minipool`] hands items out dynamically but
+//!   reassembles results in index order.
+//!
+//! Under this contract, `par_records(t, n, f)` returns the same vector for
+//! every `t` — including `t = 1`, which runs the exact sequential program.
+
+use minipool::ThreadPool;
+
+/// Derives the RNG seed for record `index` of a batch seeded by `base`.
+///
+/// SplitMix64-style finalizer over `base ⊕ golden·(index+1)`: records get
+/// decorrelated streams, and the mapping is a pure function of its inputs
+/// so any schedule (or a resumed run) reproduces it.
+pub fn record_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ (index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The pool for a record-level batch: `threads` workers, or the
+/// process-global default ([`minipool::global_threads`]) when `threads`
+/// is `0` (the [`crate::tasks::TaskConfig::threads`] convention).
+pub fn record_pool(threads: usize) -> ThreadPool {
+    if threads == 0 {
+        ThreadPool::global()
+    } else {
+        ThreadPool::new(threads)
+    }
+}
+
+/// Decodes records `0..len` in parallel, returning results in index order.
+///
+/// `f(i)` must be a pure function of `i` (seed its RNG with
+/// [`record_seed`]); the output is then byte-identical for every `threads`
+/// value.
+pub fn par_records<T, F>(threads: usize, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    record_pool(threads).par_map(len, f)
+}
+
+/// [`par_records`] with per-worker state (a KV cache, a reusable session):
+/// `init()` runs once per worker, `f(&mut state, i)` per record.
+///
+/// Determinism additionally requires the state to be behaviorally
+/// partition-independent — it may cache pure computation but must not leak
+/// *which* records this worker saw into any result.
+pub fn par_records_with<S, T, FI, F>(threads: usize, len: usize, init: FI, f: F) -> Vec<T>
+where
+    T: Send,
+    FI: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    record_pool(threads).par_map_with(len, init, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_seed_is_stable_and_decorrelated() {
+        // Pure function: same inputs, same seed.
+        assert_eq!(record_seed(42, 7), record_seed(42, 7));
+        // Neighboring records and bases land far apart.
+        let s: Vec<u64> = (0..100).map(|i| record_seed(42, i)).collect();
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100, "collision among 100 record seeds");
+        assert_ne!(record_seed(1, 0), record_seed(2, 0));
+    }
+
+    #[test]
+    fn par_records_is_thread_count_invariant() {
+        let expect: Vec<u64> = (0..50).map(|i| record_seed(9, i as u64)).collect();
+        for threads in [1, 2, 4] {
+            let got = par_records(threads, 50, |i| record_seed(9, i as u64));
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_uses_global_default() {
+        // Smoke: the 0 = "global default" convention resolves to a pool.
+        assert!(record_pool(0).threads() >= 1);
+        assert_eq!(record_pool(3).threads(), 3);
+    }
+}

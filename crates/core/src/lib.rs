@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod decoder;
 pub mod repair;
 pub mod schema;
@@ -39,10 +40,11 @@ pub mod trace;
 pub mod transition;
 pub mod vanilla;
 
+pub use batch::{par_records, par_records_with, record_seed};
 pub use decoder::{DecodeError, DecodeStats, DecodedOutput, JitDecoder};
 pub use repair::{repair_arbitrary, repair_nearest, RepairError};
 pub use schema::{DecodeSchema, SchemaItem, VarSpec};
-pub use session::JitSession;
+pub use session::{JitSession, SessionCheckpoint};
 pub use tasks::{Imputer, Synthesizer, TaskConfig, TaskError};
 pub use trace::{DecodeTrace, TraceStep};
 pub use transition::{allowed_chars, CharOptions, Lookahead, VarState};

@@ -82,15 +82,29 @@ impl VarIntervals {
     }
 }
 
+/// A snapshot of a [`JitSession`]'s instantiation state, taken by
+/// [`JitSession::checkpoint`] and restored by [`JitSession::rollback`].
+///
+/// Checkpoints nest but must be rolled back in LIFO order (they mirror the
+/// solver's push/pop stack).
+#[derive(Clone, Copy, Debug)]
+pub struct SessionCheckpoint {
+    fix_epoch: u64,
+}
+
 /// Solver session for one output record.
 pub struct JitSession {
     solver: Solver,
     vars: Vec<VarId>,
     var_terms: Vec<TermId>,
     checks: u64,
-    /// Bumped by every [`Self::fix`]; all interval-guided caches are keyed
+    /// Advanced by every [`Self::fix`]; all interval-guided caches are keyed
     /// or tagged by this epoch so a fix invalidates them wholesale.
     fix_epoch: u64,
+    /// The next epoch [`Self::fix`] will assign. Strictly monotonic over the
+    /// session's whole life — epochs are never reused, so cache entries from
+    /// a rolled-back branch can never collide with post-rollback state.
+    next_epoch: u64,
     intervals: Vec<VarIntervals>,
     /// Memo of exact guided query results, keyed by
     /// `(variable, prefix, extra_digits, fix_epoch)`. Repeated states across
@@ -127,6 +141,7 @@ impl JitSession {
             var_terms,
             checks: 0,
             fix_epoch: 0,
+            next_epoch: 1,
             intervals: vec![VarIntervals::default(); n],
             memo: HashMap::new(),
             cache_hits: 0,
@@ -184,16 +199,52 @@ impl JitSession {
         self.solver.check() == SatResult::Sat
     }
 
-    /// Permanently fixes variable `k` to `value` (partial instantiation).
+    /// Fixes variable `k` to `value` (partial instantiation). Permanent
+    /// unless made inside a [`Self::checkpoint`] frame that is later rolled
+    /// back.
     ///
-    /// Bumps the fix epoch: cached hulls, witnesses, and memo entries from
-    /// before the fix describe a weaker constraint system and stop matching.
+    /// Assigns a globally fresh fix epoch: cached hulls, witnesses, and memo
+    /// entries from before the fix describe a weaker constraint system and
+    /// stop matching — and because epochs are never reused, neither can
+    /// entries from a branch that [`Self::rollback`] has since discarded.
     pub fn fix(&mut self, k: usize, value: i64) {
         let t = self.var_terms[k];
         let c = self.solver.int(value);
         let eq = self.solver.eq(t, c);
         self.solver.assert(eq);
-        self.fix_epoch += 1;
+        self.fix_epoch = self.next_epoch;
+        self.next_epoch += 1;
+    }
+
+    /// Opens a rollback frame: later [`Self::fix`] calls (and any extra
+    /// assertions) land in a solver frame that [`Self::rollback`] retracts.
+    ///
+    /// This is what lets one session be *reused across records and across
+    /// rejection-sampling retries*: decode a record inside a frame, then
+    /// roll back to the pristine grounded rules instead of rebuilding the
+    /// session (and re-grounding every rule) from scratch. Interval and
+    /// memo caches from the checkpointed epoch stay valid across the
+    /// rollback — they described the base constraint system and that is
+    /// exactly what gets restored — so repeated decodes against one session
+    /// get warmer and warmer lookahead tiers.
+    ///
+    /// Each retracted frame leaves a disabled selector clause in the solver
+    /// (see [`lejit_smt::Solver::pop`]), so long-lived sessions should be
+    /// rebuilt every few hundred rollbacks; the task layer does this.
+    pub fn checkpoint(&mut self) -> SessionCheckpoint {
+        self.solver.push();
+        SessionCheckpoint {
+            fix_epoch: self.fix_epoch,
+        }
+    }
+
+    /// Retracts everything fixed or asserted since `cp` was taken and
+    /// restores the fix epoch, so guided-query caches keyed to the
+    /// checkpointed epoch become live again. Checkpoints must be rolled
+    /// back in LIFO order.
+    pub fn rollback(&mut self, cp: SessionCheckpoint) {
+        self.solver.pop();
+        self.fix_epoch = cp.fix_epoch;
     }
 
     /// Whether variable `k` can take exactly `value` given the rules and
@@ -696,6 +747,83 @@ mod tests {
         let checks_after_exact = s.checks();
         assert_eq!(s.value_feasible_guided(3, 17), answer);
         assert!(s.cache_hits() > hits_before || s.checks() == checks_after_exact);
+    }
+
+    #[test]
+    fn rollback_matches_fresh_session() {
+        // Decode-fix-rollback, then re-probe: answers must equal a session
+        // that never saw the rolled-back fixes.
+        let mut reused = paper_session();
+        let mut fresh = paper_session();
+        let cp = reused.checkpoint();
+        reused.fix(0, 20);
+        reused.fix(1, 15);
+        reused.fix(2, 25);
+        assert_eq!(reused.feasible_range(3), Some((0, 40)));
+        reused.rollback(cp);
+        for k in 0..5 {
+            assert_eq!(
+                reused.feasible_range(k),
+                fresh.feasible_range(k),
+                "var {k} after rollback"
+            );
+        }
+        for value in [0, 17, 41, 60] {
+            assert_eq!(
+                reused.value_feasible_guided(0, value),
+                fresh.value_feasible(0, value),
+                "value {value} after rollback"
+            );
+        }
+    }
+
+    #[test]
+    fn rollback_never_reuses_epochs() {
+        let mut s = paper_session();
+        let cp = s.checkpoint();
+        s.fix(0, 20);
+        let branch_epoch = s.fix_epoch();
+        s.rollback(cp);
+        assert_eq!(s.fix_epoch(), 0);
+        s.fix(0, 30);
+        assert!(
+            s.fix_epoch() > branch_epoch,
+            "post-rollback epoch {} must be fresh, not reuse {branch_epoch}",
+            s.fix_epoch()
+        );
+        // The fix really is 30 now, not the rolled-back 20.
+        assert!(s.value_feasible(0, 30));
+        assert!(!s.value_feasible(0, 20));
+    }
+
+    #[test]
+    fn base_epoch_caches_survive_rollback() {
+        let mut s = paper_session();
+        // Warm the epoch-0 hull cache, then branch and roll back.
+        assert_eq!(s.hull(0), Some((0, 60)));
+        let cp = s.checkpoint();
+        s.fix(0, 20);
+        let _ = s.hull(1);
+        s.rollback(cp);
+        // Back at epoch 0 the warmed hull answers without new checks.
+        let before = s.checks();
+        assert_eq!(s.hull(0), Some((0, 60)));
+        assert_eq!(s.checks(), before, "epoch-0 hull cache should be warm");
+    }
+
+    #[test]
+    fn checkpoints_nest_lifo() {
+        let mut s = paper_session();
+        let outer = s.checkpoint();
+        s.fix(0, 10);
+        let inner = s.checkpoint();
+        s.fix(1, 20);
+        assert!(!s.value_feasible(1, 21));
+        s.rollback(inner);
+        assert!(s.value_feasible(1, 21));
+        assert!(!s.value_feasible(0, 11));
+        s.rollback(outer);
+        assert!(s.value_feasible(0, 11));
     }
 
     #[test]

@@ -33,17 +33,27 @@ pub struct TaskConfig {
     /// Sampling hyperparameters.
     pub sampler: SamplerConfig,
     /// Lookahead policy for the JIT decoder.
+    ///
+    /// Defaults to [`Lookahead::IntervalGuided`], which answers every query
+    /// identically to [`Lookahead::Full`] with ~5× fewer solver checks;
+    /// `Full` stays selectable for ablations and debugging.
     pub lookahead: Lookahead,
     /// Attempt budget for rejection sampling.
     pub rejection_budget: u32,
+    /// Worker threads for record-level parallel decoding
+    /// ([`crate::batch::par_records`]); `0` means "use the process-global
+    /// default" ([`minipool::global_threads`]). Output is byte-identical
+    /// for every value — this is purely a throughput knob.
+    pub threads: usize,
 }
 
 impl Default for TaskConfig {
     fn default() -> Self {
         TaskConfig {
             sampler: SamplerConfig::default(),
-            lookahead: Lookahead::Full,
+            lookahead: Lookahead::IntervalGuided,
             rejection_budget: 10_000,
+            threads: 0,
         }
     }
 }
@@ -160,9 +170,30 @@ impl<'m, M: LanguageModel> Imputer<'m, M> {
         rng: &mut R,
     ) -> Result<DecodedOutput, DecodeError> {
         let (mut session, schema) = self.build_session(coarse);
+        self.impute_in(&mut session, &schema, coarse, rng)
+    }
+
+    /// LeJIT imputation against a caller-provided session for this window
+    /// (from [`Self::build_session`]).
+    ///
+    /// The decode runs inside a [`JitSession::checkpoint`] frame and rolls
+    /// back before returning, so one grounded session serves repeated draws
+    /// and retries on the same window without re-grounding the rules —
+    /// and its interval/memo caches stay warm across calls. The decoded
+    /// output is identical to [`Self::impute`] on a fresh session.
+    pub fn impute_in<R: Rng>(
+        &self,
+        session: &mut JitSession,
+        schema: &DecodeSchema,
+        coarse: &CoarseSignals,
+        rng: &mut R,
+    ) -> Result<DecodedOutput, DecodeError> {
         let decoder =
             JitDecoder::new(self.model, self.config.sampler).with_lookahead(self.config.lookahead);
-        decoder.decode(&mut session, &schema, &self.prompt(coarse), rng)
+        let cp = session.checkpoint();
+        let out = decoder.decode(session, schema, &self.prompt(coarse), rng);
+        session.rollback(cp);
+        out
     }
 
     /// Vanilla imputation: structural masking only, rules ignored.
@@ -312,9 +343,32 @@ impl<'m, M: LanguageModel> Synthesizer<'m, M> {
         rng: &mut R,
     ) -> Result<(CoarseSignals, DecodedOutput), DecodeError> {
         let (mut session, schema) = self.build_session();
+        self.synthesize_in(&mut session, &schema, rng)
+    }
+
+    /// LeJIT synthesis against a caller-provided session (from
+    /// [`Self::build_session`]).
+    ///
+    /// Synthesis sessions are window-independent, so one session can serve
+    /// an entire sample loop: each call decodes inside a
+    /// [`JitSession::checkpoint`] frame and rolls back, keeping the
+    /// grounded rules and the epoch-0 interval/memo caches warm instead of
+    /// rebuilding the session per sample. Each rollback retires one solver
+    /// frame (a disabled selector clause), so very long loops should
+    /// rebuild the session every few hundred samples. Output is identical
+    /// to [`Self::synthesize`] on a fresh session.
+    pub fn synthesize_in<R: Rng>(
+        &self,
+        session: &mut JitSession,
+        schema: &DecodeSchema,
+        rng: &mut R,
+    ) -> Result<(CoarseSignals, DecodedOutput), DecodeError> {
         let decoder =
             JitDecoder::new(self.model, self.config.sampler).with_lookahead(self.config.lookahead);
-        let out = decoder.decode(&mut session, &schema, "", rng)?;
+        let cp = session.checkpoint();
+        let out = decoder.decode(session, schema, "", rng);
+        session.rollback(cp);
+        let out = out?;
         Ok((Self::signals_from(&out.values), out))
     }
 
@@ -537,6 +591,64 @@ mod tests {
             Synthesizer::new(&model, rules, [100; 6], TaskConfig::default())
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn reused_session_synthesis_matches_fresh() {
+        // One session serving a whole sample loop (checkpoint/rollback per
+        // draw) must produce exactly what per-sample fresh sessions would.
+        let d = dataset();
+        let model = synthesis_model(&d);
+        let rules = parse_rules(
+            "rule a: egress_total <= total_ingress;
+             rule b: drops <= total_ingress;",
+        )
+        .unwrap();
+        let hi = [
+            d.train_max(CoarseField::TotalIngress),
+            d.train_max(CoarseField::EcnBytes),
+            d.train_max(CoarseField::RetransBytes),
+            d.train_max(CoarseField::EgressTotal),
+            d.train_max(CoarseField::ConnCount),
+            d.train_max(CoarseField::Drops),
+        ];
+        let synth = Synthesizer::new(&model, rules, hi, TaskConfig::default());
+        let (mut session, schema) = synth.build_session();
+        for i in 0..4u64 {
+            let mut rng_reused = StdRng::seed_from_u64(900 + i);
+            let mut rng_fresh = StdRng::seed_from_u64(900 + i);
+            let (s_reused, o_reused) = synth
+                .synthesize_in(&mut session, &schema, &mut rng_reused)
+                .unwrap();
+            let (s_fresh, o_fresh) = synth.synthesize(&mut rng_fresh).unwrap();
+            assert_eq!(o_reused.text, o_fresh.text, "sample {i}");
+            assert_eq!(s_reused, s_fresh, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn reused_session_imputation_matches_fresh() {
+        let d = dataset();
+        let model = imputation_model(&d);
+        let imputer = Imputer::new(
+            &model,
+            paper_ruleset(),
+            d.window_len,
+            d.bandwidth,
+            TaskConfig::default(),
+        );
+        let w = &d.test[0];
+        let (mut session, schema) = imputer.build_session(&w.coarse);
+        for i in 0..3u64 {
+            let mut rng_reused = StdRng::seed_from_u64(910 + i);
+            let mut rng_fresh = StdRng::seed_from_u64(910 + i);
+            let reused = imputer
+                .impute_in(&mut session, &schema, &w.coarse, &mut rng_reused)
+                .unwrap();
+            let fresh = imputer.impute(&w.coarse, &mut rng_fresh).unwrap();
+            assert_eq!(reused.text, fresh.text, "draw {i}");
+            assert!(imputer.rules().compliant(&w.coarse, &reused.values));
+        }
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! End-to-end determinism: parallel record-level decoding is byte-identical
+//! to sequential decoding for every thread count.
+//!
+//! This is the contract the bench harnesses rely on (`crates/bench`): the
+//! decoded *text* of every record — not just aggregate statistics — must
+//! match across `threads ∈ {1, 2, 4}`, with per-record RNGs seeded by
+//! [`lejit_core::record_seed`] and any worker-local state (here a reusable
+//! [`JitSession`] rolled back between records) behaving like fresh state.
+
+use lejit_core::{par_records, par_records_with, record_seed, Imputer, Synthesizer, TaskConfig};
+use lejit_lm::{NgramLm, Vocab};
+use lejit_rules::parse_rules;
+use lejit_telemetry::{
+    encode_imputation_example, encode_synthesis_example, generate, CoarseField, TelemetryConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset() -> lejit_telemetry::Dataset {
+    generate(TelemetryConfig {
+        racks_train: 6,
+        racks_test: 2,
+        windows_per_rack: 40,
+        ..TelemetryConfig::default()
+    })
+}
+
+fn imputation_model(d: &lejit_telemetry::Dataset) -> NgramLm {
+    let texts: Vec<String> = d.train.iter().map(encode_imputation_example).collect();
+    let mut corpus = texts.join("\n");
+    corpus.push_str("0123456789,;|=.TERGCD");
+    let vocab = Vocab::from_corpus(&corpus);
+    let seqs: Vec<Vec<_>> = texts.iter().map(|t| vocab.encode(t).unwrap()).collect();
+    NgramLm::train(vocab, &seqs, 5)
+}
+
+fn synthesis_model(d: &lejit_telemetry::Dataset) -> NgramLm {
+    let texts: Vec<String> = d
+        .train
+        .iter()
+        .map(|w| encode_synthesis_example(&w.coarse))
+        .collect();
+    let mut corpus = texts.join("\n");
+    corpus.push_str("0123456789,;|=.TERGCD");
+    let vocab = Vocab::from_corpus(&corpus);
+    let seqs: Vec<Vec<_>> = texts.iter().map(|t| vocab.encode(t).unwrap()).collect();
+    NgramLm::train(vocab, &seqs, 5)
+}
+
+#[test]
+fn parallel_imputation_is_byte_identical_across_thread_counts() {
+    let d = dataset();
+    let model = imputation_model(&d);
+    let rules = parse_rules(
+        "rule r1: forall t: fine[t] >= 0 and fine[t] <= 60;
+         rule r2: sum(fine) == total_ingress;
+         rule r3: ecn_bytes > 0 => max(fine) >= 45;",
+    )
+    .unwrap();
+    let imputer = Imputer::new(
+        &model,
+        rules,
+        d.window_len,
+        d.bandwidth,
+        TaskConfig::default(),
+    );
+    let windows: Vec<_> = d.test.iter().take(12).collect();
+    let base_seed = 4242u64;
+
+    let decode_all = |threads: usize| -> Vec<String> {
+        par_records(threads, windows.len(), |i| {
+            let mut rng = StdRng::seed_from_u64(record_seed(base_seed, i as u64));
+            let out = imputer.impute(&windows[i].coarse, &mut rng).unwrap();
+            out.text
+        })
+    };
+
+    let sequential = decode_all(1);
+    assert_eq!(sequential.len(), windows.len());
+    for threads in [2, 4] {
+        assert_eq!(decode_all(threads), sequential, "threads={threads}");
+    }
+}
+
+#[test]
+fn parallel_synthesis_with_reused_sessions_is_byte_identical() {
+    let d = dataset();
+    let model = synthesis_model(&d);
+    let rules = parse_rules(
+        "rule a: egress_total <= total_ingress;
+         rule b: drops <= total_ingress;
+         rule c: conn_count >= 1;",
+    )
+    .unwrap();
+    let hi = [
+        d.train_max(CoarseField::TotalIngress),
+        d.train_max(CoarseField::EcnBytes),
+        d.train_max(CoarseField::RetransBytes),
+        d.train_max(CoarseField::EgressTotal),
+        d.train_max(CoarseField::ConnCount),
+        d.train_max(CoarseField::Drops),
+    ];
+    let synth = Synthesizer::new(&model, rules, hi, TaskConfig::default());
+    let n_samples = 16usize;
+    let base_seed = 777u64;
+
+    // Worker-local state: one grounded session reused (checkpoint/rollback)
+    // across every sample the worker draws.
+    let draw_all = |threads: usize| -> Vec<String> {
+        par_records_with(
+            threads,
+            n_samples,
+            || synth.build_session(),
+            |(session, schema), i| {
+                let mut rng = StdRng::seed_from_u64(record_seed(base_seed, i as u64));
+                let (_, out) = synth.synthesize_in(session, schema, &mut rng).unwrap();
+                out.text
+            },
+        )
+    };
+
+    let sequential = draw_all(1);
+    assert_eq!(sequential.len(), n_samples);
+    for threads in [2, 4] {
+        assert_eq!(draw_all(threads), sequential, "threads={threads}");
+    }
+}

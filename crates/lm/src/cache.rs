@@ -45,16 +45,18 @@ impl KvCache {
 }
 
 impl TinyGpt {
-    /// Creates an empty KV cache for this model.
+    /// Creates an empty KV cache for this model, with K/V row capacity
+    /// reserved up front so filling the window never reallocates.
     pub fn new_cache(&self) -> KvCache {
         KvCache {
-            tokens: Vec::new(),
+            tokens: Vec::with_capacity(self.config().max_seq_len),
             layers: (0..self.config().n_layers)
                 .map(|_| {
-                    (
-                        Matrix::zeros(0, self.config().d_model),
-                        Matrix::zeros(0, self.config().d_model),
-                    )
+                    let mut k = Matrix::zeros(0, self.config().d_model);
+                    let mut v = Matrix::zeros(0, self.config().d_model);
+                    k.reserve_rows(self.config().max_seq_len);
+                    v.reserve_rows(self.config().max_seq_len);
+                    (k, v)
                 })
                 .collect(),
             last_hidden: None,
@@ -88,8 +90,8 @@ impl TinyGpt {
             let qkv = self.attn_qkv_row(layer, &a); // 1×3d
             let (k_cache, v_cache) = {
                 let (k, v) = &mut cache.layers[layer];
-                grow_row(k, &qkv[d..2 * d]);
-                grow_row(v, &qkv[2 * d..3 * d]);
+                k.push_row(&qkv[d..2 * d]);
+                v.push_row(&qkv[2 * d..3 * d]);
                 (&cache.layers[layer].0, &cache.layers[layer].1)
             };
             let mut attn_out = vec![0.0f32; d];
@@ -171,14 +173,6 @@ impl TinyGpt {
         }
         logits
     }
-}
-
-fn grow_row(m: &mut Matrix, row: &[f32]) {
-    let cols = row.len();
-    let old = std::mem::replace(m, Matrix::zeros(0, cols));
-    let mut data = old.into_vec();
-    data.extend_from_slice(row);
-    *m = Matrix::from_vec(data.len() / cols, cols, data);
 }
 
 /// A [`TinyGpt`] wrapped with an interior-mutable KV cache, implementing

@@ -1,0 +1,273 @@
+//! Minimal offline stand-in for a scoped thread-pool crate.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! workspace vendors the small slice of a data-parallelism crate (think
+//! rayon) it actually uses:
+//!
+//! * [`ThreadPool::par_map`] — an *ordered* parallel map over an index
+//!   range: `par_map(n, f)` returns `vec![f(0), f(1), …, f(n-1)]` with the
+//!   items computed on scoped worker threads. Items are handed out through
+//!   an atomic counter (dynamic load balancing for uneven work) and the
+//!   results are re-assembled in index order, so the output is independent
+//!   of scheduling.
+//! * [`ThreadPool::par_map_with`] — the same, plus per-worker state built
+//!   once per worker (a KV cache, a scratch buffer, a solver session) and
+//!   threaded through every item that worker processes.
+//! * [`ThreadPool::run_chunks`] — parallel in-place work over disjoint
+//!   `&mut` chunks of a slice (the row-parallel matmul kernel), with a
+//!   static round-robin assignment of chunks to workers.
+//!
+//! Workers are `std::thread::scope` threads, so closures may borrow from
+//! the caller's stack freely and the whole crate stays `unsafe`-free. A
+//! pool with `threads == 1` (or a single item) runs inline on the caller
+//! thread with no spawn at all, which makes the single-threaded path the
+//! exact sequential program — the determinism contract of the workspace
+//! (parallel output is byte-identical to sequential) falls out of callers
+//! keeping `f(i)` a pure function of `i` and of worker-local state whose
+//! behaviour does not depend on the item partition.
+//!
+//! Panics in workers propagate to the caller when the scope joins, like
+//! rayon.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The process-wide default worker count, settable once at startup by the
+/// binary (0 = "not set yet": fall back to the machine's parallelism).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count [`ThreadPool::global`] uses (clamped to ≥ 1).
+pub fn set_global_threads(n: usize) {
+    GLOBAL_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The worker count [`ThreadPool::global`] uses: the last
+/// [`set_global_threads`] value, or the machine's available parallelism.
+pub fn global_threads() -> usize {
+    match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// A scoped thread pool of a fixed worker count.
+///
+/// The pool is a *policy* object (how many workers to use); the worker
+/// threads themselves are scoped to each call, so borrowing non-`'static`
+/// data is fine and nothing lingers between calls.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool with `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> ThreadPool {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized by [`global_threads`].
+    pub fn global() -> ThreadPool {
+        ThreadPool::new(global_threads())
+    }
+
+    /// Number of workers this pool uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Ordered parallel map over `0..len`: returns
+    /// `vec![f(0), …, f(len-1)]`.
+    ///
+    /// Items are distributed dynamically (atomic counter), results are
+    /// returned in index order regardless of which worker computed what.
+    pub fn par_map<T, F>(&self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.par_map_with(len, || (), |(), i| f(i))
+    }
+
+    /// Ordered parallel map with per-worker state.
+    ///
+    /// Each worker calls `init()` once, then processes its items through
+    /// `f(&mut state, index)`. With one worker (or one item) everything
+    /// runs inline on the caller thread — the exact sequential program.
+    ///
+    /// Determinism contract: if `f`'s result depends only on its index (and
+    /// on worker state whose observable behaviour is partition-independent,
+    /// e.g. caches of pure functions), the returned vector is identical for
+    /// every thread count.
+    pub fn par_map_with<S, T, FI, F>(&self, len: usize, init: FI, f: F) -> Vec<T>
+    where
+        T: Send,
+        FI: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        let workers = self.threads.min(len);
+        if workers <= 1 {
+            let mut state = init();
+            return (0..len).map(|i| f(&mut state, i)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(len));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        local.push((i, f(&mut state, i)));
+                    }
+                    collected
+                        .lock()
+                        .expect("a sibling worker panicked")
+                        .extend(local);
+                });
+            }
+        });
+        let mut pairs = collected.into_inner().expect("a worker panicked");
+        debug_assert_eq!(pairs.len(), len);
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Runs `f(chunk_index, chunk)` over the consecutive `chunk_len`-sized
+    /// chunks of `data` (last chunk may be shorter), in parallel, each chunk
+    /// exactly once.
+    ///
+    /// Chunks are assigned round-robin to workers, so the split of `data`
+    /// into chunks — and hence what each invocation sees — depends only on
+    /// `chunk_len`, never on the worker count.
+    ///
+    /// # Panics
+    /// Panics if `chunk_len == 0` while `data` is non-empty.
+    pub fn run_chunks<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if data.is_empty() {
+            return;
+        }
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        let n_chunks = data.len().div_ceil(chunk_len);
+        let workers = self.threads.min(n_chunks);
+        if workers <= 1 {
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        let mut buckets: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            buckets[i % workers].push((i, chunk));
+        }
+        std::thread::scope(|scope| {
+            for bucket in buckets {
+                scope.spawn(|| {
+                    for (i, chunk) in bucket {
+                        f(i, chunk);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_is_ordered_for_every_thread_count() {
+        let expect: Vec<usize> = (0..100).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 4, 9] {
+            let got = ThreadPool::new(threads).par_map(100, |i| i * i);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.par_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.par_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_map_with_builds_state_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let pool = ThreadPool::new(3);
+        let out = pool.par_map_with(
+            20,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |scratch, i| {
+                scratch.push(i);
+                i * 2
+            },
+        );
+        assert_eq!(out, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+        let n = inits.load(Ordering::Relaxed);
+        assert!(
+            (1..=3).contains(&n),
+            "init ran once per spawned worker, got {n}"
+        );
+    }
+
+    #[test]
+    fn run_chunks_covers_every_chunk_once() {
+        for threads in [1, 2, 4] {
+            let mut data = vec![0u32; 37];
+            ThreadPool::new(threads).run_chunks(&mut data, 5, |idx, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += 1 + idx as u32;
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, 1 + (i / 5) as u32, "threads={threads} elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_chunks_partition_is_thread_count_independent() {
+        let mut a = vec![0usize; 64];
+        let mut b = vec![0usize; 64];
+        let record = |idx: usize, chunk: &mut [usize]| {
+            for v in chunk.iter_mut() {
+                *v = idx;
+            }
+        };
+        ThreadPool::new(1).run_chunks(&mut a, 7, record);
+        ThreadPool::new(5).run_chunks(&mut b, 7, record);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_clamps_to_one_worker() {
+        assert_eq!(ThreadPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn global_threads_is_settable() {
+        set_global_threads(3);
+        assert_eq!(global_threads(), 3);
+        assert_eq!(ThreadPool::global().threads(), 3);
+        set_global_threads(0); // clamps
+        assert_eq!(global_threads(), 1);
+    }
+}
