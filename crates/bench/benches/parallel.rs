@@ -1,5 +1,6 @@
 //! Criterion group for the parallel runtime: record-level decode throughput
-//! at 1/2/4 worker threads, and the blocked matmul kernel serial vs pooled.
+//! at 1/2/4 worker threads, model-level batched decode throughput at batch
+//! 1/4/8, and the blocked matmul kernel serial vs pooled.
 //!
 //! On a single-core machine the thread variants measure the scheduling
 //! overhead floor rather than speedup; on multi-core hardware the decode
@@ -12,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
-use lejit_bench::experiments::{run_imputation_threads, ImputeMethod};
+use lejit_bench::experiments::{run_imputation_batched, run_imputation_threads, ImputeMethod};
 use lejit_bench::setup::{BenchEnv, Scale};
 use lejit_lm::Matrix;
 
@@ -25,6 +26,22 @@ fn bench_parallel_decode(c: &mut Criterion) {
         g.bench_function(&format!("impute_lejit_full_t{threads}"), |b| {
             b.iter(|| {
                 let run = run_imputation_threads(&env, ImputeMethod::LejitFull, 650, threads);
+                black_box(run.outputs.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_batch_scaling(c: &mut Criterion) {
+    std::env::set_var("LEJIT_NO_MODEL_CACHE", "1");
+    let env = BenchEnv::build(Scale::Tiny);
+    let mut g = c.benchmark_group("batch_scaling");
+    g.sample_size(10);
+    for batch in [1usize, 4, 8] {
+        g.bench_function(&format!("impute_lejit_full_b{batch}"), |b| {
+            b.iter(|| {
+                let run = run_imputation_batched(&env, 660, 1, batch);
                 black_box(run.outputs.len())
             })
         });
@@ -47,5 +64,10 @@ fn bench_parallel_matmul(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_parallel_decode, bench_parallel_matmul);
+criterion_group!(
+    benches,
+    bench_parallel_decode,
+    bench_batch_scaling,
+    bench_parallel_matmul
+);
 criterion_main!(benches);

@@ -11,10 +11,10 @@ use lejit_baselines::{
     CoarseGenerator, CtganLike, EWganGpLike, NetShareLike, RealTabFormerLike, TvaeLike, Zoom2Net,
 };
 use lejit_core::{
-    par_records, par_records_with, record_seed, DecodeError, Imputer, Lookahead, Synthesizer,
-    TaskConfig,
+    par_batches_with, par_records, par_records_with, record_seed, DecodeError, Imputer, Lookahead,
+    Synthesizer, TaskConfig, SESSION_REBUILD_PERIOD,
 };
-use lejit_lm::{CachedGpt, SamplerConfig};
+use lejit_lm::{BatchedGpt, CachedGpt, LanguageModel, SamplerConfig};
 use lejit_metrics::{
     burst_accuracy, emd, jsd, mae, mean_acf_distance, p99_relative_error, violation_stats,
     BurstAccuracy,
@@ -184,6 +184,58 @@ pub fn run_imputation_threads(
     }
 }
 
+/// [`run_imputation`] for LeJIT full rules through the *model-level
+/// batched* path: record groups of `batch` ([`lejit_core::batch_spans`])
+/// are distributed across `threads` workers, each worker steps its group
+/// lock-step through one [`BatchedGpt`] forward pass per character
+/// ([`Imputer::impute_group`]).
+///
+/// [`BatchedGpt`] is interior-mutable (not `Sync`), so it lives in the
+/// worker-`init` closure, like [`CachedGpt`] in the record-level runners.
+/// Outputs are byte-identical to [`run_imputation_threads`] at the same
+/// seed for every `(threads, batch)` — batching only changes how many
+/// KV-cache lanes share each GEMM-shaped weight sweep.
+pub fn run_imputation_batched(
+    env: &BenchEnv,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+) -> ImputationRun {
+    let windows = env.eval_windows();
+    let coarse: Vec<CoarseSignals> = windows.iter().map(|w| w.coarse).collect();
+    let budget = rejection_budget(env);
+    let d = &env.dataset;
+    let start = Instant::now();
+    let outputs: Vec<Option<Vec<i64>>> = par_batches_with(
+        threads,
+        coarse.len(),
+        batch,
+        || BatchedGpt::new(&env.gpt, batch.max(1)),
+        |model, span| {
+            let imp = Imputer::new(
+                &*model,
+                env.mined.imputation.clone(),
+                d.window_len,
+                d.bandwidth,
+                task_config(budget),
+            );
+            let mut rngs: Vec<StdRng> = span
+                .clone()
+                .map(|i| StdRng::seed_from_u64(record_seed(seed, i as u64)))
+                .collect();
+            imp.impute_group(&coarse[span], &mut rngs)
+                .into_iter()
+                .map(|r| r.ok().map(|o| o.values))
+                .collect()
+        },
+    );
+    ImputationRun {
+        method: format!("LeJIT (full rules, batch={batch})"),
+        outputs,
+        wall: start.elapsed(),
+    }
+}
+
 /// Fig. 3 (left): rule-violation rate per method, judged against the full
 /// mined imputation rule set.
 pub fn fig3_violations(env: &BenchEnv) -> Table {
@@ -329,13 +381,6 @@ pub fn fig4_downstream(env: &BenchEnv) -> Table {
     table
 }
 
-/// Rebuild period for reused synthesis sessions: every retracted
-/// checkpoint frame leaves one disabled selector clause in the solver, so a
-/// worker replaces its session after this many draws to keep the clause
-/// database bounded. Behaviorally invisible — a rebuilt session answers
-/// exactly like a rolled-back one.
-const SYNTH_SESSION_REBUILD_PERIOD: usize = 128;
-
 /// One synthesis method's samples, drawn in parallel.
 ///
 /// `init()` builds per-worker state (a KV cache, a reusable session);
@@ -447,13 +492,17 @@ pub fn fig5_synthesis(env: &BenchEnv) -> Table {
     ));
     // LeJIT reuses one grounded session per worker across draws
     // (checkpoint/rollback inside `synthesize_in`) instead of rebuilding
-    // and re-grounding the rules per sample.
+    // and re-grounding the rules per sample. The session is replaced every
+    // [`SESSION_REBUILD_PERIOD`] draws to keep the solver's clause database
+    // bounded — output-invisible (a rebuilt session answers exactly like a
+    // rolled-back one; asserted in `lejit-core`'s
+    // `session_rebuild_interval_is_output_invisible`).
     runs.push(synth_samples(
         env,
         "LeJIT",
         || (CachedGpt::new(&env.gpt), fresh_session(), 0usize),
         |(cached, (session, schema), draws), rng| {
-            if *draws > 0 && *draws % SYNTH_SESSION_REBUILD_PERIOD == 0 {
+            if *draws > 0 && *draws % SESSION_REBUILD_PERIOD == 0 {
                 *session = fresh_session().0;
             }
             *draws += 1;
@@ -614,28 +663,31 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
 }
 
 /// Thread-scaling study: LeJIT full-rule imputation wall time vs worker
-/// count, with a byte-identity check against the sequential run.
+/// count and batch size, with a byte-identity check against the sequential
+/// unbatched run.
 ///
 /// Speedup is wall-clock and therefore hardware-dependent (a single-core
-/// machine reports ~1.0×); the "byte-identical" column is the
-/// hardware-independent claim — every thread count decodes the exact same
-/// records.
+/// machine reports ~1.0× on the thread axis; the batch axis still wins via
+/// GEMV→GEMM weight reuse); the "byte-identical" column is the
+/// hardware-independent claim — every `(threads, batch)` pair decodes the
+/// exact same records.
 pub fn thread_scaling(env: &BenchEnv) -> Table {
     let windows = env.eval_windows();
     let mut table = Table::new(&[
         "threads",
+        "batch",
         "wall (s)",
         "sec/sample",
-        "speedup vs 1 thread",
-        "byte-identical to 1 thread",
+        "speedup vs (1, 1)",
+        "byte-identical to (1, 1)",
     ]);
-    let mut counts = vec![1usize, 2, 4];
-    if !counts.contains(&env.threads) {
-        counts.push(env.threads);
+    let mut pairs = vec![(1usize, 1usize), (2, 1), (4, 1), (1, 8), (4, 8)];
+    if !pairs.contains(&(env.threads, env.batch)) {
+        pairs.push((env.threads, env.batch));
     }
     let mut reference: Option<(f64, Vec<Option<Vec<i64>>>)> = None;
-    for threads in counts {
-        let run = run_imputation_threads(env, ImputeMethod::LejitFull, 650, threads);
+    for (threads, batch) in pairs {
+        let run = run_imputation_batched(env, 650, threads, batch);
         let wall = run.wall.as_secs_f64();
         let (speedup, identical) = match &reference {
             None => {
@@ -653,10 +705,118 @@ pub fn thread_scaling(env: &BenchEnv) -> Table {
         };
         table.row(vec![
             threads.to_string(),
+            batch.to_string(),
             f3(wall),
             format!("{:.4}", wall / windows.len().max(1) as f64),
             speedup,
             identical,
+        ]);
+    }
+    table
+}
+
+/// Batch-scaling study: LeJIT full-rule imputation decode throughput vs
+/// `LEJIT_BATCH`, at the environment's thread count.
+///
+/// Unlike thread scaling, batching pays off even on one core: a batched
+/// forward pass sweeps each weight matrix once for the whole group
+/// (GEMM-shaped, cache-friendly) instead of once per record (GEMV-shaped,
+/// memory-bound). The "byte-identical" column asserts the determinism
+/// contract — every batch size decodes the exact same records as the
+/// unbatched run.
+pub fn batch_scaling(env: &BenchEnv) -> Table {
+    let windows = env.eval_windows();
+    let mut table = Table::new(&[
+        "batch",
+        "wall (s)",
+        "sec/sample",
+        "speedup vs batch 1",
+        "byte-identical to batch 1",
+    ]);
+    let mut sizes = vec![1usize, 4, 8, 16];
+    if !sizes.contains(&env.batch) {
+        sizes.push(env.batch);
+    }
+    let mut reference: Option<(f64, Vec<Option<Vec<i64>>>)> = None;
+    for batch in sizes {
+        let run = run_imputation_batched(env, 660, env.threads, batch);
+        let wall = run.wall.as_secs_f64();
+        let (speedup, identical) = match &reference {
+            None => {
+                reference = Some((wall, run.outputs.clone()));
+                ("1.00x".to_string(), "reference".to_string())
+            }
+            Some((base_wall, base_outputs)) => (
+                format!("{:.2}x", base_wall / wall.max(1e-9)),
+                if *base_outputs == run.outputs {
+                    "yes".to_string()
+                } else {
+                    "NO — DETERMINISM BUG".to_string()
+                },
+            ),
+        };
+        table.row(vec![
+            batch.to_string(),
+            f3(wall),
+            format!("{:.4}", wall / windows.len().max(1) as f64),
+            speedup,
+            identical,
+        ]);
+    }
+    table
+}
+
+/// Model-side decode throughput: tokens/s through the trained GPT when
+/// appending one token per KV-cache lane per step — one lane (the serial
+/// [`CachedGpt`] shape) vs several lanes sharing each weight sweep
+/// ([`lejit_lm::TinyGpt::append_tokens_batch`]).
+///
+/// This isolates the GEMV→GEMM effect that the end-to-end tables dilute:
+/// at bench scale the SMT solver dominates LeJIT's wall clock (the tiny
+/// GPT is a few percent of a decode), so even a large model-side win moves
+/// [`batch_scaling`]'s end-to-end column only slightly. On the paper's
+/// 124 M-parameter GPT-2 the model share — and hence this table — is what
+/// governs end-to-end batching gains.
+pub fn batch_forward_throughput(env: &BenchEnv) -> Table {
+    use lejit_telemetry::encode_imputation_example;
+    let gpt = &env.gpt;
+    let text = encode_imputation_example(&env.dataset.test[0]);
+    let toks = gpt.vocab().encode(&text).expect("eval text is in-vocab");
+    let len = toks.len().min(gpt.config().max_seq_len);
+    let toks = &toks[..len];
+    // Every config processes (at least) this many tokens so the timings
+    // compare equal work.
+    let target_tokens = 64 * len;
+    let mut table = Table::new(&["lanes", "tokens/s", "µs/token", "speedup vs 1 lane"]);
+    let mut base: Option<f64> = None;
+    for lanes in [1usize, 4, 8, 16] {
+        let reps = (target_tokens / (lanes * len)).max(1);
+        let start = Instant::now();
+        let mut sink = 0.0f32;
+        for _ in 0..reps {
+            let mut cache = gpt.new_batch_cache(lanes);
+            for &t in toks {
+                let entries: Vec<(usize, lejit_lm::TokenId)> = (0..lanes).map(|l| (l, t)).collect();
+                let logits = gpt.append_tokens_batch(&mut cache, &entries);
+                sink += logits[0][0];
+            }
+        }
+        std::hint::black_box(sink);
+        let secs = start.elapsed().as_secs_f64();
+        let tokens = (reps * lanes * len) as f64;
+        let rate = tokens / secs;
+        let speedup = match base {
+            None => {
+                base = Some(rate);
+                "1.00x".to_string()
+            }
+            Some(b) => format!("{:.2}x", rate / b),
+        };
+        table.row(vec![
+            lanes.to_string(),
+            format!("{rate:.0}"),
+            format!("{:.1}", 1e6 / rate),
+            speedup,
         ]);
     }
     table

@@ -42,6 +42,21 @@ pub fn threads_from_env() -> usize {
         })
 }
 
+/// Reads `LEJIT_BATCH` (records decoded lock-step per batched forward
+/// pass, [`lejit_core::TaskConfig::batch_size`]), defaulting to `1`
+/// (unbatched).
+///
+/// Like `LEJIT_THREADS`, decoded outputs are byte-identical for every
+/// value — batching only changes how many KV-cache lanes share each
+/// GEMM-shaped weight sweep.
+pub fn batch_from_env() -> usize {
+    std::env::var("LEJIT_BATCH")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
 impl Scale {
     /// Reads `LEJIT_SCALE` (`tiny`/`quick`/`full`), defaulting to `Quick`.
     pub fn from_env() -> Scale {
@@ -123,6 +138,9 @@ pub struct BenchEnv {
     /// Worker threads for record-level parallel decoding
     /// ([`threads_from_env`]). Outputs are byte-identical for every value.
     pub threads: usize,
+    /// Records per batched forward pass ([`batch_from_env`]). Outputs are
+    /// byte-identical for every value.
+    pub batch: usize,
 }
 
 impl BenchEnv {
@@ -131,6 +149,7 @@ impl BenchEnv {
     /// changes wall time).
     pub fn build(scale: Scale) -> BenchEnv {
         let threads = threads_from_env();
+        let batch = batch_from_env();
         minipool::set_global_threads(threads);
         let dataset = generate(scale.telemetry());
 
@@ -177,6 +196,7 @@ impl BenchEnv {
                         paper,
                         coarse_hi,
                         threads,
+                        batch,
                     };
                 }
             }
@@ -224,6 +244,7 @@ impl BenchEnv {
             paper,
             coarse_hi,
             threads,
+            batch,
         }
     }
 

@@ -24,6 +24,13 @@
 //!
 //! Under this contract, `par_records(t, n, f)` returns the same vector for
 //! every `t` — including `t = 1`, which runs the exact sequential program.
+//!
+//! On top of the record level, [`batch_spans`] / [`par_batches_with`] add
+//! *model-level* batching: consecutive records are grouped (at most
+//! `TaskConfig.batch_size` per group), each group decodes lock-step through
+//! one batched forward pass per round, and groups are what the pool
+//! distributes. The same contract extends to the batch axis: output is
+//! byte-identical for every `(threads, batch)` pair.
 
 use minipool::ThreadPool;
 
@@ -78,6 +85,70 @@ where
     record_pool(threads).par_map_with(len, init, f)
 }
 
+/// Splits `0..len` into consecutive groups of at most `batch` records —
+/// the unit of work for model-level batched decoding.
+///
+/// The partition depends only on `(len, batch)`, never on the thread
+/// count, so which records share a forward pass is reproducible. `batch`
+/// is clamped to ≥ 1 (the `TaskConfig::batch_size = 0` convention means
+/// "unbatched", i.e. groups of one).
+///
+/// ```
+/// assert_eq!(lejit_core::batch_spans(5, 2), vec![0..2, 2..4, 4..5]);
+/// ```
+pub fn batch_spans(len: usize, batch: usize) -> Vec<std::ops::Range<usize>> {
+    let batch = batch.max(1);
+    (0..len.div_ceil(batch))
+        .map(|g| g * batch..((g + 1) * batch).min(len))
+        .collect()
+}
+
+/// Two-level parallel batched decoding: record *groups* (of at most
+/// `batch` records, per [`batch_spans`]) are distributed across `threads`
+/// pool workers, and each group is decoded by `f` — typically lock-step
+/// through one batched forward pass per round
+/// ([`crate::decoder::JitDecoder::decode_batch`]).
+///
+/// `f(&mut state, span)` returns one result per record in `span`, in
+/// record order; the flattened output is in global record order. The
+/// determinism contract extends [`par_records_with`]'s: because lanes in a
+/// batched forward are computed independently (bit-identical to serial,
+/// see `lejit-lm`'s cache docs) and each record keeps its own
+/// [`record_seed`]-derived RNG, the output is byte-identical for every
+/// `(threads, batch)` combination — including `(1, 1)`, the exact
+/// sequential program.
+///
+/// # Panics
+/// Panics if `f` returns a result vector whose length differs from its
+/// span.
+pub fn par_batches_with<S, T, FI, F>(
+    threads: usize,
+    len: usize,
+    batch: usize,
+    init: FI,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    FI: Fn() -> S + Sync,
+    F: Fn(&mut S, std::ops::Range<usize>) -> Vec<T> + Sync,
+{
+    let spans = batch_spans(len, batch);
+    let groups = record_pool(threads).par_map_with(spans.len(), init, |state, g| {
+        let span = spans[g].clone();
+        let out = f(state, span.clone());
+        assert_eq!(
+            out.len(),
+            span.len(),
+            "group {g} returned {} results for {} records",
+            out.len(),
+            span.len()
+        );
+        out
+    });
+    groups.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +180,43 @@ mod tests {
         // Smoke: the 0 = "global default" convention resolves to a pool.
         assert!(record_pool(0).threads() >= 1);
         assert_eq!(record_pool(3).threads(), 3);
+    }
+
+    #[test]
+    fn batch_spans_cover_exactly_once() {
+        for (len, batch) in [(0, 4), (1, 4), (7, 3), (8, 4), (9, 4), (5, 1), (3, 0)] {
+            let spans = batch_spans(len, batch);
+            let flat: Vec<usize> = spans.iter().flat_map(|s| s.clone()).collect();
+            assert_eq!(
+                flat,
+                (0..len).collect::<Vec<_>>(),
+                "len={len} batch={batch}"
+            );
+            let cap = batch.max(1);
+            assert!(spans.iter().all(|s| s.len() <= cap && !s.is_empty()));
+        }
+    }
+
+    #[test]
+    fn par_batches_is_thread_and_batch_invariant() {
+        let expect: Vec<u64> = (0..23).map(|i| record_seed(5, i as u64)).collect();
+        for threads in [1, 2, 4] {
+            for batch in [1, 4, 8, 64] {
+                let got = par_batches_with(
+                    threads,
+                    23,
+                    batch,
+                    || (),
+                    |(), span| span.map(|i| record_seed(5, i as u64)).collect(),
+                );
+                assert_eq!(got, expect, "threads={threads} batch={batch}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "results")]
+    fn par_batches_rejects_short_group_results() {
+        par_batches_with(1, 4, 2, || (), |(), _span| vec![0u8]);
     }
 }

@@ -240,6 +240,70 @@ where
     })
 }
 
+/// Per-lane bookkeeping for [`JitDecoder::decode_batch`]: one record's
+/// position in the schema walk, carried across lock-step rounds.
+struct BatchLane {
+    context: Vec<TokenId>,
+    values: Vec<i64>,
+    text: String,
+    stats: DecodeStats,
+    /// Index into `schema.items` the lane is currently at.
+    item_idx: usize,
+    /// Index of the next variable to decode.
+    var_idx: usize,
+    /// `(digit state, terminator char, terminator token)` of the variable
+    /// being generated; `None` while parked between variables.
+    var: Option<(VarState, char, TokenId)>,
+    skip_next_literal_char: bool,
+}
+
+impl BatchLane {
+    fn new(capacity: usize) -> BatchLane {
+        BatchLane {
+            context: Vec::with_capacity(capacity + 64),
+            values: Vec::new(),
+            text: String::new(),
+            stats: DecodeStats::default(),
+            item_idx: 0,
+            var_idx: 0,
+            var: None,
+            skip_next_literal_char: false,
+        }
+    }
+
+    /// Emits pending literal characters and parks the lane on its next
+    /// variable (leaving `var` set) or at the schema end (`var` stays
+    /// `None`). Mirrors the literal arm of [`decode_loop`] exactly.
+    fn advance<F>(&mut self, schema: &DecodeSchema, tok: &F) -> Result<(), DecodeError>
+    where
+        F: Fn(char) -> Result<TokenId, DecodeError>,
+    {
+        while self.var.is_none() && self.item_idx < schema.items.len() {
+            match &schema.items[self.item_idx] {
+                SchemaItem::Literal(s) => {
+                    for (i, c) in s.chars().enumerate() {
+                        if i == 0 && self.skip_next_literal_char {
+                            self.skip_next_literal_char = false;
+                            continue;
+                        }
+                        self.context.push(tok(c)?);
+                        self.text.push(c);
+                        self.stats.tokens += 1;
+                        self.stats.forced_tokens += 1;
+                    }
+                    self.item_idx += 1;
+                }
+                SchemaItem::Variable(_) => {
+                    let term_char = schema.terminator_of(self.var_idx);
+                    let term_token = tok(term_char)?;
+                    self.var = Some((VarState::start(), term_char, term_token));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The solver-backed [`DecodePolicy`]: character sets come from the
 /// transition system, commits become partial instantiations.
 struct JitPolicy<'s> {
@@ -346,6 +410,194 @@ impl<'m, M: LanguageModel> JitDecoder<'m, M> {
         )?;
         policy.fill_stats(&mut out.stats);
         Ok((out, trace))
+    }
+
+    /// Decodes a batch of records lock-step: each round asks every live
+    /// lane's solver for its allowed characters, runs **one**
+    /// [`LanguageModel::forward_batch`] over all live contexts, then
+    /// samples and commits each lane from its own RNG.
+    ///
+    /// Lanes that finish their schema, dead-end, or start unsatisfiable
+    /// drop out of the batch; the survivors keep draining in smaller
+    /// rounds until none remain. Lane `i`'s result is byte-identical to
+    /// `self.decode(&mut sessions[i], schema, prompts[i], &mut rngs[i])`:
+    /// each lane sees the same per-record sequence of solver queries,
+    /// logits (the model's batch contract), and RNG draws as the serial
+    /// loop, so only the *grouping* of model calls changes. The one
+    /// reordering — the round computes constraint masks before logits
+    /// where the serial loop interleaves them per character — touches
+    /// neither the RNG nor any value either computation reads
+    /// (DESIGN.md §8).
+    ///
+    /// # Panics
+    /// Panics unless `sessions`, `prompts`, and `rngs` have equal lengths.
+    pub fn decode_batch<R: Rng>(
+        &self,
+        sessions: &mut [JitSession],
+        schema: &DecodeSchema,
+        prompts: &[&str],
+        rngs: &mut [R],
+    ) -> Vec<Result<DecodedOutput, DecodeError>> {
+        let n = sessions.len();
+        assert_eq!(prompts.len(), n, "one prompt per session");
+        assert_eq!(rngs.len(), n, "one RNG per session");
+        let vocab = self.model.vocab();
+        let tok = |c: char| -> Result<TokenId, DecodeError> {
+            vocab.id_of(c).ok_or(DecodeError::MissingChar(c))
+        };
+        let digit_tokens: Vec<TokenId> = match ('0'..='9').map(tok).collect() {
+            Ok(t) => t,
+            Err(e) => return (0..n).map(|_| Err(e.clone())).collect(),
+        };
+
+        let mut results: Vec<Option<Result<DecodedOutput, DecodeError>>> =
+            (0..n).map(|_| None).collect();
+        let mut lanes: Vec<BatchLane> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut lane = BatchLane::new(prompts[i].len());
+            if !sessions[i].satisfiable() {
+                results[i] = Some(Err(DecodeError::UnsatRules));
+            } else {
+                for c in prompts[i].chars() {
+                    match tok(c) {
+                        Ok(t) => lane.context.push(t),
+                        Err(e) => {
+                            results[i] = Some(Err(e));
+                            break;
+                        }
+                    }
+                }
+            }
+            lanes.push(lane);
+        }
+
+        loop {
+            // Walk every live lane through its pending literals; a lane
+            // that reaches the schema end finishes and drops out.
+            for i in 0..n {
+                if results[i].is_some() || lanes[i].var.is_some() {
+                    continue;
+                }
+                if let Err(e) = lanes[i].advance(schema, &tok) {
+                    results[i] = Some(Err(e));
+                    continue;
+                }
+                if lanes[i].var.is_none() {
+                    let lane = &mut lanes[i];
+                    let mut stats = lane.stats;
+                    stats.solver_checks = sessions[i].checks();
+                    stats.solver_checks_saved = sessions[i].solver_checks_saved();
+                    stats.cache_hits = sessions[i].cache_hits();
+                    results[i] = Some(Ok(DecodedOutput {
+                        values: std::mem::take(&mut lane.values),
+                        text: std::mem::take(&mut lane.text),
+                        stats,
+                    }));
+                }
+            }
+
+            // Constraint masks first (no RNG involved), so a dead-ended
+            // lane drops out before the round's forward pass.
+            let mut pending: Vec<usize> = Vec::new();
+            let mut options: Vec<CharOptions> = Vec::new();
+            for i in 0..n {
+                if results[i].is_some() {
+                    continue;
+                }
+                let spec = match &schema.items[lanes[i].item_idx] {
+                    SchemaItem::Variable(spec) => spec,
+                    _ => unreachable!("live lanes park on variable items"),
+                };
+                let (st, _, _) = lanes[i].var.as_ref().expect("live lane has a variable");
+                let opts =
+                    allowed_chars(&mut sessions[i], lanes[i].var_idx, spec, st, self.lookahead);
+                if opts.is_dead_end() {
+                    results[i] = Some(Err(DecodeError::DeadEnd {
+                        var: spec.name.clone(),
+                        prefix: st.prefix,
+                    }));
+                    continue;
+                }
+                pending.push(i);
+                options.push(opts);
+            }
+            if pending.is_empty() {
+                break;
+            }
+
+            // One batched forward pass for the whole round.
+            let logits_rows = {
+                let contexts: Vec<&[TokenId]> = pending
+                    .iter()
+                    .map(|&i| lanes[i].context.as_slice())
+                    .collect();
+                self.model.forward_batch(&contexts)
+            };
+
+            // Sample and commit each lane in lane order, from its own RNG
+            // — the exact per-character step of the serial loop.
+            for (slot, &i) in pending.iter().enumerate() {
+                let opts = &options[slot];
+                let logits = &logits_rows[slot];
+                let lane = &mut lanes[i];
+                let (st, term_char, term_token) =
+                    lane.var.as_mut().expect("pending lane has a variable");
+                let (term_char, term_token) = (*term_char, *term_token);
+                let argmax = logits
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(t, _)| t as TokenId)
+                    .unwrap_or(0);
+                let mut allowed_tokens: Vec<TokenId> = opts
+                    .digits
+                    .iter()
+                    .map(|&d| digit_tokens[d as usize])
+                    .collect();
+                if opts.terminator {
+                    allowed_tokens.push(term_token);
+                }
+                if allowed_tokens.len() == 1 {
+                    lane.stats.forced_choices += 1;
+                }
+                if !allowed_tokens.contains(&argmax) {
+                    lane.stats.interventions += 1;
+                }
+                let mut masked = vec![f32::NEG_INFINITY; logits.len()];
+                for &t in &allowed_tokens {
+                    masked[t as usize] = logits[t as usize];
+                }
+                let rng = &mut rngs[i];
+                let chosen = match sample_token(&masked, &self.sampler, rng) {
+                    Some(t) => t,
+                    None => allowed_tokens[rng.random_range(0..allowed_tokens.len())],
+                };
+                lane.stats.tokens += 1;
+                lane.context.push(chosen);
+                if chosen == term_token && opts.terminator {
+                    let value = st.prefix;
+                    lane.text.push(term_char);
+                    lane.values.push(value);
+                    sessions[i].fix(lane.var_idx, value);
+                    lane.skip_next_literal_char = true;
+                    lane.var = None;
+                    lane.var_idx += 1;
+                    lane.item_idx += 1;
+                } else {
+                    let d = digit_tokens
+                        .iter()
+                        .position(|&t| t == chosen)
+                        .expect("sampled token is a digit") as u8;
+                    lane.text.push(char::from(b'0' + d));
+                    st.push(d);
+                }
+            }
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every lane resolves"))
+            .collect()
     }
 }
 
@@ -533,6 +785,130 @@ pub(crate) mod tests {
         assert_eq!(out.values.iter().sum::<i64>(), 100, "R2 still enforced");
         assert!(out.values.iter().all(|&v| (0..=60).contains(&v)), "R1");
         assert!(*out.values.iter().max().unwrap() >= 30, "R3");
+    }
+
+    #[test]
+    fn batch_decode_is_byte_identical_to_serial() {
+        let model = toy_model();
+        let decoder = JitDecoder::new(&model, SamplerConfig::default());
+        let prompt = "T=100;E=8;R=0;G=70;C=12;D=0|";
+        let serial: Vec<DecodedOutput> = (0..6)
+            .map(|i| {
+                let (mut session, schema) = session_for(100, 8);
+                let mut rng = StdRng::seed_from_u64(crate::batch::record_seed(33, i));
+                decoder
+                    .decode(&mut session, &schema, prompt, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+
+        let mut sessions = Vec::new();
+        let mut schema = None;
+        for _ in 0..6 {
+            let (s, sc) = session_for(100, 8);
+            sessions.push(s);
+            schema = Some(sc);
+        }
+        let schema = schema.unwrap();
+        let mut rngs: Vec<StdRng> = (0..6)
+            .map(|i| StdRng::seed_from_u64(crate::batch::record_seed(33, i)))
+            .collect();
+        let got = decoder.decode_batch(&mut sessions, &schema, &[prompt; 6], &mut rngs);
+        for (i, (s, g)) in serial.iter().zip(&got).enumerate() {
+            let g = g.as_ref().unwrap_or_else(|e| panic!("lane {i}: {e}"));
+            assert_eq!(s.text, g.text, "lane {i} text diverged");
+            assert_eq!(s.values, g.values, "lane {i} values diverged");
+            assert_eq!(s.stats.tokens, g.stats.tokens);
+            assert_eq!(s.stats.forced_tokens, g.stats.forced_tokens);
+            assert_eq!(s.stats.interventions, g.stats.interventions);
+            assert_eq!(s.stats.forced_choices, g.stats.forced_choices);
+            assert_eq!(s.stats.solver_checks, g.stats.solver_checks);
+        }
+    }
+
+    #[test]
+    fn batch_decode_reports_per_lane_errors_and_drains_survivors() {
+        // Lane 1 starts unsatisfiable (total=400 over 5 values ≤ 60); the
+        // other lanes must decode exactly as if lane 1 never existed.
+        let model = toy_model();
+        let decoder = JitDecoder::new(&model, SamplerConfig::default());
+        let prompt = "T=100;E=8;R=0;G=70;C=12;D=0|";
+        let totals = [100i64, 400, 100];
+        let mut sessions = Vec::new();
+        let mut schema = None;
+        for &t in &totals {
+            let (s, sc) = session_for(t, 8);
+            sessions.push(s);
+            schema = Some(sc);
+        }
+        let schema = schema.unwrap();
+        let mut rngs: Vec<StdRng> = (0..3)
+            .map(|i| StdRng::seed_from_u64(crate::batch::record_seed(90, i)))
+            .collect();
+        let got = decoder.decode_batch(&mut sessions, &schema, &[prompt; 3], &mut rngs);
+        assert_eq!(got[1].as_ref().unwrap_err(), &DecodeError::UnsatRules);
+        for &i in &[0usize, 2] {
+            let (mut session, _) = session_for(100, 8);
+            let mut rng = StdRng::seed_from_u64(crate::batch::record_seed(90, i as u64));
+            let serial = decoder
+                .decode(&mut session, &schema, prompt, &mut rng)
+                .unwrap();
+            let g = got[i].as_ref().unwrap();
+            assert_eq!(serial.text, g.text, "survivor lane {i}");
+            assert_eq!(serial.values, g.values);
+        }
+    }
+
+    #[test]
+    fn batch_decode_with_batched_gpt_matches_serial_cached_gpt() {
+        // End-to-end bit-identity across the whole stack: GEMM-shaped
+        // batched GPT inference + lock-step constrained decoding must
+        // reproduce the serial KV-cached path byte for byte.
+        use lejit_lm::{BatchedGpt, CachedGpt, GptConfig, TinyGpt};
+        let vocab = Vocab::from_corpus("0123456789,;|=.TERGCD");
+        let gpt = TinyGpt::new(
+            GptConfig {
+                d_model: 16,
+                n_layers: 2,
+                n_heads: 2,
+                max_seq_len: 96,
+            },
+            vocab,
+            7,
+        );
+        let prompt = "T=100;E=8;R=0;G=70;C=12;D=0|";
+
+        let serial_model = CachedGpt::new(&gpt);
+        let serial_decoder = JitDecoder::new(&serial_model, SamplerConfig::default());
+        let serial: Vec<DecodedOutput> = (0..4)
+            .map(|i| {
+                let (mut session, schema) = session_for(100, 8);
+                let mut rng = StdRng::seed_from_u64(crate::batch::record_seed(55, i));
+                serial_decoder
+                    .decode(&mut session, &schema, prompt, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+
+        let batch_model = BatchedGpt::new(&gpt, 4);
+        let batch_decoder = JitDecoder::new(&batch_model, SamplerConfig::default());
+        let mut sessions = Vec::new();
+        let mut schema = None;
+        for _ in 0..4 {
+            let (s, sc) = session_for(100, 8);
+            sessions.push(s);
+            schema = Some(sc);
+        }
+        let schema = schema.unwrap();
+        let mut rngs: Vec<StdRng> = (0..4)
+            .map(|i| StdRng::seed_from_u64(crate::batch::record_seed(55, i)))
+            .collect();
+        let got = batch_decoder.decode_batch(&mut sessions, &schema, &[prompt; 4], &mut rngs);
+        for (i, (s, g)) in serial.iter().zip(&got).enumerate() {
+            let g = g.as_ref().unwrap_or_else(|e| panic!("lane {i}: {e}"));
+            assert_eq!(s.text, g.text, "lane {i} text diverged");
+            assert_eq!(s.values, g.values, "lane {i} values diverged");
+        }
     }
 
     #[test]

@@ -20,12 +20,43 @@
 //!   fly (Fig. 2): which digits / terminator may follow the current digit
 //!   prefix, with or without solver lookahead,
 //! * [`decoder`] — the JIT decode loop gluing model, schema, and session,
+//!   serial ([`JitDecoder::decode`]) and lock-step batched
+//!   ([`JitDecoder::decode_batch`]),
+//! * [`batch`] — the determinism-preserving parallel/batched harness:
+//!   per-record RNG seeding, the record-level thread pool, and the
+//!   model-level batch scheduler,
 //! * [`vanilla`] — structurally-forced but rule-free decoding (the Vanilla
 //!   GPT-2 baseline) and rejection sampling on top of it,
 //! * [`repair`] — post-hoc SMT repair (Fig. 1a's yellow path): arbitrary
 //!   and nearest-L1 correction of invalid outputs,
 //! * [`tasks`] — the two paper tasks built on the same engine and the same
 //!   trained model: telemetry [`Imputer`] and data [`Synthesizer`].
+//!
+//! A minimal end-to-end decode with the default interval-guided lookahead
+//! (identical answers to [`Lookahead::Full`] at a fraction of the solver
+//! checks):
+//!
+//! ```
+//! use lejit_core::{DecodeSchema, JitDecoder, JitSession, Lookahead};
+//! use lejit_lm::{NgramLm, SamplerConfig, Vocab};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // A tiny character LM and a two-variable schema (no extra rules, so
+//! // only the structural bounds 0..=60 constrain the values).
+//! let vocab = Vocab::from_corpus("0123456789,.");
+//! let seqs = vec![vocab.encode("12,34.").unwrap()];
+//! let model = NgramLm::train(vocab, &seqs, 3);
+//! let schema = DecodeSchema::fine_series(2, 60);
+//! let mut session = JitSession::new(&schema);
+//!
+//! let decoder = JitDecoder::new(&model, SamplerConfig::default())
+//!     .with_lookahead(Lookahead::IntervalGuided);
+//! let out = decoder
+//!     .decode(&mut session, &schema, "", &mut StdRng::seed_from_u64(7))
+//!     .unwrap();
+//! assert_eq!(out.values.len(), 2);
+//! assert!(out.values.iter().all(|&v| (0..=60).contains(&v)));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,12 +71,12 @@ pub mod trace;
 pub mod transition;
 pub mod vanilla;
 
-pub use batch::{par_records, par_records_with, record_seed};
+pub use batch::{batch_spans, par_batches_with, par_records, par_records_with, record_seed};
 pub use decoder::{DecodeError, DecodeStats, DecodedOutput, JitDecoder};
 pub use repair::{repair_arbitrary, repair_nearest, RepairError};
 pub use schema::{DecodeSchema, SchemaItem, VarSpec};
 pub use session::{JitSession, SessionCheckpoint};
-pub use tasks::{Imputer, Synthesizer, TaskConfig, TaskError};
+pub use tasks::{Imputer, Synthesizer, TaskConfig, TaskError, SESSION_REBUILD_PERIOD};
 pub use trace::{DecodeTrace, TraceStep};
 pub use transition::{allowed_chars, CharOptions, Lookahead, VarState};
 pub use vanilla::{RejectionOutcome, RejectionSampler, VanillaDecoder};

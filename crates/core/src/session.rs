@@ -230,7 +230,22 @@ impl JitSession {
     ///
     /// Each retracted frame leaves a disabled selector clause in the solver
     /// (see [`lejit_smt::Solver::pop`]), so long-lived sessions should be
-    /// rebuilt every few hundred rollbacks; the task layer does this.
+    /// rebuilt periodically — the task and bench layers do this every
+    /// [`crate::tasks::SESSION_REBUILD_PERIOD`] draws. The cadence is
+    /// output-invisible: a rebuilt session answers exactly like a
+    /// rolled-back one.
+    ///
+    /// ```
+    /// use lejit_core::{DecodeSchema, JitSession};
+    ///
+    /// let schema = DecodeSchema::fine_series(2, 60);
+    /// let mut session = JitSession::new(&schema);
+    /// let cp = session.checkpoint();
+    /// session.fix(0, 7);
+    /// assert!(!session.value_feasible(0, 8)); // pinned to 7 inside the frame
+    /// session.rollback(cp);
+    /// assert!(session.value_feasible(0, 8)); // the frame is gone
+    /// ```
     pub fn checkpoint(&mut self) -> SessionCheckpoint {
         self.solver.push();
         SessionCheckpoint {

@@ -12,7 +12,8 @@
 
 use std::fmt;
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use lejit_lm::LanguageModel;
 use lejit_lm::SamplerConfig;
@@ -20,6 +21,7 @@ use lejit_rules::{ground_rule, GroundCtx, RuleSet};
 use lejit_smt::TermId;
 use lejit_telemetry::{encode_prompt, CoarseField, CoarseSignals, PROMPT_SEPARATOR};
 
+use crate::batch::{par_batches_with, record_seed};
 use crate::decoder::{DecodeError, DecodedOutput, JitDecoder};
 use crate::repair::{repair_nearest, RepairError};
 use crate::schema::DecodeSchema;
@@ -45,6 +47,12 @@ pub struct TaskConfig {
     /// default" ([`minipool::global_threads`]). Output is byte-identical
     /// for every value — this is purely a throughput knob.
     pub threads: usize,
+    /// Records decoded lock-step per batched forward pass
+    /// ([`crate::batch::par_batches_with`] →
+    /// [`JitDecoder::decode_batch`]); `0` or `1` means unbatched (one
+    /// record per model call). Like `threads`, purely a throughput knob:
+    /// output is byte-identical for every value.
+    pub batch_size: usize,
 }
 
 impl Default for TaskConfig {
@@ -54,9 +62,22 @@ impl Default for TaskConfig {
             lookahead: Lookahead::IntervalGuided,
             rejection_budget: 10_000,
             threads: 0,
+            batch_size: 1,
         }
     }
 }
+
+/// How many checkpoint/rollback draws a long-lived [`JitSession`] serves
+/// before the task layer rebuilds it from scratch (used by the benchmark
+/// pipelines for their synthesis loops).
+///
+/// Each [`JitSession::rollback`] retires one solver frame by disabling its
+/// selector clause; the dead clauses accumulate and slowly tax unit
+/// propagation, so unbounded reuse degrades throughput. The interval is a
+/// pure throughput knob: a rebuilt session answers every query exactly
+/// like a rolled-back one, so output is byte-identical for any rebuild
+/// cadence (asserted by `session_rebuild_interval_is_output_invisible`).
+pub const SESSION_REBUILD_PERIOD: usize = 128;
 
 /// Errors from task-level pipelines.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -194,6 +215,81 @@ impl<'m, M: LanguageModel> Imputer<'m, M> {
         let out = decoder.decode(session, schema, &self.prompt(coarse), rng);
         session.rollback(cp);
         out
+    }
+
+    /// LeJIT imputation of a group of windows, lock-step through batched
+    /// forward passes ([`JitDecoder::decode_batch`]).
+    ///
+    /// Each window gets its own freshly grounded session and its own RNG;
+    /// window `i`'s result is byte-identical to
+    /// `self.impute(&windows[i], &mut rngs[i])`.
+    ///
+    /// # Panics
+    /// Panics unless `rngs.len() == windows.len()`.
+    pub fn impute_group<R: Rng>(
+        &self,
+        windows: &[CoarseSignals],
+        rngs: &mut [R],
+    ) -> Vec<Result<DecodedOutput, DecodeError>> {
+        assert_eq!(rngs.len(), windows.len(), "one RNG per window");
+        let mut sessions = Vec::with_capacity(windows.len());
+        let mut schema = None;
+        for w in windows {
+            let (s, sc) = self.build_session(w);
+            sessions.push(s);
+            schema = Some(sc);
+        }
+        let Some(schema) = schema else {
+            return Vec::new();
+        };
+        let prompts: Vec<String> = windows.iter().map(|w| self.prompt(w)).collect();
+        let prompt_refs: Vec<&str> = prompts.iter().map(|p| p.as_str()).collect();
+        let decoder =
+            JitDecoder::new(self.model, self.config.sampler).with_lookahead(self.config.lookahead);
+        // Checkpoint/rollback framing keeps each lane's solver trajectory
+        // exactly the serial `impute`'s.
+        let cps: Vec<_> = sessions.iter_mut().map(|s| s.checkpoint()).collect();
+        let out = decoder.decode_batch(&mut sessions, &schema, &prompt_refs, rngs);
+        for (s, cp) in sessions.iter_mut().zip(cps) {
+            s.rollback(cp);
+        }
+        out
+    }
+
+    /// LeJIT imputation of a whole window set: groups of
+    /// [`TaskConfig::batch_size`] windows are decoded lock-step
+    /// ([`Self::impute_group`]) and distributed over
+    /// [`TaskConfig::threads`] workers, with window `i` drawing from a
+    /// fresh `StdRng` seeded by [`record_seed`]`(base_seed, i)`.
+    ///
+    /// Output is byte-identical for every `(threads, batch_size)` pair —
+    /// `(1, 1)` runs serial `impute` calls in a plain loop. Note the model
+    /// is shared across workers, so model-level batching needs an `M`
+    /// that is both `Sync` and overrides
+    /// [`LanguageModel::forward_batch`]; interior-mutability wrappers like
+    /// `lejit_lm::BatchedGpt` are not `Sync` and belong in worker-local
+    /// state (see the bench crate's pipelines for that pattern).
+    pub fn impute_batch(
+        &self,
+        windows: &[CoarseSignals],
+        base_seed: u64,
+    ) -> Vec<Result<DecodedOutput, DecodeError>>
+    where
+        M: Sync,
+    {
+        par_batches_with(
+            self.config.threads,
+            windows.len(),
+            self.config.batch_size,
+            || (),
+            |(), span| {
+                let mut rngs: Vec<StdRng> = span
+                    .clone()
+                    .map(|i| StdRng::seed_from_u64(record_seed(base_seed, i as u64)))
+                    .collect();
+                self.impute_group(&windows[span], &mut rngs)
+            },
+        )
     }
 
     /// Vanilla imputation: structural masking only, rules ignored.
@@ -370,6 +466,71 @@ impl<'m, M: LanguageModel> Synthesizer<'m, M> {
         session.rollback(cp);
         let out = out?;
         Ok((Self::signals_from(&out.values), out))
+    }
+
+    /// LeJIT synthesis of a group of records, lock-step through batched
+    /// forward passes ([`JitDecoder::decode_batch`]).
+    ///
+    /// Each record gets its own freshly grounded session and its own RNG;
+    /// record `i`'s result is byte-identical to
+    /// `self.synthesize(&mut rngs[i])`.
+    pub fn synthesize_group<R: Rng>(
+        &self,
+        rngs: &mut [R],
+    ) -> Vec<Result<(CoarseSignals, DecodedOutput), DecodeError>> {
+        let count = rngs.len();
+        let mut sessions = Vec::with_capacity(count);
+        let mut schema = None;
+        for _ in 0..count {
+            let (s, sc) = self.build_session();
+            sessions.push(s);
+            schema = Some(sc);
+        }
+        let Some(schema) = schema else {
+            return Vec::new();
+        };
+        let prompts = vec![""; count];
+        let decoder =
+            JitDecoder::new(self.model, self.config.sampler).with_lookahead(self.config.lookahead);
+        let cps: Vec<_> = sessions.iter_mut().map(|s| s.checkpoint()).collect();
+        let outs = decoder.decode_batch(&mut sessions, &schema, &prompts, rngs);
+        for (s, cp) in sessions.iter_mut().zip(cps) {
+            s.rollback(cp);
+        }
+        outs.into_iter()
+            .map(|r| r.map(|out| (Self::signals_from(&out.values), out)))
+            .collect()
+    }
+
+    /// LeJIT synthesis of `count` records: groups of
+    /// [`TaskConfig::batch_size`] records decode lock-step
+    /// ([`Self::synthesize_group`]) across [`TaskConfig::threads`]
+    /// workers, record `i` drawing from a fresh `StdRng` seeded by
+    /// [`record_seed`]`(base_seed, i)`.
+    ///
+    /// Output is byte-identical for every `(threads, batch_size)` pair.
+    /// The same `Sync`/`forward_batch` note as [`Imputer::impute_batch`]
+    /// applies to the shared model.
+    pub fn synthesize_batch(
+        &self,
+        count: usize,
+        base_seed: u64,
+    ) -> Vec<Result<(CoarseSignals, DecodedOutput), DecodeError>>
+    where
+        M: Sync,
+    {
+        par_batches_with(
+            self.config.threads,
+            count,
+            self.config.batch_size,
+            || (),
+            |(), span| {
+                let mut rngs: Vec<StdRng> = span
+                    .map(|i| StdRng::seed_from_u64(record_seed(base_seed, i as u64)))
+                    .collect();
+                self.synthesize_group(&mut rngs)
+            },
+        )
     }
 
     /// Vanilla synthesis: structural masking only.
@@ -649,6 +810,144 @@ mod tests {
             assert_eq!(reused.text, fresh.text, "draw {i}");
             assert!(imputer.rules().compliant(&w.coarse, &reused.values));
         }
+    }
+
+    #[test]
+    fn batched_imputation_is_byte_identical_to_serial() {
+        let d = dataset();
+        let model = imputation_model(&d);
+        let windows: Vec<CoarseSignals> = d.test.iter().take(6).map(|w| w.coarse).collect();
+        let serial = Imputer::new(
+            &model,
+            paper_ruleset(),
+            d.window_len,
+            d.bandwidth,
+            TaskConfig::default(),
+        );
+        let reference: Vec<String> = windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let mut rng = StdRng::seed_from_u64(record_seed(77, i as u64));
+                serial.impute(w, &mut rng).unwrap().text
+            })
+            .collect();
+        for (threads, batch_size) in [(1, 1), (1, 4), (2, 3), (4, 8)] {
+            let imputer = Imputer::new(
+                &model,
+                paper_ruleset(),
+                d.window_len,
+                d.bandwidth,
+                TaskConfig {
+                    threads,
+                    batch_size,
+                    ..TaskConfig::default()
+                },
+            );
+            let texts: Vec<String> = imputer
+                .impute_batch(&windows, 77)
+                .into_iter()
+                .map(|r| r.unwrap().text)
+                .collect();
+            assert_eq!(texts, reference, "threads={threads} batch={batch_size}");
+        }
+    }
+
+    #[test]
+    fn batched_synthesis_is_byte_identical_to_serial() {
+        let d = dataset();
+        let model = synthesis_model(&d);
+        let rules = parse_rules(
+            "rule a: egress_total <= total_ingress;
+             rule b: drops <= total_ingress;",
+        )
+        .unwrap();
+        let hi = [
+            d.train_max(CoarseField::TotalIngress),
+            d.train_max(CoarseField::EcnBytes),
+            d.train_max(CoarseField::RetransBytes),
+            d.train_max(CoarseField::EgressTotal),
+            d.train_max(CoarseField::ConnCount),
+            d.train_max(CoarseField::Drops),
+        ];
+        let serial = Synthesizer::new(&model, rules.clone(), hi, TaskConfig::default());
+        let reference: Vec<String> = (0..6u64)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(record_seed(88, i));
+                serial.synthesize(&mut rng).unwrap().1.text
+            })
+            .collect();
+        for (threads, batch_size) in [(1, 1), (1, 8), (2, 4)] {
+            let synth = Synthesizer::new(
+                &model,
+                rules.clone(),
+                hi,
+                TaskConfig {
+                    threads,
+                    batch_size,
+                    ..TaskConfig::default()
+                },
+            );
+            let texts: Vec<String> = synth
+                .synthesize_batch(6, 88)
+                .into_iter()
+                .map(|r| r.unwrap().1.text)
+                .collect();
+            assert_eq!(texts, reference, "threads={threads} batch={batch_size}");
+        }
+    }
+
+    #[test]
+    fn session_rebuild_interval_is_output_invisible() {
+        // The SESSION_REBUILD_PERIOD contract: a session rebuilt mid-run
+        // answers exactly like a rolled-back one, so forcing a rebuild in
+        // the middle of a sample loop must not change a single byte.
+        let d = dataset();
+        let model = synthesis_model(&d);
+        let rules = parse_rules(
+            "rule a: egress_total <= total_ingress;
+             rule b: drops <= total_ingress;",
+        )
+        .unwrap();
+        let hi = [
+            d.train_max(CoarseField::TotalIngress),
+            d.train_max(CoarseField::EcnBytes),
+            d.train_max(CoarseField::RetransBytes),
+            d.train_max(CoarseField::EgressTotal),
+            d.train_max(CoarseField::ConnCount),
+            d.train_max(CoarseField::Drops),
+        ];
+        let synth = Synthesizer::new(&model, rules, hi, TaskConfig::default());
+        let draws = 6u64;
+        let (mut session, schema) = synth.build_session();
+        let reference: Vec<String> = (0..draws)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(2000 + i);
+                synth
+                    .synthesize_in(&mut session, &schema, &mut rng)
+                    .unwrap()
+                    .1
+                    .text
+            })
+            .collect();
+        let (mut session, schema) = synth.build_session();
+        let mut got = Vec::new();
+        for i in 0..draws {
+            if i == 3 {
+                // Forced mid-run rebuild, as the task layer does every
+                // SESSION_REBUILD_PERIOD draws.
+                session = synth.build_session().0;
+            }
+            let mut rng = StdRng::seed_from_u64(2000 + i);
+            got.push(
+                synth
+                    .synthesize_in(&mut session, &schema, &mut rng)
+                    .unwrap()
+                    .1
+                    .text,
+            );
+        }
+        assert_eq!(got, reference, "rebuild at draw 3 changed output");
     }
 
     #[test]

@@ -1,13 +1,16 @@
-//! End-to-end determinism: parallel record-level decoding is byte-identical
-//! to sequential decoding for every thread count.
+//! End-to-end determinism: parallel and batched record decoding is
+//! byte-identical to sequential decoding for every `(threads, batch)`.
 //!
 //! This is the contract the bench harnesses rely on (`crates/bench`): the
 //! decoded *text* of every record — not just aggregate statistics — must
-//! match across `threads ∈ {1, 2, 4}`, with per-record RNGs seeded by
-//! [`lejit_core::record_seed`] and any worker-local state (here a reusable
-//! [`JitSession`] rolled back between records) behaving like fresh state.
+//! match across the `(threads, batch) ∈ {1, 4} × {1, 8}` matrix (the CI
+//! `LEJIT_THREADS` × `LEJIT_BATCH` axes), with per-record RNGs seeded by
+//! [`lejit_core::record_seed`] and any worker-local state (a reusable
+//! [`JitSession`] rolled back between records, a model-level batch lane)
+//! behaving like fresh state.
 
 use lejit_core::{par_records, par_records_with, record_seed, Imputer, Synthesizer, TaskConfig};
+use lejit_lm::{BatchedGpt, CachedGpt, GptConfig, TinyGpt};
 use lejit_lm::{NgramLm, Vocab};
 use lejit_rules::parse_rules;
 use lejit_telemetry::{
@@ -123,5 +126,177 @@ fn parallel_synthesis_with_reused_sessions_is_byte_identical() {
     assert_eq!(sequential.len(), n_samples);
     for threads in [2, 4] {
         assert_eq!(draw_all(threads), sequential, "threads={threads}");
+    }
+}
+
+#[test]
+fn batched_imputation_matrix_is_byte_identical() {
+    // The CI matrix contract: LEJIT_THREADS × LEJIT_BATCH ∈ {1,4} × {1,8}
+    // all produce the same bytes.
+    let d = dataset();
+    let model = imputation_model(&d);
+    let rules = parse_rules(
+        "rule r1: forall t: fine[t] >= 0 and fine[t] <= 60;
+         rule r2: sum(fine) == total_ingress;
+         rule r3: ecn_bytes > 0 => max(fine) >= 45;",
+    )
+    .unwrap();
+    let windows: Vec<_> = d.test.iter().take(12).map(|w| w.coarse).collect();
+    let base_seed = 4242u64;
+
+    let decode_all = |threads: usize, batch: usize| -> Vec<String> {
+        let imputer = Imputer::new(
+            &model,
+            rules.clone(),
+            d.window_len,
+            d.bandwidth,
+            TaskConfig {
+                threads,
+                batch_size: batch,
+                ..TaskConfig::default()
+            },
+        );
+        imputer
+            .impute_batch(&windows, base_seed)
+            .into_iter()
+            .map(|r| r.unwrap().text)
+            .collect()
+    };
+
+    let sequential = decode_all(1, 1);
+    assert_eq!(sequential.len(), windows.len());
+    for threads in [1, 4] {
+        for batch in [1, 8] {
+            assert_eq!(
+                decode_all(threads, batch),
+                sequential,
+                "threads={threads} batch={batch}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_synthesis_matrix_is_byte_identical() {
+    let d = dataset();
+    let model = synthesis_model(&d);
+    let rules = parse_rules(
+        "rule a: egress_total <= total_ingress;
+         rule b: drops <= total_ingress;
+         rule c: conn_count >= 1;",
+    )
+    .unwrap();
+    let hi = [
+        d.train_max(CoarseField::TotalIngress),
+        d.train_max(CoarseField::EcnBytes),
+        d.train_max(CoarseField::RetransBytes),
+        d.train_max(CoarseField::EgressTotal),
+        d.train_max(CoarseField::ConnCount),
+        d.train_max(CoarseField::Drops),
+    ];
+    let n_samples = 16usize;
+    let base_seed = 777u64;
+
+    let draw_all = |threads: usize, batch: usize| -> Vec<String> {
+        let synth = Synthesizer::new(
+            &model,
+            rules.clone(),
+            hi,
+            TaskConfig {
+                threads,
+                batch_size: batch,
+                ..TaskConfig::default()
+            },
+        );
+        synth
+            .synthesize_batch(n_samples, base_seed)
+            .into_iter()
+            .map(|r| r.unwrap().1.text)
+            .collect()
+    };
+
+    let sequential = draw_all(1, 1);
+    assert_eq!(sequential.len(), n_samples);
+    for threads in [1, 4] {
+        for batch in [1, 8] {
+            assert_eq!(
+                draw_all(threads, batch),
+                sequential,
+                "threads={threads} batch={batch}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gpt_batched_lanes_match_serial_cached_across_matrix() {
+    // The full model-level batching stack — worker-local BatchedGpt lanes
+    // stepped lock-step through GEMM-shaped kernels — must reproduce the
+    // serial per-record CachedGpt path byte for byte at every
+    // (threads, batch) pair.
+    let d = dataset();
+    let gpt = TinyGpt::new(
+        GptConfig {
+            d_model: 16,
+            n_layers: 1,
+            n_heads: 2,
+            max_seq_len: 96,
+        },
+        Vocab::from_corpus("0123456789,;|=.TERGCD"),
+        11,
+    );
+    let rules = parse_rules(
+        "rule r1: forall t: fine[t] >= 0 and fine[t] <= 60;
+         rule r2: sum(fine) == total_ingress;",
+    )
+    .unwrap();
+    let windows: Vec<_> = d.test.iter().take(8).map(|w| w.coarse).collect();
+    let base_seed = 31u64;
+
+    let reference: Vec<String> = windows
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let model = CachedGpt::new(&gpt);
+            let imputer = Imputer::new(
+                &model,
+                rules.clone(),
+                d.window_len,
+                d.bandwidth,
+                TaskConfig::default(),
+            );
+            let mut rng = StdRng::seed_from_u64(record_seed(base_seed, i as u64));
+            imputer.impute(w, &mut rng).unwrap().text
+        })
+        .collect();
+
+    for threads in [1, 4] {
+        for batch in [1, 8] {
+            let got: Vec<String> = lejit_core::par_batches_with(
+                threads,
+                windows.len(),
+                batch,
+                || BatchedGpt::new(&gpt, batch),
+                |model, span| {
+                    let imputer = Imputer::new(
+                        &*model,
+                        rules.clone(),
+                        d.window_len,
+                        d.bandwidth,
+                        TaskConfig::default(),
+                    );
+                    let mut rngs: Vec<StdRng> = span
+                        .clone()
+                        .map(|i| StdRng::seed_from_u64(record_seed(base_seed, i as u64)))
+                        .collect();
+                    imputer
+                        .impute_group(&windows[span], &mut rngs)
+                        .into_iter()
+                        .map(|r| r.unwrap().text)
+                        .collect()
+                },
+            );
+            assert_eq!(got, reference, "threads={threads} batch={batch}");
+        }
     }
 }

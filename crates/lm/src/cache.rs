@@ -1,4 +1,5 @@
-//! KV-cached incremental inference for [`TinyGpt`].
+//! KV-cached incremental inference for [`TinyGpt`] — single-lane and
+//! batched.
 //!
 //! The JIT decoder queries the model once per *character*; re-running the
 //! full forward pass each time costs `O(T²)` per token, `O(T³)` per record.
@@ -10,11 +11,22 @@
 //! cached prefix, appends the new tokens, and transparently rebuilds when
 //! the context diverges (e.g. a new record starts) or exceeds the model's
 //! window.
+//!
+//! [`BatchKvCache`] generalizes the cache to several independent sequences
+//! ("lanes"): each layer stores one `lanes·max_seq_len × d` K/V matrix and
+//! lane `l`'s position-`p` row lives at the fixed offset `l·max_seq_len + p`.
+//! [`TinyGpt::append_tokens_batch`] steps many lanes by one token through
+//! `Matrix`-stacked affine kernels ([`Matrix::affine`]) so every projection
+//! is GEMM-shaped, while attention stays per-lane (lanes have different
+//! lengths). Per lane the floats are **bit-identical** to
+//! [`TinyGpt::append_token`], so batching never changes decoded output —
+//! see DESIGN.md §8. [`BatchedGpt`] wraps it behind [`LanguageModel`] with
+//! an overridden [`LanguageModel::forward_batch`].
 
 use std::cell::RefCell;
 
 use crate::gpt::TinyGpt;
-use crate::tensor::{softmax_inplace, Matrix};
+use crate::tensor::{gelu, softmax_inplace, Matrix};
 use crate::tokenizer::{TokenId, Vocab};
 use crate::LanguageModel;
 
@@ -203,6 +215,387 @@ impl LanguageModel for CachedGpt<'_> {
     }
 }
 
+/// A multi-sequence KV cache: `lanes` independent sequences backed by one
+/// `lanes·max_seq_len × d_model` K/V matrix per layer.
+///
+/// Lane `l`'s position-`p` row lives at the fixed offset
+/// `l · max_seq_len + p`, so growing one lane never moves another lane's
+/// rows and a batch step touches each layer's K/V storage exactly once.
+/// Lanes are fully independent: the numbers in one lane are a pure
+/// function of that lane's tokens, never of its neighbours, which is what
+/// makes batched decoding byte-identical to serial decoding (DESIGN.md §8).
+pub struct BatchKvCache {
+    /// K/V rows reserved per lane (= the model's `max_seq_len`).
+    stride: usize,
+    /// Tokens incorporated so far, per lane.
+    tokens: Vec<Vec<TokenId>>,
+    /// `(K, V)` per layer; lane `l`'s position-`p` row is `l·stride + p`.
+    layers: Vec<(Matrix, Matrix)>,
+    /// Final-layer normalized hidden state of each lane's last position.
+    last_hidden: Vec<Option<Vec<f32>>>,
+}
+
+impl BatchKvCache {
+    /// Number of lanes this cache was built with.
+    pub fn lanes(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Number of cached positions in `lane`.
+    pub fn len(&self, lane: usize) -> usize {
+        self.tokens[lane].len()
+    }
+
+    /// Whether every lane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.iter().all(|t| t.is_empty())
+    }
+
+    /// Tokens currently incorporated into `lane`.
+    pub fn tokens(&self, lane: usize) -> &[TokenId] {
+        &self.tokens[lane]
+    }
+
+    /// Clears `lane` so the next append starts it from position 0. The
+    /// lane's K/V rows need no zeroing — only rows below the lane length
+    /// are ever read.
+    pub fn reset_lane(&mut self, lane: usize) {
+        self.tokens[lane].clear();
+        self.last_hidden[lane] = None;
+    }
+
+    /// Greedily assigns each context a distinct lane, preferring the lane
+    /// whose cached tokens form the longest prefix of that context (an
+    /// empty lane beats a diverged one). This keeps a lane following "its"
+    /// record across calls even as finished neighbours drop out of the
+    /// batch and the surviving contexts shift position.
+    fn assign_lanes(&self, targets: &[&[TokenId]]) -> Vec<usize> {
+        let mut used = vec![false; self.lanes()];
+        let mut out = Vec::with_capacity(targets.len());
+        for &t in targets {
+            let mut best: Option<(usize, usize)> = None; // (score, lane)
+            for (l, cached) in self.tokens.iter().enumerate() {
+                if used[l] {
+                    continue;
+                }
+                // +1 so an empty lane (reusable, score 1) outranks a
+                // diverged lane (reset required, score 0).
+                let score = if cached.len() <= t.len() && cached[..] == t[..cached.len()] {
+                    cached.len() + 1
+                } else {
+                    0
+                };
+                if best.is_none_or(|(b, _)| score > b) {
+                    best = Some((score, l));
+                }
+            }
+            let (_, l) = best.expect("assign_lanes: more contexts than lanes");
+            used[l] = true;
+            out.push(l);
+        }
+        out
+    }
+}
+
+impl TinyGpt {
+    /// Creates an empty multi-sequence KV cache with `lanes` lanes
+    /// (clamped to ≥ 1), each with `max_seq_len` rows of capacity.
+    pub fn new_batch_cache(&self, lanes: usize) -> BatchKvCache {
+        let lanes = lanes.max(1);
+        let stride = self.config().max_seq_len;
+        let d = self.config().d_model;
+        BatchKvCache {
+            stride,
+            tokens: (0..lanes).map(|_| Vec::with_capacity(stride)).collect(),
+            layers: (0..self.config().n_layers)
+                .map(|_| {
+                    (
+                        Matrix::zeros(lanes * stride, d),
+                        Matrix::zeros(lanes * stride, d),
+                    )
+                })
+                .collect(),
+            last_hidden: vec![None; lanes],
+        }
+    }
+
+    /// Appends one token to each listed lane and returns each lane's
+    /// next-token logits, in `entries` order.
+    ///
+    /// This is the batched counterpart of [`TinyGpt::append_token`]: the
+    /// per-row work (embedding sum, LayerNorm, residual adds, attention)
+    /// uses the exact serial scalar kernels, while every weight projection
+    /// (QKV, attention output, both MLP layers, the LM head) runs as one
+    /// [`Matrix::affine`] over the stacked rows — bit-identical per row to
+    /// the serial `row_affine`, but GEMM-shaped so each weight is streamed
+    /// once per batch instead of once per lane.
+    ///
+    /// # Panics
+    /// Panics if a lane index is out of range, listed twice, or already
+    /// full (`len == max_seq_len`) — callers must rebuild a full lane with
+    /// a truncated context instead.
+    pub fn append_tokens_batch(
+        &self,
+        cache: &mut BatchKvCache,
+        entries: &[(usize, TokenId)],
+    ) -> Vec<Vec<f32>> {
+        let cfg = *self.config();
+        let d = cfg.d_model;
+        let hd = d / cfg.n_heads;
+        let b = entries.len();
+        if b == 0 {
+            return Vec::new();
+        }
+        let mut seen = vec![false; cache.lanes()];
+        for &(l, _) in entries {
+            assert!(l < cache.lanes(), "lane {l} out of range");
+            assert!(!seen[l], "duplicate lane {l} in batch");
+            seen[l] = true;
+            assert!(
+                cache.tokens[l].len() < cache.stride,
+                "KV cache full; rebuild with truncation"
+            );
+        }
+
+        // X[i] = tok_emb[tok] + pos_emb[pos] — the serial embedding sum,
+        // row by row.
+        let mut x = Matrix::zeros(b, d);
+        for (i, &(l, tok)) in entries.iter().enumerate() {
+            let pos = cache.tokens[l].len();
+            let row = x.row_mut(i);
+            row.copy_from_slice(self.tok_embedding_row(tok));
+            for (xi, &p) in row.iter_mut().zip(self.pos_embedding_row(pos)) {
+                *xi += p;
+            }
+        }
+
+        for layer in 0..cfg.n_layers {
+            // Attention sub-block: per-row LN, one batched QKV projection.
+            let mut a = Matrix::zeros(b, d);
+            for i in 0..b {
+                a.row_mut(i)
+                    .copy_from_slice(&self.apply_layer_norm(layer, true, x.row(i)));
+            }
+            let (qkv_w, qkv_b) = self.attn_qkv_weights(layer);
+            let qkv = a.affine(qkv_w, qkv_b); // b×3d
+                                              // Write K/V rows before attending so each lane's scores include
+                                              // its own new position, as in the serial path.
+            {
+                let (k_cache, v_cache) = &mut cache.layers[layer];
+                for (i, &(l, _)) in entries.iter().enumerate() {
+                    let at = l * cache.stride + cache.tokens[l].len();
+                    let row = qkv.row(i);
+                    k_cache.row_mut(at).copy_from_slice(&row[d..2 * d]);
+                    v_cache.row_mut(at).copy_from_slice(&row[2 * d..3 * d]);
+                }
+            }
+            // Per-lane scalar attention, identical to `append_token` —
+            // lanes have different lengths, so this part stays row-wise.
+            let mut attn = Matrix::zeros(b, d);
+            let (k_cache, v_cache) = &cache.layers[layer];
+            for (i, &(l, _)) in entries.iter().enumerate() {
+                let base = l * cache.stride;
+                let n = cache.tokens[l].len() + 1; // includes the new row
+                let qkv_row = qkv.row(i);
+                let attn_out = attn.row_mut(i);
+                for h in 0..cfg.n_heads {
+                    let q = &qkv_row[h * hd..(h + 1) * hd];
+                    let mut scores = Vec::with_capacity(n);
+                    let scale = 1.0 / (hd as f32).sqrt();
+                    for r in 0..n {
+                        let krow = &k_cache.row(base + r)[h * hd..(h + 1) * hd];
+                        let dot: f32 = q.iter().zip(krow).map(|(a, b)| a * b).sum();
+                        scores.push(dot * scale);
+                    }
+                    softmax_inplace(&mut scores);
+                    for (r, &p) in scores.iter().enumerate() {
+                        let vrow = &v_cache.row(base + r)[h * hd..(h + 1) * hd];
+                        for (o, &vv) in attn_out[h * hd..(h + 1) * hd].iter_mut().zip(vrow) {
+                            *o += p * vv;
+                        }
+                    }
+                }
+            }
+            let (proj_w, proj_b) = self.attn_proj_weights(layer);
+            let projected = attn.affine(proj_w, proj_b);
+            for (xi, &p) in x.data_mut().iter_mut().zip(projected.data()) {
+                *xi += p;
+            }
+
+            // MLP sub-block: per-row LN, batched fc → GELU → batched out.
+            let mut m = Matrix::zeros(b, d);
+            for i in 0..b {
+                m.row_mut(i)
+                    .copy_from_slice(&self.apply_layer_norm(layer, false, x.row(i)));
+            }
+            let (fc_w, fc_b, out_w, out_b) = self.mlp_weights(layer);
+            let mut mid = m.affine(fc_w, fc_b);
+            for v in mid.data_mut() {
+                *v = gelu(*v);
+            }
+            let out = mid.affine(out_w, out_b);
+            for (xi, &p) in x.data_mut().iter_mut().zip(out.data()) {
+                *xi += p;
+            }
+        }
+
+        let mut xf = Matrix::zeros(b, d);
+        for i in 0..b {
+            xf.row_mut(i)
+                .copy_from_slice(&self.final_layer_norm(x.row(i)));
+        }
+        let (head_w, head_b) = self.head_weights();
+        let logits = xf.affine(head_w, head_b);
+
+        for (i, &(l, tok)) in entries.iter().enumerate() {
+            cache.tokens[l].push(tok);
+            cache.last_hidden[l] = Some(xf.row(i).to_vec());
+        }
+        (0..b).map(|i| logits.row(i).to_vec()).collect()
+    }
+
+    /// Feeds several contexts through the multi-lane cache and returns
+    /// each context's next-token logits, in input order — the batched
+    /// counterpart of [`TinyGpt::next_logits_cached`], bit-identical to it
+    /// per context.
+    ///
+    /// Contexts are matched to lanes by longest cached prefix (so a caller
+    /// whose batch shrinks as records finish keeps its cache hits), empty
+    /// contexts fall back to a BOS token, overlong contexts are truncated
+    /// to the last `max_seq_len` tokens, and diverged lanes are rebuilt —
+    /// all exactly as in the single-lane path. Lanes that lag behind their
+    /// target catch up one token per round through
+    /// [`TinyGpt::append_tokens_batch`].
+    ///
+    /// # Panics
+    /// Panics if `contexts.len() > cache.lanes()`.
+    pub fn forward_batch_cached(
+        &self,
+        cache: &mut BatchKvCache,
+        contexts: &[&[TokenId]],
+    ) -> Vec<Vec<f32>> {
+        let cfg = *self.config();
+        assert!(
+            contexts.len() <= cache.lanes(),
+            "more contexts ({}) than cache lanes ({})",
+            contexts.len(),
+            cache.lanes()
+        );
+        let bos: [TokenId; 1] = [0];
+        let targets: Vec<&[TokenId]> = contexts
+            .iter()
+            .map(|&c| {
+                if c.is_empty() {
+                    &bos[..]
+                } else if c.len() > cfg.max_seq_len {
+                    &c[c.len() - cfg.max_seq_len..]
+                } else {
+                    c
+                }
+            })
+            .collect();
+        let lanes = cache.assign_lanes(&targets);
+
+        // Per lane, mirror next_logits_cached: reset on divergence, reuse
+        // the stored hidden state when the context is unchanged.
+        let mut logits: Vec<Option<Vec<f32>>> = vec![None; targets.len()];
+        for (i, &t) in targets.iter().enumerate() {
+            let l = lanes[i];
+            let cached = cache.len(l);
+            let reusable = cached <= t.len() && cache.tokens(l) == &t[..cached];
+            if !reusable || cached == t.len() && cache.last_hidden[l].is_none() {
+                cache.reset_lane(l);
+            }
+            if cache.len(l) == t.len() {
+                if let Some(h) = &cache.last_hidden[l] {
+                    logits[i] = Some(self.head_row(h));
+                }
+            }
+        }
+
+        // Catch lagging lanes up, one token per lane per round; a lane's
+        // logits are taken from the round that reaches its target length.
+        loop {
+            let mut entries = Vec::new();
+            let mut who = Vec::new();
+            for (i, &t) in targets.iter().enumerate() {
+                let l = lanes[i];
+                if cache.len(l) < t.len() {
+                    entries.push((l, t[cache.len(l)]));
+                    who.push(i);
+                }
+            }
+            if entries.is_empty() {
+                break;
+            }
+            let step = self.append_tokens_batch(cache, &entries);
+            for (&i, lg) in who.iter().zip(step) {
+                if cache.len(lanes[i]) == targets[i].len() {
+                    logits[i] = Some(lg);
+                }
+            }
+        }
+        logits
+            .into_iter()
+            .map(|o| o.expect("every lane reaches its target length"))
+            .collect()
+    }
+}
+
+/// A [`TinyGpt`] wrapped with an interior-mutable multi-lane KV cache,
+/// implementing [`LanguageModel`] with a real
+/// [`LanguageModel::forward_batch`]: one GEMM-shaped forward step per
+/// decode round instead of one GEMV per record.
+///
+/// The cache grows automatically when `forward_batch` is handed more
+/// contexts than lanes, and single-context [`LanguageModel::next_logits`]
+/// calls route through the same batch path (batch of one), so the wrapper
+/// is a drop-in replacement for [`CachedGpt`] with bit-identical outputs.
+pub struct BatchedGpt<'m> {
+    gpt: &'m TinyGpt,
+    cache: RefCell<BatchKvCache>,
+}
+
+impl<'m> BatchedGpt<'m> {
+    /// Wraps a model with a `lanes`-sequence cache (clamped to ≥ 1).
+    pub fn new(gpt: &'m TinyGpt, lanes: usize) -> BatchedGpt<'m> {
+        BatchedGpt {
+            gpt,
+            cache: RefCell::new(gpt.new_batch_cache(lanes)),
+        }
+    }
+
+    /// Number of cache lanes currently allocated.
+    pub fn lanes(&self) -> usize {
+        self.cache.borrow().lanes()
+    }
+}
+
+impl LanguageModel for BatchedGpt<'_> {
+    fn vocab(&self) -> &Vocab {
+        self.gpt.vocab()
+    }
+
+    fn next_logits(&self, context: &[TokenId]) -> Vec<f32> {
+        // Routed through the batch path (batch of one) rather than the
+        // trait default, which would recurse back into forward_batch.
+        self.forward_batch(&[context])
+            .pop()
+            .expect("one context in, one logits row out")
+    }
+
+    fn forward_batch(&self, contexts: &[&[TokenId]]) -> Vec<Vec<f32>> {
+        if contexts.is_empty() {
+            return Vec::new();
+        }
+        let mut cache = self.cache.borrow_mut();
+        if contexts.len() > cache.lanes() {
+            *cache = self.gpt.new_batch_cache(contexts.len());
+        }
+        self.gpt.forward_batch_cached(&mut cache, contexts)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,5 +698,120 @@ mod tests {
         for _ in 0..25 {
             m.append_token(&mut cache, 0);
         }
+    }
+
+    // --- batched path ---------------------------------------------------
+    //
+    // The batched kernels promise *bit*-identity with the serial cache, so
+    // these tests use assert_eq on raw f32 vectors, not a tolerance.
+
+    #[test]
+    fn batched_append_is_bitwise_equal_to_serial() {
+        // Three lanes of different lengths stepped lock-step; short lanes
+        // drop out of later rounds. Every logits row must be the exact
+        // serial `append_token` floats.
+        let m = model();
+        let toks: Vec<Vec<TokenId>> = ["12,34,5.", "987,65,43,2.", "0.0"]
+            .iter()
+            .map(|t| m.vocab().encode(t).unwrap())
+            .collect();
+        let mut serial: Vec<KvCache> = (0..3).map(|_| m.new_cache()).collect();
+        let mut batch = m.new_batch_cache(3);
+        let max_len = toks.iter().map(|t| t.len()).max().unwrap();
+        for step in 0..max_len {
+            let mut entries = Vec::new();
+            let mut expect = Vec::new();
+            for (l, t) in toks.iter().enumerate() {
+                if step < t.len() {
+                    entries.push((l, t[step]));
+                    expect.push(m.append_token(&mut serial[l], t[step]));
+                }
+            }
+            let got = m.append_tokens_batch(&mut batch, &entries);
+            assert_eq!(got, expect, "step {step} diverged from serial");
+        }
+        for (l, t) in toks.iter().enumerate() {
+            assert_eq!(batch.tokens(l), t.as_slice());
+        }
+    }
+
+    #[test]
+    fn forward_batch_cached_matches_serial_cache_bitwise() {
+        let m = model();
+        let a = m.vocab().encode("11,22.").unwrap();
+        let b = m.vocab().encode("93,4.").unwrap();
+        let long = m.vocab().encode(&"12,".repeat(20)).unwrap(); // 60 > 24
+        let mut cache = m.new_batch_cache(3);
+        let got = m.forward_batch_cached(&mut cache, &[&a, &b, &long]);
+        for (ctx, row) in [&a, &b, &long].iter().zip(&got) {
+            let mut sc = m.new_cache();
+            assert_eq!(row, &m.next_logits_cached(&mut sc, ctx));
+        }
+        // Empty context hits the same BOS fallback as the serial cache.
+        let got = m.forward_batch_cached(&mut cache, &[&[]]);
+        let mut sc = m.new_cache();
+        assert_eq!(got[0], m.next_logits_cached(&mut sc, &[]));
+    }
+
+    #[test]
+    fn batched_wrapper_tracks_lanes_across_dropout() {
+        // Decode-style usage: contexts grow one token per round, lanes
+        // finish at different times, and later rounds pass fewer contexts
+        // (so surviving contexts shift position in the batch). The lane
+        // matcher must keep each record on its own cache lane and stay
+        // bit-equal to independent serial caches throughout.
+        let m = model();
+        let full: Vec<Vec<TokenId>> = ["987,65,43,2.", "11,22.", "12,34,5."]
+            .iter()
+            .map(|t| m.vocab().encode(t).unwrap())
+            .collect();
+        let wrapper = BatchedGpt::new(&m, 3);
+        let serial: Vec<CachedGpt> = (0..3).map(|_| CachedGpt::new(&m)).collect();
+        let max_len = full.iter().map(|t| t.len()).max().unwrap();
+        for end in 1..=max_len {
+            let active: Vec<usize> = (0..3).filter(|&l| end <= full[l].len()).collect();
+            let ctxs: Vec<&[TokenId]> = active.iter().map(|&l| &full[l][..end]).collect();
+            let got = wrapper.forward_batch(&ctxs);
+            for (&l, row) in active.iter().zip(&got) {
+                assert_eq!(
+                    row,
+                    &serial[l].next_logits(&full[l][..end]),
+                    "lane {l} round {end}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_wrapper_grows_cache_on_demand() {
+        let m = model();
+        let wrapper = BatchedGpt::new(&m, 1);
+        let a = m.vocab().encode("1.").unwrap();
+        let b = m.vocab().encode("2.").unwrap();
+        let got = wrapper.forward_batch(&[&a, &b]);
+        assert_eq!(wrapper.lanes(), 2);
+        for (ctx, row) in [&a, &b].iter().zip(&got) {
+            let mut sc = m.new_cache();
+            assert_eq!(row, &m.next_logits_cached(&mut sc, ctx));
+        }
+    }
+
+    #[test]
+    fn default_forward_batch_loops_next_logits() {
+        // The trait default (used by e.g. the n-gram LM) is the looped
+        // serial path.
+        let m = model();
+        let a = m.vocab().encode("12.").unwrap();
+        let b = m.vocab().encode("3,4.").unwrap();
+        let got = m.forward_batch(&[&a, &b]);
+        assert_eq!(got, vec![m.next_logits(&a), m.next_logits(&b)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate lane")]
+    fn batched_append_rejects_duplicate_lanes() {
+        let m = model();
+        let mut cache = m.new_batch_cache(2);
+        m.append_tokens_batch(&mut cache, &[(0, 1), (0, 2)]);
     }
 }

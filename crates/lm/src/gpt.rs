@@ -420,6 +420,44 @@ impl TinyGpt {
     }
 }
 
+// Weight accessors for the batched (multi-lane) inference kernels in
+// `crate::cache`. The batched path stacks lane activations into a `Matrix`
+// and runs them through `Matrix::affine` against these weights; per lane the
+// result is bit-identical to the row kernels above (same bias-init,
+// ascending-k, zero-skip accumulation), so batching is output-invisible.
+impl TinyGpt {
+    /// A block's attention QKV projection `(W: d×3d, b: 1×3d)`.
+    pub(crate) fn attn_qkv_weights(&self, layer: usize) -> (&Matrix, &Matrix) {
+        let b = &self.layout.blocks[layer];
+        (&self.params[b.attn_w], &self.params[b.attn_b])
+    }
+
+    /// A block's attention output projection `(W: d×d, b: 1×d)`.
+    pub(crate) fn attn_proj_weights(&self, layer: usize) -> (&Matrix, &Matrix) {
+        let b = &self.layout.blocks[layer];
+        (&self.params[b.proj_w], &self.params[b.proj_b])
+    }
+
+    /// A block's MLP weights `(fc_w, fc_b, out_w, out_b)`.
+    pub(crate) fn mlp_weights(&self, layer: usize) -> (&Matrix, &Matrix, &Matrix, &Matrix) {
+        let b = &self.layout.blocks[layer];
+        (
+            &self.params[b.fc_w],
+            &self.params[b.fc_b],
+            &self.params[b.out_w],
+            &self.params[b.out_b],
+        )
+    }
+
+    /// The unembedding head `(W: d×V, b: 1×V)`.
+    pub(crate) fn head_weights(&self) -> (&Matrix, &Matrix) {
+        (
+            &self.params[self.layout.head_w],
+            &self.params[self.layout.head_b],
+        )
+    }
+}
+
 impl LanguageModel for TinyGpt {
     fn vocab(&self) -> &Vocab {
         &self.vocab

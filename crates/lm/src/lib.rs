@@ -25,7 +25,11 @@
 //!   masking plugs in.
 //!
 //! The decoding engine in `lejit-core` only depends on the [`LanguageModel`]
-//! trait, mirroring the paper's claim that LeJIT is LLM-agnostic.
+//! trait, mirroring the paper's claim that LeJIT is LLM-agnostic. For
+//! throughput, [`cache`] adds KV-cached incremental inference — single-lane
+//! ([`CachedGpt`]) and batched ([`BatchedGpt`], a multi-sequence
+//! [`BatchKvCache`] stepped through GEMM-shaped kernels) — both
+//! bit-identical to the plain forward pass semantics the trait promises.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,7 +44,7 @@ pub mod serialize;
 pub mod tensor;
 pub mod tokenizer;
 
-pub use cache::{CachedGpt, KvCache};
+pub use cache::{BatchKvCache, BatchedGpt, CachedGpt, KvCache};
 pub use gpt::{GptConfig, TinyGpt};
 pub use ngram::NgramLm;
 pub use sample::{cross_entropy, perplexity, sample_token, LogitsProcessor, SamplerConfig};
@@ -61,4 +65,17 @@ pub trait LanguageModel {
     ///
     /// The returned vector has exactly `vocab().len()` entries.
     fn next_logits(&self, context: &[TokenId]) -> Vec<f32>;
+
+    /// Next-token logits for several independent contexts at once, in
+    /// input order.
+    ///
+    /// The default simply loops [`LanguageModel::next_logits`], so every
+    /// model (e.g. the n-gram LM) supports batch callers out of the box.
+    /// Models with a real batched forward path — [`cache::BatchedGpt`] —
+    /// override this to do GEMM-shaped work, with the contract that each
+    /// returned row is **bit-identical** to the serial call on the same
+    /// context: batching may change throughput, never output.
+    fn forward_batch(&self, contexts: &[&[TokenId]]) -> Vec<Vec<f32>> {
+        contexts.iter().map(|c| self.next_logits(c)).collect()
+    }
 }

@@ -5,6 +5,12 @@
 //! rule-violating tokens to `-inf`, and sampling then renormalizes over the
 //! surviving tokens — "filtering out rule-violating tokens at each
 //! generation step" while otherwise respecting the model's distribution.
+//!
+//! The batched decode path ([`LanguageModel::forward_batch`]) reuses the
+//! same machinery per lane: one batched forward pass yields a logits row
+//! per live record, and each lane applies its *own* solver mask and draws
+//! from its *own* RNG — so sampling in a batch of N is exactly N
+//! independent serial sampling steps.
 
 use rand::Rng;
 

@@ -157,7 +157,7 @@ impl Matrix {
 
     /// Matrix product `self · other`, blocked and row-parallel.
     ///
-    /// Output rows are computed in [`MM_BLOCK_I`]-row chunks distributed
+    /// Output rows are computed in `MM_BLOCK_I`-row chunks distributed
     /// over the global pool; within a chunk the kernel tiles the inner and
     /// output-column dimensions so the active slice of `other` stays in
     /// cache. Per output element the accumulation runs in ascending-`k`
@@ -190,6 +190,60 @@ impl Matrix {
                             }
                             let k = kb + dk;
                             let b_row = &other.data[k * n + jb..k * n + j_end];
+                            for (o, &b) in out_row.iter_mut().zip(b_row) {
+                                *o += a * b;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Batched affine map `self · w + bias` (bias broadcast to every row),
+    /// blocked and row-parallel like [`Matrix::matmul`].
+    ///
+    /// This is the kernel behind the batched forward path: each row of
+    /// `self` is one lane's activation, and the per-row result is
+    /// **bit-identical** to the serial single-row kernel the KV cache uses
+    /// (initialize the output with `bias`, then accumulate `x[k] · w[k][j]`
+    /// in ascending-`k` order, skipping `x[k] == 0.0`). Batching therefore
+    /// changes how many rows share one sweep of `w`, never the float result
+    /// of any individual row — the foundation of the workspace's
+    /// "byte-identical at any `LEJIT_BATCH`" contract.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch or if `bias` is not `1 × w.cols()`.
+    pub fn affine(&self, w: &Matrix, bias: &Matrix) -> Matrix {
+        assert_eq!(self.cols, w.rows, "affine dimension mismatch");
+        assert_eq!(bias.rows, 1, "affine bias must be a row vector");
+        assert_eq!(bias.cols, w.cols, "affine bias width mismatch");
+        let n = w.cols;
+        let mut out = Matrix::zeros(self.rows, n);
+        if n == 0 || self.rows == 0 {
+            return out;
+        }
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(bias.row(0));
+        }
+        let pool = matmul_pool(self.rows, self.rows * self.cols * n);
+        pool.run_chunks(&mut out.data, MM_BLOCK_I * n, |chunk_idx, out_chunk| {
+            let r0 = chunk_idx * MM_BLOCK_I;
+            let chunk_rows = out_chunk.len() / n;
+            for jb in (0..n).step_by(MM_BLOCK_J) {
+                let j_end = (jb + MM_BLOCK_J).min(n);
+                for kb in (0..self.cols).step_by(MM_BLOCK_K) {
+                    let k_end = (kb + MM_BLOCK_K).min(self.cols);
+                    for i in 0..chunk_rows {
+                        let a_row = self.row(r0 + i);
+                        let out_row = &mut out_chunk[i * n + jb..i * n + j_end];
+                        for (dk, &a) in a_row[kb..k_end].iter().enumerate() {
+                            if a == 0.0 {
+                                continue;
+                            }
+                            let k = kb + dk;
+                            let b_row = &w.data[k * n + jb..k * n + j_end];
                             for (o, &b) in out_row.iter_mut().zip(b_row) {
                                 *o += a * b;
                             }
@@ -578,6 +632,60 @@ mod tests {
             assert_eq!(a.matmul(&b), naive, "threads={threads}");
         }
         minipool::set_global_threads(1);
+    }
+
+    #[test]
+    fn affine_matches_serial_row_kernel_bitwise() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let x = Matrix::randn(9, 48, 1.0, &mut rng);
+        let w = Matrix::randn(48, 144, 1.0, &mut rng);
+        let b = Matrix::randn(1, 144, 1.0, &mut rng);
+        let batched = x.affine(&w, &b);
+        // Reference: the exact accumulation order of the serial row kernel
+        // (bias init, ascending k, skip zero inputs).
+        for r in 0..x.rows() {
+            let mut serial: Vec<f32> = b.row(0).to_vec();
+            for (k, &xv) in x.row(r).iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                for (o, &wv) in serial.iter_mut().zip(w.row(k)) {
+                    *o += xv * wv;
+                }
+            }
+            assert_eq!(batched.row(r), serial.as_slice(), "row {r} diverged");
+        }
+        // And the single-row batch equals the corresponding multi-row row.
+        for r in 0..x.rows() {
+            let one = Matrix::from_vec(1, 48, x.row(r).to_vec());
+            assert_eq!(one.affine(&w, &b).row(0), batched.row(r));
+        }
+    }
+
+    #[test]
+    fn affine_is_thread_count_invariant() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        let x = Matrix::randn(40, 130, 1.0, &mut rng);
+        let w = Matrix::randn(130, 300, 1.0, &mut rng);
+        let b = Matrix::randn(1, 300, 1.0, &mut rng);
+        minipool::set_global_threads(1);
+        let reference = x.affine(&w, &b);
+        for threads in [2, 4] {
+            minipool::set_global_threads(threads);
+            assert_eq!(x.affine(&w, &b), reference, "threads={threads}");
+        }
+        minipool::set_global_threads(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias must be a row vector")]
+    fn affine_rejects_non_row_bias() {
+        let x = m(1, 2, &[1., 2.]);
+        let w = m(2, 2, &[1., 0., 0., 1.]);
+        let b = m(2, 1, &[0., 0.]);
+        let _ = x.affine(&w, &b);
     }
 
     #[test]
