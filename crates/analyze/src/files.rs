@@ -1,0 +1,64 @@
+//! Workspace file discovery: every `.rs` file under the root, in sorted
+//! (deterministic) order.
+//!
+//! Skipped subtrees:
+//!
+//! * `target/` — build output;
+//! * hidden directories (`.git/`, `.github/`, …) — not Rust sources;
+//! * `tests/fixtures/` — the analyzer's own lint fixtures contain
+//!   deliberate violations and must not fail the workspace run.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One discovered source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the scan root, with forward slashes (the form the
+    /// scope predicates and `analyze.toml` use).
+    pub rel_path: String,
+    /// Absolute (or root-joined) path for reading.
+    pub abs_path: PathBuf,
+}
+
+/// Collect all lintable `.rs` files under `root`, sorted by relative path.
+pub fn collect_rust_files(root: &Path) -> Vec<SourceFile> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out);
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    out
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            if name == "fixtures" && dir.file_name().and_then(|n| n.to_str()) == Some("tests") {
+                continue;
+            }
+            walk(root, &path, out);
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile {
+                rel_path: rel,
+                abs_path: path,
+            });
+        }
+    }
+}

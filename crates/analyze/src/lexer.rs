@@ -1,0 +1,598 @@
+//! A minimal Rust lexer producing tokens with line/column spans.
+//!
+//! The workspace vendors no parsing crates (`syn` is unavailable offline),
+//! so the analyzer lexes source files itself. The lexer does not build a
+//! syntax tree; it produces a flat token stream that is sufficient for the
+//! lint passes in [`crate::lints`]: identifiers, punctuation (with the
+//! two-character operators `==`/`!=` and friends kept intact), literals,
+//! and a separate comment stream for the `// SAFETY:` audit.
+//!
+//! Correctness notes — the cases that matter for lint soundness:
+//!
+//! * **Nested block comments**: `/* a /* b */ c */` is one comment.
+//! * **Raw strings**: `r#"… "…" …"#` must not terminate at the inner quote,
+//!   and `r"\"` is a complete string (no escape processing in raw strings).
+//! * **Lifetimes vs char literals**: `'a>` is a lifetime, `'a'` is a char.
+//! * **Float literals**: `1.0`, `1e9`, `1.5e-3`, `2f64` are floats; `1..n`
+//!   is an integer followed by a range operator; `tuple.0` stays an
+//!   integer field access.
+//!
+//! Tokens inside string/char literals and comments are never reported as
+//! identifiers, so lint patterns such as `HashMap` cannot false-positive
+//! on documentation or log messages.
+
+/// The coarse classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unsafe`, …).
+    Ident,
+    /// A lifetime such as `'a` (including the leading quote).
+    Lifetime,
+    /// An integer literal.
+    Int,
+    /// A floating-point literal (has a fractional part, exponent, or
+    /// `f32`/`f64` suffix).
+    Float,
+    /// A string or byte-string literal (raw or cooked).
+    Str,
+    /// A character or byte literal.
+    Char,
+    /// Punctuation; multi-character operators are single tokens.
+    Punct,
+}
+
+/// One token with its source span (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+/// A comment (line or block) with the line it starts on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/* */` delimiters.
+    pub text: String,
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments in source order (used by the `// SAFETY:` audit).
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into tokens and comments.
+///
+/// The lexer is total: any byte sequence produces *some* token stream
+/// (unknown bytes become single-character `Punct` tokens), so the analyzer
+/// never panics on unusual-but-valid source.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Line comment (also covers `///` and `//!` doc comments).
+        if cur.starts_with("//") {
+            let start = cur.pos;
+            while let Some(c) = cur.peek() {
+                if c == b'\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                line,
+            });
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if cur.starts_with("/*") {
+            let start = cur.pos;
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                if cur.starts_with("/*") {
+                    cur.bump();
+                    cur.bump();
+                    depth += 1;
+                } else if cur.starts_with("*/") {
+                    cur.bump();
+                    cur.bump();
+                    depth -= 1;
+                } else if cur.bump().is_none() {
+                    break; // Unterminated comment: tolerate, stop at EOF.
+                }
+            }
+            out.comments.push(Comment {
+                text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                line,
+            });
+            continue;
+        }
+
+        // Raw strings and byte strings: r"…", r#"…"#, br"…", b"…".
+        if b == b'r' || b == b'b' {
+            if let Some(len) = raw_or_byte_string_len(&cur) {
+                let start = cur.pos;
+                for _ in 0..len {
+                    cur.bump();
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if b == b'b' && cur.peek_at(1) == Some(b'\'') {
+                // Byte literal b'x'.
+                let start = cur.pos;
+                cur.bump(); // b
+                lex_char_body(&mut cur);
+                out.tokens.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                    col,
+                });
+                continue;
+            }
+        }
+
+        // Cooked string literal.
+        if b == b'"' {
+            let start = cur.pos;
+            cur.bump();
+            while let Some(c) = cur.peek() {
+                if c == b'\\' {
+                    cur.bump();
+                    cur.bump();
+                } else if c == b'"' {
+                    cur.bump();
+                    break;
+                } else {
+                    cur.bump();
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Str,
+                text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Lifetime or char literal.
+        if b == b'\'' {
+            // `'ident` not followed by a closing quote is a lifetime
+            // (or a loop label); `'x'` / `'\n'` is a char literal.
+            let next = cur.peek_at(1);
+            let is_lifetime = match next {
+                Some(n) if is_ident_start(n) => {
+                    // Scan the identifier; a lifetime does NOT end in `'`.
+                    let mut off = 2;
+                    while cur.peek_at(off).map(is_ident_continue).unwrap_or(false) {
+                        off += 1;
+                    }
+                    cur.peek_at(off) != Some(b'\'')
+                }
+                _ => false,
+            };
+            let start = cur.pos;
+            if is_lifetime {
+                cur.bump(); // '
+                while cur.peek().map(is_ident_continue).unwrap_or(false) {
+                    cur.bump();
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                    col,
+                });
+            } else {
+                lex_char_body(&mut cur);
+                out.tokens.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+
+        // Numeric literal.
+        if b.is_ascii_digit() {
+            let start = cur.pos;
+            let mut kind = TokKind::Int;
+            if cur.starts_with("0x")
+                || cur.starts_with("0X")
+                || cur.starts_with("0b")
+                || cur.starts_with("0o")
+            {
+                cur.bump();
+                cur.bump();
+                while cur
+                    .peek()
+                    .map(|c| c.is_ascii_alphanumeric() || c == b'_')
+                    .unwrap_or(false)
+                {
+                    cur.bump();
+                }
+            } else {
+                while cur
+                    .peek()
+                    .map(|c| c.is_ascii_digit() || c == b'_')
+                    .unwrap_or(false)
+                {
+                    cur.bump();
+                }
+                // Fractional part: `.` followed by a digit (so `1..n` and
+                // `tuple.0` stay integers).
+                if cur.peek() == Some(b'.')
+                    && cur.peek_at(1).map(|c| c.is_ascii_digit()).unwrap_or(false)
+                {
+                    kind = TokKind::Float;
+                    cur.bump();
+                    while cur
+                        .peek()
+                        .map(|c| c.is_ascii_digit() || c == b'_')
+                        .unwrap_or(false)
+                    {
+                        cur.bump();
+                    }
+                } else if cur.peek() == Some(b'.')
+                    && !cur.peek_at(1).map(is_ident_start).unwrap_or(false)
+                    && cur.peek_at(1) != Some(b'.')
+                {
+                    // Trailing-dot float like `1.` (rare but legal).
+                    kind = TokKind::Float;
+                    cur.bump();
+                }
+                // Exponent.
+                if matches!(cur.peek(), Some(b'e') | Some(b'E')) {
+                    let sign = matches!(cur.peek_at(1), Some(b'+') | Some(b'-'));
+                    let digit_off = if sign { 2 } else { 1 };
+                    if cur
+                        .peek_at(digit_off)
+                        .map(|c| c.is_ascii_digit())
+                        .unwrap_or(false)
+                    {
+                        kind = TokKind::Float;
+                        cur.bump();
+                        if sign {
+                            cur.bump();
+                        }
+                        while cur
+                            .peek()
+                            .map(|c| c.is_ascii_digit() || c == b'_')
+                            .unwrap_or(false)
+                        {
+                            cur.bump();
+                        }
+                    }
+                }
+                // Suffix (`u32`, `f64`, …). An `f32`/`f64` suffix makes it
+                // a float.
+                if cur.peek().map(is_ident_start).unwrap_or(false) {
+                    let suffix_start = cur.pos;
+                    while cur.peek().map(is_ident_continue).unwrap_or(false) {
+                        cur.bump();
+                    }
+                    let suffix = &cur.src[suffix_start..cur.pos];
+                    if suffix == b"f32" || suffix == b"f64" {
+                        kind = TokKind::Float;
+                    }
+                }
+            }
+            out.tokens.push(Tok {
+                kind,
+                text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Identifier or keyword.
+        if is_ident_start(b) {
+            let start = cur.pos;
+            while cur.peek().map(is_ident_continue).unwrap_or(false) {
+                cur.bump();
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Multi-character operator, longest match first.
+        let mut matched = false;
+        for op in OPERATORS {
+            if cur.starts_with(op) {
+                for _ in 0..op.len() {
+                    cur.bump();
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (*op).to_string(),
+                    line,
+                    col,
+                });
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+
+        // Single-character punctuation (or unknown byte — tolerated).
+        cur.bump();
+        out.tokens.push(Tok {
+            kind: TokKind::Punct,
+            text: (b as char).to_string(),
+            line,
+            col,
+        });
+    }
+
+    out
+}
+
+/// If the cursor sits on a raw/byte string opener (`r"`, `r#"`, `br"`,
+/// `b"`, …), return the total byte length of the literal.
+fn raw_or_byte_string_len(cur: &Cursor<'_>) -> Option<usize> {
+    let rest = &cur.src[cur.pos..];
+    let mut i = 0;
+    if rest.get(i) == Some(&b'b') {
+        i += 1;
+    }
+    let raw = rest.get(i) == Some(&b'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while rest.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if rest.get(i) != Some(&b'"') {
+        return None;
+    }
+    if !raw && hashes > 0 {
+        return None; // `b#"` is not a literal.
+    }
+    if !raw && i > 1 {
+        return None;
+    }
+    if !raw && i == 0 {
+        return None; // Plain `"` is handled by the cooked-string path.
+    }
+    i += 1; // consume opening quote
+    if raw {
+        // Scan for `"` followed by `hashes` hash marks; no escapes.
+        loop {
+            match rest.get(i) {
+                None => return Some(i), // unterminated: tolerate
+                Some(&b'"') => {
+                    let mut j = 0;
+                    while j < hashes && rest.get(i + 1 + j) == Some(&b'#') {
+                        j += 1;
+                    }
+                    if j == hashes {
+                        return Some(i + 1 + hashes);
+                    }
+                    i += 1;
+                }
+                Some(_) => i += 1,
+            }
+        }
+    } else {
+        // Cooked byte string `b"…"` with escapes.
+        loop {
+            match rest.get(i) {
+                None => return Some(i),
+                Some(&b'\\') => i += 2,
+                Some(&b'"') => return Some(i + 1),
+                Some(_) => i += 1,
+            }
+        }
+    }
+}
+
+/// Consume a char/byte literal body starting at the opening `'`.
+fn lex_char_body(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening '
+    match cur.peek() {
+        Some(b'\\') => {
+            cur.bump();
+            cur.bump(); // escaped char (good enough for \u{…} too: see below)
+                        // `\u{…}` escapes: consume until the closing brace.
+            if cur.src.get(cur.pos.wrapping_sub(1)) == Some(&b'u') && cur.peek() == Some(b'{') {
+                while let Some(c) = cur.bump() {
+                    if c == b'}' {
+                        break;
+                    }
+                }
+            }
+        }
+        Some(_) => {
+            cur.bump();
+        }
+        None => return,
+    }
+    if cur.peek() == Some(b'\'') {
+        cur.bump(); // closing '
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let src = r#"let x = "HashMap in a string"; // HashMap in a comment"#;
+        assert_eq!(idents(src), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn raw_strings_with_inner_quotes() {
+        let src = r##"let s = r#"say "HashMap" loudly"#; let y = 1;"##;
+        assert_eq!(idents(src), vec!["let", "s", "let", "y"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* HashMap */ still comment */ fn main() {}";
+        assert_eq!(idents(src), vec!["fn", "main"]);
+        assert_eq!(lex(src).comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn float_classification() {
+        let lexed =
+            lex("let a = 1.0; let b = 1e9; let c = 2f64; let d = 5u32; let r = 1..n; let t = x.0;");
+        let floats: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Float)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.0", "1e9", "2f64"]);
+    }
+
+    #[test]
+    fn operators_are_single_tokens() {
+        let lexed = lex("a == b != c <= d");
+        let puncts: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "<="]);
+    }
+
+    #[test]
+    fn spans_are_one_based() {
+        let lexed = lex("fn main() {\n    let x = 1;\n}");
+        let x = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "x")
+            .expect("token x");
+        assert_eq!((x.line, x.col), (2, 9));
+    }
+}

@@ -1,0 +1,213 @@
+//! `lejit-analyze` — the workspace static-analysis pass.
+//!
+//! LeJIT's headline guarantee is that constrained decoding is *exact* and
+//! *deterministic*: every emitted token is solver-certified, and output is
+//! byte-identical at any `(LEJIT_THREADS, LEJIT_BATCH)`. The runtime test
+//! suite samples that invariant; this crate enforces its preconditions
+//! *statically*, so a violation cannot compile into the tree unnoticed:
+//!
+//! * **L1 determinism** — no nondeterministically-ordered collections or
+//!   ambient time/randomness in decode-path crates;
+//! * **L2 panic-freedom** — no `unwrap`/`expect`/`[]` in the CDCL
+//!   propagate/analyze loop, the simplex pivot, or `JitDecoder::decode_*`;
+//! * **L3 float hygiene** — no float equality or float→int `as` casts in
+//!   solver/logit code; no floats at all in the exact-rational `lejit-smt`;
+//! * **L4 unsafe audit** — every `unsafe` carries a `// SAFETY:` comment.
+//!
+//! Diagnostics are deny-by-default. Suppressions live in `analyze.toml`
+//! at the scan root and each must carry a written justification (see
+//! [`config`]). Run it as:
+//!
+//! ```text
+//! cargo run -p lejit-analyze -- check
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unallowlisted findings, `2` usage or
+//! configuration error.
+//!
+//! The analyzer is token-level (the workspace vendors no `syn`): see
+//! [`lints`] for per-lint soundness notes and documented limitations.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod files;
+pub mod lexer;
+pub mod lints;
+
+use std::fs;
+use std::path::Path;
+
+use config::{Allowlist, ConfigError};
+use lints::Finding;
+
+/// A finding plus its allowlist disposition.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The underlying lint finding.
+    pub finding: Finding,
+    /// `Some(reason)` if an `analyze.toml` entry suppresses this finding.
+    pub allowed: Option<String>,
+}
+
+/// The result of one full `check` run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All diagnostics, sorted by (path, line, col, lint).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Allowlist entries that matched no finding (stale suppressions).
+    pub unused_allows: Vec<config::AllowEntry>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not covered by the allowlist.
+    pub fn unallowlisted(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.allowed.is_none())
+    }
+
+    /// True when the run is clean (no unallowlisted findings).
+    pub fn is_clean(&self) -> bool {
+        self.unallowlisted().next().is_none()
+    }
+
+    /// Render the human-readable report.
+    pub fn render(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            match &d.allowed {
+                None => {
+                    out.push_str(&format!(
+                        "{}:{}:{}: [{}] {}\n",
+                        d.finding.path,
+                        d.finding.line,
+                        d.finding.col,
+                        d.finding.lint,
+                        d.finding.message
+                    ));
+                }
+                Some(reason) if verbose => {
+                    out.push_str(&format!(
+                        "{}:{}:{}: [{}] allowed: {}\n",
+                        d.finding.path, d.finding.line, d.finding.col, d.finding.lint, reason
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        for e in &self.unused_allows {
+            out.push_str(&format!(
+                "warning: analyze.toml:{}: unused allowlist entry ({} at {}{}) — remove it\n",
+                e.defined_at,
+                e.lint,
+                e.path,
+                e.line.map(|l| format!(":{l}")).unwrap_or_default(),
+            ));
+        }
+        let allowed = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.allowed.is_some())
+            .count();
+        let open = self.diagnostics.len() - allowed;
+        out.push_str(&format!(
+            "lejit-analyze: {} finding{} ({} allowlisted, {} unallowlisted) across {} files\n",
+            self.diagnostics.len(),
+            if self.diagnostics.len() == 1 { "" } else { "s" },
+            allowed,
+            open,
+            self.files_scanned,
+        ));
+        out
+    }
+}
+
+/// Errors a `check` run can produce (distinct from lint findings).
+#[derive(Debug)]
+pub enum CheckError {
+    /// `analyze.toml` is malformed.
+    Config(ConfigError),
+    /// A file or the allowlist could not be read.
+    Io(String),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Config(e) => write!(f, "{e}"),
+            CheckError::Io(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Run the full pass over the tree rooted at `root`.
+///
+/// `allowlist_path`: `Some(path)` loads that file (an error if missing);
+/// `None` loads `<root>/analyze.toml` if present, else runs with an empty
+/// allowlist.
+pub fn run_check(root: &Path, allowlist_path: Option<&Path>) -> Result<Report, CheckError> {
+    let allowlist = load_allowlist(root, allowlist_path)?;
+    let sources = files::collect_rust_files(root);
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut files_scanned = 0usize;
+    for src in &sources {
+        let text = fs::read_to_string(&src.abs_path)
+            .map_err(|e| CheckError::Io(format!("{}: {e}", src.abs_path.display())))?;
+        files_scanned += 1;
+        findings.extend(lints::lint_file(&src.rel_path, &text));
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.lint).cmp(&(b.path.as_str(), b.line, b.col, b.lint))
+    });
+
+    let mut used = vec![false; allowlist.entries.len()];
+    let diagnostics = findings
+        .into_iter()
+        .map(|finding| {
+            let allowed = allowlist
+                .entries
+                .iter()
+                .enumerate()
+                .find(|(_, e)| {
+                    e.lint == finding.lint
+                        && e.path == finding.path
+                        && e.line.map(|l| l == finding.line).unwrap_or(true)
+                })
+                .map(|(i, e)| {
+                    used[i] = true;
+                    e.reason.clone()
+                });
+            Diagnostic { finding, allowed }
+        })
+        .collect();
+    let unused_allows = allowlist
+        .entries
+        .into_iter()
+        .zip(used)
+        .filter_map(|(e, u)| if u { None } else { Some(e) })
+        .collect();
+
+    Ok(Report {
+        diagnostics,
+        unused_allows,
+        files_scanned,
+    })
+}
+
+fn load_allowlist(root: &Path, explicit: Option<&Path>) -> Result<Allowlist, CheckError> {
+    let path = match explicit {
+        Some(p) => p.to_path_buf(),
+        None => {
+            let default = root.join("analyze.toml");
+            if !default.exists() {
+                return Ok(Allowlist::default());
+            }
+            default
+        }
+    };
+    let text = fs::read_to_string(&path)
+        .map_err(|e| CheckError::Io(format!("{}: {e}", path.display())))?;
+    config::parse_allowlist(&text).map_err(CheckError::Config)
+}

@@ -1,0 +1,694 @@
+//! The lint passes: project-specific invariants checked over the token
+//! stream produced by [`crate::lexer`].
+//!
+//! | Lint | Invariant |
+//! |------|-----------|
+//! | `L1-hash-collection` | no `HashMap`/`HashSet` in `lejit-smt`/`lejit-core`/`lejit-lm` non-test code — iteration order feeds clause learning, model extraction, and lane assignment; use `BTreeMap`/`BTreeSet` |
+//! | `L1-ambient-time` | no `std::time`/`Instant`/`SystemTime` outside `crates/bench` |
+//! | `L1-ambient-random` | no ambient randomness (`thread_rng`, `from_entropy`, `RandomState`, `DefaultHasher`) outside `crates/bench` |
+//! | `L2-unwrap` | no `unwrap`/`expect`/panicking macros in the CDCL propagate/analyze loop, the simplex pivot, or `JitDecoder::decode_*` |
+//! | `L2-index` | no `[]` indexing in those same hot paths (each use must be allowlisted with a bounds argument) |
+//! | `L3-float-eq` | no `==`/`!=` against float literals or `f32`/`f64` constants in solver/logit code |
+//! | `L3-float-cast` | no `as` float→int casts in solver/logit code (the theory solver is exact-rational) |
+//! | `L3-float-type` | no `f32`/`f64` types in `lejit-smt` at all (exact-rational by design) |
+//! | `L4-safety-comment` | every `unsafe` keyword carries a `// SAFETY:` comment within the three preceding lines |
+//!
+//! Scope notes: L1–L3 apply to non-test code only (files under `tests/`,
+//! `benches/`, `examples/`, and `#[cfg(test)]`/`#[test]` spans are exempt —
+//! test code may legitimately unwrap and compare). L4 applies everywhere,
+//! including `vendor/`.
+//!
+//! Honest limitations (documented, not hidden): the passes are
+//! token-level, not type-aware. `a == b` where both sides are `f64`
+//! *variables* is not detected (L3-float-type closes that hole inside
+//! `lejit-smt` by banning the types themselves), and a float→int cast is
+//! only detected when the source expression lexically contains a float
+//! literal or an `f32`/`f64` token.
+
+use crate::lexer::{self, Lexed, Tok, TokKind};
+
+/// One diagnostic produced by a lint pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint name, e.g. `"L1-hash-collection"`.
+    pub lint: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// The lint catalog: `(name, one-line summary)` for `lejit-analyze lints`
+/// and the documentation.
+pub const LINTS: &[(&str, &str)] = &[
+    (
+        "L1-hash-collection",
+        "HashMap/HashSet banned in lejit-smt/core/lm non-test code (iteration order is nondeterministic; use BTreeMap/BTreeSet)",
+    ),
+    (
+        "L1-ambient-time",
+        "std::time / Instant / SystemTime banned outside crates/bench (wall-clock must not influence decoding)",
+    ),
+    (
+        "L1-ambient-random",
+        "ambient randomness (thread_rng, from_entropy, RandomState, DefaultHasher) banned outside crates/bench",
+    ),
+    (
+        "L2-unwrap",
+        "unwrap/expect/panicking macros banned in CDCL propagate/analyze, simplex pivot, and decode_* hot paths (use typed SolverError/DecodeError)",
+    ),
+    (
+        "L2-index",
+        "[] indexing banned in those same hot paths unless allowlisted with a bounds justification",
+    ),
+    (
+        "L3-float-eq",
+        "==/!= against float literals or f32/f64 constants banned in solver and logit-masking code",
+    ),
+    (
+        "L3-float-cast",
+        "`as` float->int casts banned in solver and logit-masking code (truncation is a silent soundness hole)",
+    ),
+    (
+        "L3-float-type",
+        "f32/f64 types banned in lejit-smt (the theory solver is exact-rational by design)",
+    ),
+    (
+        "L4-safety-comment",
+        "every `unsafe` keyword must carry a `// SAFETY:` comment within the three preceding lines",
+    ),
+];
+
+/// Files whose listed functions form the L2 panic-freedom scope.
+/// `Prefix` matches `name == p` or `name.starts_with(p_)` for `decode_*`.
+enum FnMatch {
+    Exact(&'static [&'static str]),
+    DecodeFamily,
+}
+
+const PANIC_SCOPES: &[(&str, FnMatch)] = &[
+    (
+        "crates/smt/src/sat.rs",
+        FnMatch::Exact(&[
+            "propagate",
+            "analyze",
+            "learn",
+            "pick_branch",
+            "reduce_db",
+            "solve",
+        ]),
+    ),
+    (
+        "crates/smt/src/simplex.rs",
+        FnMatch::Exact(&["check", "pivot_and_update", "update_nonbasic"]),
+    ),
+    ("crates/core/src/decoder.rs", FnMatch::DecodeFamily),
+];
+
+const HASH_IDENTS: &[&str] = &["HashMap", "HashSet"];
+const TIME_IDENTS: &[&str] = &["Instant", "SystemTime"];
+const RANDOM_IDENTS: &[&str] = &["thread_rng", "from_entropy", "RandomState", "DefaultHasher"];
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+const INT_TYPES: &[&str] = &[
+    "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize",
+];
+const FLOAT_TYPES: &[&str] = &["f32", "f64"];
+
+/// Rust keywords that cannot be the base of an indexing expression
+/// (used to tell `x[i]` apart from `let [a, b] = …` and array literals).
+const KEYWORDS: &[&str] = &[
+    "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "false", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "trait", "true", "type", "unsafe", "use", "where", "while",
+];
+
+fn is_test_path(path: &str) -> bool {
+    path.contains("/tests/") || path.contains("/benches/") || path.starts_with("examples/")
+}
+
+fn in_determinism_scope(path: &str) -> bool {
+    (path.starts_with("crates/smt/")
+        || path.starts_with("crates/core/")
+        || path.starts_with("crates/lm/"))
+        && !is_test_path(path)
+}
+
+fn in_ambient_scope(path: &str) -> bool {
+    path.starts_with("crates/") && !path.starts_with("crates/bench/") && !is_test_path(path)
+}
+
+fn in_float_scope(path: &str) -> bool {
+    in_determinism_scope(path)
+}
+
+/// A function body's line extent.
+struct FnSpan {
+    name: String,
+    line_start: u32,
+    line_end: u32,
+}
+
+/// Find the index of the `}` matching the `{` at `open` (or the last
+/// token if unbalanced — tolerated, never panics).
+fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == "{" {
+                depth += 1;
+            } else if t.text == "}" {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// All function bodies: `fn name … { … }` (trait-method declarations
+/// without bodies are skipped).
+fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].kind == TokKind::Ident
+            && toks[i].text == "fn"
+            && toks[i + 1].kind == TokKind::Ident
+        {
+            let name = toks[i + 1].text.clone();
+            let mut j = i + 2;
+            let mut open = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.kind == TokKind::Punct {
+                    if t.text == "{" {
+                        open = Some(j);
+                        break;
+                    }
+                    if t.text == ";" {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                let close = match_brace(toks, open);
+                out.push(FnSpan {
+                    name,
+                    line_start: toks[i].line,
+                    line_end: toks[close.min(toks.len() - 1)].line,
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn punct_at(toks: &[Tok], i: usize, text: &str) -> bool {
+    toks.get(i)
+        .map(|t| t.kind == TokKind::Punct && t.text == text)
+        .unwrap_or(false)
+}
+
+fn ident_at(toks: &[Tok], i: usize, text: &str) -> bool {
+    toks.get(i)
+        .map(|t| t.kind == TokKind::Ident && t.text == text)
+        .unwrap_or(false)
+}
+
+/// Line ranges covered by `#[cfg(test)]`-gated items and `#[test]` fns.
+fn test_spans(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let attr_len = if punct_at(toks, i, "#")
+            && punct_at(toks, i + 1, "[")
+            && ident_at(toks, i + 2, "cfg")
+            && punct_at(toks, i + 3, "(")
+            && ident_at(toks, i + 4, "test")
+            && punct_at(toks, i + 5, ")")
+            && punct_at(toks, i + 6, "]")
+        {
+            7
+        } else if punct_at(toks, i, "#")
+            && punct_at(toks, i + 1, "[")
+            && ident_at(toks, i + 2, "test")
+            && punct_at(toks, i + 3, "]")
+        {
+            4
+        } else {
+            0
+        };
+        if attr_len == 0 {
+            i += 1;
+            continue;
+        }
+        // The attribute gates the next item; if that item has a brace
+        // body, every line inside it is test code. (`#[cfg(test)] use …;`
+        // has no body and masks nothing.)
+        let mut j = i + attr_len;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                if t.text == "{" {
+                    let close = match_brace(toks, j);
+                    out.push((toks[i].line, toks[close.min(toks.len() - 1)].line));
+                    break;
+                }
+                if t.text == ";" {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        i += attr_len;
+    }
+    out
+}
+
+fn in_ranges(line: u32, ranges: &[(u32, u32)]) -> bool {
+    ranges.iter().any(|&(lo, hi)| line >= lo && line <= hi)
+}
+
+struct FileCtx<'a> {
+    path: &'a str,
+    toks: &'a [Tok],
+    lexed: &'a Lexed,
+    test_mask: Vec<(u32, u32)>,
+    findings: Vec<Finding>,
+}
+
+impl FileCtx<'_> {
+    fn emit(&mut self, lint: &'static str, tok: &Tok, message: String) {
+        self.findings.push(Finding {
+            lint,
+            path: self.path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message,
+        });
+    }
+
+    fn is_test_line(&self, line: u32) -> bool {
+        in_ranges(line, &self.test_mask)
+    }
+}
+
+/// Run every lint over one file. `path` must be workspace-relative with
+/// forward slashes (scoping is path-based).
+pub fn lint_file(path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let toks = &lexed.tokens;
+    let mut ctx = FileCtx {
+        path,
+        toks,
+        lexed: &lexed,
+        test_mask: test_spans(toks),
+        findings: Vec::new(),
+    };
+
+    lint_determinism(&mut ctx);
+    lint_panic_freedom(&mut ctx);
+    lint_float_hygiene(&mut ctx);
+    lint_safety_comments(&mut ctx);
+
+    ctx.findings
+}
+
+fn lint_determinism(ctx: &mut FileCtx<'_>) {
+    let hash_scope = in_determinism_scope(ctx.path);
+    let ambient_scope = in_ambient_scope(ctx.path);
+    if !hash_scope && !ambient_scope {
+        return;
+    }
+    for i in 0..ctx.toks.len() {
+        let t = &ctx.toks[i];
+        if t.kind != TokKind::Ident || ctx.is_test_line(t.line) {
+            continue;
+        }
+        if hash_scope && HASH_IDENTS.contains(&t.text.as_str()) {
+            let t = t.clone();
+            ctx.emit(
+                "L1-hash-collection",
+                &t,
+                format!(
+                    "`{}` has nondeterministic iteration order; use BTreeMap/BTreeSet or a sorted collect",
+                    t.text
+                ),
+            );
+        }
+        if ambient_scope {
+            if TIME_IDENTS.contains(&t.text.as_str())
+                || (t.text == "std"
+                    && punct_at(ctx.toks, i + 1, "::")
+                    && ident_at(ctx.toks, i + 2, "time"))
+            {
+                let t = t.clone();
+                ctx.emit(
+                    "L1-ambient-time",
+                    &t,
+                    format!(
+                        "`{}` reads the wall clock; timing belongs in crates/bench only",
+                        t.text
+                    ),
+                );
+            }
+            if RANDOM_IDENTS.contains(&t.text.as_str()) {
+                let t = t.clone();
+                ctx.emit(
+                    "L1-ambient-random",
+                    &t,
+                    format!(
+                        "`{}` introduces ambient (unseeded) randomness; all RNG streams must be explicitly seeded",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn protected_fn_lines(ctx: &FileCtx<'_>) -> Vec<(u32, u32)> {
+    let Some((_, matcher)) = PANIC_SCOPES.iter().find(|(p, _)| ctx.path == *p) else {
+        return Vec::new();
+    };
+    fn_spans(ctx.toks)
+        .iter()
+        .filter(|f| match matcher {
+            FnMatch::Exact(names) => names.contains(&f.name.as_str()),
+            FnMatch::DecodeFamily => f.name == "decode" || f.name.starts_with("decode_"),
+        })
+        .map(|f| (f.line_start, f.line_end))
+        .collect()
+}
+
+fn lint_panic_freedom(ctx: &mut FileCtx<'_>) {
+    let protected = protected_fn_lines(ctx);
+    if protected.is_empty() {
+        return;
+    }
+    for i in 0..ctx.toks.len() {
+        let t = &ctx.toks[i];
+        if !in_ranges(t.line, &protected) || ctx.is_test_line(t.line) {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident => {
+                if (t.text == "unwrap" || t.text == "expect")
+                    && i > 0
+                    && punct_at(ctx.toks, i - 1, ".")
+                {
+                    let t = t.clone();
+                    ctx.emit(
+                        "L2-unwrap",
+                        &t,
+                        format!(
+                            "`.{}()` can panic in a solver/decode hot path; return a typed SolverError/DecodeError instead",
+                            t.text
+                        ),
+                    );
+                } else if PANIC_MACROS.contains(&t.text.as_str()) && punct_at(ctx.toks, i + 1, "!")
+                {
+                    let t = t.clone();
+                    ctx.emit(
+                        "L2-unwrap",
+                        &t,
+                        format!(
+                            "`{}!` panics in a solver/decode hot path; return a typed error instead",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            TokKind::Punct if t.text == "[" && i > 0 => {
+                let prev = &ctx.toks[i - 1];
+                let is_index_base = match prev.kind {
+                    TokKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+                    TokKind::Punct => prev.text == ")" || prev.text == "]",
+                    _ => false,
+                };
+                // `#[…]` attributes and macro invocations `vec![…]` are
+                // excluded by the base check (`#`/`!` are not index bases).
+                if is_index_base {
+                    let t = t.clone();
+                    ctx.emit(
+                        "L2-index",
+                        &t,
+                        "`[]` indexing can panic in a solver/decode hot path; use .get() or allowlist with a bounds justification".to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Walk back from the token before `as` over one primary expression:
+/// a balanced `(…)`/`[…]` group plus its base, or a single token.
+/// Returns the token range to inspect for float evidence.
+fn cast_source_range(toks: &[Tok], as_idx: usize) -> (usize, usize) {
+    if as_idx == 0 {
+        return (0, 0);
+    }
+    let end = as_idx; // exclusive
+    let mut i = as_idx - 1;
+    let prev = &toks[i];
+    if prev.kind == TokKind::Punct && (prev.text == ")" || prev.text == "]") {
+        let (open, close) = if prev.text == ")" {
+            ("(", ")")
+        } else {
+            ("[", "]")
+        };
+        let mut depth = 0usize;
+        loop {
+            let t = &toks[i];
+            if t.kind == TokKind::Punct {
+                if t.text == close {
+                    depth += 1;
+                } else if t.text == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            if i == 0 {
+                break;
+            }
+            i -= 1;
+        }
+        (i, end)
+    } else {
+        (i, end)
+    }
+}
+
+fn lint_float_hygiene(ctx: &mut FileCtx<'_>) {
+    let float_scope = in_float_scope(ctx.path);
+    let smt_scope = ctx.path.starts_with("crates/smt/src/") && !is_test_path(ctx.path);
+    if !float_scope && !smt_scope {
+        return;
+    }
+    for i in 0..ctx.toks.len() {
+        let t = &ctx.toks[i];
+        if ctx.is_test_line(t.line) {
+            continue;
+        }
+        // L3-float-type: f32/f64 anywhere in the exact-rational crate.
+        if smt_scope && t.kind == TokKind::Ident && FLOAT_TYPES.contains(&t.text.as_str()) {
+            let t = t.clone();
+            ctx.emit(
+                "L3-float-type",
+                &t,
+                format!(
+                    "`{}` in lejit-smt: the theory solver is exact-rational by design; floats may only appear behind an allowlisted justification",
+                    t.text
+                ),
+            );
+        }
+        if !float_scope {
+            continue;
+        }
+        // L3-float-eq: ==/!= with a float literal or f32/f64 constant
+        // path on either side.
+        if t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=") {
+            let toks = ctx.toks;
+            let is_float_tok = |n: &Tok| {
+                n.kind == TokKind::Float
+                    || (n.kind == TokKind::Ident && FLOAT_TYPES.contains(&n.text.as_str()))
+            };
+            // Look through a unary minus on the right-hand side.
+            let rhs_idx = if punct_at(toks, i + 1, "-") {
+                i + 2
+            } else {
+                i + 1
+            };
+            let rhs_float = toks.get(rhs_idx).map(is_float_tok).unwrap_or(false);
+            let lhs_float = i > 0 && is_float_tok(&toks[i - 1]);
+            if rhs_float || lhs_float {
+                let t = t.clone();
+                ctx.emit(
+                    "L3-float-eq",
+                    &t,
+                    format!(
+                        "`{}` against a float is not a meaningful exactness test; compare with a tolerance or restructure",
+                        t.text
+                    ),
+                );
+            }
+        }
+        // L3-float-cast: `<float expr> as <int type>`.
+        if t.kind == TokKind::Ident && t.text == "as" {
+            if let Some(target) = ctx.toks.get(i + 1) {
+                if target.kind == TokKind::Ident && INT_TYPES.contains(&target.text.as_str()) {
+                    let (lo, hi) = cast_source_range(ctx.toks, i);
+                    let has_float_evidence = ctx.toks[lo..hi].iter().any(|s| {
+                        s.kind == TokKind::Float
+                            || (s.kind == TokKind::Ident && FLOAT_TYPES.contains(&s.text.as_str()))
+                    });
+                    if has_float_evidence {
+                        let t = t.clone();
+                        ctx.emit(
+                            "L3-float-cast",
+                            &t,
+                            format!(
+                                "float -> `{}` cast truncates silently; round explicitly and convert checked",
+                                target.text
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn lint_safety_comments(ctx: &mut FileCtx<'_>) {
+    for t in ctx.toks {
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            let lo = t.line.saturating_sub(3);
+            let documented = ctx
+                .lexed
+                .comments
+                .iter()
+                .any(|c| c.line >= lo && c.line <= t.line && c.text.contains("SAFETY"));
+            if !documented {
+                let t = t.clone();
+                ctx.emit(
+                    "L4-safety-comment",
+                    &t,
+                    "`unsafe` without a `// SAFETY:` comment in the three preceding lines"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lints_of(path: &str, src: &str) -> Vec<(&'static str, u32, u32)> {
+        lint_file(path, src)
+            .into_iter()
+            .map(|f| (f.lint, f.line, f.col))
+            .collect()
+    }
+
+    #[test]
+    fn hashmap_flagged_in_scope_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(lints_of("crates/smt/src/term.rs", src).len(), 1);
+        assert_eq!(lints_of("crates/bench/src/lib.rs", src).len(), 0);
+        assert_eq!(lints_of("crates/smt/tests/proptests.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn hashmap_in_string_or_comment_not_flagged() {
+        let src = "// HashMap here\nlet s = \"HashMap\";\n";
+        assert!(lints_of("crates/smt/src/term.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        assert!(lints_of("crates/smt/src/term.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_protected_fns() {
+        let src = "impl S {\n    fn propagate(&mut self) {\n        self.x.unwrap();\n    }\n    fn other(&self) {\n        self.x.unwrap();\n    }\n}\n";
+        let found = lints_of("crates/smt/src/sat.rs", src);
+        assert_eq!(found, vec![("L2-unwrap", 3, 16)]);
+    }
+
+    #[test]
+    fn indexing_flagged_with_span() {
+        let src = "fn check(&mut self) {\n    let y = self.rows[r];\n    let a = [0; 4];\n}\n";
+        let found = lints_of("crates/smt/src/simplex.rs", src);
+        assert_eq!(found, vec![("L2-index", 2, 22)]);
+    }
+
+    #[test]
+    fn decode_family_is_protected_but_tests_are_not() {
+        let src = "fn decode_loop() {\n    x.unwrap();\n}\n#[cfg(test)]\nmod tests {\n    fn decode_roundtrip() { x.unwrap(); }\n}\n";
+        let found = lints_of("crates/core/src/decoder.rs", src);
+        assert_eq!(found, vec![("L2-unwrap", 2, 7)]);
+    }
+
+    #[test]
+    fn float_eq_and_cast_flagged() {
+        let src = "fn f(x: f64) {\n    if x == 0.5 {}\n    let n = (x * 2.0) as i64;\n}\n";
+        let found = lints_of("crates/lm/src/sample.rs", src);
+        assert!(found.contains(&("L3-float-eq", 2, 10)), "{found:?}");
+        assert!(found.iter().any(|f| f.0 == "L3-float-cast"), "{found:?}");
+    }
+
+    #[test]
+    fn int_cast_not_flagged() {
+        let src = "fn f(x: u32) {\n    let n = x as usize;\n    let m = seq[i] as usize;\n}\n";
+        let found = lints_of("crates/lm/src/sample.rs", src);
+        assert!(found.iter().all(|f| f.0 != "L3-float-cast"), "{found:?}");
+    }
+
+    #[test]
+    fn float_type_banned_in_smt() {
+        let src = "struct S {\n    activity: f64,\n}\n";
+        let found = lints_of("crates/smt/src/sat.rs", src);
+        assert_eq!(found, vec![("L3-float-type", 2, 15)]);
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() {\n    unsafe { g() }\n}\n";
+        let good = "fn f() {\n    // SAFETY: g has no preconditions.\n    unsafe { g() }\n}\n";
+        assert_eq!(
+            lints_of("vendor/minipool/src/lib.rs", bad),
+            vec![("L4-safety-comment", 2, 5)]
+        );
+        assert!(lints_of("vendor/minipool/src/lib.rs", good).is_empty());
+    }
+
+    #[test]
+    fn ambient_time_flagged_outside_bench() {
+        let src = "use std::time::Instant;\n";
+        assert!(!lints_of("crates/core/src/session.rs", src).is_empty());
+        assert!(lints_of("crates/bench/src/experiments.rs", src).is_empty());
+    }
+}

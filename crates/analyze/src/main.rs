@@ -1,0 +1,94 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p lejit-analyze -- check [--root DIR] [--allowlist FILE] [--verbose]
+//! cargo run -p lejit-analyze -- lints
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unallowlisted findings, `2` usage or
+//! configuration error.
+
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "lejit-analyze — workspace invariant lints for LeJIT
+
+USAGE:
+    lejit-analyze check [--root DIR] [--allowlist FILE] [--verbose]
+    lejit-analyze lints
+
+COMMANDS:
+    check    Lint every .rs file under the root (default: current dir);
+             exit 1 on unallowlisted findings, 2 on config errors.
+    lints    Print the lint catalog.
+
+OPTIONS:
+    --root DIR        Tree to scan (default: .)
+    --allowlist FILE  Allowlist file (default: <root>/analyze.toml if present)
+    --verbose         Also print allowlisted findings with their justifications
+"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(&args[1..]),
+        Some("lints") => {
+            for (name, summary) in lejit_analyze::lints::LINTS {
+                println!("{name:20} {summary}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--help") | Some("-h") | None => {
+            print!("{}", usage());
+            ExitCode::from(if args.is_empty() { 2 } else { 0 })
+        }
+        Some(other) => {
+            eprintln!("error: unknown command `{other}`\n\n{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allowlist: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return arg_error("--root requires a directory"),
+            },
+            "--allowlist" => match it.next() {
+                Some(v) => allowlist = Some(PathBuf::from(v)),
+                None => return arg_error("--allowlist requires a file"),
+            },
+            "--verbose" => verbose = true,
+            other => return arg_error(&format!("unknown option `{other}`")),
+        }
+    }
+    match lejit_analyze::run_check(&root, allowlist.as_deref()) {
+        Ok(report) => {
+            print!("{}", report.render(verbose));
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn arg_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{}", usage());
+    ExitCode::from(2)
+}

@@ -1,0 +1,109 @@
+//! End-to-end tests of the analyzer against fixture trees that replicate
+//! the workspace layout (path-based lint scoping only fires on real-looking
+//! paths). Each lint has a positive (fires, with an exact span) and a
+//! negative (stays silent out of scope / in test code) case, and the
+//! allowlist tests cover file-wide, line-restricted, and stale entries.
+
+use std::path::{Path, PathBuf};
+
+use lejit_analyze::run_check;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn violations_found_with_accurate_spans() {
+    let report = run_check(&fixture("violations"), None).expect("check runs");
+    let found: Vec<(&str, u32, u32, &str)> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            (
+                d.finding.path.as_str(),
+                d.finding.line,
+                d.finding.col,
+                d.finding.lint,
+            )
+        })
+        .collect();
+    // Sorted by (path, line, col, lint); every tuple is span-exact.
+    let expected = vec![
+        // `std::time` and `Instant` each flagged on the use line, plus the
+        // ambient `thread_rng` call.
+        ("crates/core/src/session.rs", 1, 5, "L1-ambient-time"),
+        ("crates/core/src/session.rs", 1, 16, "L1-ambient-time"),
+        ("crates/core/src/session.rs", 4, 21, "L1-ambient-random"),
+        // Float equality and float->int `as` cast in logit code.
+        ("crates/lm/src/sample.rs", 2, 10, "L3-float-eq"),
+        ("crates/lm/src/sample.rs", 5, 23, "L3-float-cast"),
+        // f64 field in the exact-rational crate; unwrap + two indexings in
+        // the protected `propagate` (the unwrap in `unprotected` is not
+        // flagged).
+        ("crates/smt/src/sat.rs", 2, 15, "L3-float-type"),
+        ("crates/smt/src/sat.rs", 7, 26, "L2-unwrap"),
+        ("crates/smt/src/sat.rs", 8, 29, "L2-index"),
+        ("crates/smt/src/sat.rs", 9, 28, "L2-index"),
+        // HashMap in non-test code, twice; the #[cfg(test)] use is exempt.
+        ("crates/smt/src/term.rs", 1, 23, "L1-hash-collection"),
+        ("crates/smt/src/term.rs", 4, 10, "L1-hash-collection"),
+        // Undocumented unsafe; the `// SAFETY:`-commented one is fine.
+        ("vendor/minipool/src/lib.rs", 2, 5, "L4-safety-comment"),
+    ];
+    assert_eq!(found, expected);
+    // `crates/bench/src/lib.rs` uses HashMap + Instant and is scanned, but
+    // produces nothing: both lints are out of scope there.
+    assert_eq!(report.files_scanned, 6);
+    assert!(!report.is_clean());
+    assert!(report.unused_allows.is_empty());
+}
+
+#[test]
+fn allowlist_suppresses_with_justification() {
+    let allow = fixture("allow.toml");
+    let report = run_check(&fixture("violations"), Some(&allow)).expect("check runs");
+    for d in &report.diagnostics {
+        match (d.finding.lint, d.finding.line) {
+            // File-wide entry covers the unwrap wherever it is.
+            ("L2-unwrap", _) => assert_eq!(
+                d.allowed.as_deref(),
+                Some("fixture: file-wide suppression"),
+                "unwrap finding should be allowlisted"
+            ),
+            // Line-restricted entry covers line 8 but not line 9.
+            ("L2-index", 8) => assert!(d.allowed.is_some(), "line-8 index is allowlisted"),
+            ("L2-index", 9) => assert!(d.allowed.is_none(), "line-9 index must stay open"),
+            _ => assert!(
+                d.allowed.is_none(),
+                "{:?} must not be allowlisted",
+                d.finding
+            ),
+        }
+    }
+    // Still dirty: the L1/L3/L4 findings are not suppressed.
+    assert!(!report.is_clean());
+    // The stale entry is reported so dead suppressions get pruned.
+    assert_eq!(report.unused_allows.len(), 1);
+    assert_eq!(report.unused_allows[0].path, "crates/does/not/exist.rs");
+}
+
+#[test]
+fn clean_tree_is_clean() {
+    let report = run_check(&fixture("clean"), None).expect("check runs");
+    assert!(report.is_clean(), "{}", report.render(true));
+    assert_eq!(report.diagnostics.len(), 0);
+    assert_eq!(report.files_scanned, 1);
+}
+
+#[test]
+fn render_lists_open_findings_with_spans() {
+    let report = run_check(&fixture("violations"), None).expect("check runs");
+    let text = report.render(false);
+    assert!(
+        text.contains("crates/smt/src/sat.rs:7:26: [L2-unwrap]"),
+        "render must print file:line:col spans:\n{text}"
+    );
+    assert!(text.contains("12 findings (0 allowlisted, 12 unallowlisted) across 6 files"));
+}

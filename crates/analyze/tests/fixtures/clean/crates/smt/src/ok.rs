@@ -1,0 +1,5 @@
+use std::collections::BTreeMap;
+
+pub struct Pool {
+    map: BTreeMap<u32, u32>,
+}

@@ -1,0 +1,6 @@
+use std::time::Instant;
+
+pub fn seed() -> u64 {
+    let rng = rand::thread_rng();
+    0
+}

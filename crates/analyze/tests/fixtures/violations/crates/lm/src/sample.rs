@@ -1,0 +1,7 @@
+pub fn mask(x: f32) -> i64 {
+    if x == 0.0 {
+        return 0;
+    }
+    let n = (x * 2.0) as i64;
+    n
+}

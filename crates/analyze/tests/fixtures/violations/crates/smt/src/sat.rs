@@ -1,0 +1,15 @@
+pub struct Sat {
+    activity: f64,
+}
+
+impl Sat {
+    fn propagate(&mut self) {
+        self.trail.pop().unwrap();
+        let w = self.watches[0];
+        let v = self.levels[1];
+    }
+
+    fn unprotected(&mut self) {
+        self.trail.pop().unwrap();
+    }
+}

@@ -1,0 +1,10 @@
+use std::collections::HashMap;
+
+pub struct Pool {
+    map: HashMap<u32, u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+}

@@ -1,0 +1,8 @@
+pub fn spawn() {
+    unsafe { init() }
+}
+
+pub fn documented() {
+    // SAFETY: init is idempotent.
+    unsafe { init() }
+}

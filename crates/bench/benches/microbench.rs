@@ -32,7 +32,7 @@ fn bench_solver(c: &mut Criterion) {
     g.bench_function("check_sum_system", |b| {
         b.iter(|| {
             let (mut s, _) = paper_solver();
-            assert_eq!(s.check(), SatResult::Sat);
+            assert_eq!(s.check(), Ok(SatResult::Sat));
         })
     });
     g.bench_function("minimize_with_lookahead", |b| {

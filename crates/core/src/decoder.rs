@@ -37,6 +37,10 @@ pub enum DecodeError {
         /// The digit prefix at which decoding got stuck.
         prefix: i64,
     },
+    /// A decoder invariant broke (e.g. a sampled token outside the allowed
+    /// set). Reported as an error instead of panicking so one poisoned lane
+    /// cannot bring down a whole batch (panic-freedom lint L2).
+    Internal(&'static str),
 }
 
 impl fmt::Display for DecodeError {
@@ -47,6 +51,7 @@ impl fmt::Display for DecodeError {
             DecodeError::DeadEnd { var, prefix } => {
                 write!(f, "dead end decoding `{var}` at prefix {prefix}")
             }
+            DecodeError::Internal(what) => write!(f, "decoder invariant violated: {what}"),
         }
     }
 }
@@ -163,10 +168,12 @@ where
                     }
                     let logits = model.next_logits(&context);
                     // Unconstrained argmax, for intervention accounting.
+                    // `total_cmp` (not `partial_cmp().unwrap()`): panic-free
+                    // on NaN and a deterministic total order on ties.
                     let argmax = logits
                         .iter()
                         .enumerate()
-                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                        .max_by(|a, b| a.1.total_cmp(b.1))
                         .map(|(i, _)| i as TokenId)
                         .unwrap_or(0);
 
@@ -221,10 +228,11 @@ where
                         skip_next_literal_char = true;
                         break;
                     }
-                    let d = digit_tokens
-                        .iter()
-                        .position(|&t| t == chosen)
-                        .expect("sampled token is a digit") as u8;
+                    let d = digit_tokens.iter().position(|&t| t == chosen).ok_or(
+                        DecodeError::Internal(
+                            "sampled token is neither an allowed digit nor the terminator",
+                        ),
+                    )? as u8;
                     text.push(char::from(b'0' + d));
                     st.push(d);
                 }
@@ -506,9 +514,19 @@ impl<'m, M: LanguageModel> JitDecoder<'m, M> {
                 }
                 let spec = match &schema.items[lanes[i].item_idx] {
                     SchemaItem::Variable(spec) => spec,
-                    _ => unreachable!("live lanes park on variable items"),
+                    _ => {
+                        results[i] = Some(Err(DecodeError::Internal(
+                            "live lane parked on a non-variable schema item",
+                        )));
+                        continue;
+                    }
                 };
-                let (st, _, _) = lanes[i].var.as_ref().expect("live lane has a variable");
+                let Some((st, _, _)) = lanes[i].var.as_ref() else {
+                    results[i] = Some(Err(DecodeError::Internal(
+                        "live lane has no in-progress variable",
+                    )));
+                    continue;
+                };
                 let opts =
                     allowed_chars(&mut sessions[i], lanes[i].var_idx, spec, st, self.lookahead);
                 if opts.is_dead_end() {
@@ -540,13 +558,18 @@ impl<'m, M: LanguageModel> JitDecoder<'m, M> {
                 let opts = &options[slot];
                 let logits = &logits_rows[slot];
                 let lane = &mut lanes[i];
-                let (st, term_char, term_token) =
-                    lane.var.as_mut().expect("pending lane has a variable");
+                let Some((st, term_char, term_token)) = lane.var.as_mut() else {
+                    results[i] = Some(Err(DecodeError::Internal(
+                        "pending lane has no in-progress variable",
+                    )));
+                    continue;
+                };
                 let (term_char, term_token) = (*term_char, *term_token);
+                // `total_cmp`: panic-free on NaN, deterministic on ties.
                 let argmax = logits
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(t, _)| t as TokenId)
                     .unwrap_or(0);
                 let mut allowed_tokens: Vec<TokenId> = opts
@@ -584,19 +607,24 @@ impl<'m, M: LanguageModel> JitDecoder<'m, M> {
                     lane.var_idx += 1;
                     lane.item_idx += 1;
                 } else {
-                    let d = digit_tokens
-                        .iter()
-                        .position(|&t| t == chosen)
-                        .expect("sampled token is a digit") as u8;
-                    lane.text.push(char::from(b'0' + d));
-                    st.push(d);
+                    match digit_tokens.iter().position(|&t| t == chosen) {
+                        Some(d) => {
+                            lane.text.push(char::from(b'0' + d as u8));
+                            st.push(d as u8);
+                        }
+                        None => {
+                            results[i] = Some(Err(DecodeError::Internal(
+                                "sampled token is neither an allowed digit nor the terminator",
+                            )));
+                        }
+                    }
                 }
             }
         }
 
         results
             .into_iter()
-            .map(|r| r.expect("every lane resolves"))
+            .map(|r| r.unwrap_or(Err(DecodeError::Internal("lane never resolved"))))
             .collect()
     }
 }

@@ -14,7 +14,7 @@
 
 use std::fmt;
 
-use lejit_smt::SatResult;
+use lejit_smt::{SatResult, SolverError};
 
 use crate::session::JitSession;
 
@@ -25,6 +25,8 @@ pub enum RepairError {
     Unsatisfiable,
     /// The solver could not decide within its budget.
     Undecided,
+    /// The solver itself failed (overflow or broken invariant).
+    Solver(SolverError),
 }
 
 impl fmt::Display for RepairError {
@@ -32,6 +34,7 @@ impl fmt::Display for RepairError {
         match self {
             RepairError::Unsatisfiable => write!(f, "rules admit no compliant output"),
             RepairError::Undecided => write!(f, "solver budget exhausted during repair"),
+            RepairError::Solver(e) => write!(f, "solver failed during repair: {e}"),
         }
     }
 }
@@ -42,11 +45,12 @@ impl std::error::Error for RepairError {}
 /// with no regard for the model's output.
 pub fn repair_arbitrary(session: &mut JitSession) -> Result<Vec<i64>, RepairError> {
     match session.solver_mut().check() {
-        SatResult::Sat => Ok((0..session.num_vars())
+        Ok(SatResult::Sat) => Ok((0..session.num_vars())
             .map(|k| session.model_value(k).expect("model value after sat"))
             .collect()),
-        SatResult::Unsat => Err(RepairError::Unsatisfiable),
-        SatResult::Unknown => Err(RepairError::Undecided),
+        Ok(SatResult::Unsat) => Err(RepairError::Unsatisfiable),
+        Ok(SatResult::Unknown) => Err(RepairError::Undecided),
+        Err(e) => Err(RepairError::Solver(e)),
     }
 }
 
@@ -92,9 +96,10 @@ pub fn repair_nearest(session: &mut JitSession, original: &[i64]) -> Result<Vec<
 
     // Feasibility first.
     match session.solver_mut().check() {
-        SatResult::Sat => {}
-        SatResult::Unsat => return Err(RepairError::Unsatisfiable),
-        SatResult::Unknown => return Err(RepairError::Undecided),
+        Ok(SatResult::Sat) => {}
+        Ok(SatResult::Unsat) => return Err(RepairError::Unsatisfiable),
+        Ok(SatResult::Unknown) => return Err(RepairError::Undecided),
+        Err(e) => return Err(RepairError::Solver(e)),
     }
 
     // Binary search for the minimal feasible total deviation.
@@ -109,9 +114,10 @@ pub fn repair_nearest(session: &mut JitSession, original: &[i64]) -> Result<Vec<
         let r = solver.check();
         solver.pop();
         match r {
-            SatResult::Sat => hi = mid,
-            SatResult::Unsat => lo = mid + 1,
-            SatResult::Unknown => return Err(RepairError::Undecided),
+            Ok(SatResult::Sat) => hi = mid,
+            Ok(SatResult::Unsat) => lo = mid + 1,
+            Ok(SatResult::Unknown) => return Err(RepairError::Undecided),
+            Err(e) => return Err(RepairError::Solver(e)),
         }
     }
 
@@ -122,11 +128,12 @@ pub fn repair_nearest(session: &mut JitSession, original: &[i64]) -> Result<Vec<
     let le = solver.le(total_dev, c);
     solver.assert(le);
     let result = match solver.check() {
-        SatResult::Sat => Ok((0..n)
+        Ok(SatResult::Sat) => Ok((0..n)
             .map(|k| session.model_value(k).expect("model value after sat"))
             .collect()),
-        SatResult::Unsat => Err(RepairError::Unsatisfiable),
-        SatResult::Unknown => Err(RepairError::Undecided),
+        Ok(SatResult::Unsat) => Err(RepairError::Unsatisfiable),
+        Ok(SatResult::Unknown) => Err(RepairError::Undecided),
+        Err(e) => Err(RepairError::Solver(e)),
     };
     session.solver_mut().pop();
     result

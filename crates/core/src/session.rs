@@ -14,7 +14,7 @@
 //! *dynamic partial instantiation*: once `I_2 = 25` is fixed, every later
 //! query is answered relative to it.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use lejit_smt::{SatResult, Solver, TermId, VarId};
 
@@ -109,8 +109,10 @@ pub struct JitSession {
     /// Memo of exact guided query results, keyed by
     /// `(variable, prefix, extra_digits, fix_epoch)`. Repeated states across
     /// a decode (and across rejection-sampling retries against the same
-    /// session) hit this instead of the solver.
-    memo: HashMap<(usize, i64, usize, u64), bool>,
+    /// session) hit this instead of the solver. A `BTreeMap` (not `HashMap`)
+    /// so iteration order can never leak per-process hasher state into
+    /// anything observable (determinism lint L1).
+    memo: BTreeMap<(usize, i64, usize, u64), bool>,
     cache_hits: u64,
     checks_saved: u64,
 }
@@ -143,7 +145,7 @@ impl JitSession {
             fix_epoch: 0,
             next_epoch: 1,
             intervals: vec![VarIntervals::default(); n],
-            memo: HashMap::new(),
+            memo: BTreeMap::new(),
             cache_hits: 0,
             checks_saved: 0,
         }
@@ -194,9 +196,13 @@ impl JitSession {
     }
 
     /// Whether the full constraint system is currently satisfiable.
+    ///
+    /// Solver errors (overflow, broken invariants) are absorbed as "not
+    /// satisfiable": the decoder then rejects rather than emitting output the
+    /// solver could not vouch for, preserving the zero-violation guarantee.
     pub fn satisfiable(&mut self) -> bool {
         self.checks += 1;
-        self.solver.check() == SatResult::Sat
+        matches!(self.solver.check(), Ok(SatResult::Sat))
     }
 
     /// Fixes variable `k` to `value` (partial instantiation). Permanent
@@ -271,7 +277,7 @@ impl JitSession {
         let eq = self.solver.eq(t, c);
         self.solver.assert(eq);
         self.checks += 1;
-        let sat = self.solver.check() == SatResult::Sat;
+        let sat = matches!(self.solver.check(), Ok(SatResult::Sat));
         self.solver.pop();
         sat
     }
@@ -305,18 +311,19 @@ impl JitSession {
         let any = self.solver.or(&options);
         self.solver.assert(any);
         self.checks += 1;
-        let sat = self.solver.check() == SatResult::Sat;
+        let sat = matches!(self.solver.check(), Ok(SatResult::Sat));
         self.solver.pop();
         sat
     }
 
     /// The feasible range of variable `k` under everything asserted so far,
-    /// or `None` if the system is unsatisfiable.
+    /// or `None` if the system is unsatisfiable (or the solver failed — an
+    /// errored query yields no range rather than a fabricated one).
     pub fn feasible_range(&mut self, k: usize) -> Option<(i64, i64)> {
         let v = self.vars[k];
         self.checks += 2;
-        let lo = self.solver.minimize(v)?;
-        let hi = self.solver.maximize(v)?;
+        let lo = self.solver.minimize(v).ok().flatten()?;
+        let hi = self.solver.maximize(v).ok().flatten()?;
         Some((lo, hi))
     }
 
@@ -356,7 +363,7 @@ impl JitSession {
         cache.gaps.clear();
         cache.complete = false;
         match map {
-            Some(m) => {
+            Ok(Some(m)) => {
                 cache.hull = Some((m.lo, m.hi));
                 cache.witnesses.extend(m.witnesses);
                 cache.complete = m.complete;
@@ -364,7 +371,9 @@ impl JitSession {
                     cache.insert_gap(a, b);
                 }
             }
-            None => cache.hull = None,
+            // Unsat — or the solver failed, in which case every value is
+            // conservatively rejected rather than trusted unverified.
+            Ok(None) | Err(_) => cache.hull = None,
         }
         cache.hull
     }
@@ -499,9 +508,9 @@ impl JitSession {
                     .range(elo..=ehi)
                     .copied()
                     .collect();
-                if let Some(values) = self
-                    .solver
-                    .feasible_values_in(self.vars[k], elo, ehi, &known)
+                if let Ok(Some(values)) =
+                    self.solver
+                        .feasible_values_in(self.vars[k], elo, ehi, &known)
                 {
                     let kn = &mut self.intervals[k];
                     kn.witnesses.extend(values.iter().copied());
@@ -520,7 +529,8 @@ impl JitSession {
                         .iter()
                         .any(|&(a, b)| witnesses.range(a..=b).next().is_some());
                 }
-                // Enumeration went Unknown: fall through to the exact check.
+                // Enumeration went Unknown (or errored): fall through to
+                // the exact check.
             }
         }
         // Exact fallback: the same disjunctive window query `Full` issues,
@@ -538,13 +548,13 @@ impl JitSession {
         let any = self.solver.or(&options);
         self.checks += 1;
         match self.solver.check_assuming(&[any]) {
-            SatResult::Sat => {
+            Ok(SatResult::Sat) => {
                 if let Some(w) = self.solver.model().and_then(|m| m.int_value(self.vars[k])) {
                     self.intervals[k].witnesses.insert(w);
                 }
                 true
             }
-            SatResult::Unsat => {
+            Ok(SatResult::Unsat) => {
                 let kn = &mut self.intervals[k];
                 for &(a, b) in windows {
                     kn.insert_gap(a, b);
@@ -552,8 +562,9 @@ impl JitSession {
                 false
             }
             // `Full` maps Unknown to "not feasible"; mirror that, but do
-            // not certify a gap from a non-answer.
-            SatResult::Unknown => false,
+            // not certify a gap from a non-answer. Solver errors get the
+            // same conservative treatment.
+            Ok(SatResult::Unknown) | Err(_) => false,
         }
     }
 }

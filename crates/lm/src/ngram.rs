@@ -5,7 +5,7 @@
 //! in the evaluation: an autoregressive sequence model with decent local
 //! statistics but no rule awareness.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::tokenizer::{TokenId, Vocab};
 use crate::LanguageModel;
@@ -14,7 +14,11 @@ use crate::LanguageModel;
 pub struct NgramLm {
     vocab: Vocab,
     /// `counts[o]` maps an order-`o` context (o tokens) to next-token counts.
-    counts: Vec<HashMap<Vec<TokenId>, HashMap<TokenId, u32>>>,
+    /// `BTreeMap` rather than `HashMap`: `next_probs` accumulates f32 terms
+    /// while iterating a table, and float addition is not associative, so
+    /// hash-order iteration would make the probabilities (and therefore the
+    /// sampled tokens) vary run to run (determinism lint L1).
+    counts: Vec<BTreeMap<Vec<TokenId>, BTreeMap<TokenId, u32>>>,
     order: usize,
     /// Interpolation weight per order (higher order weighted more).
     lambdas: Vec<f32>,
@@ -30,8 +34,8 @@ impl NgramLm {
     /// Panics if `order == 0`.
     pub fn train(vocab: Vocab, sequences: &[Vec<TokenId>], order: usize) -> NgramLm {
         assert!(order >= 1, "order must be at least 1");
-        let mut counts: Vec<HashMap<Vec<TokenId>, HashMap<TokenId, u32>>> =
-            vec![HashMap::new(); order];
+        let mut counts: Vec<BTreeMap<Vec<TokenId>, BTreeMap<TokenId, u32>>> =
+            vec![BTreeMap::new(); order];
         for seq in sequences {
             for i in 0..seq.len() {
                 let tok = seq[i];

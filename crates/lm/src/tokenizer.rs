@@ -6,7 +6,7 @@
 //! granularity. A [`Vocab`] is a bijection between the characters observed
 //! in a corpus and dense token ids.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A token identifier (an index into the vocabulary).
 pub type TokenId = u32;
@@ -15,7 +15,7 @@ pub type TokenId = u32;
 #[derive(Clone, Debug)]
 pub struct Vocab {
     chars: Vec<char>,
-    ids: HashMap<char, TokenId>,
+    ids: BTreeMap<char, TokenId>,
 }
 
 impl Vocab {

@@ -289,8 +289,8 @@ mod tests {
             let eq = s.eq(ctx.fine[t], c);
             s.assert(eq);
         }
-        assert_eq!(s.minimize(vars[3]), Some(0));
-        assert_eq!(s.maximize(vars[3]), Some(40));
+        assert_eq!(s.minimize(vars[3]).unwrap(), Some(0));
+        assert_eq!(s.maximize(vars[3]).unwrap(), Some(40));
     }
 
     #[test]
@@ -309,7 +309,7 @@ mod tests {
         let caps: Vec<_> = ctx.fine.iter().map(|&f| s.le(f, c29)).collect();
         let all = s.and(&caps);
         s.assert(all);
-        assert_eq!(s.check(), SatResult::Unsat);
+        assert_eq!(s.check().unwrap(), SatResult::Unsat);
         s.pop();
         // Without congestion (ecn = 0) the same cap is fine if total allows.
         let mut s2 = Solver::new();
@@ -322,7 +322,7 @@ mod tests {
         let caps: Vec<_> = ctx2.fine.iter().map(|&f| s2.le(f, c29)).collect();
         let all = s2.and(&caps);
         s2.assert(all);
-        assert_eq!(s2.check(), SatResult::Sat);
+        assert_eq!(s2.check().unwrap(), SatResult::Sat);
     }
 
     #[test]
@@ -345,7 +345,7 @@ mod tests {
             let g = ground_rule(s.pool_mut(), &ctx, r);
             s.assert(g);
         }
-        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.check().unwrap(), SatResult::Sat);
         let m = s.model().unwrap();
         let fine: Vec<i64> = vars.iter().map(|&v| m.int_value(v).unwrap()).collect();
         let coarse = CoarseSignals(coarse_vals);
@@ -380,7 +380,7 @@ mod tests {
         let c5 = s.int(5);
         let eq = s.eq(te, c5);
         s.assert(eq);
-        assert_eq!(s.minimize(total), Some(40));
+        assert_eq!(s.minimize(total).unwrap(), Some(40));
     }
 
     #[test]
@@ -390,7 +390,7 @@ mod tests {
         let (ctx, vars) = imputation_ctx(&mut s, &[0; 6], 3, 60);
         let g = ground_rule(s.pool_mut(), &ctx, &rs.rules[0]);
         s.assert(g);
-        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.check().unwrap(), SatResult::Sat);
         let m = s.model().unwrap();
         let max = vars.iter().map(|&v| m.int_value(v).unwrap()).max().unwrap();
         assert!(max >= 50);
@@ -403,7 +403,7 @@ mod tests {
         let (ctx, vars) = imputation_ctx(&mut s, &[0; 6], 4, 60);
         let g = ground_rule(s.pool_mut(), &ctx, &rs.rules[0]);
         s.assert(g);
-        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.check().unwrap(), SatResult::Sat);
         let m = s.model().unwrap();
         let vals: Vec<i64> = vars.iter().map(|&v| m.int_value(v).unwrap()).collect();
         assert_eq!(vals.iter().min(), Some(&7));
@@ -437,8 +437,8 @@ mod temporal_ground_tests {
         let zero = s.int(0);
         let pin = s.eq(t0, zero);
         s.assert(pin);
-        assert_eq!(s.check(), SatResult::Sat);
-        assert_eq!(s.maximize(f2), Some(10));
-        assert_eq!(s.minimize(f2), Some(0));
+        assert_eq!(s.check().unwrap(), SatResult::Sat);
+        assert_eq!(s.maximize(f2).unwrap(), Some(10));
+        assert_eq!(s.minimize(f2).unwrap(), Some(0));
     }
 }

@@ -7,23 +7,26 @@
 //! variable — which both shrinks the search space and lets the theory layer
 //! keep a single registry.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::linear::LinAtom;
 use crate::sat::{Lit, SatSolver, SatVar};
 use crate::term::{Term, TermId, TermPool, VarId};
 
 /// Incremental Tseitin encoder shared by all assertions of a [`crate::Solver`].
+///
+/// All caches are `BTreeMap`s: the encoder sits on the decode path, where
+/// map iteration order must be deterministic (`L1-hash-collection` lint).
 #[derive(Default)]
 pub struct Encoder {
     /// Cache of already-encoded boolean terms.
-    cache: HashMap<TermId, Lit>,
+    cache: BTreeMap<TermId, Lit>,
     /// SAT variable per canonical theory atom.
-    atom_vars: HashMap<LinAtom, SatVar>,
+    atom_vars: BTreeMap<LinAtom, SatVar>,
     /// Registry: every theory atom with its SAT variable, in allocation order.
     atoms: Vec<(LinAtom, SatVar)>,
     /// SAT variable per boolean problem variable.
-    bool_vars: HashMap<VarId, SatVar>,
+    bool_vars: BTreeMap<VarId, SatVar>,
     /// Literal that is constant-true (allocated lazily).
     true_lit: Option<Lit>,
 }
@@ -165,7 +168,7 @@ mod tests {
         let conj = p.and(&[ta, tb]);
         let root = enc.encode(&p, &mut sat, conj);
         sat.add_clause(&[root]);
-        assert_eq!(sat.solve(&[]), SatOutcome::Sat);
+        assert_eq!(sat.solve(&[]).unwrap(), SatOutcome::Sat);
         let sa = enc.bool_var(a).unwrap();
         let sb = enc.bool_var(b).unwrap();
         assert!(sat.model_value(sa));
@@ -186,7 +189,7 @@ mod tests {
         // Force both false → unsat.
         sat.add_clause(&[Lit::new(sa, false)]);
         sat.add_clause(&[Lit::new(sb, false)]);
-        assert_eq!(sat.solve(&[]), SatOutcome::Unsat);
+        assert_eq!(sat.solve(&[]).unwrap(), SatOutcome::Unsat);
     }
 
     #[test]
@@ -202,7 +205,7 @@ mod tests {
         let t = p.le(diff, minus1); // 0 <= -1 folds at pool level to False
         let l = enc.encode(&p, &mut sat, t);
         sat.add_clause(&[l]);
-        assert_eq!(sat.solve(&[]), SatOutcome::Unsat);
+        assert_eq!(sat.solve(&[]).unwrap(), SatOutcome::Unsat);
     }
 
     #[test]
@@ -214,7 +217,7 @@ mod tests {
         let lf = enc.encode(&p, &mut sat, f);
         assert_eq!(lt, !lf);
         sat.add_clause(&[lt]);
-        assert_eq!(sat.solve(&[]), SatOutcome::Sat);
+        assert_eq!(sat.solve(&[]).unwrap(), SatOutcome::Sat);
     }
 
     #[test]

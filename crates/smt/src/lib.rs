@@ -57,9 +57,9 @@
 //!     let eq = s.eq(terms[t], c);
 //!     s.assert(eq);
 //! }
-//! assert_eq!(s.check(), SatResult::Sat);
-//! assert_eq!(s.minimize(vars[3]).unwrap(), 0);
-//! assert_eq!(s.maximize(vars[3]).unwrap(), 40); // 100-60 = 40, not 60!
+//! assert_eq!(s.check().unwrap(), SatResult::Sat);
+//! assert_eq!(s.minimize(vars[3]).unwrap(), Some(0));
+//! assert_eq!(s.maximize(vars[3]).unwrap(), Some(40)); // 100-60 = 40, not 60!
 //! ```
 //!
 //! The last line is exactly the "solver looks ahead" behaviour of the paper:
@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod cnf;
+pub mod error;
 pub mod linear;
 pub mod rational;
 pub mod sat;
@@ -79,9 +80,10 @@ pub mod solver;
 pub mod term;
 pub mod theory;
 
+pub use error::SolverError;
 pub use linear::{LinAtom, LinExpr};
 pub use rational::Rational;
-pub use sat::{Lit, SatSolver, SatVar};
+pub use sat::{Lit, SatSolver, SatStats, SatVar};
 pub use smtlib::{run_script, ScriptOutput, SmtLibError};
 pub use solver::{IntervalMap, Model, SatResult, Solver, SolverStats, VarBounds};
 pub use term::{Sort, Term, TermId, TermPool, VarId, VarInfo};

@@ -13,8 +13,9 @@ use crate::term::{Term, TermId, TermPool, VarId};
 /// A linear expression `Σ cᵢ·xᵢ + constant` with integer coefficients.
 ///
 /// Coefficients are kept in a sorted map so expressions have a canonical
-/// form; zero coefficients are never stored.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+/// form; zero coefficients are never stored. `Ord` is derived (structural,
+/// no semantics) so atoms can key deterministic ordered maps.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LinExpr {
     /// Non-zero coefficients per variable.
     pub coeffs: BTreeMap<VarId, i64>,
@@ -166,7 +167,7 @@ impl fmt::Debug for LinExpr {
 }
 
 /// A canonical theory atom: `expr ≤ 0`.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct LinAtom {
     /// The left-hand side of `expr ≤ 0`.
     pub expr: LinExpr,

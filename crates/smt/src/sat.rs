@@ -9,6 +9,8 @@
 
 use std::fmt;
 
+use crate::error::SolverError;
+
 /// A SAT variable.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SatVar(pub(crate) u32);
@@ -17,6 +19,14 @@ impl SatVar {
     /// The raw index.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Builds a variable from a raw index, without allocating it in any
+    /// solver. Literals over variables the solver never allocated are
+    /// rejected by [`SatSolver::solve`] with an error, which is what tests
+    /// of that rejection path use this constructor for.
+    pub fn from_index(index: u32) -> SatVar {
+        SatVar(index)
     }
 }
 
@@ -118,7 +128,7 @@ pub enum SatOutcome {
 }
 
 /// Statistics counters for a [`SatSolver`].
-#[derive(Clone, Copy, Default, Debug)]
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct SatStats {
     /// Number of conflicts encountered.
     pub conflicts: u64,
@@ -151,6 +161,9 @@ pub struct SatSolver {
     var_inc: f64,
     cla_inc: f64,
     ok: bool,
+    /// Set when a malformed clause (unallocated variable) was added; makes
+    /// every subsequent [`Self::solve`] fail instead of indexing out of range.
+    invalid: Option<SolverError>,
     seen: Vec<bool>,
     stats: SatStats,
     max_learnts: usize,
@@ -185,6 +198,7 @@ impl SatSolver {
             var_inc: 1.0,
             cla_inc: 1.0,
             ok: true,
+            invalid: None,
             seen: Vec::new(),
             stats: SatStats::default(),
             max_learnts: 4096,
@@ -258,7 +272,17 @@ impl SatSolver {
 
     /// Adds a clause at the root level. Returns `false` if the formula became
     /// trivially unsatisfiable.
+    ///
+    /// A clause referencing an unallocated variable is rejected: the clause
+    /// database is marked invalid and every later [`Self::solve`] call
+    /// returns [`SolverError::InvalidClause`] instead of panicking.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if lits.iter().any(|l| l.var().index() >= self.assigns.len()) {
+            self.invalid = Some(SolverError::InvalidClause(
+                "clause references an unallocated variable",
+            ));
+            return false;
+        }
         // Adding a clause invalidates any in-progress search state (and any
         // model from a previous `solve`).
         self.cancel_until(0);
@@ -437,7 +461,11 @@ impl SatSolver {
 
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
     /// literal first) and the backtrack level.
-    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32) {
+    ///
+    /// `Err` signals a broken trail invariant (a resolved non-decision
+    /// literal without a reason clause); reported instead of panicking
+    /// because this is the innermost loop of every `check()`.
+    fn analyze(&mut self, mut conflict: ClauseRef) -> Result<(Vec<Lit>, u32), SolverError> {
         let mut learnt: Vec<Lit> = vec![Lit::new(SatVar(0), true)]; // placeholder slot 0
         let mut path_count = 0u32;
         let mut p: Option<Lit> = None;
@@ -473,10 +501,20 @@ impl SatSolver {
                 p = Some(pl);
                 break;
             }
-            conflict = self.reason[pl.var().index()].expect("non-decision must have reason");
+            conflict = match self.reason[pl.var().index()] {
+                Some(r) => r,
+                None => {
+                    return Err(SolverError::Internal(
+                        "resolved non-decision literal has no reason clause",
+                    ))
+                }
+            };
             p = Some(pl);
         }
-        learnt[0] = !p.expect("UIP literal");
+        let Some(uip) = p else {
+            return Err(SolverError::Internal("conflict analysis found no UIP"));
+        };
+        learnt[0] = !uip;
 
         // Simple clause minimization: drop literals implied by the rest.
         let mut keep = vec![true; learnt.len()];
@@ -520,7 +558,7 @@ impl SatSolver {
             }
             self.level[learnt[max_i].var().index()]
         };
-        (learnt, bt_level)
+        Ok((learnt, bt_level))
     }
 
     fn cancel_until(&mut self, lvl: u32) {
@@ -544,8 +582,10 @@ impl SatSolver {
     fn pick_branch(&mut self) -> Option<Lit> {
         if self.order_dirty {
             let act = &self.activity;
+            // total_cmp: activities are never NaN, but a total order keeps
+            // this panic-free and the tie-break deterministic.
             self.order
-                .sort_by(|a, b| act[b.index()].partial_cmp(&act[a.index()]).unwrap());
+                .sort_by(|a, b| act[b.index()].total_cmp(&act[a.index()]));
             self.order_dirty = false;
         }
         for &v in &self.order {
@@ -568,8 +608,7 @@ impl SatSolver {
         learnts.sort_by(|&a, &b| {
             self.clauses[a]
                 .activity
-                .partial_cmp(&self.clauses[b].activity)
-                .unwrap()
+                .total_cmp(&self.clauses[b].activity)
         });
         let to_remove = learnts.len() / 2;
         let victims: Vec<ClauseRef> = learnts.into_iter().take(to_remove).collect();
@@ -587,14 +626,29 @@ impl SatSolver {
     }
 
     /// Solves under assumptions. Learned clauses persist across calls.
-    pub fn solve(&mut self, assumptions: &[Lit]) -> SatOutcome {
+    ///
+    /// `Err` means the query could not be decided at all: the clause
+    /// database is malformed (see [`Self::add_clause`]) or an internal
+    /// invariant broke mid-search. This is distinct from `Unsat`.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> Result<SatOutcome, SolverError> {
+        if let Some(e) = self.invalid {
+            return Err(e);
+        }
+        if assumptions
+            .iter()
+            .any(|l| l.var().index() >= self.assigns.len())
+        {
+            return Err(SolverError::InvalidClause(
+                "assumption references an unallocated variable",
+            ));
+        }
         self.cancel_until(0);
         if !self.ok {
-            return SatOutcome::Unsat;
+            return Ok(SatOutcome::Unsat);
         }
         if self.propagate().is_some() {
             self.ok = false;
-            return SatOutcome::Unsat;
+            return Ok(SatOutcome::Unsat);
         }
 
         let mut conflicts_since_restart = 0u64;
@@ -607,13 +661,13 @@ impl SatSolver {
                 conflicts_since_restart += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
-                    return SatOutcome::Unsat;
+                    return Ok(SatOutcome::Unsat);
                 }
                 // Standard CDCL: backjump and learn. If the learnt clause
                 // falsifies an assumption, the decision loop below will see
                 // the assumption valued `False` when re-placing it and
                 // report unsatisfiability.
-                let (learnt, bt) = self.analyze(confl);
+                let (learnt, bt) = self.analyze(confl)?;
                 self.cancel_until(bt);
                 self.learn(learnt);
                 self.var_inc *= VAR_DECAY;
@@ -640,7 +694,7 @@ impl SatSolver {
                             // level↔assumption-index correspondence.
                             self.trail_lim.push(self.trail.len());
                         }
-                        LBool::False => return SatOutcome::Unsat,
+                        LBool::False => return Ok(SatOutcome::Unsat),
                         LBool::Undef => {
                             self.trail_lim.push(self.trail.len());
                             self.unchecked_enqueue(a, None);
@@ -649,7 +703,7 @@ impl SatSolver {
                     continue;
                 }
                 match self.pick_branch() {
-                    None => return SatOutcome::Sat,
+                    None => return Ok(SatOutcome::Sat),
                     Some(l) => {
                         self.stats.decisions += 1;
                         self.trail_lim.push(self.trail.len());
@@ -728,7 +782,7 @@ mod tests {
         let mut s = SatSolver::new();
         let v = s.new_var();
         s.add_clause(&[Lit::new(v, true)]);
-        assert_eq!(s.solve(&[]), SatOutcome::Sat);
+        assert_eq!(s.solve(&[]).unwrap(), SatOutcome::Sat);
         assert!(s.model_value(v));
     }
 
@@ -738,13 +792,13 @@ mod tests {
         let v = s.new_var();
         assert!(s.add_clause(&[Lit::new(v, true)]));
         assert!(!s.add_clause(&[Lit::new(v, false)]));
-        assert_eq!(s.solve(&[]), SatOutcome::Unsat);
+        assert_eq!(s.solve(&[]).unwrap(), SatOutcome::Unsat);
     }
 
     #[test]
     fn empty_formula_is_sat() {
         let mut s = SatSolver::new();
-        assert_eq!(s.solve(&[]), SatOutcome::Sat);
+        assert_eq!(s.solve(&[]).unwrap(), SatOutcome::Sat);
     }
 
     #[test]
@@ -757,7 +811,7 @@ mod tests {
         s.add_clause(&[a]);
         s.add_clause(&[!a, b]);
         s.add_clause(&[!b, c]);
-        assert_eq!(s.solve(&[]), SatOutcome::Sat);
+        assert_eq!(s.solve(&[]).unwrap(), SatOutcome::Sat);
         assert!(s.model_value(vs[0]));
         assert!(s.model_value(vs[1]));
         assert!(s.model_value(vs[2]));
@@ -772,7 +826,7 @@ mod tests {
         s.add_clause(&[Lit::new(p1, true)]);
         s.add_clause(&[Lit::new(p2, true)]);
         s.add_clause(&[Lit::new(p1, false), Lit::new(p2, false)]);
-        assert_eq!(s.solve(&[]), SatOutcome::Unsat);
+        assert_eq!(s.solve(&[]).unwrap(), SatOutcome::Unsat);
     }
 
     #[test]
@@ -796,7 +850,7 @@ mod tests {
                 }
             }
         }
-        assert_eq!(s.solve(&[]), SatOutcome::Unsat);
+        assert_eq!(s.solve(&[]).unwrap(), SatOutcome::Unsat);
     }
 
     #[test]
@@ -805,14 +859,14 @@ mod tests {
         let a = s.new_var();
         let b = s.new_var();
         s.add_clause(&[Lit::new(a, true), Lit::new(b, true)]);
-        assert_eq!(s.solve(&[Lit::new(a, false)]), SatOutcome::Sat);
+        assert_eq!(s.solve(&[Lit::new(a, false)]).unwrap(), SatOutcome::Sat);
         assert!(s.model_value(b));
         assert_eq!(
-            s.solve(&[Lit::new(a, false), Lit::new(b, false)]),
+            s.solve(&[Lit::new(a, false), Lit::new(b, false)]).unwrap(),
             SatOutcome::Unsat
         );
         // Solver remains usable after an unsat-under-assumptions call.
-        assert_eq!(s.solve(&[]), SatOutcome::Sat);
+        assert_eq!(s.solve(&[]).unwrap(), SatOutcome::Sat);
     }
 
     #[test]
@@ -821,12 +875,12 @@ mod tests {
         let a = s.new_var();
         let b = s.new_var();
         s.add_clause(&[Lit::new(a, true), Lit::new(b, true)]);
-        assert_eq!(s.solve(&[]), SatOutcome::Sat);
+        assert_eq!(s.solve(&[]).unwrap(), SatOutcome::Sat);
         s.add_clause(&[Lit::new(a, false)]);
-        assert_eq!(s.solve(&[]), SatOutcome::Sat);
+        assert_eq!(s.solve(&[]).unwrap(), SatOutcome::Sat);
         assert!(s.model_value(b));
         s.add_clause(&[Lit::new(b, false)]);
-        assert_eq!(s.solve(&[]), SatOutcome::Unsat);
+        assert_eq!(s.solve(&[]).unwrap(), SatOutcome::Unsat);
     }
 
     #[test]
@@ -869,7 +923,7 @@ mod tests {
                 let lits: Vec<Lit> = c.iter().map(|&(v, pos)| Lit::new(vars[v], pos)).collect();
                 s.add_clause(&lits);
             }
-            let got = s.solve(&[]) == SatOutcome::Sat;
+            let got = s.solve(&[]).unwrap() == SatOutcome::Sat;
             assert_eq!(got, bf_sat, "round {round} disagreed");
             if got {
                 // Verify the model actually satisfies every clause.

@@ -19,6 +19,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::error::SolverError;
 use crate::rational::Rational;
 
 /// Opaque label attached to a bound so infeasibility certificates can be
@@ -154,9 +155,10 @@ impl Simplex {
     /// remains valid because relaxing bounds cannot violate them.
     pub fn undo_to(&mut self, snap: usize) {
         while self.trail.len() > snap {
-            match self.trail.pop().unwrap() {
-                TrailEntry::Lower(v, old) => self.lower[v] = old,
-                TrailEntry::Upper(v, old) => self.upper[v] = old,
+            match self.trail.pop() {
+                Some(TrailEntry::Lower(v, old)) => self.lower[v] = old,
+                Some(TrailEntry::Upper(v, old)) => self.upper[v] = old,
+                None => return,
             }
         }
     }
@@ -229,7 +231,12 @@ impl Simplex {
     }
 
     /// Restores feasibility by pivoting, or reports an infeasible bound set.
-    pub fn check(&mut self) -> Feasibility {
+    ///
+    /// `Err` signals a broken tableau invariant (a pivot column vanished
+    /// from its row), which cannot happen for tableaus built through
+    /// [`Self::add_row`]; it is reported instead of panicking because this
+    /// sits on the decode path.
+    pub fn check(&mut self) -> Result<Feasibility, SolverError> {
         loop {
             // Bland's rule: smallest violating basic variable.
             let mut candidate: Option<(usize, SVar, bool, Rational, BoundTag)> = None;
@@ -248,7 +255,7 @@ impl Simplex {
                 }
             }
             let Some((r, _xb, need_increase, target, btag)) = candidate else {
-                return Feasibility::Feasible;
+                return Ok(Feasibility::Feasible);
             };
 
             // Find the smallest nonbasic variable that can move β[xb]
@@ -270,7 +277,7 @@ impl Simplex {
             }
 
             match pivot {
-                Some(xn) => self.pivot_and_update(r, xn, target),
+                Some(xn) => self.pivot_and_update(r, xn, target)?,
                 None => {
                     // Certificate: the violated bound of xb plus, for every
                     // nonbasic in the row, the bound that blocks movement.
@@ -287,7 +294,7 @@ impl Simplex {
                     }
                     core.sort_unstable();
                     core.dedup();
-                    return Feasibility::Infeasible(core);
+                    return Ok(Feasibility::Infeasible(core));
                 }
             }
         }
@@ -317,10 +324,18 @@ impl Simplex {
 
     /// Pivots the basic variable of row `r` with nonbasic `xn`, then sets the
     /// old basic variable's value to `target`.
-    fn pivot_and_update(&mut self, r: usize, xn: SVar, target: Rational) {
+    fn pivot_and_update(
+        &mut self,
+        r: usize,
+        xn: SVar,
+        target: Rational,
+    ) -> Result<(), SolverError> {
         self.pivots += 1;
         let xb = self.row_basic[r];
-        let a = *self.rows[r].get(&xn).expect("pivot coefficient");
+        let a = match self.rows[r].get(&xn) {
+            Some(&a) => a,
+            None => return Err(SolverError::Internal("pivot coefficient missing from row")),
+        };
         debug_assert!(!a.is_zero());
 
         // θ = (target − β[xb]) / a ; new β[xn] = β[xn] + θ.
@@ -361,6 +376,7 @@ impl Simplex {
                 .fold(Rational::ZERO, |acc, (&u, &c)| acc + c * self.value[u]);
             self.value[xb2] = val;
         }
+        Ok(())
     }
 
     /// Debug invariant: every row equation holds under `β` and every
@@ -416,7 +432,7 @@ mod tests {
         s.assert_upper(sum, r(10), BoundTag(0)).unwrap();
         s.assert_lower(x, r(3), BoundTag(1)).unwrap();
         s.assert_lower(y, r(4), BoundTag(2)).unwrap();
-        assert_eq!(s.check(), Feasibility::Feasible);
+        assert_eq!(s.check().unwrap(), Feasibility::Feasible);
         s.check_invariants();
         assert!(s.value_of(x) >= r(3));
         assert!(s.value_of(y) >= r(4));
@@ -434,7 +450,7 @@ mod tests {
         s.assert_upper(sum, r(10), BoundTag(0)).unwrap();
         s.assert_lower(x, r(6), BoundTag(1)).unwrap();
         s.assert_lower(y, r(6), BoundTag(2)).unwrap();
-        match s.check() {
+        match s.check().unwrap() {
             Feasibility::Infeasible(core) => {
                 assert_eq!(core, vec![BoundTag(0), BoundTag(1), BoundTag(2)]);
             }
@@ -462,7 +478,7 @@ mod tests {
         s.assert_lower(e, r(8), BoundTag(1)).unwrap();
         s.assert_upper(y, r(3), BoundTag(2)).unwrap();
         s.assert_lower(y, r(3), BoundTag(3)).unwrap();
-        assert_eq!(s.check(), Feasibility::Feasible);
+        assert_eq!(s.check().unwrap(), Feasibility::Feasible);
         s.check_invariants();
         assert_eq!(s.value_of(x), r(2));
         assert_eq!(s.value_of(y), r(3));
@@ -477,11 +493,11 @@ mod tests {
         let snap = s.snapshot();
         s.assert_lower(x, r(8), BoundTag(2)).unwrap();
         s.assert_upper(x, r(9), BoundTag(3)).unwrap();
-        assert_eq!(s.check(), Feasibility::Feasible);
+        assert_eq!(s.check().unwrap(), Feasibility::Feasible);
         s.undo_to(snap);
         // The tightened bounds are gone: x = 3 must be allowed again.
         s.assert_upper(x, r(3), BoundTag(4)).unwrap();
-        assert_eq!(s.check(), Feasibility::Feasible);
+        assert_eq!(s.check().unwrap(), Feasibility::Feasible);
         assert!(s.value_of(x) <= r(3));
     }
 
@@ -499,7 +515,7 @@ mod tests {
         s.assert_upper(y, r(3), BoundTag(2)).unwrap();
         s.assert_upper(z, r(3), BoundTag(3)).unwrap();
         // max x+y+z = 8 < 9 → infeasible.
-        match s.check() {
+        match s.check().unwrap() {
             Feasibility::Infeasible(core) => {
                 assert_eq!(core.len(), 4);
             }
@@ -517,7 +533,7 @@ mod tests {
         s.assert_upper(x, r(4), BoundTag(0)).unwrap();
         s.assert_lower(y, r(1), BoundTag(1)).unwrap();
         s.assert_lower(d, r(4), BoundTag(2)).unwrap();
-        assert!(matches!(s.check(), Feasibility::Infeasible(_)));
+        assert!(matches!(s.check().unwrap(), Feasibility::Infeasible(_)));
     }
 
     #[test]
@@ -529,7 +545,7 @@ mod tests {
         let e = s.add_row(&[(x, r(2))]);
         s.assert_lower(e, r(5), BoundTag(0)).unwrap();
         s.assert_upper(e, r(5), BoundTag(1)).unwrap();
-        assert_eq!(s.check(), Feasibility::Feasible);
+        assert_eq!(s.check().unwrap(), Feasibility::Feasible);
         assert_eq!(s.value_of(x), Rational::new(5, 2));
     }
 
@@ -546,7 +562,7 @@ mod tests {
         let total = s.add_row(&coeffs);
         s.assert_lower(total, r(100), BoundTag(0)).unwrap();
         s.assert_upper(total, r(100), BoundTag(1)).unwrap();
-        assert_eq!(s.check(), Feasibility::Feasible);
+        assert_eq!(s.check().unwrap(), Feasibility::Feasible);
         s.check_invariants();
         let sum: Rational = vars.iter().fold(Rational::ZERO, |a, &v| a + s.value_of(v));
         assert_eq!(sum, r(100));
@@ -562,9 +578,9 @@ mod tests {
         }
         let snap = s.snapshot();
         s.assert_lower(vars[3], r(41), BoundTag(500)).unwrap();
-        assert!(matches!(s.check(), Feasibility::Infeasible(_)));
+        assert!(matches!(s.check().unwrap(), Feasibility::Infeasible(_)));
         s.undo_to(snap);
         s.assert_lower(vars[3], r(40), BoundTag(501)).unwrap();
-        assert_eq!(s.check(), Feasibility::Feasible);
+        assert_eq!(s.check().unwrap(), Feasibility::Feasible);
     }
 }

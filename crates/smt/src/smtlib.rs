@@ -201,7 +201,10 @@ fn exec(solver: &mut Solver, form: &Sexp, out: &mut ScriptOutput) -> Result<(), 
             solver.pop();
         }
         "check-sat" => {
-            let line = match solver.check() {
+            let result = solver
+                .check()
+                .map_err(|e| err(0, format!("check-sat failed: {e}")))?;
+            let line = match result {
                 SatResult::Sat => "sat",
                 SatResult::Unsat => "unsat",
                 SatResult::Unknown => "unknown",
@@ -242,6 +245,7 @@ fn exec(solver: &mut Solver, form: &Sexp, out: &mut ScriptOutput) -> Result<(), 
             } else {
                 solver.maximize(v)
             };
+            let result = result.map_err(|e| err(0, format!("objective failed: {e}")))?;
             out.lines.push(match result {
                 Some(x) => format!("({head} {name} {x})"),
                 None => format!("({head} {name} unsat)"),

@@ -12,11 +12,12 @@
 //! idiom. Theory lemmas (blocking clauses) are valid in LIA regardless of
 //! frames, so they are added unguarded and also persist.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::cnf::Encoder;
+use crate::error::SolverError;
 use crate::linear::LinAtom;
-use crate::sat::{Lit, SatOutcome, SatSolver};
+use crate::sat::{Lit, SatOutcome, SatSolver, SatStats};
 use crate::term::{Sort, Term, TermId, TermPool, VarId};
 use crate::theory::{check_conjunction, TheoryConfig, TheoryVerdict};
 
@@ -32,10 +33,13 @@ pub enum SatResult {
 }
 
 /// A satisfying assignment.
+///
+/// Values live in `BTreeMap`s so iteration order (and therefore anything
+/// derived from a model, e.g. decode masks) is deterministic.
 #[derive(Clone, Debug, Default)]
 pub struct Model {
-    ints: HashMap<VarId, i64>,
-    bools: HashMap<VarId, bool>,
+    ints: BTreeMap<VarId, i64>,
+    bools: BTreeMap<VarId, bool>,
 }
 
 impl Model {
@@ -78,7 +82,7 @@ impl Model {
 }
 
 /// Aggregate statistics for a [`Solver`].
-#[derive(Clone, Copy, Default, Debug)]
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct SolverStats {
     /// `check()` calls (including internal ones from minimize/maximize).
     pub checks: u64,
@@ -191,6 +195,14 @@ impl Solver {
         self.stats
     }
 
+    /// Statistics of the underlying CDCL SAT core. Conflict, decision, and
+    /// propagation counts are extremely sensitive to clause and literal
+    /// ordering, which makes them a sharp probe for run-to-run determinism
+    /// (see `tests/determinism_stats.rs`).
+    pub fn sat_stats(&self) -> SatStats {
+        self.sat.stats()
+    }
+
     // --- term-building conveniences (delegate to the pool) ---------------
 
     /// Declares a bounded integer variable.
@@ -301,15 +313,14 @@ impl Solver {
         self.frames.push(Lit::new(v, true));
     }
 
-    /// Discards the most recent frame and all its assertions.
-    ///
-    /// # Panics
-    /// Panics if no frame is open.
+    /// Discards the most recent frame and all its assertions. A `pop` with
+    /// no open frame is a no-op (there is nothing to discard).
     pub fn pop(&mut self) {
-        let sel = self.frames.pop().expect("pop without matching push");
-        // Permanently disable the selector so its clauses become vacuous.
-        self.sat.add_clause(&[!sel]);
-        self.model = None;
+        if let Some(sel) = self.frames.pop() {
+            // Permanently disable the selector so its clauses become vacuous.
+            self.sat.add_clause(&[!sel]);
+            self.model = None;
+        }
     }
 
     /// Number of open frames.
@@ -320,14 +331,18 @@ impl Solver {
     // --- solving ------------------------------------------------------------
 
     /// Checks satisfiability of all live assertions.
-    pub fn check(&mut self) -> SatResult {
+    ///
+    /// `Err` means the query itself is broken (malformed clause database,
+    /// arithmetic overflow, or an internal invariant violation) — it is not
+    /// a third truth value and callers must not treat it as `Unsat`.
+    pub fn check(&mut self) -> Result<SatResult, SolverError> {
         self.stats.checks += 1;
         self.model = None;
         let assumptions: Vec<Lit> = self.frames.clone();
 
         for _ in 0..MAX_REFINEMENTS {
-            match self.sat.solve(&assumptions) {
-                SatOutcome::Unsat => return SatResult::Unsat,
+            match self.sat.solve(&assumptions)? {
+                SatOutcome::Unsat => return Ok(SatResult::Unsat),
                 SatOutcome::Sat => {}
             }
             self.stats.theory_checks += 1;
@@ -342,9 +357,9 @@ impl Solver {
                 }
             }
 
-            match check_conjunction(&self.pool, &conj, self.theory_config) {
+            match check_conjunction(&self.pool, &conj, self.theory_config)? {
                 TheoryVerdict::Sat(ints) => {
-                    let mut bools = HashMap::new();
+                    let mut bools = BTreeMap::new();
                     for (idx, info) in self.pool.vars().iter().enumerate() {
                         if info.sort == Sort::Bool {
                             let v = VarId(idx as u32);
@@ -354,37 +369,44 @@ impl Solver {
                         }
                     }
                     self.model = Some(Model { ints, bools });
-                    return SatResult::Sat;
+                    return Ok(SatResult::Sat);
                 }
                 TheoryVerdict::Unsat(core) => {
                     self.stats.theory_conflicts += 1;
                     if core.is_empty() {
                         // The theory found the *declared bounds* inconsistent,
                         // which cannot happen (lo <= hi); defensive fallback.
-                        return SatResult::Unsat;
+                        return Ok(SatResult::Unsat);
                     }
-                    let blocking: Vec<Lit> = core.iter().map(|&i| !asserted_lits[i]).collect();
+                    let mut blocking: Vec<Lit> = Vec::with_capacity(core.len());
+                    for &i in &core {
+                        let l = asserted_lits
+                            .get(i)
+                            .ok_or(SolverError::Internal("theory core index out of range"))?;
+                        blocking.push(!*l);
+                    }
                     if !self.sat.add_clause(&blocking) {
-                        return SatResult::Unsat;
+                        return Ok(SatResult::Unsat);
                     }
                 }
-                TheoryVerdict::Unknown => return SatResult::Unknown,
+                TheoryVerdict::Unknown => return Ok(SatResult::Unknown),
             }
         }
-        SatResult::Unknown
+        Ok(SatResult::Unknown)
     }
 
     /// Checks satisfiability of the live assertions *plus* the given
     /// temporary assumptions, which are discarded afterwards. Equivalent to
     /// `push(); assert(each); check(); pop()` — the model (on `Sat`) remains
     /// readable until the next solver call.
-    pub fn check_assuming(&mut self, assumptions: &[TermId]) -> SatResult {
+    pub fn check_assuming(&mut self, assumptions: &[TermId]) -> Result<SatResult, SolverError> {
         self.push();
         for &t in assumptions {
             self.assert(t);
         }
         let result = self.check();
-        // `pop` would clear the model; keep it for the caller.
+        // `pop` would clear the model; keep it for the caller. The frame is
+        // popped even when `check` failed, so the solver stays balanced.
         let model = self.model.take();
         self.pop();
         self.model = model;
@@ -398,22 +420,25 @@ impl Solver {
     /// Deletion-based: one [`Self::check_assuming`] per assumption after the
     /// initial check, so the result is minimal — every element is necessary.
     /// Useful for explaining *why* a decode step was pruned.
-    pub fn unsat_core(&mut self, assumptions: &[TermId]) -> Option<Vec<TermId>> {
-        if self.check_assuming(assumptions) != SatResult::Unsat {
-            return None;
+    pub fn unsat_core(
+        &mut self,
+        assumptions: &[TermId],
+    ) -> Result<Option<Vec<TermId>>, SolverError> {
+        if self.check_assuming(assumptions)? != SatResult::Unsat {
+            return Ok(None);
         }
         let mut core: Vec<TermId> = assumptions.to_vec();
         let mut i = 0;
         while i < core.len() {
             let mut candidate = core.clone();
             candidate.remove(i);
-            if self.check_assuming(&candidate) == SatResult::Unsat {
+            if self.check_assuming(&candidate)? == SatResult::Unsat {
                 core = candidate; // the i-th assumption was redundant
             } else {
                 i += 1; // necessary (or undecided): keep it
             }
         }
-        Some(core)
+        Ok(Some(core))
     }
 
     /// The model from the most recent successful [`Self::check`].
@@ -429,12 +454,12 @@ impl Solver {
     /// Implemented as binary search on satisfiability (each probe is a
     /// `push`/`assert`/`check`/`pop`), exactly the loop LeJIT uses to compute
     /// feasible ranges during decoding.
-    pub fn minimize(&mut self, v: VarId) -> Option<i64> {
+    pub fn minimize(&mut self, v: VarId) -> Result<Option<i64>, SolverError> {
         self.optimize(v, true)
     }
 
     /// The maximum feasible value of integer variable `v` (see [`Self::minimize`]).
-    pub fn maximize(&mut self, v: VarId) -> Option<i64> {
+    pub fn maximize(&mut self, v: VarId) -> Result<Option<i64>, SolverError> {
         self.optimize(v, false)
     }
 
@@ -449,19 +474,32 @@ impl Solver {
     /// witness is the value of `v` in a model of the live assertions, so
     /// callers can treat witnesses as *proven-feasible* values without any
     /// further solver query.
-    pub fn bounds(&mut self, v: VarId) -> Option<VarBounds> {
+    pub fn bounds(&mut self, v: VarId) -> Result<Option<VarBounds>, SolverError> {
         let info = self.pool.var_info(v).clone();
         assert_eq!(info.sort, Sort::Int, "bounds on non-integer variable");
-        if self.check() != SatResult::Sat {
-            return None;
+        if self.check()? != SatResult::Sat {
+            return Ok(None);
         }
-        let witness = self.model.as_ref().unwrap().int_value(v).unwrap();
+        let witness = self.model_int(v)?;
         let mut witnesses = vec![witness];
-        let lo = self.bound_search(v, info.lo, witness, true, &mut witnesses)?;
-        let hi = self.bound_search(v, witness, info.hi, false, &mut witnesses)?;
+        let Some(lo) = self.bound_search(v, info.lo, witness, true, &mut witnesses)? else {
+            return Ok(None);
+        };
+        let Some(hi) = self.bound_search(v, witness, info.hi, false, &mut witnesses)? else {
+            return Ok(None);
+        };
         witnesses.sort_unstable();
         witnesses.dedup();
-        Some(VarBounds { lo, hi, witnesses })
+        Ok(Some(VarBounds { lo, hi, witnesses }))
+    }
+
+    /// The value of `v` in the current model; `Err` if there is no model
+    /// (callers only use this right after a `Sat` answer).
+    fn model_int(&self, v: VarId) -> Result<i64, SolverError> {
+        self.model
+            .as_ref()
+            .and_then(|m| m.int_value(v))
+            .ok_or(SolverError::Internal("model missing after Sat answer"))
     }
 
     /// One direction of the [`Self::bounds`] binary search. On entry the
@@ -475,7 +513,7 @@ impl Solver {
         mut hi: i64,
         minimize: bool,
         witnesses: &mut Vec<i64>,
-    ) -> Option<i64> {
+    ) -> Result<Option<i64>, SolverError> {
         while lo < hi {
             let mid = lo + (hi - lo) / 2; // biased toward lo
             let vt = self.var(v);
@@ -486,9 +524,9 @@ impl Solver {
                 let c1 = self.int(mid + 1);
                 self.ge(vt, c1)
             };
-            match self.check_assuming(&[probe]) {
+            match self.check_assuming(&[probe])? {
                 SatResult::Sat => {
-                    let w = self.model.as_ref().unwrap().int_value(v).unwrap();
+                    let w = self.model_int(v)?;
                     witnesses.push(w);
                     if minimize {
                         hi = w.min(mid);
@@ -498,10 +536,10 @@ impl Solver {
                 }
                 SatResult::Unsat if minimize => lo = mid + 1,
                 SatResult::Unsat => hi = mid,
-                SatResult::Unknown => return None,
+                SatResult::Unknown => return Ok(None),
             }
         }
-        Some(lo)
+        Ok(Some(lo))
     }
 
     /// One round of interval analysis of `v`: the feasible hull plus a
@@ -523,23 +561,26 @@ impl Solver {
         v: VarId,
         stride: i64,
         enumerate_width: i64,
-    ) -> Option<IntervalMap> {
+    ) -> Result<Option<IntervalMap>, SolverError> {
         assert!(stride > 0, "interval_map stride must be positive");
-        let VarBounds {
+        let Some(VarBounds {
             lo,
             hi,
             mut witnesses,
-        } = self.bounds(v)?;
+        }) = self.bounds(v)?
+        else {
+            return Ok(None);
+        };
         if hi - lo < enumerate_width {
-            if let Some(values) = self.feasible_values_in(v, lo, hi, &witnesses) {
+            if let Some(values) = self.feasible_values_in(v, lo, hi, &witnesses)? {
                 let gaps = gap_complement(lo, hi, &values);
-                return Some(IntervalMap {
+                return Ok(Some(IntervalMap {
                     lo,
                     hi,
                     witnesses: values,
                     gaps,
                     complete: true,
-                });
+                }));
             }
             // Enumeration went Unknown: fall back to the swept partial map.
         }
@@ -558,10 +599,9 @@ impl Solver {
                 let (ca, cb) = (self.int(a), self.int(b));
                 let ge = self.ge(vt, ca);
                 let le = self.le(vt, cb);
-                match self.check_assuming(&[ge, le]) {
+                match self.check_assuming(&[ge, le])? {
                     SatResult::Sat => {
-                        let w = self.model.as_ref().unwrap().int_value(v).unwrap();
-                        harvested.push(w);
+                        harvested.push(self.model_int(v)?);
                     }
                     SatResult::Unsat => gaps.push((a, b)),
                     SatResult::Unknown => {} // bucket stays unclassified
@@ -572,13 +612,13 @@ impl Solver {
         witnesses.extend(harvested);
         witnesses.sort_unstable();
         witnesses.dedup();
-        Some(IntervalMap {
+        Ok(Some(IntervalMap {
             lo,
             hi,
             witnesses,
             gaps,
             complete: false,
-        })
+        }))
     }
 
     /// The exact feasible subset of `[lo, hi]` for `v`, computed by
@@ -594,7 +634,7 @@ impl Solver {
         lo: i64,
         hi: i64,
         known: &[i64],
-    ) -> Option<Vec<i64>> {
+    ) -> Result<Option<Vec<i64>>, SolverError> {
         let mut found: Vec<i64> = known
             .iter()
             .copied()
@@ -615,28 +655,28 @@ impl Solver {
                 let neq = self.not(eq);
                 assumptions.push(neq);
             }
-            match self.check_assuming(&assumptions) {
+            match self.check_assuming(&assumptions)? {
                 SatResult::Sat => {
-                    let w = self.model.as_ref().unwrap().int_value(v).unwrap();
+                    let w = self.model_int(v)?;
                     debug_assert!((lo..=hi).contains(&w));
                     let pos = found.partition_point(|&x| x < w);
                     debug_assert!(found.get(pos) != Some(&w), "blocked value re-found");
                     found.insert(pos, w);
                 }
                 SatResult::Unsat => break,
-                SatResult::Unknown => return None,
+                SatResult::Unknown => return Ok(None),
             }
         }
-        Some(found)
+        Ok(Some(found))
     }
 
-    fn optimize(&mut self, v: VarId, minimize: bool) -> Option<i64> {
+    fn optimize(&mut self, v: VarId, minimize: bool) -> Result<Option<i64>, SolverError> {
         let info = self.pool.var_info(v).clone();
         assert_eq!(info.sort, Sort::Int, "optimize on non-integer variable");
-        if self.check() != SatResult::Sat {
-            return None;
+        if self.check()? != SatResult::Sat {
+            return Ok(None);
         }
-        let witness = self.model.as_ref().unwrap().int_value(v).unwrap();
+        let witness = self.model_int(v)?;
         let (mut lo, mut hi) = if minimize {
             (info.lo, witness)
         } else {
@@ -657,15 +697,15 @@ impl Solver {
             self.assert(probe);
             let r = self.check();
             self.pop();
-            match r {
+            match r? {
                 SatResult::Sat if minimize => hi = mid,
                 SatResult::Sat => lo = mid + 1,
                 SatResult::Unsat if minimize => lo = mid + 1,
                 SatResult::Unsat => hi = mid,
-                SatResult::Unknown => return None,
+                SatResult::Unknown => return Ok(None),
             }
         }
-        Some(lo)
+        Ok(Some(lo))
     }
 }
 
@@ -681,7 +721,7 @@ mod tests {
         let c = s.int(7);
         let f = s.ge(tx, c);
         s.assert(f);
-        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.check().unwrap(), SatResult::Sat);
         let m = s.model().unwrap();
         assert!(m.int_value(x).unwrap() >= 7);
         assert!(m.eval_bool(s.pool(), f));
@@ -698,7 +738,7 @@ mod tests {
         let f2 = s.le(tx, c3);
         s.assert(f1);
         s.assert(f2);
-        assert_eq!(s.check(), SatResult::Unsat);
+        assert_eq!(s.check().unwrap(), SatResult::Unsat);
         assert!(s.model().is_none());
     }
 
@@ -717,7 +757,7 @@ mod tests {
         let eq = s.eq(tx, c5);
         s.assert(disj);
         s.assert(eq);
-        assert_eq!(s.check(), SatResult::Unsat);
+        assert_eq!(s.check().unwrap(), SatResult::Unsat);
         assert!(s.stats().theory_conflicts >= 1);
     }
 
@@ -729,16 +769,16 @@ mod tests {
         let c5 = s.int(5);
         let f = s.le(tx, c5);
         s.assert(f);
-        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.check().unwrap(), SatResult::Sat);
 
         s.push();
         let c6 = s.int(6);
         let g = s.ge(tx, c6);
         s.assert(g);
-        assert_eq!(s.check(), SatResult::Unsat);
+        assert_eq!(s.check().unwrap(), SatResult::Unsat);
         s.pop();
 
-        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.check().unwrap(), SatResult::Sat);
         // Nested frames.
         s.push();
         let c2 = s.int(2);
@@ -748,12 +788,12 @@ mod tests {
         let c3 = s.int(3);
         let i = s.le(tx, c3);
         s.assert(i);
-        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.check().unwrap(), SatResult::Sat);
         let m = s.model().unwrap().int_value(x).unwrap();
         assert!((2..=3).contains(&m));
         s.pop();
         s.pop();
-        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.check().unwrap(), SatResult::Sat);
     }
 
     #[test]
@@ -772,14 +812,14 @@ mod tests {
             let eq = s.eq(terms[t], c);
             s.assert(eq);
         }
-        assert_eq!(s.minimize(vars[3]), Some(0));
-        assert_eq!(s.maximize(vars[3]), Some(40));
+        assert_eq!(s.minimize(vars[3]).unwrap(), Some(0));
+        assert_eq!(s.maximize(vars[3]).unwrap(), Some(40));
         // After fixing I3 = 39, I4 is forced to exactly 1 (step 5 in Fig 1b).
         let c39 = s.int(39);
         let eq = s.eq(terms[3], c39);
         s.assert(eq);
-        assert_eq!(s.minimize(vars[4]), Some(1));
-        assert_eq!(s.maximize(vars[4]), Some(1));
+        assert_eq!(s.minimize(vars[4]).unwrap(), Some(1));
+        assert_eq!(s.maximize(vars[4]).unwrap(), Some(1));
     }
 
     #[test]
@@ -804,7 +844,7 @@ mod tests {
         let twenty = s.int(20);
         let capped = s.pool_mut().max_le(&terms, twenty);
         s.assert(capped);
-        assert_eq!(s.check(), SatResult::Unsat);
+        assert_eq!(s.check().unwrap(), SatResult::Unsat);
         s.pop();
         // With congestion = 0 the cap is fine.
         let czero = s.eq(tc, zero);
@@ -812,15 +852,15 @@ mod tests {
         let twenty = s.int(20);
         let capped = s.pool_mut().max_le(&terms, twenty);
         s.assert(capped);
-        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.check().unwrap(), SatResult::Sat);
     }
 
     #[test]
     fn minimize_maximize_unconstrained_hit_declared_bounds() {
         let mut s = Solver::new();
         let x = s.int_var("x", -5, 12);
-        assert_eq!(s.minimize(x), Some(-5));
-        assert_eq!(s.maximize(x), Some(12));
+        assert_eq!(s.minimize(x).unwrap(), Some(-5));
+        assert_eq!(s.maximize(x).unwrap(), Some(12));
     }
 
     #[test]
@@ -831,7 +871,7 @@ mod tests {
         let c11 = s.int(11);
         let f = s.ge(tx, c11);
         s.assert(f);
-        assert_eq!(s.minimize(x), None);
+        assert_eq!(s.minimize(x).unwrap(), None);
     }
 
     #[test]
@@ -849,10 +889,10 @@ mod tests {
         let cap = s.le(ty, c55);
         s.assert(cap);
         // x + y = 70, y <= 55 → x ∈ [15, 70].
-        let b = s.bounds(x).unwrap();
+        let b = s.bounds(x).unwrap().unwrap();
         assert_eq!((b.lo, b.hi), (15, 70));
-        assert_eq!(s.minimize(x), Some(b.lo));
-        assert_eq!(s.maximize(x), Some(b.hi));
+        assert_eq!(s.minimize(x).unwrap(), Some(b.lo));
+        assert_eq!(s.maximize(x).unwrap(), Some(b.hi));
     }
 
     #[test]
@@ -866,7 +906,7 @@ mod tests {
         let le = s.le(tx, c77);
         s.assert(ge);
         s.assert(le);
-        let b = s.bounds(x).unwrap();
+        let b = s.bounds(x).unwrap().unwrap();
         assert_eq!((b.lo, b.hi), (3, 77));
         assert!(b.witnesses.contains(&b.lo));
         assert!(b.witnesses.contains(&b.hi));
@@ -877,7 +917,11 @@ mod tests {
         for &w in &b.witnesses {
             let c = s.int(w);
             let eq = s.eq(tx, c);
-            assert_eq!(s.check_assuming(&[eq]), SatResult::Sat, "witness {w}");
+            assert_eq!(
+                s.check_assuming(&[eq]).unwrap(),
+                SatResult::Sat,
+                "witness {w}"
+            );
         }
     }
 
@@ -889,7 +933,7 @@ mod tests {
         let c11 = s.int(11);
         let f = s.ge(tx, c11);
         s.assert(f);
-        assert!(s.bounds(x).is_none());
+        assert!(s.bounds(x).unwrap().is_none());
     }
 
     #[test]
@@ -923,7 +967,7 @@ mod tests {
         s.assert(f);
         let nb = s.not(tb);
         s.assert(nb);
-        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.check().unwrap(), SatResult::Sat);
         let m = s.model().unwrap();
         assert!(!m.bool_value(b));
         assert!(m.int_value(x).unwrap() < 5);
@@ -950,7 +994,7 @@ mod tests {
         let f3 = s.or(&[f2, f2b]);
         let all = s.and(&[f1, f3]);
         s.assert(all);
-        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.check().unwrap(), SatResult::Sat);
         let m = s.model().unwrap().clone();
         assert!(m.eval_bool(s.pool(), all));
     }
@@ -971,9 +1015,9 @@ mod check_assuming_tests {
 
         let c6 = s.int(6);
         let ge6 = s.ge(tx, c6);
-        assert_eq!(s.check_assuming(&[ge6]), SatResult::Unsat);
+        assert_eq!(s.check_assuming(&[ge6]).unwrap(), SatResult::Unsat);
         // The assumption is gone: plain check is satisfiable again.
-        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.check().unwrap(), SatResult::Sat);
         assert!(s.model().unwrap().int_value(x).unwrap() <= 5);
     }
 
@@ -984,7 +1028,7 @@ mod check_assuming_tests {
         let tx = s.var(x);
         let c3 = s.int(3);
         let eq = s.eq(tx, c3);
-        assert_eq!(s.check_assuming(&[eq]), SatResult::Sat);
+        assert_eq!(s.check_assuming(&[eq]).unwrap(), SatResult::Sat);
         assert_eq!(s.model().unwrap().int_value(x), Some(3));
     }
 
@@ -999,7 +1043,7 @@ mod check_assuming_tests {
         let sum_eq = s.eq(total, c12);
         let c7 = s.int(7);
         let x_ge = s.ge(tx, c7);
-        assert_eq!(s.check_assuming(&[sum_eq, x_ge]), SatResult::Sat);
+        assert_eq!(s.check_assuming(&[sum_eq, x_ge]).unwrap(), SatResult::Sat);
         let m = s.model().unwrap();
         let (xv, yv) = (m.int_value(x).unwrap(), m.int_value(y).unwrap());
         assert_eq!(xv + yv, 12);
@@ -1027,7 +1071,10 @@ mod unsat_core_tests {
         let y_le = s.le(ty, c5);
         let c1 = s.int(1);
         let y_ge = s.ge(ty, c1);
-        let core = s.unsat_core(&[y_le, a, y_ge, b]).expect("conflicting");
+        let core = s
+            .unsat_core(&[y_le, a, y_ge, b])
+            .unwrap()
+            .expect("conflicting");
         assert_eq!(core.len(), 2);
         assert!(core.contains(&a) && core.contains(&b), "core kept noise");
     }
@@ -1039,7 +1086,7 @@ mod unsat_core_tests {
         let tx = s.var(x);
         let c5 = s.int(5);
         let f = s.le(tx, c5);
-        assert_eq!(s.unsat_core(&[f]), None);
+        assert_eq!(s.unsat_core(&[f]).unwrap(), None);
     }
 
     #[test]
@@ -1057,9 +1104,9 @@ mod unsat_core_tests {
         let c8 = s.int(8);
         let a = s.ge(tx, c8);
         let b = s.ge(ty, c8);
-        let core = s.unsat_core(&[a, b]).expect("jointly conflicting");
+        let core = s.unsat_core(&[a, b]).unwrap().expect("jointly conflicting");
         assert_eq!(core.len(), 2);
         // Solver is still usable afterwards.
-        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.check().unwrap(), SatResult::Sat);
     }
 }

@@ -10,7 +10,7 @@
 //! * double negation is collapsed, `And`/`Or` are flattened and deduplicated,
 //!   and comparisons between constants are folded to `True`/`False`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Index of a term in a [`TermPool`].
@@ -64,7 +64,10 @@ pub struct VarInfo {
 
 /// A term node. Obtain instances through [`TermPool`] builder methods; the
 /// invariants documented on each variant are maintained by construction.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// `Ord` is derived so terms can key ordered (deterministic-iteration)
+/// maps; the ordering itself is structural and carries no semantics.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Term {
     /// The boolean constant `true`.
     True,
@@ -89,12 +92,16 @@ pub enum Term {
 }
 
 /// Arena of hash-consed terms plus the variable symbol table.
+///
+/// Both lookup tables are `BTreeMap`s: the pool is part of the decode
+/// path, where iteration order must be deterministic (enforced by the
+/// `L1-hash-collection` lint in `lejit-analyze`).
 #[derive(Default)]
 pub struct TermPool {
     terms: Vec<Term>,
-    dedup: HashMap<Term, TermId>,
+    dedup: BTreeMap<Term, TermId>,
     vars: Vec<VarInfo>,
-    var_names: HashMap<String, VarId>,
+    var_names: BTreeMap<String, VarId>,
 }
 
 impl TermPool {

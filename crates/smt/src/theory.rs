@@ -17,8 +17,9 @@
 //! branch-and-bound tree is finite; a node budget additionally caps runaway
 //! searches and surfaces as [`TheoryVerdict::Unknown`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
+use crate::error::SolverError;
 use crate::linear::LinAtom;
 use crate::rational::Rational;
 use crate::simplex::{BoundTag, Feasibility, SVar, Simplex};
@@ -33,7 +34,8 @@ const BRANCH_TAG: u32 = u32::MAX;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TheoryVerdict {
     /// Satisfiable; integer values for every declared integer variable.
-    Sat(HashMap<VarId, i64>),
+    /// Kept in a `BTreeMap` so model iteration order is deterministic.
+    Sat(BTreeMap<VarId, i64>),
     /// Unsatisfiable; indices (into the checked atom slice) of a conflicting
     /// subset. May be empty if the declared bounds alone are inconsistent.
     Unsat(Vec<usize>),
@@ -56,17 +58,21 @@ impl Default for TheoryConfig {
 
 /// Checks the conjunction of `atoms` over the integers, respecting the
 /// declared bounds of every integer variable in `pool`.
+///
+/// `Err` means the atoms could not even be translated (arithmetic overflow,
+/// a reference to an undeclared variable, or a broken simplex invariant) —
+/// distinct from [`TheoryVerdict::Unknown`], which is a budget exhaustion.
 pub fn check_conjunction(
     pool: &TermPool,
     atoms: &[LinAtom],
     config: TheoryConfig,
-) -> TheoryVerdict {
+) -> Result<TheoryVerdict, SolverError> {
     let mut sx = Simplex::new();
 
     // One simplex variable per declared integer variable (in VarId order so
     // indexing is direct).
     let mut int_vars: Vec<VarId> = Vec::new();
-    let mut svar_of: HashMap<VarId, SVar> = HashMap::new();
+    let mut svar_of: BTreeMap<VarId, SVar> = BTreeMap::new();
     for (idx, info) in pool.vars().iter().enumerate() {
         if info.sort == Sort::Int {
             let v = VarId(idx as u32);
@@ -75,34 +81,44 @@ pub fn check_conjunction(
             int_vars.push(v);
             let tag = BoundTag(DECL_BASE + idx as u32);
             // Declared bounds can never conflict with each other (lo <= hi).
-            sx.assert_lower(sv, Rational::from_int(info.lo), tag)
-                .expect("declared bounds are consistent");
-            sx.assert_upper(sv, Rational::from_int(info.hi), tag)
-                .expect("declared bounds are consistent");
+            if sx
+                .assert_lower(sv, Rational::from_int(info.lo), tag)
+                .is_err()
+                || sx
+                    .assert_upper(sv, Rational::from_int(info.hi), tag)
+                    .is_err()
+            {
+                return Err(SolverError::Internal("declared bounds are inconsistent"));
+            }
         }
     }
 
     // Shared slack rows per coefficient vector.
-    let mut slack_of: HashMap<Vec<(SVar, Rational)>, SVar> = HashMap::new();
+    let mut slack_of: BTreeMap<Vec<(SVar, Rational)>, SVar> = BTreeMap::new();
 
     for (i, atom) in atoms.iter().enumerate() {
         let tag = BoundTag(i as u32);
         // Σ c·x + k ≤ 0  ⇔  Σ c·x ≤ −k.
-        let bound =
-            Rational::from_int(atom.expr.constant.checked_neg().expect("constant overflow"));
+        let neg_k = atom
+            .expr
+            .constant
+            .checked_neg()
+            .ok_or(SolverError::Overflow("negating atom constant"))?;
+        let bound = Rational::from_int(neg_k);
         if atom.expr.is_constant() {
             // k ≤ 0 ?
             if atom.expr.constant > 0 {
-                return TheoryVerdict::Unsat(vec![i]);
+                return Ok(TheoryVerdict::Unsat(vec![i]));
             }
             continue;
         }
-        let coeffs: Vec<(SVar, Rational)> = atom
-            .expr
-            .coeffs
-            .iter()
-            .map(|(&v, &c)| (svar_of[&v], Rational::from_int(c)))
-            .collect();
+        let mut coeffs: Vec<(SVar, Rational)> = Vec::with_capacity(atom.expr.coeffs.len());
+        for (&v, &c) in &atom.expr.coeffs {
+            let sv = *svar_of
+                .get(&v)
+                .ok_or(SolverError::Internal("atom references undeclared variable"))?;
+            coeffs.push((sv, Rational::from_int(c)));
+        }
         let result = if coeffs.len() == 1 {
             let (sv, c) = coeffs[0];
             // c·x ≤ bound  ⇔  x ≤ bound/c (c>0)  or  x ≥ bound/c (c<0).
@@ -118,24 +134,28 @@ pub fn check_conjunction(
             sx.assert_upper(sv, bound, tag)
         };
         if let Err(core) = result {
-            return TheoryVerdict::Unsat(filter_core(core));
+            return Ok(TheoryVerdict::Unsat(filter_core(core)));
         }
     }
 
     let mut nodes = 0u64;
-    match branch_and_bound(&mut sx, &int_vars, &svar_of, &mut nodes, config.max_nodes) {
+    match branch_and_bound(&mut sx, &int_vars, &svar_of, &mut nodes, config.max_nodes)? {
         BnB::Sat => {
-            let model: HashMap<VarId, i64> = int_vars
-                .iter()
-                .map(|&v| {
-                    let val = sx.value_of(svar_of[&v]);
-                    (v, val.to_i64().expect("integral model value"))
-                })
-                .collect();
-            TheoryVerdict::Sat(model)
+            let mut model: BTreeMap<VarId, i64> = BTreeMap::new();
+            for &v in &int_vars {
+                let sv = *svar_of
+                    .get(&v)
+                    .ok_or(SolverError::Internal("model variable has no simplex slot"))?;
+                let val = sx
+                    .value_of(sv)
+                    .to_i64()
+                    .ok_or(SolverError::Internal("non-integral model value"))?;
+                model.insert(v, val);
+            }
+            Ok(TheoryVerdict::Sat(model))
         }
-        BnB::Unsat(core) => TheoryVerdict::Unsat(filter_core(core)),
-        BnB::Unknown => TheoryVerdict::Unknown,
+        BnB::Unsat(core) => Ok(TheoryVerdict::Unsat(filter_core(core))),
+        BnB::Unknown => Ok(TheoryVerdict::Unknown),
     }
 }
 
@@ -148,23 +168,25 @@ enum BnB {
 fn branch_and_bound(
     sx: &mut Simplex,
     int_vars: &[VarId],
-    svar_of: &HashMap<VarId, SVar>,
+    svar_of: &BTreeMap<VarId, SVar>,
     nodes: &mut u64,
     max_nodes: u64,
-) -> BnB {
+) -> Result<BnB, SolverError> {
     *nodes += 1;
     if *nodes > max_nodes {
-        return BnB::Unknown;
+        return Ok(BnB::Unknown);
     }
-    match sx.check() {
-        Feasibility::Infeasible(core) => return BnB::Unsat(core),
+    match sx.check()? {
+        Feasibility::Infeasible(core) => return Ok(BnB::Unsat(core)),
         Feasibility::Feasible => {}
     }
     // Find the most fractional integer variable.
     let mut pick: Option<(SVar, Rational)> = None;
     let mut best_frac = Rational::ZERO;
     for v in int_vars {
-        let sv = svar_of[v];
+        let sv = *svar_of
+            .get(v)
+            .ok_or(SolverError::Internal("branch variable has no simplex slot"))?;
         let val = sx.value_of(sv);
         if !val.is_integer() {
             let fl = Rational::new(val.floor(), 1);
@@ -183,7 +205,7 @@ fn branch_and_bound(
         }
     }
     let Some((sv, val)) = pick else {
-        return BnB::Sat; // all integral
+        return Ok(BnB::Sat); // all integral
     };
     let floor = Rational::new(val.floor(), 1);
     let ceil = Rational::new(val.ceil(), 1);
@@ -192,26 +214,26 @@ fn branch_and_bound(
     // Branch 1: x ≤ floor.
     let snap = sx.snapshot();
     let down = match sx.assert_upper(sv, floor, btag) {
-        Ok(()) => branch_and_bound(sx, int_vars, svar_of, nodes, max_nodes),
+        Ok(()) => branch_and_bound(sx, int_vars, svar_of, nodes, max_nodes)?,
         Err(core) => BnB::Unsat(core),
     };
     sx.undo_to(snap);
     let down_core = match down {
-        BnB::Sat => return BnB::Sat,
-        BnB::Unknown => return BnB::Unknown,
+        BnB::Sat => return Ok(BnB::Sat),
+        BnB::Unknown => return Ok(BnB::Unknown),
         BnB::Unsat(c) => c,
     };
 
     // Branch 2: x ≥ ceil.
     let snap = sx.snapshot();
     let up = match sx.assert_lower(sv, ceil, btag) {
-        Ok(()) => branch_and_bound(sx, int_vars, svar_of, nodes, max_nodes),
+        Ok(()) => branch_and_bound(sx, int_vars, svar_of, nodes, max_nodes)?,
         Err(core) => BnB::Unsat(core),
     };
     sx.undo_to(snap);
     let up_core = match up {
-        BnB::Sat => return BnB::Sat,
-        BnB::Unknown => return BnB::Unknown,
+        BnB::Sat => return Ok(BnB::Sat),
+        BnB::Unknown => return Ok(BnB::Unknown),
         BnB::Unsat(c) => c,
     };
 
@@ -224,7 +246,7 @@ fn branch_and_bound(
         .collect();
     merged.sort_unstable();
     merged.dedup();
-    BnB::Unsat(merged)
+    Ok(BnB::Unsat(merged))
 }
 
 /// Keeps only real atom indices (drops declared-bound and branch sentinels).
@@ -263,7 +285,7 @@ mod tests {
     #[test]
     fn empty_conjunction_is_sat() {
         let (p, vs) = pool_with_vars(2, 0, 10);
-        match check_conjunction(&p, &[], TheoryConfig::default()) {
+        match check_conjunction(&p, &[], TheoryConfig::default()).unwrap() {
             TheoryVerdict::Sat(m) => {
                 for v in vs {
                     let val = m[&v];
@@ -280,7 +302,7 @@ mod tests {
         // x >= 4  and  x <= 3:   (-x + 4 <= 0), (x - 3 <= 0).
         let a1 = atom(&[(vs[0], -1)], 4);
         let a2 = atom(&[(vs[0], 1)], -3);
-        match check_conjunction(&p, &[a1, a2], TheoryConfig::default()) {
+        match check_conjunction(&p, &[a1, a2], TheoryConfig::default()).unwrap() {
             TheoryVerdict::Unsat(core) => assert_eq!(core, vec![0, 1]),
             other => panic!("expected unsat, got {other:?}"),
         }
@@ -291,7 +313,7 @@ mod tests {
         let (p, vs) = pool_with_vars(1, 0, 10);
         // x >= 11 conflicts with the declared upper bound only.
         let a = atom(&[(vs[0], -1)], 11);
-        match check_conjunction(&p, &[a], TheoryConfig::default()) {
+        match check_conjunction(&p, &[a], TheoryConfig::default()).unwrap() {
             TheoryVerdict::Unsat(core) => assert_eq!(core, vec![0]),
             other => panic!("expected unsat, got {other:?}"),
         }
@@ -303,7 +325,7 @@ mod tests {
         // sum = 100 via <= and >=.
         let le = atom(&vs.iter().map(|&v| (v, 1)).collect::<Vec<_>>(), -100);
         let ge = atom(&vs.iter().map(|&v| (v, -1)).collect::<Vec<_>>(), 100);
-        match check_conjunction(&p, &[le, ge], TheoryConfig::default()) {
+        match check_conjunction(&p, &[le, ge], TheoryConfig::default()).unwrap() {
             TheoryVerdict::Sat(m) => {
                 let total: i64 = vs.iter().map(|v| m[v]).sum();
                 assert_eq!(total, 100);
@@ -319,7 +341,7 @@ mod tests {
         // 2x >= 5 and 2x <= 5  → x = 5/2, no integer solution.
         let ge = atom(&[(vs[0], -2)], 5);
         let le = atom(&[(vs[0], 2)], -5);
-        match check_conjunction(&p, &[ge, le], TheoryConfig::default()) {
+        match check_conjunction(&p, &[ge, le], TheoryConfig::default()).unwrap() {
             TheoryVerdict::Unsat(core) => {
                 assert!(!core.is_empty());
                 assert!(core.iter().all(|&i| i < 2));
@@ -335,14 +357,14 @@ mod tests {
         // may first land on fractional points; 3x + 3y = 10 does not.
         let a1 = atom(&[(vs[0], 2), (vs[1], 2)], -10);
         let a2 = atom(&[(vs[0], -2), (vs[1], -2)], 10);
-        match check_conjunction(&p, &[a1, a2], TheoryConfig::default()) {
+        match check_conjunction(&p, &[a1, a2], TheoryConfig::default()).unwrap() {
             TheoryVerdict::Sat(m) => assert_eq!(m[&vs[0]] + m[&vs[1]], 5),
             other => panic!("expected sat, got {other:?}"),
         }
         let b1 = atom(&[(vs[0], 3), (vs[1], 3)], -10);
         let b2 = atom(&[(vs[0], -3), (vs[1], -3)], 10);
         assert!(matches!(
-            check_conjunction(&p, &[b1, b2], TheoryConfig::default()),
+            check_conjunction(&p, &[b1, b2], TheoryConfig::default()).unwrap(),
             TheoryVerdict::Unsat(_)
         ));
     }
@@ -352,7 +374,7 @@ mod tests {
         let (p, _vs) = pool_with_vars(1, 0, 10);
         // 0·x + 3 <= 0 is false.
         let a = atom(&[], 3);
-        match check_conjunction(&p, &[a], TheoryConfig::default()) {
+        match check_conjunction(&p, &[a], TheoryConfig::default()).unwrap() {
             TheoryVerdict::Unsat(core) => assert_eq!(core, vec![0]),
             other => panic!("expected unsat, got {other:?}"),
         }
@@ -374,13 +396,13 @@ mod tests {
         let mut with_41 = atoms.clone();
         with_41.push(atom(&[(vs[3], -1)], 41));
         assert!(matches!(
-            check_conjunction(&p, &with_41, TheoryConfig::default()),
+            check_conjunction(&p, &with_41, TheoryConfig::default()).unwrap(),
             TheoryVerdict::Unsat(_)
         ));
         let mut with_40 = atoms.clone();
         with_40.push(atom(&[(vs[3], -1)], 40));
         assert!(matches!(
-            check_conjunction(&p, &with_40, TheoryConfig::default()),
+            check_conjunction(&p, &with_40, TheoryConfig::default()).unwrap(),
             TheoryVerdict::Sat(_)
         ));
     }
@@ -391,7 +413,7 @@ mod tests {
         // A system needing at least one branch, with a budget of 1 node.
         let a1 = atom(&[(vs[0], 2), (vs[1], 2), (vs[2], 2)], -7);
         let a2 = atom(&[(vs[0], -2), (vs[1], -2), (vs[2], -2)], 7);
-        let verdict = check_conjunction(&p, &[a1, a2], TheoryConfig { max_nodes: 1 });
+        let verdict = check_conjunction(&p, &[a1, a2], TheoryConfig { max_nodes: 1 }).unwrap();
         assert_eq!(verdict, TheoryVerdict::Unknown);
     }
 }

@@ -1,0 +1,81 @@
+//! Determinism regression test for the L1 lint family.
+//!
+//! The solver must be a pure function of its inputs: two runs of the same
+//! workload in fresh processes-worth of state must take byte-identical
+//! search paths. Hash-keyed containers would break this — `HashMap`'s
+//! per-instance `RandomState` reorders iteration run to run, which changes
+//! clause/atom ordering, which changes the CDCL search trajectory even when
+//! the final verdicts agree. The static analyzer (`lejit-analyze`, lint
+//! `determinism-hash-container`) proves the absence of such containers at
+//! the token level; this test samples the same invariant dynamically by
+//! comparing *search statistics*, which are far more ordering-sensitive
+//! than verdicts: identical conflict/decision/propagation counts mean the
+//! two runs explored the same tree in the same order.
+
+use lejit_smt::{SatResult, Solver};
+
+/// One representative workload: the paper's R1/R2 ruleset plus derived
+/// queries (optimization, bounds, assumption probes) that exercise the SAT
+/// core, the simplex, branch-and-bound, and the blocking-clause loop.
+fn run_workload() -> (Vec<String>, lejit_smt::SolverStats, lejit_smt::SatStats) {
+    let mut s = Solver::new();
+    let vars: Vec<_> = (0..5).map(|t| s.int_var(&format!("i{t}"), 0, 60)).collect();
+    let terms: Vec<_> = vars.iter().map(|&v| s.var(v)).collect();
+    let total = s.add(&terms);
+    let hundred = s.int(100);
+    let sum_eq = s.eq(total, hundred);
+    s.assert(sum_eq);
+    // A disjunctive constraint so the SAT core actually branches.
+    let thirty = s.int(30);
+    let branches: Vec<_> = terms.iter().map(|&t| s.ge(t, thirty)).collect();
+    let any_big = s.or(&branches);
+    s.assert(any_big);
+
+    let mut log = Vec::new();
+    log.push(format!("{:?}", s.check().unwrap()));
+    log.push(format!("{:?}", s.minimize(vars[0]).unwrap()));
+    log.push(format!("{:?}", s.maximize(vars[0]).unwrap()));
+    log.push(format!("{:?}", s.bounds(vars[1]).unwrap()));
+    for (t, val) in [(0usize, 20i64), (1, 15), (2, 25)] {
+        let c = s.int(val);
+        let eq = s.eq(terms[t], c);
+        s.assert(eq);
+    }
+    log.push(format!("{:?}", s.check().unwrap()));
+    log.push(format!("{:?}", s.minimize(vars[3]).unwrap()));
+    log.push(format!("{:?}", s.maximize(vars[3]).unwrap()));
+    let c = s.int(41);
+    let probe = s.eq(terms[3], c);
+    log.push(format!("{:?}", s.check_assuming(&[probe]).unwrap()));
+    assert_eq!(s.check().unwrap(), SatResult::Sat);
+    if let Some(m) = s.model() {
+        let assignment: Vec<i64> = vars.iter().map(|&v| m.int_value(v).unwrap()).collect();
+        log.push(format!("{assignment:?}"));
+    }
+    (log, s.stats(), s.sat_stats())
+}
+
+#[test]
+fn identical_statistics_across_runs() {
+    let (log1, stats1, sat1) = run_workload();
+    let (log2, stats2, sat2) = run_workload();
+    assert_eq!(log1, log2, "query answers diverged between identical runs");
+    assert_eq!(
+        stats1, stats2,
+        "DPLL(T) statistics diverged: the solver searched differently"
+    );
+    assert_eq!(
+        sat1, sat2,
+        "CDCL statistics diverged: conflict/decision/propagation order is \
+         run-dependent (hash-ordering leak?)"
+    );
+    // The workload must be non-trivial, or the comparison proves nothing.
+    assert!(
+        sat1.propagations > 0,
+        "workload never exercised the SAT core"
+    );
+    assert!(
+        stats1.theory_checks > 0,
+        "workload never reached the theory"
+    );
+}

@@ -128,7 +128,7 @@ proptest! {
         let mut s = Solver::new();
         let (vars, root) = build(&f, &mut s);
         s.assert(root);
-        match s.check() {
+        match s.check().unwrap() {
             SatResult::Sat => {
                 prop_assert!(expected.is_some(), "solver said SAT, brute force says UNSAT");
                 let m = s.model().unwrap();
@@ -181,8 +181,8 @@ proptest! {
         let mut s = Solver::new();
         let (vars, root) = build(&f, &mut s);
         s.assert(root);
-        let min = s.minimize(vars[0]);
-        let max = s.maximize(vars[0]);
+        let min = s.minimize(vars[0]).unwrap();
+        let max = s.maximize(vars[0]).unwrap();
         prop_assert_eq!(min, feasible_x0.first().copied());
         prop_assert_eq!(max, feasible_x0.last().copied());
     }
@@ -192,16 +192,55 @@ proptest! {
         let mut s = Solver::new();
         let (vars, root) = build(&f, &mut s);
         s.assert(root);
-        let before = s.check();
+        let before = s.check().unwrap();
         // Push an arbitrary extra constraint (x0 >= hi), then pop it.
         s.push();
         let vt = s.var(vars[0]);
         let c = s.int(f.hi);
         let extra = s.ge(vt, c);
         s.assert(extra);
-        let _ = s.check();
+        let _ = s.check().unwrap();
         s.pop();
-        let after = s.check();
+        let after = s.check().unwrap();
         prop_assert_eq!(before, after, "push/pop changed satisfiability");
+    }
+
+    /// Panic-freedom (L2): a malformed clause database — clauses or
+    /// assumptions referencing variables that were never allocated — must
+    /// surface as `Err`, never as a panic or an out-of-bounds index.
+    #[test]
+    fn malformed_clause_db_errors_instead_of_panicking(
+        num_vars in 0usize..4,
+        raw_clauses in proptest::collection::vec(
+            proptest::collection::vec((0u32..8, proptest::bool::ANY), 0..4),
+            0..6,
+        ),
+    ) {
+        use lejit_smt::{Lit, SatSolver};
+
+        let mut sat = SatSolver::new();
+        let vars: Vec<_> = (0..num_vars).map(|_| sat.new_var()).collect();
+        let mut any_invalid = false;
+        for cl in &raw_clauses {
+            let lits: Vec<Lit> = cl
+                .iter()
+                .map(|&(idx, pos)| match vars.get(idx as usize) {
+                    Some(&v) => Lit::new(v, pos),
+                    None => {
+                        any_invalid = true;
+                        // Fabricate a literal for a variable that was never
+                        // allocated (indices >= num_vars).
+                        Lit::new(lejit_smt::SatVar::from_index(idx), pos)
+                    }
+                })
+                .collect();
+            sat.add_clause(&lits);
+        }
+        let outcome = sat.solve(&[]);
+        if any_invalid {
+            prop_assert!(outcome.is_err(), "invalid clause DB must be an Err");
+        } else {
+            prop_assert!(outcome.is_ok(), "well-formed clause DB must solve");
+        }
     }
 }
