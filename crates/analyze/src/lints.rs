@@ -100,6 +100,8 @@ const PANIC_SCOPES: &[(&str, FnMatch)] = &[
             "pick_branch",
             "reduce_db",
             "solve",
+            "retract",
+            "detach_clause",
         ]),
     ),
     (

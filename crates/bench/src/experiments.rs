@@ -12,7 +12,7 @@ use lejit_baselines::{
 };
 use lejit_core::{
     par_batches_with, par_records, par_records_with, record_seed, DecodeError, Imputer, Lookahead,
-    Synthesizer, TaskConfig, SESSION_REBUILD_PERIOD,
+    Synthesizer, TaskConfig,
 };
 use lejit_lm::{BatchedGpt, CachedGpt, LanguageModel, SamplerConfig};
 use lejit_metrics::{
@@ -492,20 +492,16 @@ pub fn fig5_synthesis(env: &BenchEnv) -> Table {
     ));
     // LeJIT reuses one grounded session per worker across draws
     // (checkpoint/rollback inside `synthesize_in`) instead of rebuilding
-    // and re-grounding the rules per sample. The session is replaced every
-    // [`SESSION_REBUILD_PERIOD`] draws to keep the solver's clause database
-    // bounded — output-invisible (a rebuilt session answers exactly like a
-    // rolled-back one; asserted in `lejit-core`'s
+    // and re-grounding the rules per sample. Rollback physically retracts
+    // the frame's clauses, so the clause database stays bounded no matter
+    // how many draws the worker serves — no periodic rebuild is needed
+    // (rebuild-equivalence is still asserted in `lejit-core`'s
     // `session_rebuild_interval_is_output_invisible`).
     runs.push(synth_samples(
         env,
         "LeJIT",
-        || (CachedGpt::new(&env.gpt), fresh_session(), 0usize),
-        |(cached, (session, schema), draws), rng| {
-            if *draws > 0 && *draws % SESSION_REBUILD_PERIOD == 0 {
-                *session = fresh_session().0;
-            }
-            *draws += 1;
+        || (CachedGpt::new(&env.gpt), fresh_session()),
+        |(cached, (session, schema)), rng| {
             synth_with(env, budget, cached)
                 .synthesize_in(session, schema, rng)
                 .ok()

@@ -12,6 +12,8 @@
 //! unconstrained argmax was masked away. This quantifies the paper's
 //! "minimally invasive" claim — a well-trained model needs few nudges.
 
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use rand::Rng;
@@ -342,6 +344,7 @@ pub struct JitDecoder<'m, M: LanguageModel> {
     model: &'m M,
     sampler: SamplerConfig,
     lookahead: Lookahead,
+    shared_lanes: bool,
 }
 
 impl<'m, M: LanguageModel> JitDecoder<'m, M> {
@@ -351,12 +354,32 @@ impl<'m, M: LanguageModel> JitDecoder<'m, M> {
             model,
             sampler,
             lookahead: Lookahead::Full,
+            shared_lanes: false,
         }
     }
 
     /// Overrides the lookahead policy (used by the ablation benchmark).
     pub fn with_lookahead(mut self, lookahead: Lookahead) -> Self {
         self.lookahead = lookahead;
+        self
+    }
+
+    /// Declares that every session handed to [`Self::decode_batch`] carries
+    /// an *identical* grounded base system (same rules over the same
+    /// constants), so lanes parked at the same schema position with the
+    /// same decoded values have identical live constraint systems. The
+    /// batch loop then shares one interval analysis across such lanes
+    /// (`JitSession::adopt_analysis_from`) instead of letting each lane
+    /// re-derive the identical hull.
+    ///
+    /// Decoded bytes are unchanged — every guided tier is exact — but a
+    /// sharing lane's `solver_checks` can come out *lower* than the serial
+    /// decode of the same record, with the avoided analyses credited to
+    /// `solver_checks_saved`. Callers whose sessions are grounded over
+    /// per-record constants (e.g. per-window imputation) must leave this
+    /// off: sharing across differing bases would be unsound.
+    pub fn with_shared_lanes(mut self, shared: bool) -> Self {
+        self.shared_lanes = shared;
         self
     }
 
@@ -437,6 +460,13 @@ impl<'m, M: LanguageModel> JitDecoder<'m, M> {
     /// neither the RNG nor any value either computation reads
     /// (DESIGN.md §8).
     ///
+    /// Under [`Self::with_shared_lanes`] the decoded *bytes* keep that
+    /// guarantee but the solver-side stats need not: lanes at a shared
+    /// schema position adopt one lane's interval analysis instead of
+    /// re-deriving it, so their `solver_checks` can come out below the
+    /// serial decode's (never above — adopted knowledge only answers
+    /// queries earlier).
+    ///
     /// # Panics
     /// Panics unless `sessions`, `prompts`, and `rngs` have equal lengths.
     pub fn decode_batch<R: Rng>(
@@ -506,6 +536,15 @@ impl<'m, M: LanguageModel> JitDecoder<'m, M> {
 
             // Constraint masks first (no RNG involved), so a dead-ended
             // lane drops out before the round's forward pass.
+            //
+            // With `shared_lanes` on, lanes at the same schema position
+            // with the same decoded values have identical live constraint
+            // systems; the first such lane each round donates its interval
+            // analysis to the rest (`JitSession::adopt_analysis_from`), so
+            // the hull of a shared position is derived once per round, not
+            // once per lane. A `BTreeMap` so no hasher state can order
+            // anything observable (determinism lint L1).
+            let mut leaders: BTreeMap<(usize, &[i64]), usize> = BTreeMap::new();
             let mut pending: Vec<usize> = Vec::new();
             let mut options: Vec<CharOptions> = Vec::new();
             for i in 0..n {
@@ -527,6 +566,19 @@ impl<'m, M: LanguageModel> JitDecoder<'m, M> {
                     )));
                     continue;
                 };
+                if self.shared_lanes {
+                    match leaders.entry((lanes[i].var_idx, lanes[i].values.as_slice())) {
+                        Entry::Occupied(leader) => {
+                            let l = *leader.get();
+                            // The leader ran earlier this round, so l < i.
+                            let (donors, rest) = sessions.split_at_mut(i);
+                            rest[0].adopt_analysis_from(&donors[l], lanes[i].var_idx);
+                        }
+                        Entry::Vacant(slot) => {
+                            slot.insert(i);
+                        }
+                    }
+                }
                 let opts =
                     allowed_chars(&mut sessions[i], lanes[i].var_idx, spec, st, self.lookahead);
                 if opts.is_dead_end() {
@@ -852,6 +904,62 @@ pub(crate) mod tests {
             assert_eq!(s.stats.forced_choices, g.stats.forced_choices);
             assert_eq!(s.stats.solver_checks, g.stats.solver_checks);
         }
+    }
+
+    #[test]
+    fn shared_lanes_keep_bytes_and_cut_total_checks() {
+        // With identically grounded lanes opted in via `with_shared_lanes`,
+        // interval analyses are derived once per shared schema position
+        // instead of once per lane: bytes match the serial guided decode
+        // exactly, and the batch's total solver checks drop below it.
+        let model = toy_model();
+        let decoder = JitDecoder::new(&model, SamplerConfig::default())
+            .with_lookahead(Lookahead::IntervalGuided)
+            .with_shared_lanes(true);
+        let serial_decoder = JitDecoder::new(&model, SamplerConfig::default())
+            .with_lookahead(Lookahead::IntervalGuided);
+        let prompt = "T=100;E=8;R=0;G=70;C=12;D=0|";
+        let serial: Vec<DecodedOutput> = (0..6)
+            .map(|i| {
+                let (mut session, schema) = session_for(100, 8);
+                let mut rng = StdRng::seed_from_u64(crate::batch::record_seed(33, i));
+                serial_decoder
+                    .decode(&mut session, &schema, prompt, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+
+        let mut sessions = Vec::new();
+        let mut schema = None;
+        for _ in 0..6 {
+            let (s, sc) = session_for(100, 8);
+            sessions.push(s);
+            schema = Some(sc);
+        }
+        let schema = schema.unwrap();
+        let mut rngs: Vec<StdRng> = (0..6)
+            .map(|i| StdRng::seed_from_u64(crate::batch::record_seed(33, i)))
+            .collect();
+        let got = decoder.decode_batch(&mut sessions, &schema, &[prompt; 6], &mut rngs);
+        let mut serial_checks = 0u64;
+        let mut batch_checks = 0u64;
+        for (i, (s, g)) in serial.iter().zip(&got).enumerate() {
+            let g = g.as_ref().unwrap_or_else(|e| panic!("lane {i}: {e}"));
+            assert_eq!(s.text, g.text, "lane {i} text diverged");
+            assert_eq!(s.values, g.values, "lane {i} values diverged");
+            assert!(
+                g.stats.solver_checks <= s.stats.solver_checks,
+                "lane {i}: sharing can only remove checks ({} > {})",
+                g.stats.solver_checks,
+                s.stats.solver_checks
+            );
+            serial_checks += s.stats.solver_checks;
+            batch_checks += g.stats.solver_checks;
+        }
+        assert!(
+            batch_checks < serial_checks,
+            "shared lanes saved nothing ({batch_checks} vs {serial_checks})"
+        );
     }
 
     #[test]

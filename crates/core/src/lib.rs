@@ -76,7 +76,7 @@ pub use decoder::{DecodeError, DecodeStats, DecodedOutput, JitDecoder};
 pub use repair::{repair_arbitrary, repair_nearest, RepairError};
 pub use schema::{DecodeSchema, SchemaItem, VarSpec};
 pub use session::{JitSession, SessionCheckpoint};
-pub use tasks::{Imputer, Synthesizer, TaskConfig, TaskError, SESSION_REBUILD_PERIOD};
+pub use tasks::{Imputer, Synthesizer, TaskConfig, TaskError};
 pub use trace::{DecodeTrace, TraceStep};
 pub use transition::{allowed_chars, CharOptions, Lookahead, VarState};
 pub use vanilla::{RejectionOutcome, RejectionSampler, VanillaDecoder};

@@ -16,7 +16,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use lejit_smt::{SatResult, Solver, TermId, VarId};
+use lejit_smt::{Model, SatResult, Solver, TermId, VarId};
 
 use crate::schema::{DecodeSchema, SchemaItem};
 
@@ -115,6 +115,15 @@ pub struct JitSession {
     memo: BTreeMap<(usize, i64, usize, u64), bool>,
     cache_hits: u64,
     checks_saved: u64,
+    /// The most recent satisfying model of the live constraint system, when
+    /// one is known. Carried *across fix epochs*: [`Self::fix`] keeps it iff
+    /// the model already assigns the fixed variable the fixed value (adding
+    /// a constraint the model satisfies cannot invalidate it), and
+    /// [`Self::rollback`] always keeps it (retracting assertions only
+    /// weakens the system). While present, any guided window query some
+    /// model value lands in is answered feasible with no solver call — and
+    /// without even computing the new epoch's hull.
+    witness_model: Option<Model>,
 }
 
 impl JitSession {
@@ -148,6 +157,17 @@ impl JitSession {
             memo: BTreeMap::new(),
             cache_hits: 0,
             checks_saved: 0,
+            witness_model: None,
+        }
+    }
+
+    /// Captures the solver's current model (if any) as the carried witness
+    /// model. Any model the solver exposes satisfies the live assertions —
+    /// `check_assuming` models satisfy a superset of them — so harvesting
+    /// unconditionally is sound.
+    fn harvest_model(&mut self) {
+        if let Some(m) = self.solver.model() {
+            self.witness_model = Some(m.clone());
         }
     }
 
@@ -202,7 +222,11 @@ impl JitSession {
     /// solver could not vouch for, preserving the zero-violation guarantee.
     pub fn satisfiable(&mut self) -> bool {
         self.checks += 1;
-        matches!(self.solver.check(), Ok(SatResult::Sat))
+        let sat = matches!(self.solver.check(), Ok(SatResult::Sat));
+        if sat {
+            self.harvest_model();
+        }
+        sat
     }
 
     /// Fixes variable `k` to `value` (partial instantiation). Permanent
@@ -213,6 +237,12 @@ impl JitSession {
     /// entries from before the fix describe a weaker constraint system and
     /// stop matching — and because epochs are never reused, neither can
     /// entries from a branch that [`Self::rollback`] has since discarded.
+    ///
+    /// The carried witness model is kept across the epoch boundary when it
+    /// already assigns `value` to variable `k` — a satisfying model of the
+    /// old system that satisfies the new constraint is a satisfying model of
+    /// the new system — so interval-guided probes it covers keep being
+    /// answered for free at the new epoch. An inconsistent model is dropped.
     pub fn fix(&mut self, k: usize, value: i64) {
         let t = self.var_terms[k];
         let c = self.solver.int(value);
@@ -220,6 +250,13 @@ impl JitSession {
         self.solver.assert(eq);
         self.fix_epoch = self.next_epoch;
         self.next_epoch += 1;
+        if self
+            .witness_model
+            .as_ref()
+            .is_some_and(|m| m.int_value(self.vars[k]) != Some(value))
+        {
+            self.witness_model = None;
+        }
     }
 
     /// Opens a rollback frame: later [`Self::fix`] calls (and any extra
@@ -234,12 +271,12 @@ impl JitSession {
     /// exactly what gets restored — so repeated decodes against one session
     /// get warmer and warmer lookahead tiers.
     ///
-    /// Each retracted frame leaves a disabled selector clause in the solver
-    /// (see [`lejit_smt::Solver::pop`]), so long-lived sessions should be
-    /// rebuilt periodically — the task and bench layers do this every
-    /// [`crate::tasks::SESSION_REBUILD_PERIOD`] draws. The cadence is
-    /// output-invisible: a rebuilt session answers exactly like a
-    /// rolled-back one.
+    /// Rollback physically retracts the frame's clauses from the solver
+    /// (see [`lejit_smt::Solver::retract`]): the clause database is bounded
+    /// by the *live* assertions, so a session can be reused for arbitrarily
+    /// many draws without periodic rebuilding. Rebuilding remains
+    /// output-invisible — a rebuilt session answers exactly like a
+    /// rolled-back one — it is just never necessary.
     ///
     /// ```
     /// use lejit_core::{DecodeSchema, JitSession};
@@ -259,12 +296,17 @@ impl JitSession {
         }
     }
 
-    /// Retracts everything fixed or asserted since `cp` was taken and
+    /// Retracts everything fixed or asserted since `cp` was taken —
+    /// physically deleting the frame's clauses from the solver — and
     /// restores the fix epoch, so guided-query caches keyed to the
     /// checkpointed epoch become live again. Checkpoints must be rolled
     /// back in LIFO order.
+    ///
+    /// The carried witness model survives rollback: retracting assertions
+    /// only weakens the constraint system, so a model of the stronger
+    /// branch still satisfies what remains.
     pub fn rollback(&mut self, cp: SessionCheckpoint) {
-        self.solver.pop();
+        self.solver.retract();
         self.fix_epoch = cp.fix_epoch;
     }
 
@@ -356,6 +398,9 @@ impl JitSession {
         let map = self
             .solver
             .interval_map(self.vars[k], HULL_SWEEP_STRIDE, HULL_ENUMERATE_WIDTH);
+        // The last satisfiable probe of the analysis (if any) left a model
+        // of the live assertions behind: carry it.
+        self.harvest_model();
         let cache = &mut self.intervals[k];
         cache.epoch = epoch;
         cache.valid = true;
@@ -376,6 +421,43 @@ impl JitSession {
             Ok(None) | Err(_) => cache.hull = None,
         }
         cache.hull
+    }
+
+    /// Adopts `donor`'s current interval analysis of variable `k` — hull,
+    /// witnesses, certified gaps, completeness — into this session's cache
+    /// at this session's current fix epoch, along with the donor's carried
+    /// witness model when this session has none. A no-op when this session
+    /// already has a current analysis for `k` or the donor has none.
+    ///
+    /// Soundness precondition (the caller's responsibility): both sessions'
+    /// *live constraint systems are identical* — same grounded base, same
+    /// fixed values. [`JitDecoder::decode_batch`] uses this to share one
+    /// interval analysis across batch lanes parked at the same schema
+    /// position with the same decoded values, instead of letting every lane
+    /// re-derive the identical hull; it only does so when the caller has
+    /// declared the lanes identically grounded. All adopted knowledge is
+    /// exact (witnesses come from satisfying models, gaps from UNSAT
+    /// certificates), so adoption changes which *tier* answers a guided
+    /// query — never the answer — and decoded bytes are untouched.
+    ///
+    /// The avoided range analysis is credited to
+    /// [`Self::solver_checks_saved`] at the same two-check rate [`Self::hull`]
+    /// charges.
+    ///
+    /// [`JitDecoder::decode_batch`]: crate::decoder::JitDecoder::decode_batch
+    pub(crate) fn adopt_analysis_from(&mut self, donor: &JitSession, k: usize) {
+        if self.intervals[k].valid && self.intervals[k].epoch == self.fix_epoch {
+            return;
+        }
+        if !(donor.intervals[k].valid && donor.intervals[k].epoch == donor.fix_epoch) {
+            return;
+        }
+        self.intervals[k] = donor.intervals[k].clone();
+        self.intervals[k].epoch = self.fix_epoch;
+        self.checks_saved += 2;
+        if self.witness_model.is_none() {
+            self.witness_model = donor.witness_model.clone();
+        }
     }
 
     /// [`Self::value_feasible`] routed through the interval-guided tiers
@@ -409,6 +491,10 @@ impl JitSession {
     /// the cheapest sufficient tier:
     ///
     /// 1. memoized answer for `(k, prefix, extra_digits)` this epoch;
+    ///    1b. the carried witness model assigns `k` a value inside some
+    ///    window → feasible with no check — and no hull computation: a
+    ///    model carried across a fix epoch keeps answering before the new
+    ///    epoch's interval analysis has ever run;
     /// 2. every window misses the feasible hull → infeasible, no check;
     /// 3. some window contains a known-feasible witness → feasible, no check;
     /// 4. every in-hull window is covered by certified gaps (or the hull is
@@ -441,6 +527,21 @@ impl JitSession {
             self.cache_hits += 1;
             self.checks_saved += 1;
             return answer;
+        }
+        // Tier 1b: the carried witness model. Its value for `k` is proven
+        // feasible under the live assertions (models are only kept across
+        // fixes they satisfy), so a window containing it is feasible with
+        // no solver call and no hull computation.
+        if let Some(w) = self
+            .witness_model
+            .as_ref()
+            .and_then(|m| m.int_value(self.vars[k]))
+        {
+            if windows.iter().any(|&(a, b)| (a..=b).contains(&w)) {
+                self.checks_saved += 1;
+                self.memo.insert(key, true);
+                return true;
+            }
         }
         let Some((lo, hi)) = self.hull(k) else {
             self.checks_saved += 1;
@@ -512,6 +613,7 @@ impl JitSession {
                     self.solver
                         .feasible_values_in(self.vars[k], elo, ehi, &known)
                 {
+                    self.harvest_model();
                     let kn = &mut self.intervals[k];
                     kn.witnesses.extend(values.iter().copied());
                     let mut next = elo;
@@ -552,6 +654,7 @@ impl JitSession {
                 if let Some(w) = self.solver.model().and_then(|m| m.int_value(self.vars[k])) {
                     self.intervals[k].witnesses.insert(w);
                 }
+                self.harvest_model();
                 true
             }
             Ok(SatResult::Unsat) => {
@@ -860,5 +963,76 @@ mod tests {
         }
         assert!(!s.value_feasible_guided(0, 1));
         assert!(!s.prefix_feasible_guided(0, 3, 1));
+    }
+
+    #[test]
+    fn witness_model_carried_across_consistent_fix() {
+        let mut s = paper_session();
+        assert!(s.satisfiable()); // harvests a witness model
+        let w0 = s.model_value(0).unwrap();
+        let w1 = s.model_value(1).unwrap();
+        s.fix(0, w0); // the model satisfies the fix → carried to the new epoch
+        let before = s.checks();
+        // Tier 1b: the carried model answers at the brand-new epoch with no
+        // solver call and no interval analysis.
+        assert!(s.value_feasible_guided(1, w1));
+        assert_eq!(s.checks(), before, "carried model should answer for free");
+        assert!(s.solver_checks_saved() > 0);
+    }
+
+    #[test]
+    fn witness_model_dropped_on_inconsistent_fix() {
+        let mut s = paper_session();
+        assert!(s.satisfiable());
+        let w0 = s.model_value(0).unwrap();
+        let other = if w0 == 0 { 1 } else { w0 - 1 };
+        s.fix(0, other); // the model violates the fix → dropped
+        let before = s.checks();
+        // Still feasible (any single cap-respecting value is), but the
+        // answer must come from real solver work, not a stale model.
+        assert!(s.value_feasible_guided(0, other));
+        assert!(
+            s.checks() > before,
+            "dropped model must not answer for free"
+        );
+    }
+
+    #[test]
+    fn witness_model_survives_rollback() {
+        let mut s = paper_session();
+        assert!(s.satisfiable());
+        let w0 = s.model_value(0).unwrap();
+        let w1 = s.model_value(1).unwrap();
+        let cp = s.checkpoint();
+        s.fix(0, w0); // consistent → kept across the fix epoch
+        s.rollback(cp); // retraction only weakens the system → still a model
+        let before = s.checks();
+        assert!(s.value_feasible_guided(1, w1));
+        assert_eq!(s.checks(), before, "model should survive the rollback");
+    }
+
+    #[test]
+    fn clause_db_is_bounded_across_reuse_rounds() {
+        // Under the old logical pop every round leaked its frame's dead
+        // clauses into the database forever; physical retraction holds the
+        // live-clause count at a steady state across identical rounds.
+        let mut s = paper_session();
+        let mut counts = Vec::new();
+        for _ in 0..12 {
+            let cp = s.checkpoint();
+            s.fix(0, 20);
+            s.fix(1, 15);
+            let _ = s.value_feasible_guided(2, 25);
+            let _ = s.prefix_feasible_guided(3, 4, 1);
+            s.rollback(cp);
+            counts.push(s.solver().num_live_clauses());
+        }
+        // Permanent additions (Tseitin definitions, theory lemmas, learnt
+        // clauses over permanent clauses) may appear while the caches warm
+        // up; after that the count must be flat.
+        assert!(
+            counts[3..].windows(2).all(|w| w[0] == w[1]),
+            "clause DB not steady across rounds: {counts:?}"
+        );
     }
 }

@@ -67,18 +67,6 @@ impl Default for TaskConfig {
     }
 }
 
-/// How many checkpoint/rollback draws a long-lived [`JitSession`] serves
-/// before the task layer rebuilds it from scratch (used by the benchmark
-/// pipelines for their synthesis loops).
-///
-/// Each [`JitSession::rollback`] retires one solver frame by disabling its
-/// selector clause; the dead clauses accumulate and slowly tax unit
-/// propagation, so unbounded reuse degrades throughput. The interval is a
-/// pure throughput knob: a rebuilt session answers every query exactly
-/// like a rolled-back one, so output is byte-identical for any rebuild
-/// cadence (asserted by `session_rebuild_interval_is_output_invisible`).
-pub const SESSION_REBUILD_PERIOD: usize = 128;
-
 /// Errors from task-level pipelines.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TaskError {
@@ -449,10 +437,11 @@ impl<'m, M: LanguageModel> Synthesizer<'m, M> {
     /// an entire sample loop: each call decodes inside a
     /// [`JitSession::checkpoint`] frame and rolls back, keeping the
     /// grounded rules and the epoch-0 interval/memo caches warm instead of
-    /// rebuilding the session per sample. Each rollback retires one solver
-    /// frame (a disabled selector clause), so very long loops should
-    /// rebuild the session every few hundred samples. Output is identical
-    /// to [`Self::synthesize`] on a fresh session.
+    /// rebuilding the session per sample. Rollback physically retracts the
+    /// frame's clauses from the solver, so the clause database stays
+    /// bounded no matter how long the loop runs — no periodic rebuild is
+    /// needed. Output is identical to [`Self::synthesize`] on a fresh
+    /// session.
     pub fn synthesize_in<R: Rng>(
         &self,
         session: &mut JitSession,
@@ -472,8 +461,13 @@ impl<'m, M: LanguageModel> Synthesizer<'m, M> {
     /// forward passes ([`JitDecoder::decode_batch`]).
     ///
     /// Each record gets its own freshly grounded session and its own RNG;
-    /// record `i`'s result is byte-identical to
-    /// `self.synthesize(&mut rngs[i])`.
+    /// record `i`'s decoded text and values are byte-identical to
+    /// `self.synthesize(&mut rngs[i])`. Because every lane is grounded
+    /// from the same [`Self::build_session`], the batch decodes with
+    /// [`JitDecoder::with_shared_lanes`]: lanes at the same schema
+    /// position with the same values so far share one interval analysis,
+    /// so per-lane `solver_checks` can come in below the serial run's
+    /// (the answers — and hence the bytes — are unchanged).
     pub fn synthesize_group<R: Rng>(
         &self,
         rngs: &mut [R],
@@ -490,8 +484,9 @@ impl<'m, M: LanguageModel> Synthesizer<'m, M> {
             return Vec::new();
         };
         let prompts = vec![""; count];
-        let decoder =
-            JitDecoder::new(self.model, self.config.sampler).with_lookahead(self.config.lookahead);
+        let decoder = JitDecoder::new(self.model, self.config.sampler)
+            .with_lookahead(self.config.lookahead)
+            .with_shared_lanes(true);
         let cps: Vec<_> = sessions.iter_mut().map(|s| s.checkpoint()).collect();
         let outs = decoder.decode_batch(&mut sessions, &schema, &prompts, rngs);
         for (s, cp) in sessions.iter_mut().zip(cps) {
@@ -899,9 +894,12 @@ mod tests {
 
     #[test]
     fn session_rebuild_interval_is_output_invisible() {
-        // The SESSION_REBUILD_PERIOD contract: a session rebuilt mid-run
-        // answers exactly like a rolled-back one, so forcing a rebuild in
-        // the middle of a sample loop must not change a single byte.
+        // Regression guard from the periodic-rebuild era: a session rebuilt
+        // mid-run answers exactly like a rolled-back one, so forcing a
+        // rebuild in the middle of a sample loop must not change a single
+        // byte. Rollback now physically retracts frames and no layer
+        // rebuilds periodically anymore, but rebuild-equivalence is still
+        // the contract that makes session reuse sound at all.
         let d = dataset();
         let model = synthesis_model(&d);
         let rules = parse_rules(
@@ -934,8 +932,7 @@ mod tests {
         let mut got = Vec::new();
         for i in 0..draws {
             if i == 3 {
-                // Forced mid-run rebuild, as the task layer does every
-                // SESSION_REBUILD_PERIOD draws.
+                // Forced mid-run rebuild: must be invisible in the output.
                 session = synth.build_session().0;
             }
             let mut rng = StdRng::seed_from_u64(2000 + i);

@@ -229,6 +229,63 @@ fn batched_synthesis_matrix_is_byte_identical() {
 }
 
 #[test]
+fn reused_session_clause_db_stays_bounded_over_long_synthesis_run() {
+    // Regression guard for the session state leak: before physical clause
+    // retraction, every checkpoint/decode/rollback cycle left its frame's
+    // dead clauses in the SAT database, so a reused session's clause count
+    // grew without bound (the old workaround threw the session away every
+    // 128 draws). Now rollback retracts, so a long synthesis run against
+    // one session must hold the live-clause count at a steady state.
+    let d = dataset();
+    let model = synthesis_model(&d);
+    let rules = parse_rules(
+        "rule a: egress_total <= total_ingress;
+         rule b: drops <= total_ingress;
+         rule c: conn_count >= 1;",
+    )
+    .unwrap();
+    let hi = [
+        d.train_max(CoarseField::TotalIngress),
+        d.train_max(CoarseField::EcnBytes),
+        d.train_max(CoarseField::RetransBytes),
+        d.train_max(CoarseField::EgressTotal),
+        d.train_max(CoarseField::ConnCount),
+        d.train_max(CoarseField::Drops),
+    ];
+    let synth = Synthesizer::new(&model, rules, hi, TaskConfig::default());
+    let (mut session, schema) = synth.build_session();
+    // Cycle through a fixed set of records: distinct records keep adding
+    // *legitimate* permanent state forever (Tseitin definitions for fresh
+    // constants, theory lemmas), which would mask the leak under test.
+    // Repeats re-issue the same queries against new fix epochs, so every
+    // draw still exercises the full checkpoint/decode/rollback path.
+    let distinct = 4u64;
+    let cycles = 12usize;
+    let n_draws = distinct as usize * cycles;
+    let mut counts = Vec::with_capacity(n_draws);
+    for i in 0..n_draws {
+        let mut rng = StdRng::seed_from_u64(record_seed(606, i as u64 % distinct));
+        synth
+            .synthesize_in(&mut session, &schema, &mut rng)
+            .unwrap();
+        counts.push(session.solver().num_live_clauses());
+    }
+    // The first cycles may add permanent state; after that the count must
+    // never exceed its high-water mark again. The old logical rollback
+    // leaked every frame's clauses, growing the count on every single
+    // draw — 36 further draws would blow well past any early mark.
+    let warmup_max = *counts[..n_draws / 4].iter().max().unwrap();
+    for (i, &c) in counts.iter().enumerate().skip(n_draws / 4) {
+        assert!(
+            c <= warmup_max,
+            "draw {i}: live clauses {c} exceed warm-up high-water mark \
+             {warmup_max} — rollback is leaking clause-database state \
+             (counts: {counts:?})"
+        );
+    }
+}
+
+#[test]
 fn gpt_batched_lanes_match_serial_cached_across_matrix() {
     // The full model-level batching stack — worker-local BatchedGpt lanes
     // stepped lock-step through GEMM-shaped kernels — must reproduce the

@@ -7,8 +7,10 @@
 //! decoding engine requires:
 //!
 //! * a term language (booleans + linear integer arithmetic) with hash-consing,
-//! * incremental `push`/`pop` assertion frames (selector-literal based, so
-//!   learned clauses survive pops),
+//! * incremental `push`/`pop` assertion frames with physical clause
+//!   retraction: popping a frame deletes its clauses (and any learnt clause
+//!   derived through them) from the SAT database, so long-running sessions
+//!   never accumulate dead state,
 //! * `check()` / `check_assuming()` satisfiability queries with models,
 //! * `minimize(v)` / `maximize(v)` objective queries (binary search on
 //!   satisfiability) used to compute feasible ranges for the next variable

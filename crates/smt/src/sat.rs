@@ -221,6 +221,13 @@ impl SatSolver {
         s
     }
 
+    /// Number of live (attached) clauses in the database, problem and learnt
+    /// alike. Retracting a frame must return this to its pre-frame value —
+    /// the invariant the session-layer regression tests assert.
+    pub fn num_live_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.lits.is_empty()).count()
+    }
+
     /// Allocates a fresh variable.
     pub fn new_var(&mut self) -> SatVar {
         let v = SatVar(self.assigns.len() as u32);
@@ -357,6 +364,58 @@ impl SatSolver {
         self.watches[(!l1).code()].retain(|w| w.clause != cr);
         self.clauses[cr].lits.clear();
         self.free_clauses.push(cr);
+    }
+
+    /// Physically removes every clause mentioning `v` from the database and
+    /// retires the variable.
+    ///
+    /// This is the retraction primitive behind [`crate::Solver::retract`]:
+    /// the SMT layer guards every frame assertion with a fresh *selector*
+    /// variable, so deleting all clauses over the selector removes exactly
+    /// the frame's assertions **and** every learnt clause whose derivation
+    /// resolved through them. Soundness of the scan rests on two invariants
+    /// of the frame discipline:
+    ///
+    /// * selectors are only ever *assumed* (at non-root pseudo-decision
+    ///   levels), never asserted, so conflict analysis can never drop the
+    ///   `¬selector` tag from a frame-dependent learnt clause via its
+    ///   root-level-literal filter;
+    /// * a guarded clause `¬sel ∨ …` can only ever imply `¬sel` itself at
+    ///   the root level (implying anything else would need `sel` true at
+    ///   the root, which never happens), so no root-level fact over a
+    ///   non-selector variable depends on a retracted clause.
+    ///
+    /// Clause slots are recycled through the free list and both watch lists
+    /// are repaired per clause (`detach_clause`), so database size
+    /// stays bounded by the *live* assertions plus the learnt-clause cap.
+    pub fn retract(&mut self, v: SatVar) {
+        if v.index() >= self.assigns.len() {
+            return; // unallocated: nothing can mention it
+        }
+        // Removing clauses invalidates in-progress search state exactly like
+        // adding clauses does.
+        self.cancel_until(0);
+        for cr in 0..self.clauses.len() {
+            if self.clauses[cr].lits.is_empty() {
+                continue;
+            }
+            if self.clauses[cr].lits.iter().any(|l| l.var() == v) {
+                // A root-level implication may hold this clause as its
+                // reason; drop the dangling reference before detaching.
+                let l0 = self.clauses[cr].lits[0];
+                if self.reason[l0.var().index()] == Some(cr) {
+                    self.reason[l0.var().index()] = None;
+                }
+                self.detach_clause(cr);
+            }
+        }
+        self.reason[v.index()] = None;
+        // Retire the variable: a root-level assignment keeps `pick_branch`
+        // from ever deciding on it again (the effect the permanent `¬sel`
+        // unit of the old selector idiom had, without keeping any clause).
+        if self.assigns[v.index()] == LBool::Undef {
+            self.unchecked_enqueue(Lit::new(v, false), None);
+        }
     }
 
     fn unchecked_enqueue(&mut self, l: Lit, from: Option<ClauseRef>) {
@@ -881,6 +940,81 @@ mod tests {
         assert!(s.model_value(b));
         s.add_clause(&[Lit::new(b, false)]);
         assert_eq!(s.solve(&[]).unwrap(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn retract_restores_clause_db_size() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::new(a, true), Lit::new(b, true)]);
+        let before = s.num_live_clauses();
+        // A "frame": guarded clauses over a fresh selector, contradicting
+        // the base clause under the assumption that the selector holds.
+        let sel = s.new_var();
+        s.add_clause(&[Lit::new(sel, false), Lit::new(a, false)]);
+        s.add_clause(&[Lit::new(sel, false), Lit::new(b, false)]);
+        assert_eq!(s.solve(&[Lit::new(sel, true)]).unwrap(), SatOutcome::Unsat);
+        s.retract(sel);
+        assert_eq!(s.num_live_clauses(), before);
+        assert_eq!(s.solve(&[]).unwrap(), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn retract_deletes_tagged_learnt_clauses() {
+        // Force real conflict-driven learning through guarded clauses, then
+        // retract: no learnt clause derived through the frame may survive.
+        let mut s = SatSolver::new();
+        let mut x = [[SatVar(0); 2]; 3];
+        for p in &mut x {
+            for h in p.iter_mut() {
+                *h = s.new_var();
+            }
+        }
+        for p in &x {
+            s.add_clause(&[Lit::new(p[0], true), Lit::new(p[1], true)]);
+        }
+        let base = s.num_live_clauses();
+        let sel = s.new_var();
+        // Guarded at-most-one-per-hole: pigeonhole 3-into-2 under `sel`.
+        for h in 0..2 {
+            for (i, p1) in x.iter().enumerate() {
+                for p2 in &x[i + 1..] {
+                    s.add_clause(&[
+                        Lit::new(sel, false),
+                        Lit::new(p1[h], false),
+                        Lit::new(p2[h], false),
+                    ]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[Lit::new(sel, true)]).unwrap(), SatOutcome::Unsat);
+        s.retract(sel);
+        assert_eq!(
+            s.num_live_clauses(),
+            base,
+            "frame or tagged learnt survived"
+        );
+        assert_eq!(s.solve(&[]).unwrap(), SatOutcome::Sat);
+        assert_eq!(s.stats().learnts, 0);
+    }
+
+    #[test]
+    fn retract_is_reusable_across_many_frames() {
+        // The clause DB must not grow with the number of retracted frames.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::new(a, true), Lit::new(b, true)]);
+        let base = s.num_live_clauses();
+        for round in 0..50 {
+            let sel = s.new_var();
+            s.add_clause(&[Lit::new(sel, false), Lit::new(a, round % 2 == 0)]);
+            assert_eq!(s.solve(&[Lit::new(sel, true)]).unwrap(), SatOutcome::Sat);
+            s.retract(sel);
+            assert_eq!(s.num_live_clauses(), base, "round {round}");
+        }
+        assert_eq!(s.solve(&[]).unwrap(), SatOutcome::Sat);
     }
 
     #[test]

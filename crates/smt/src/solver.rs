@@ -7,10 +7,17 @@
 //! `push()` opens a frame guarded by a fresh *selector* SAT variable; every
 //! assertion in the frame becomes the clause `¬sel ∨ formula-literal`.
 //! `check()` solves under the assumption that all live selectors are true.
-//! `pop()` permanently disables the frame's selector (unit `¬sel`), which
-//! lets the SAT core keep every clause it learned — exactly the MiniSat
-//! idiom. Theory lemmas (blocking clauses) are valid in LIA regardless of
-//! frames, so they are added unguarded and also persist.
+//! `pop()` physically **retracts** the frame: every clause mentioning the
+//! selector — the frame's guarded assertions and any learnt clause whose
+//! derivation resolved through them (such clauses necessarily carry the
+//! `¬sel` tag, because selectors are only ever assumed at non-root decision
+//! levels) — is deleted from the SAT core's database, with watch lists
+//! repaired and the clause slots recycled. Clause-database size is therefore
+//! bounded by the *live* assertions plus the learnt-clause cap, no matter
+//! how many frames a long-running session opens and discards. Theory lemmas
+//! (blocking clauses) are valid in LIA regardless of frames, so they are
+//! added unguarded and persist across retractions, as do learnt clauses
+//! derived purely from permanent clauses.
 
 use std::collections::BTreeMap;
 
@@ -53,6 +60,15 @@ impl Model {
     /// asserted formula default to `false`.
     pub fn bool_value(&self, v: VarId) -> bool {
         self.bools.get(&v).copied().unwrap_or(false)
+    }
+
+    /// Iterates over `(variable, value)` pairs for every integer variable in
+    /// the model, in ascending [`VarId`] order (deterministic). This is what
+    /// lets callers carry a whole witness *model* forward: a model that
+    /// remains consistent with a newly added constraint proves every one of
+    /// its values feasible at once.
+    pub fn ints(&self) -> impl Iterator<Item = (VarId, i64)> + '_ {
+        self.ints.iter().map(|(&v, &n)| (v, n))
     }
 
     /// Evaluates an integer term under this model.
@@ -316,9 +332,17 @@ impl Solver {
     /// Discards the most recent frame and all its assertions. A `pop` with
     /// no open frame is a no-op (there is nothing to discard).
     pub fn pop(&mut self) {
+        self.retract();
+    }
+
+    /// Physically retracts the most recent frame: the frame's guarded
+    /// clauses and every learnt clause derived through them are deleted
+    /// from the SAT core (see [`SatSolver::retract`]), so the clause
+    /// database does not grow with the number of discarded frames.
+    /// [`Self::pop`] is an alias. A retract with no open frame is a no-op.
+    pub fn retract(&mut self) {
         if let Some(sel) = self.frames.pop() {
-            // Permanently disable the selector so its clauses become vacuous.
-            self.sat.add_clause(&[!sel]);
+            self.sat.retract(sel.var());
             self.model = None;
         }
     }
@@ -326,6 +350,14 @@ impl Solver {
     /// Number of open frames.
     pub fn num_frames(&self) -> usize {
         self.frames.len()
+    }
+
+    /// Number of live clauses in the underlying SAT database (problem and
+    /// learnt). After [`Self::retract`] this returns to its pre-`push`
+    /// value, modulo learnt clauses derived purely from permanent clauses —
+    /// the invariant the session-layer regression tests pin down.
+    pub fn num_live_clauses(&self) -> usize {
+        self.sat.num_live_clauses()
     }
 
     // --- solving ------------------------------------------------------------

@@ -89,34 +89,42 @@ fn brute_force(f: &RandFormula) -> Option<Vec<i64>> {
     }
 }
 
+fn atom_term(s: &mut Solver, vars: &[VarId], a: &RandAtom) -> TermId {
+    let mut addends: Vec<TermId> = Vec::new();
+    for (i, &c) in a.coeffs.iter().enumerate() {
+        let vt = s.var(vars[i]);
+        addends.push(s.mul_const(c, vt));
+    }
+    let k = s.int(a.constant);
+    addends.push(k);
+    let lhs = s.add(&addends);
+    let zero = s.int(0);
+    match a.op {
+        0 => s.le(lhs, zero),
+        1 => s.ge(lhs, zero),
+        _ => s.eq(lhs, zero),
+    }
+}
+
 fn build(f: &RandFormula, s: &mut Solver) -> (Vec<VarId>, TermId) {
     let vars: Vec<VarId> = (0..f.num_vars)
         .map(|i| s.int_var(&format!("x{i}"), f.lo, f.hi))
         .collect();
     let mut clause_terms: Vec<TermId> = Vec::new();
     for cl in &f.clauses {
-        let mut atom_terms: Vec<TermId> = Vec::new();
-        for a in cl {
-            let mut addends: Vec<TermId> = Vec::new();
-            for (i, &c) in a.coeffs.iter().enumerate() {
-                let vt = s.var(vars[i]);
-                addends.push(s.mul_const(c, vt));
-            }
-            let k = s.int(a.constant);
-            addends.push(k);
-            let lhs = s.add(&addends);
-            let zero = s.int(0);
-            let t = match a.op {
-                0 => s.le(lhs, zero),
-                1 => s.ge(lhs, zero),
-                _ => s.eq(lhs, zero),
-            };
-            atom_terms.push(t);
-        }
+        let atom_terms: Vec<TermId> = cl.iter().map(|a| atom_term(s, &vars, a)).collect();
         clause_terms.push(s.or(&atom_terms));
     }
     let root = s.and(&clause_terms);
     (vars, root)
+}
+
+/// A formula plus a stack of extra atoms to assert in nested frames.
+fn formula_with_extras() -> impl Strategy<Value = (RandFormula, Vec<RandAtom>)> {
+    rand_formula().prop_flat_map(|f| {
+        let nv = f.num_vars;
+        (Just(f), proptest::collection::vec(rand_atom(nv), 1..=3))
+    })
 }
 
 proptest! {
@@ -242,5 +250,99 @@ proptest! {
         } else {
             prop_assert!(outcome.is_ok(), "well-formed clause DB must solve");
         }
+    }
+}
+
+/// Body of `retraction_matches_fresh_oracle_under_nested_frames`, kept as a
+/// plain function so the `proptest!` token-muncher stays within the default
+/// macro recursion limit.
+fn check_retraction_oracle(f: &RandFormula, extras: &[RandAtom]) {
+    let mut s = Solver::new();
+    let (vars, root) = build(f, &mut s);
+    s.assert(root);
+    for a in extras {
+        s.push();
+        let t = atom_term(&mut s, &vars, a);
+        s.assert(t);
+        let _ = s.check().unwrap();
+    }
+    for depth in (0..extras.len()).rev() {
+        s.pop();
+        // Oracle: the base formula plus the extras still on the stack.
+        let mut g = f.clone();
+        for a in &extras[..depth] {
+            g.clauses.push(vec![a.clone()]);
+        }
+        let expected = brute_force(&g);
+        match s.check().unwrap() {
+            SatResult::Sat => {
+                prop_assert!(
+                    expected.is_some(),
+                    "depth {depth}: solver SAT, oracle UNSAT"
+                );
+                let m = s.model().unwrap();
+                let assign: Vec<i64> = vars.iter().map(|&v| m.int_value(v).unwrap()).collect();
+                prop_assert!(
+                    formula_holds(&g, &assign),
+                    "depth {depth}: witness {assign:?} violates the live assertions"
+                );
+                for &v in &assign {
+                    prop_assert!((f.lo..=f.hi).contains(&v));
+                }
+            }
+            SatResult::Unsat => prop_assert!(
+                expected.is_none(),
+                "depth {depth}: solver UNSAT but oracle found {:?}",
+                expected
+            ),
+            SatResult::Unknown => prop_assert!(false, "unexpected Unknown"),
+        }
+    }
+}
+
+/// Body of `retraction_keeps_clause_db_steady` (see above for why it is a
+/// plain function).
+fn check_clause_db_steady(f: &RandFormula, extras: &[RandAtom]) {
+    let mut s = Solver::new();
+    let (vars, root) = build(f, &mut s);
+    s.assert(root);
+    let _ = s.check().unwrap();
+    let mut counts = Vec::new();
+    for _ in 0..6 {
+        s.push();
+        let t = atom_term(&mut s, &vars, &extras[0]);
+        s.assert(t);
+        let _ = s.check().unwrap();
+        s.pop();
+        counts.push(s.num_live_clauses());
+    }
+    // The first rounds may add permanent state (Tseitin definitions of the
+    // extra atom, theory lemmas, learnt clauses over permanent clauses);
+    // identical later rounds must add nothing.
+    prop_assert!(
+        counts[2..].windows(2).all(|w| w[0] == w[1]),
+        "clause DB not steady across identical frames: {counts:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Retraction soundness: after any LIFO sequence of framed assertions
+    /// and pops, the verdict and witness values must match a brute-force
+    /// oracle over exactly the assertions still live — popped constraints
+    /// must leave no semantic residue behind.
+    #[test]
+    fn retraction_matches_fresh_oracle_under_nested_frames(fe in formula_with_extras()) {
+        check_retraction_oracle(&fe.0, &fe.1);
+    }
+
+    /// Retraction completeness: repeating an identical frame (push, assert,
+    /// check, pop) must hold the live clause count at a steady state —
+    /// the pre-fix behaviour leaked every frame's clauses into the database
+    /// forever, growing it by at least one clause per round.
+    #[test]
+    fn retraction_keeps_clause_db_steady(fe in formula_with_extras()) {
+        check_clause_db_steady(&fe.0, &fe.1);
     }
 }
