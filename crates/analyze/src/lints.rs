@@ -106,7 +106,26 @@ const PANIC_SCOPES: &[(&str, FnMatch)] = &[
     ),
     (
         "crates/smt/src/simplex.rs",
-        FnMatch::Exact(&["check", "pivot_and_update", "update_nonbasic"]),
+        FnMatch::Exact(&[
+            "check",
+            "pivot_and_update",
+            "update_nonbasic",
+            "assert_lower",
+            "assert_upper",
+            "add_row",
+            "snapshot",
+            "undo_to",
+        ]),
+    ),
+    (
+        "crates/smt/src/theory.rs",
+        FnMatch::Exact(&[
+            "check",
+            "check_asserted",
+            "assert_atom",
+            "sync_pool",
+            "branch_and_bound",
+        ]),
     ),
     ("crates/core/src/decoder.rs", FnMatch::DecodeFamily),
 ];

@@ -11,8 +11,8 @@ use lejit_baselines::{
     CoarseGenerator, CtganLike, EWganGpLike, NetShareLike, RealTabFormerLike, TvaeLike, Zoom2Net,
 };
 use lejit_core::{
-    par_batches_with, par_records, par_records_with, record_seed, DecodeError, Imputer, Lookahead,
-    Synthesizer, TaskConfig,
+    par_batches_with, par_records, par_records_with, record_seed, DecodeError, DecodeStats,
+    Imputer, Lookahead, Synthesizer, TaskConfig,
 };
 use lejit_lm::{BatchedGpt, CachedGpt, LanguageModel, SamplerConfig};
 use lejit_metrics::{
@@ -583,6 +583,10 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
         "violation rate (completed)",
         "solver checks/char",
         "checks saved/char",
+        "pivots/char",
+        "b&b nodes/char",
+        "memo hits/char",
+        "encode hit rate",
         "sec/sample",
     ]);
     for (label, lookahead) in [
@@ -608,12 +612,7 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
                 );
                 let mut rng = StdRng::seed_from_u64(record_seed(600, i as u64));
                 match imp.impute(&windows[i].coarse, &mut rng) {
-                    Ok(o) => Ok((
-                        o.stats.solver_checks,
-                        o.stats.solver_checks_saved,
-                        o.stats.tokens - o.stats.forced_tokens,
-                        o.values,
-                    )),
+                    Ok(o) => Ok((o.stats, o.values)),
                     Err(DecodeError::DeadEnd { .. }) => Err(true),
                     Err(_) => Err(false),
                 }
@@ -622,15 +621,19 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
         let wall = start.elapsed().as_secs_f64() / windows.len().max(1) as f64;
         let mut dead_ends = 0usize;
         let mut completed: Vec<(CoarseSignals, Vec<i64>)> = Vec::new();
-        let mut total_checks = 0u64;
-        let mut total_saved = 0u64;
+        let mut total = DecodeStats::default();
         let mut generated_chars = 0u64;
         for (w, r) in windows.iter().zip(results) {
             match r {
-                Ok((checks, saved, chars, values)) => {
-                    total_checks += checks;
-                    total_saved += saved;
-                    generated_chars += chars;
+                Ok((s, values)) => {
+                    total.solver_checks += s.solver_checks;
+                    total.solver_checks_saved += s.solver_checks_saved;
+                    total.solver_pivots += s.solver_pivots;
+                    total.solver_bnb_nodes += s.solver_bnb_nodes;
+                    total.theory_memo_hits += s.theory_memo_hits;
+                    total.encode_cache_hits += s.encode_cache_hits;
+                    total.encode_cache_misses += s.encode_cache_misses;
+                    generated_chars += s.tokens - s.forced_tokens;
                     completed.push((w.coarse, values));
                 }
                 Err(true) => dead_ends += 1,
@@ -645,13 +648,23 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
                 format!("{:.2}", n as f64 / generated_chars as f64)
             }
         };
+        let encode_total = total.encode_cache_hits + total.encode_cache_misses;
+        let encode_rate = if encode_total == 0 {
+            "-".to_string()
+        } else {
+            pct(total.encode_cache_hits as f64 / encode_total as f64)
+        };
         table.row(vec![
             label.to_string(),
             dead_ends.to_string(),
             completed.len().to_string(),
             pct(stats.rate()),
-            per_char(total_checks),
-            per_char(total_saved),
+            per_char(total.solver_checks),
+            per_char(total.solver_checks_saved),
+            per_char(total.solver_pivots),
+            per_char(total.solver_bnb_nodes),
+            per_char(total.theory_memo_hits),
+            encode_rate,
             format!("{wall:.4}"),
         ]);
     }

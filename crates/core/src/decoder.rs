@@ -86,6 +86,17 @@ pub struct DecodeStats {
     /// Steps where the mask left exactly one character (fully determined,
     /// e.g. step 5 of Fig. 1b).
     pub forced_choices: u64,
+    /// Simplex pivots performed by the warm-started theory tableau.
+    pub solver_pivots: u64,
+    /// Branch-and-bound nodes explored across all theory checks.
+    pub solver_bnb_nodes: u64,
+    /// DPLL(T) theory checks answered from the solver's verdict memo
+    /// without touching the tableau.
+    pub theory_memo_hits: u64,
+    /// Tseitin encode-cache hits (terms answered without fresh clauses).
+    pub encode_cache_hits: u64,
+    /// Tseitin encode-cache misses (terms paying for a fresh encoding).
+    pub encode_cache_misses: u64,
 }
 
 /// A successfully decoded record.
@@ -333,10 +344,24 @@ impl DecodePolicy for JitPolicy<'_> {
 impl JitPolicy<'_> {
     /// Copies the session's solver counters into the decode stats.
     fn fill_stats(&self, stats: &mut DecodeStats) {
-        stats.solver_checks = self.session.checks();
-        stats.solver_checks_saved = self.session.solver_checks_saved();
-        stats.cache_hits = self.session.cache_hits();
+        fill_session_stats(self.session, stats);
     }
+}
+
+/// Copies a session's solver-side counters (session caches plus the
+/// underlying [`lejit_smt::SolverStats`] cost profile) into `stats`.
+/// Shared by the serial and batch decode paths so both report the same
+/// per-check cost breakdown.
+fn fill_session_stats(session: &JitSession, stats: &mut DecodeStats) {
+    stats.solver_checks = session.checks();
+    stats.solver_checks_saved = session.solver_checks_saved();
+    stats.cache_hits = session.cache_hits();
+    let s = session.solver().stats();
+    stats.solver_pivots = s.pivots;
+    stats.solver_bnb_nodes = s.bnb_nodes;
+    stats.theory_memo_hits = s.theory_memo_hits;
+    stats.encode_cache_hits = s.encode_cache_hits;
+    stats.encode_cache_misses = s.encode_cache_misses;
 }
 
 /// The LeJIT decoder: SMT-guided constrained generation.
@@ -523,9 +548,7 @@ impl<'m, M: LanguageModel> JitDecoder<'m, M> {
                 if lanes[i].var.is_none() {
                     let lane = &mut lanes[i];
                     let mut stats = lane.stats;
-                    stats.solver_checks = sessions[i].checks();
-                    stats.solver_checks_saved = sessions[i].solver_checks_saved();
-                    stats.cache_hits = sessions[i].cache_hits();
+                    fill_session_stats(&sessions[i], &mut stats);
                     results[i] = Some(Ok(DecodedOutput {
                         values: std::mem::take(&mut lane.values),
                         text: std::mem::take(&mut lane.text),
@@ -903,6 +926,13 @@ pub(crate) mod tests {
             assert_eq!(s.stats.interventions, g.stats.interventions);
             assert_eq!(s.stats.forced_choices, g.stats.forced_choices);
             assert_eq!(s.stats.solver_checks, g.stats.solver_checks);
+            // The warm-started theory backend's cost profile must also be
+            // lane-local: batching regroups model calls, never solver work.
+            assert_eq!(s.stats.solver_pivots, g.stats.solver_pivots);
+            assert_eq!(s.stats.solver_bnb_nodes, g.stats.solver_bnb_nodes);
+            assert_eq!(s.stats.theory_memo_hits, g.stats.theory_memo_hits);
+            assert_eq!(s.stats.encode_cache_hits, g.stats.encode_cache_hits);
+            assert_eq!(s.stats.encode_cache_misses, g.stats.encode_cache_misses);
         }
     }
 

@@ -144,6 +144,10 @@ fn batched_imputation_matrix_is_byte_identical() {
     let windows: Vec<_> = d.test.iter().take(12).map(|w| w.coarse).collect();
     let base_seed = 4242u64;
 
+    // Fingerprint = decoded bytes plus the per-record solver cost profile
+    // (checks, warm-tableau pivots, branch-and-bound nodes, verdict-memo
+    // and Tseitin-cache traffic): batching and threading may regroup model
+    // calls but must not change any per-record solver work.
     let decode_all = |threads: usize, batch: usize| -> Vec<String> {
         let imputer = Imputer::new(
             &model,
@@ -159,7 +163,20 @@ fn batched_imputation_matrix_is_byte_identical() {
         imputer
             .impute_batch(&windows, base_seed)
             .into_iter()
-            .map(|r| r.unwrap().text)
+            .map(|r| {
+                let o = r.unwrap();
+                let s = o.stats;
+                format!(
+                    "{}|checks={} pivots={} bnb={} memo={} enc={}/{}",
+                    o.text,
+                    s.solver_checks,
+                    s.solver_pivots,
+                    s.solver_bnb_nodes,
+                    s.theory_memo_hits,
+                    s.encode_cache_hits,
+                    s.encode_cache_misses,
+                )
+            })
             .collect()
     };
 

@@ -29,6 +29,10 @@ pub struct Encoder {
     bool_vars: BTreeMap<VarId, SatVar>,
     /// Literal that is constant-true (allocated lazily).
     true_lit: Option<Lit>,
+    /// Encode calls answered from the term cache (no clauses emitted).
+    cache_hits: u64,
+    /// Encode calls that had to Tseitin-encode a new term.
+    cache_misses: u64,
 }
 
 impl Encoder {
@@ -47,6 +51,14 @@ impl Encoder {
         self.bool_vars.get(&v).copied()
     }
 
+    /// Tseitin encode-cache work as `(hits, misses)`: hits returned the
+    /// cached literal for a term, misses paid for a fresh encoding (new SAT
+    /// variables and definitional clauses). Recursive first-time encodings
+    /// count one miss per subterm.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
+    }
+
     fn true_lit(&mut self, sat: &mut SatSolver) -> Lit {
         if let Some(l) = self.true_lit {
             return l;
@@ -62,8 +74,10 @@ impl Encoder {
     /// are added to `sat` as needed (idempotently).
     pub fn encode(&mut self, pool: &TermPool, sat: &mut SatSolver, t: TermId) -> Lit {
         if let Some(&l) = self.cache.get(&t) {
+            self.cache_hits += 1;
             return l;
         }
+        self.cache_misses += 1;
         let lit = match pool.get(t) {
             Term::True => self.true_lit(sat),
             Term::False => !self.true_lit(sat),

@@ -89,3 +89,4 @@ pub use sat::{Lit, SatSolver, SatStats, SatVar};
 pub use smtlib::{run_script, ScriptOutput, SmtLibError};
 pub use solver::{IntervalMap, Model, SatResult, Solver, SolverStats, VarBounds};
 pub use term::{Sort, Term, TermId, TermPool, VarId, VarInfo};
+pub use theory::{check_conjunction, TheoryConfig, TheorySession, TheoryStats, TheoryVerdict};

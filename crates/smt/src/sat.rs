@@ -140,6 +140,11 @@ pub struct SatStats {
     pub restarts: u64,
     /// Number of learnt clauses currently in the database.
     pub learnts: usize,
+    /// Learnt-database reduction rounds performed.
+    pub reduce_dbs: u64,
+    /// Learnt clauses evicted by reduction (root-satisfied leftovers plus
+    /// the low-activity half).
+    pub learnts_evicted: u64,
 }
 
 /// The CDCL SAT solver.
@@ -416,6 +421,15 @@ impl SatSolver {
         if self.assigns[v.index()] == LBool::Undef {
             self.unchecked_enqueue(Lit::new(v, false), None);
         }
+        // Decay surviving learnt activities: bumps earned proving facts
+        // about the retracted frame should not dominate branching in the
+        // post-retraction search. Halving (not zeroing) keeps frame-
+        // independent lemmas warm while letting fresh conflicts overtake.
+        for c in &mut self.clauses {
+            if c.learnt {
+                c.activity *= 0.5;
+            }
+        }
     }
 
     fn unchecked_enqueue(&mut self, l: Lit, from: Option<ClauseRef>) {
@@ -655,24 +669,46 @@ impl SatSolver {
         None
     }
 
+    /// Whether a clause contains a literal true at the root level — such a
+    /// clause is permanently satisfied and can never propagate again. The
+    /// typical source is a retired frame selector: retiring assigns `¬sel`
+    /// at the root, so anything still mentioning `¬sel` positively is dead
+    /// weight (clauses *mentioning the variable* are deleted eagerly by
+    /// [`Self::retract`]; this catches clauses rooted on other
+    /// root-assigned facts, e.g. theory blocking units).
+    fn root_satisfied(&self, cr: ClauseRef) -> bool {
+        self.clauses[cr]
+            .lits
+            .iter()
+            .any(|&l| self.value_lit(l) == LBool::True && self.level[l.var().index()] == 0)
+    }
+
+    /// Learnt-database reduction, retract-aware: root-satisfied learnts are
+    /// evicted unconditionally first (they are dead, not merely cold), then
+    /// the lowest-activity half of the remaining non-binary learnts goes.
     fn reduce_db(&mut self) {
-        let mut learnts: Vec<ClauseRef> = (0..self.clauses.len())
-            .filter(|&cr| {
-                self.clauses[cr].learnt
-                    && self.clauses[cr].lits.len() > 2
-                    && !self.clauses[cr].lits.is_empty()
-                    && !self.is_reason(cr)
-            })
-            .collect();
+        self.stats.reduce_dbs += 1;
+        let mut learnts: Vec<ClauseRef> = Vec::new();
+        for cr in 0..self.clauses.len() {
+            if !self.clauses[cr].learnt || self.clauses[cr].lits.is_empty() || self.is_reason(cr) {
+                continue;
+            }
+            if self.root_satisfied(cr) {
+                self.detach_clause(cr);
+                self.stats.learnts_evicted += 1;
+            } else if self.clauses[cr].lits.len() > 2 {
+                learnts.push(cr);
+            }
+        }
         learnts.sort_by(|&a, &b| {
             self.clauses[a]
                 .activity
                 .total_cmp(&self.clauses[b].activity)
         });
         let to_remove = learnts.len() / 2;
-        let victims: Vec<ClauseRef> = learnts.into_iter().take(to_remove).collect();
-        for cr in victims {
+        for cr in learnts.into_iter().take(to_remove) {
             self.detach_clause(cr);
+            self.stats.learnts_evicted += 1;
         }
     }
 

@@ -94,6 +94,11 @@ impl Simplex {
         self.value.len()
     }
 
+    /// Number of slack rows in the tableau.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
     /// Adds a fresh unbounded nonbasic variable with `β = 0`.
     pub fn add_var(&mut self) -> SVar {
         let v = self.value.len();
@@ -107,16 +112,21 @@ impl Simplex {
     /// Adds a slack variable `s = Σ coeff·var` and returns `s`. The slack
     /// starts *basic* with `β[s]` consistent with the tableau.
     ///
-    /// # Panics
-    /// Panics if `expr` is empty or mentions an unknown variable.
-    pub fn add_row(&mut self, expr: &[(SVar, Rational)]) -> SVar {
-        assert!(!expr.is_empty(), "empty slack row");
+    /// `Err` if `expr` is empty or mentions an unknown variable — reported
+    /// instead of panicking because rows are now interned lazily on the
+    /// decode path (see `TheorySession` in the theory module).
+    pub fn add_row(&mut self, expr: &[(SVar, Rational)]) -> Result<SVar, SolverError> {
+        if expr.is_empty() {
+            return Err(SolverError::Internal("empty slack row"));
+        }
+        if expr.iter().any(|&(v, _)| v >= self.value.len()) {
+            return Err(SolverError::Internal("row references unknown variable"));
+        }
         let s = self.add_var();
         // Substitute any basic variables by their row definitions so the row
         // is expressed over nonbasic variables only.
         let mut combo: BTreeMap<SVar, Rational> = BTreeMap::new();
         for &(v, c) in expr {
-            assert!(v < s, "row references unknown variable");
             if c.is_zero() {
                 continue;
             }
@@ -138,7 +148,7 @@ impl Simplex {
         self.rows.push(combo);
         self.row_basic.push(s);
         self.basic_row[s] = Some(r);
-        s
+        Ok(s)
     }
 
     /// Current value of a variable.
@@ -428,7 +438,7 @@ mod tests {
         let mut s = Simplex::new();
         let x = s.add_var();
         let y = s.add_var();
-        let sum = s.add_row(&[(x, r(1)), (y, r(1))]);
+        let sum = s.add_row(&[(x, r(1)), (y, r(1))]).unwrap();
         s.assert_upper(sum, r(10), BoundTag(0)).unwrap();
         s.assert_lower(x, r(3), BoundTag(1)).unwrap();
         s.assert_lower(y, r(4), BoundTag(2)).unwrap();
@@ -446,7 +456,7 @@ mod tests {
         let mut s = Simplex::new();
         let x = s.add_var();
         let y = s.add_var();
-        let sum = s.add_row(&[(x, r(1)), (y, r(1))]);
+        let sum = s.add_row(&[(x, r(1)), (y, r(1))]).unwrap();
         s.assert_upper(sum, r(10), BoundTag(0)).unwrap();
         s.assert_lower(x, r(6), BoundTag(1)).unwrap();
         s.assert_lower(y, r(6), BoundTag(2)).unwrap();
@@ -473,7 +483,7 @@ mod tests {
         let mut s = Simplex::new();
         let x = s.add_var();
         let y = s.add_var();
-        let e = s.add_row(&[(x, r(1)), (y, r(2))]);
+        let e = s.add_row(&[(x, r(1)), (y, r(2))]).unwrap();
         s.assert_upper(e, r(8), BoundTag(0)).unwrap();
         s.assert_lower(e, r(8), BoundTag(1)).unwrap();
         s.assert_upper(y, r(3), BoundTag(2)).unwrap();
@@ -508,8 +518,8 @@ mod tests {
         let x = s.add_var();
         let y = s.add_var();
         let z = s.add_var();
-        let s1 = s.add_row(&[(x, r(1)), (y, r(1))]);
-        let s2 = s.add_row(&[(s1, r(1)), (z, r(1))]);
+        let s1 = s.add_row(&[(x, r(1)), (y, r(1))]).unwrap();
+        let s2 = s.add_row(&[(s1, r(1)), (z, r(1))]).unwrap();
         s.assert_lower(s2, r(9), BoundTag(0)).unwrap();
         s.assert_upper(x, r(2), BoundTag(1)).unwrap();
         s.assert_upper(y, r(3), BoundTag(2)).unwrap();
@@ -529,7 +539,7 @@ mod tests {
         let mut s = Simplex::new();
         let x = s.add_var();
         let y = s.add_var();
-        let d = s.add_row(&[(x, r(1)), (y, r(-1))]);
+        let d = s.add_row(&[(x, r(1)), (y, r(-1))]).unwrap();
         s.assert_upper(x, r(4), BoundTag(0)).unwrap();
         s.assert_lower(y, r(1), BoundTag(1)).unwrap();
         s.assert_lower(d, r(4), BoundTag(2)).unwrap();
@@ -542,7 +552,7 @@ mod tests {
         // theory layer's job).
         let mut s = Simplex::new();
         let x = s.add_var();
-        let e = s.add_row(&[(x, r(2))]);
+        let e = s.add_row(&[(x, r(2))]).unwrap();
         s.assert_lower(e, r(5), BoundTag(0)).unwrap();
         s.assert_upper(e, r(5), BoundTag(1)).unwrap();
         assert_eq!(s.check().unwrap(), Feasibility::Feasible);
@@ -559,7 +569,7 @@ mod tests {
             s.assert_upper(v, r(60), BoundTag(200 + i as u32)).unwrap();
         }
         let coeffs: Vec<(SVar, Rational)> = vars.iter().map(|&v| (v, r(1))).collect();
-        let total = s.add_row(&coeffs);
+        let total = s.add_row(&coeffs).unwrap();
         s.assert_lower(total, r(100), BoundTag(0)).unwrap();
         s.assert_upper(total, r(100), BoundTag(1)).unwrap();
         assert_eq!(s.check().unwrap(), Feasibility::Feasible);

@@ -13,6 +13,7 @@
 //! (check-sat)                        ; prints sat/unsat/unknown
 //! (get-value (x y))                  ; after sat
 //! (minimize x) (maximize x)
+//! (get-stats)                        ; non-standard: per-check cost profile
 //! ```
 //!
 //! Terms: integer literals, declared constants, `(+ …)`, `(- a b)`,
@@ -250,6 +251,30 @@ fn exec(solver: &mut Solver, form: &Sexp, out: &mut ScriptOutput) -> Result<(), 
                 Some(x) => format!("({head} {name} {x})"),
                 None => format!("({head} {name} unsat)"),
             });
+        }
+        "get-stats" => {
+            // Non-standard: the solver's per-check cost profile (DPLL(T)
+            // checks, warm-tableau work, memo/cache traffic) as one
+            // `(:key value …)` attribute line, in the spirit of Z3's
+            // `(get-info :all-statistics)`.
+            let s = solver.stats();
+            out.lines.push(format!(
+                "(:checks {} :theory-checks {} :theory-conflicts {} \
+                 :theory-memo-hits {} :tableau-builds {} :slack-rows {} \
+                 :slack-row-hits {} :pivots {} :bnb-nodes {} \
+                 :encode-cache {}/{})",
+                s.checks,
+                s.theory_checks,
+                s.theory_conflicts,
+                s.theory_memo_hits,
+                s.tableau_builds,
+                s.slack_rows_built,
+                s.slack_row_hits,
+                s.pivots,
+                s.bnb_nodes,
+                s.encode_cache_hits,
+                s.encode_cache_hits + s.encode_cache_misses,
+            ));
         }
         "set-logic" | "set-option" | "set-info" | "exit" => {} // accepted, ignored
         other => return Err(err(0, format!("unsupported command `{other}`"))),
@@ -546,6 +571,35 @@ mod tests {
             .contains("unsupported command"));
         assert!(run_script("((").unwrap_err().message.contains("unbalanced"));
         assert!(run_script(")").unwrap_err().message.contains("unbalanced"));
+    }
+
+    #[test]
+    fn get_stats_reports_cost_profile() {
+        let out = run_script(
+            "(declare-const x (Int 0 60))
+             (declare-const y (Int 0 60))
+             (assert (= (+ x y) 100))
+             (check-sat)
+             (check-sat)
+             (get-stats)",
+        )
+        .unwrap();
+        assert_eq!(out.lines[0], "sat");
+        let stats = &out.lines[2];
+        assert!(stats.starts_with("(:checks 2"), "{stats}");
+        for key in [
+            ":theory-checks",
+            ":theory-memo-hits",
+            ":tableau-builds",
+            ":pivots",
+            ":bnb-nodes",
+            ":encode-cache",
+        ] {
+            assert!(stats.contains(key), "missing {key} in {stats}");
+        }
+        // The repeated check-sat re-checks the same boolean model, so the
+        // warm backend must have answered it from the verdict memo.
+        assert!(!stats.contains(":theory-memo-hits 0"), "{stats}");
     }
 
     #[test]

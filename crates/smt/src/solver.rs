@@ -26,7 +26,7 @@ use crate::error::SolverError;
 use crate::linear::LinAtom;
 use crate::sat::{Lit, SatOutcome, SatSolver, SatStats};
 use crate::term::{Sort, Term, TermId, TermPool, VarId};
-use crate::theory::{check_conjunction, TheoryConfig, TheoryVerdict};
+use crate::theory::{TheoryConfig, TheorySession, TheoryVerdict};
 
 /// The result of a satisfiability check.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -97,15 +97,43 @@ impl Model {
     }
 }
 
-/// Aggregate statistics for a [`Solver`].
+/// Aggregate statistics for a [`Solver`], including the per-check cost
+/// profile of the incremental theory backend (tableau-build vs pivot vs
+/// branch-and-bound vs Tseitin-encode-cache work).
+///
+/// Every counter is deterministic: two runs of the same workload must
+/// produce identical values (asserted by `tests/determinism_stats.rs` and
+/// the `(LEJIT_THREADS, LEJIT_BATCH)` matrix suite in `lejit-core`).
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct SolverStats {
     /// `check()` calls (including internal ones from minimize/maximize).
     pub checks: u64,
-    /// DPLL(T) iterations: SAT models proposed to the theory.
+    /// DPLL(T) iterations: SAT models proposed to the theory (including
+    /// those answered by the verdict memo).
     pub theory_checks: u64,
     /// Theory conflicts (blocking clauses learned).
     pub theory_conflicts: u64,
+    /// DPLL(T) iterations answered by the theory-verdict memo without
+    /// touching the tableau (a subset of `theory_checks`).
+    pub theory_memo_hits: u64,
+    /// Tableau (re)build rounds in the theory session. A warm session
+    /// builds once per declared-variable set; the historical fresh-per-check
+    /// backend would count one per theory check.
+    pub tableau_builds: u64,
+    /// Simplex variables created (declared mirrors + slack rows).
+    pub tableau_vars: u64,
+    /// Slack rows translated and added to the tableau (interning misses).
+    pub slack_rows_built: u64,
+    /// Atom translations served by an already-interned slack row.
+    pub slack_row_hits: u64,
+    /// Simplex pivots performed.
+    pub pivots: u64,
+    /// Branch-and-bound nodes explored.
+    pub bnb_nodes: u64,
+    /// Tseitin encode-cache hits (terms answered without emitting clauses).
+    pub encode_cache_hits: u64,
+    /// Tseitin encode-cache misses (terms freshly encoded).
+    pub encode_cache_misses: u64,
 }
 
 /// Result of [`Solver::bounds`]: the feasible hull of an integer variable
@@ -170,11 +198,24 @@ pub struct Solver {
     pool: TermPool,
     sat: SatSolver,
     enc: Encoder,
+    theory: TheorySession,
+    /// Deterministic theory-verdict memo, keyed by the asserted-atom
+    /// fingerprint (the assigned atom literals in registry order). Valid
+    /// regardless of frames: a conjunction's LIA status does not depend on
+    /// which frame asserted it. Cleared when the declared-variable set
+    /// grows (a memoized Sat model would be missing the new variables).
+    theory_memo: BTreeMap<Vec<Lit>, TheoryVerdict>,
+    /// Declared-variable count the memo entries were computed under.
+    memo_vars: usize,
     frames: Vec<Lit>,
     model: Option<Model>,
     stats: SolverStats,
     theory_config: TheoryConfig,
 }
+
+/// Entry cap for the theory-verdict memo; the map is cleared wholesale when
+/// full (deterministic, and cheaper than tracking recency).
+const THEORY_MEMO_CAP: usize = 8192;
 
 impl Default for Solver {
     fn default() -> Self {
@@ -189,6 +230,9 @@ impl Solver {
             pool: TermPool::new(),
             sat: SatSolver::new(),
             enc: Encoder::new(),
+            theory: TheorySession::new(),
+            theory_memo: BTreeMap::new(),
+            memo_vars: 0,
             frames: Vec::new(),
             model: None,
             stats: SolverStats::default(),
@@ -206,9 +250,43 @@ impl Solver {
         &mut self.pool
     }
 
-    /// Solver statistics.
+    /// Solver statistics, including the per-check theory cost profile
+    /// (tableau-build / pivot / branch-and-bound / encode-cache counters
+    /// read live from the theory session and the Tseitin encoder).
     pub fn stats(&self) -> SolverStats {
-        self.stats
+        let mut s = self.stats;
+        let t = self.theory.stats();
+        s.tableau_builds = t.tableau_builds;
+        s.tableau_vars = t.tableau_vars;
+        s.slack_rows_built = t.slack_rows_built;
+        s.slack_row_hits = t.slack_row_hits;
+        s.bnb_nodes = t.bnb_nodes;
+        s.pivots = self.theory.pivots();
+        let (hits, misses) = self.enc.cache_stats();
+        s.encode_cache_hits = hits;
+        s.encode_cache_misses = misses;
+        s
+    }
+
+    /// The theory configuration used by every check.
+    pub fn theory_config(&self) -> TheoryConfig {
+        self.theory_config
+    }
+
+    /// Replaces the theory configuration (e.g. a tiny branch-and-bound node
+    /// budget to force [`SatResult::Unknown`] in tests). Memoized verdicts
+    /// are kept: Sat/Unsat answers are budget-independent truths, and
+    /// `Unknown` is never memoized.
+    pub fn set_theory_config(&mut self, config: TheoryConfig) {
+        self.theory_config = config;
+    }
+
+    /// Size of the warm theory tableau as `(variables, slack rows)`.
+    /// Bounded by the declared variables plus the distinct atom linear
+    /// forms ever checked — not by the number of checks (the steady-state
+    /// regression tests assert this).
+    pub fn theory_tableau_size(&self) -> (usize, usize) {
+        self.theory.tableau_size()
     }
 
     /// Statistics of the underlying CDCL SAT core. Conflict, decision, and
@@ -371,6 +449,12 @@ impl Solver {
         self.stats.checks += 1;
         self.model = None;
         let assumptions: Vec<Lit> = self.frames.clone();
+        // A grown declared-variable set invalidates memoized Sat models
+        // (they would be missing values for the new variables).
+        if self.pool.vars().len() != self.memo_vars {
+            self.theory_memo.clear();
+            self.memo_vars = self.pool.vars().len();
+        }
 
         for _ in 0..MAX_REFINEMENTS {
             match self.sat.solve(&assumptions)? {
@@ -389,7 +473,28 @@ impl Solver {
                 }
             }
 
-            match check_conjunction(&self.pool, &conj, self.theory_config)? {
+            // Theory-verdict memo: the fingerprint (assigned atom literals
+            // in registry order) determines `conj` exactly, so a hit can
+            // replay the verdict — Sat witness or Unsat core — without
+            // touching the tableau. Core indices stay valid because they
+            // index the fingerprint itself.
+            let verdict = match self.theory_memo.get(&asserted_lits) {
+                Some(v) => {
+                    self.stats.theory_memo_hits += 1;
+                    v.clone()
+                }
+                None => {
+                    let v = self.theory.check(&self.pool, &conj, self.theory_config)?;
+                    if v != TheoryVerdict::Unknown {
+                        if self.theory_memo.len() >= THEORY_MEMO_CAP {
+                            self.theory_memo.clear();
+                        }
+                        self.theory_memo.insert(asserted_lits.clone(), v.clone());
+                    }
+                    v
+                }
+            };
+            match verdict {
                 TheoryVerdict::Sat(ints) => {
                     let mut bools = BTreeMap::new();
                     for (idx, info) in self.pool.vars().iter().enumerate() {
@@ -971,15 +1076,19 @@ mod tests {
     #[test]
     fn bounds_shares_the_initial_check() {
         // minimize + maximize issue two initial checks; bounds issues one.
-        let mut s = Solver::new();
-        let x = s.int_var("x", 0, 40);
-        let before = s.stats().checks;
-        let _ = s.minimize(x);
-        let _ = s.maximize(x);
-        let separate = s.stats().checks - before;
-        let before = s.stats().checks;
-        let _ = s.bounds(x);
-        let combined = s.stats().checks - before;
+        // Two identically-built solvers: the warm theory basis carries model
+        // state across queries, so measuring both sequences on one solver
+        // would let the first sequence's final vertex skew the second's
+        // witness-guided binary search.
+        let mut a = Solver::new();
+        let xa = a.int_var("x", 0, 40);
+        let _ = a.minimize(xa);
+        let _ = a.maximize(xa);
+        let separate = a.stats().checks;
+        let mut b = Solver::new();
+        let xb = b.int_var("x", 0, 40);
+        let _ = b.bounds(xb);
+        let combined = b.stats().checks;
         assert!(
             combined < separate,
             "bounds ({combined} checks) should beat minimize+maximize ({separate})"

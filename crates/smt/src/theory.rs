@@ -16,6 +16,19 @@
 //! Because every problem variable carries finite declared bounds, the
 //! branch-and-bound tree is finite; a node budget additionally caps runaway
 //! searches and surfaces as [`TheoryVerdict::Unknown`].
+//!
+//! # Incrementality
+//!
+//! [`TheorySession`] keeps one simplex tableau alive across DPLL(T) checks:
+//! declared variables are mirrored once (and incrementally as the pool
+//! grows), slack rows are interned by normalized coefficient vector and
+//! reused forever, and each check only asserts its atoms' *bounds* against
+//! the live tableau, then retracts them via the trail — carrying the basis
+//! (and the witness point `β`) forward so a check that differs from its
+//! predecessor by a few literals resolves in a handful of pivots.
+//! [`check_conjunction`] remains as the stateless oracle: a fresh
+//! single-check session, equivalent to the historical rebuild-per-check
+//! behaviour and used by the warm-start equivalence proptests.
 
 use std::collections::BTreeMap;
 
@@ -56,47 +69,128 @@ impl Default for TheoryConfig {
     }
 }
 
-/// Checks the conjunction of `atoms` over the integers, respecting the
-/// declared bounds of every integer variable in `pool`.
+/// Per-session theory work counters: the per-check cost profile.
 ///
-/// `Err` means the atoms could not even be translated (arithmetic overflow,
-/// a reference to an undeclared variable, or a broken simplex invariant) —
-/// distinct from [`TheoryVerdict::Unknown`], which is a budget exhaustion.
-pub fn check_conjunction(
-    pool: &TermPool,
-    atoms: &[LinAtom],
-    config: TheoryConfig,
-) -> Result<TheoryVerdict, SolverError> {
-    let mut sx = Simplex::new();
+/// `pivots` is read live from the simplex (see [`TheorySession::pivots`]);
+/// everything else is accumulated here. For a fresh session per check (the
+/// historical behaviour, still available via [`check_conjunction`]),
+/// `tableau_builds == checks`; a warm session pays the build once.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TheoryStats {
+    /// Theory checks served by this session.
+    pub checks: u64,
+    /// Sync rounds that mirrored at least one newly declared variable into
+    /// the tableau (a warm session builds once; a fresh-per-check backend
+    /// rebuilds every time).
+    pub tableau_builds: u64,
+    /// Simplex variables created (declared mirrors + slack rows).
+    pub tableau_vars: u64,
+    /// Slack rows translated and added to the tableau (interning misses).
+    pub slack_rows_built: u64,
+    /// Atom translations answered by an already-interned slack row.
+    pub slack_row_hits: u64,
+    /// Branch-and-bound nodes explored.
+    pub bnb_nodes: u64,
+}
 
-    // One simplex variable per declared integer variable (in VarId order so
-    // indexing is direct).
-    let mut int_vars: Vec<VarId> = Vec::new();
-    let mut svar_of: BTreeMap<VarId, SVar> = BTreeMap::new();
-    for (idx, info) in pool.vars().iter().enumerate() {
-        if info.sort == Sort::Int {
+/// A persistent, warm-started theory backend.
+///
+/// Owns one [`Simplex`] for the lifetime of the owning solver. Each
+/// [`Self::check`] asserts the conjunction's bounds on the live tableau,
+/// runs branch-and-bound, and retracts the bounds through the trail —
+/// leaving the pivoted basis and the feasible point `β` in place as the
+/// warm start for the next check. Declared-variable bounds are asserted
+/// below every check's snapshot, so they persist; slack rows are interned
+/// by normalized coefficient vector and never rebuilt.
+///
+/// Verdicts are semantically equivalent to [`check_conjunction`] (Sat ↔ Sat
+/// with a feasible model, Unsat ↔ Unsat with a valid core), but the *model
+/// values* and *core composition* may differ: the warm basis starts each
+/// check at a different vertex than a cold tableau would. The equivalence
+/// proptests in `tests/theory_warm_start.rs` pin this contract down.
+#[derive(Default)]
+pub struct TheorySession {
+    sx: Simplex,
+    /// Pool variables mirrored so far (`pool.vars()` prefix length).
+    synced_vars: usize,
+    int_vars: Vec<VarId>,
+    svar_of: BTreeMap<VarId, SVar>,
+    /// Interned slack rows per normalized coefficient vector.
+    slack_of: BTreeMap<Vec<(SVar, Rational)>, SVar>,
+    stats: TheoryStats,
+}
+
+impl TheorySession {
+    /// Creates an empty session (tableau is built lazily on first check).
+    pub fn new() -> TheorySession {
+        TheorySession::default()
+    }
+
+    /// The session's accumulated cost profile.
+    pub fn stats(&self) -> TheoryStats {
+        self.stats
+    }
+
+    /// Total simplex pivots performed across all checks.
+    pub fn pivots(&self) -> u64 {
+        self.sx.pivots
+    }
+
+    /// Current tableau size as `(variables, slack rows)`. Bounded by the
+    /// declared variables plus the distinct atom linear forms ever checked —
+    /// *not* by the number of checks (the steady-state regression tests
+    /// assert exactly this).
+    pub fn tableau_size(&self) -> (usize, usize) {
+        (self.sx.num_vars(), self.sx.num_rows())
+    }
+
+    /// Mirrors integer variables declared since the last sync. Their
+    /// declared bounds are asserted below any future snapshot, so they are
+    /// never retracted.
+    fn sync_pool(&mut self, pool: &TermPool) -> Result<(), SolverError> {
+        let vars = pool.vars();
+        if vars.len() == self.synced_vars {
+            return Ok(());
+        }
+        let mut added = false;
+        for (idx, info) in vars.iter().enumerate().skip(self.synced_vars) {
+            if info.sort != Sort::Int {
+                continue;
+            }
             let v = VarId(idx as u32);
-            let sv = sx.add_var();
-            svar_of.insert(v, sv);
-            int_vars.push(v);
+            let sv = self.sx.add_var();
+            self.svar_of.insert(v, sv);
+            self.int_vars.push(v);
+            self.stats.tableau_vars += 1;
+            added = true;
             let tag = BoundTag(DECL_BASE + idx as u32);
             // Declared bounds can never conflict with each other (lo <= hi).
-            if sx
+            if self
+                .sx
                 .assert_lower(sv, Rational::from_int(info.lo), tag)
                 .is_err()
-                || sx
+                || self
+                    .sx
                     .assert_upper(sv, Rational::from_int(info.hi), tag)
                     .is_err()
             {
                 return Err(SolverError::Internal("declared bounds are inconsistent"));
             }
         }
+        self.synced_vars = vars.len();
+        if added {
+            self.stats.tableau_builds += 1;
+        }
+        Ok(())
     }
 
-    // Shared slack rows per coefficient vector.
-    let mut slack_of: BTreeMap<Vec<(SVar, Rational)>, SVar> = BTreeMap::new();
-
-    for (i, atom) in atoms.iter().enumerate() {
+    /// Translates atom `i` and asserts its bound on the live tableau.
+    /// Returns an early `Unsat` verdict on an immediate bound clash.
+    fn assert_atom(
+        &mut self,
+        i: usize,
+        atom: &LinAtom,
+    ) -> Result<Option<TheoryVerdict>, SolverError> {
         let tag = BoundTag(i as u32);
         // Σ c·x + k ≤ 0  ⇔  Σ c·x ≤ −k.
         let neg_k = atom
@@ -108,55 +202,129 @@ pub fn check_conjunction(
         if atom.expr.is_constant() {
             // k ≤ 0 ?
             if atom.expr.constant > 0 {
-                return Ok(TheoryVerdict::Unsat(vec![i]));
+                return Ok(Some(TheoryVerdict::Unsat(vec![i])));
             }
-            continue;
+            return Ok(None);
         }
         let mut coeffs: Vec<(SVar, Rational)> = Vec::with_capacity(atom.expr.coeffs.len());
         for (&v, &c) in &atom.expr.coeffs {
-            let sv = *svar_of
+            let sv = *self
+                .svar_of
                 .get(&v)
                 .ok_or(SolverError::Internal("atom references undeclared variable"))?;
             coeffs.push((sv, Rational::from_int(c)));
         }
-        let result = if coeffs.len() == 1 {
-            let (sv, c) = coeffs[0];
+        let result = if let &[(sv, c)] = coeffs.as_slice() {
             // c·x ≤ bound  ⇔  x ≤ bound/c (c>0)  or  x ≥ bound/c (c<0).
             if c.is_positive() {
-                sx.assert_upper(sv, bound / c, tag)
+                self.sx.assert_upper(sv, bound / c, tag)
             } else {
-                sx.assert_lower(sv, bound / c, tag)
+                self.sx.assert_lower(sv, bound / c, tag)
             }
         } else {
-            let sv = *slack_of
-                .entry(coeffs.clone())
-                .or_insert_with(|| sx.add_row(&coeffs));
-            sx.assert_upper(sv, bound, tag)
+            let sv = match self.slack_of.get(&coeffs) {
+                Some(&sv) => {
+                    self.stats.slack_row_hits += 1;
+                    sv
+                }
+                None => {
+                    let sv = self.sx.add_row(&coeffs)?;
+                    self.slack_of.insert(coeffs, sv);
+                    self.stats.slack_rows_built += 1;
+                    self.stats.tableau_vars += 1;
+                    sv
+                }
+            };
+            self.sx.assert_upper(sv, bound, tag)
         };
-        if let Err(core) = result {
-            return Ok(TheoryVerdict::Unsat(filter_core(core)));
+        match result {
+            Ok(()) => Ok(None),
+            Err(core) => Ok(Some(TheoryVerdict::Unsat(filter_core(core)))),
         }
     }
 
-    let mut nodes = 0u64;
-    match branch_and_bound(&mut sx, &int_vars, &svar_of, &mut nodes, config.max_nodes)? {
-        BnB::Sat => {
-            let mut model: BTreeMap<VarId, i64> = BTreeMap::new();
-            for &v in &int_vars {
-                let sv = *svar_of
-                    .get(&v)
-                    .ok_or(SolverError::Internal("model variable has no simplex slot"))?;
-                let val = sx
-                    .value_of(sv)
-                    .to_i64()
-                    .ok_or(SolverError::Internal("non-integral model value"))?;
-                model.insert(v, val);
-            }
-            Ok(TheoryVerdict::Sat(model))
-        }
-        BnB::Unsat(core) => Ok(TheoryVerdict::Unsat(filter_core(core))),
-        BnB::Unknown => Ok(TheoryVerdict::Unknown),
+    /// Checks the conjunction of `atoms` against the live tableau.
+    ///
+    /// Bound assert/retract protocol: newly declared variables are mirrored
+    /// first (below the snapshot — their bounds persist), then every atom's
+    /// bound is asserted tagged with its index, branch-and-bound runs, and
+    /// finally the trail is unwound to the snapshot. The basis and `β` are
+    /// *not* restored — they carry forward as the warm start.
+    pub fn check(
+        &mut self,
+        pool: &TermPool,
+        atoms: &[LinAtom],
+        config: TheoryConfig,
+    ) -> Result<TheoryVerdict, SolverError> {
+        self.sync_pool(pool)?;
+        self.stats.checks += 1;
+        let snap = self.sx.snapshot();
+        let out = self.check_asserted(atoms, config);
+        self.sx.undo_to(snap);
+        out
     }
+
+    /// The body of [`Self::check`], between snapshot and undo.
+    fn check_asserted(
+        &mut self,
+        atoms: &[LinAtom],
+        config: TheoryConfig,
+    ) -> Result<TheoryVerdict, SolverError> {
+        for (i, atom) in atoms.iter().enumerate() {
+            if let Some(verdict) = self.assert_atom(i, atom)? {
+                return Ok(verdict);
+            }
+        }
+        let mut nodes = 0u64;
+        let result = branch_and_bound(
+            &mut self.sx,
+            &self.int_vars,
+            &self.svar_of,
+            &mut nodes,
+            config.max_nodes,
+        );
+        self.stats.bnb_nodes += nodes;
+        match result? {
+            BnB::Sat => {
+                let mut model: BTreeMap<VarId, i64> = BTreeMap::new();
+                for &v in &self.int_vars {
+                    let sv = *self
+                        .svar_of
+                        .get(&v)
+                        .ok_or(SolverError::Internal("model variable has no simplex slot"))?;
+                    let val = self
+                        .sx
+                        .value_of(sv)
+                        .to_i64()
+                        .ok_or(SolverError::Internal("non-integral model value"))?;
+                    model.insert(v, val);
+                }
+                Ok(TheoryVerdict::Sat(model))
+            }
+            BnB::Unsat(core) => Ok(TheoryVerdict::Unsat(filter_core(core))),
+            BnB::Unknown => Ok(TheoryVerdict::Unknown),
+        }
+    }
+}
+
+/// Checks the conjunction of `atoms` over the integers, respecting the
+/// declared bounds of every integer variable in `pool`.
+///
+/// Stateless: builds a fresh single-check [`TheorySession`], so every call
+/// pays the full tableau build — this is the *oracle* the warm-start
+/// equivalence proptests compare against. The production path is the
+/// session owned by [`crate::Solver`].
+///
+/// `Err` means the atoms could not even be translated (arithmetic overflow,
+/// a reference to an undeclared variable, or a broken simplex invariant) —
+/// distinct from [`TheoryVerdict::Unknown`], which is a budget exhaustion.
+pub fn check_conjunction(
+    pool: &TermPool,
+    atoms: &[LinAtom],
+    config: TheoryConfig,
+) -> Result<TheoryVerdict, SolverError> {
+    let mut session = TheorySession::new();
+    session.check(pool, atoms, config)
 }
 
 enum BnB {

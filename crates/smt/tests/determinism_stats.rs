@@ -78,4 +78,27 @@ fn identical_statistics_across_runs() {
         stats1.theory_checks > 0,
         "workload never reached the theory"
     );
+    // The per-check cost profile must be exercised too, so the equality
+    // above covers the warm-started theory backend's counters and not just
+    // zeros: the tableau was built, pivoted, and (with repeated probes on
+    // the same boolean model) answered at least once from the verdict memo.
+    assert!(stats1.tableau_builds > 0, "tableau was never built");
+    assert!(
+        stats1.tableau_vars > 0,
+        "no variables mirrored into tableau"
+    );
+    assert!(stats1.slack_rows_built > 0, "no slack rows interned");
+    assert!(stats1.pivots > 0, "simplex never pivoted");
+    assert!(
+        stats1.slack_row_hits > 0,
+        "repeated checks never reused an interned slack row"
+    );
+    assert!(
+        stats1.theory_memo_hits > 0,
+        "repeated probes never hit the theory-verdict memo"
+    );
+    assert!(
+        stats1.encode_cache_hits > 0 && stats1.encode_cache_misses > 0,
+        "Tseitin encode cache was not exercised on both paths"
+    );
 }
