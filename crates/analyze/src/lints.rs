@@ -3,10 +3,10 @@
 //!
 //! | Lint | Invariant |
 //! |------|-----------|
-//! | `L1-hash-collection` | no `HashMap`/`HashSet` in `lejit-smt`/`lejit-core`/`lejit-lm` non-test code — iteration order feeds clause learning, model extraction, and lane assignment; use `BTreeMap`/`BTreeSet` |
+//! | `L1-hash-collection` | no `HashMap`/`HashSet` in `lejit-smt`/`lejit-core`/`lejit-lm`/`lejit-serve` non-test code — iteration order feeds clause learning, model extraction, lane assignment, and response routing; use `BTreeMap`/`BTreeSet` |
 //! | `L1-ambient-time` | no `std::time`/`Instant`/`SystemTime` outside `crates/bench` |
 //! | `L1-ambient-random` | no ambient randomness (`thread_rng`, `from_entropy`, `RandomState`, `DefaultHasher`) outside `crates/bench` |
-//! | `L2-unwrap` | no `unwrap`/`expect`/panicking macros in the CDCL propagate/analyze loop, the simplex pivot, or `JitDecoder::decode_*` |
+//! | `L2-unwrap` | no `unwrap`/`expect`/panicking macros in the CDCL propagate/analyze loop, the simplex pivot, `JitDecoder::decode_*`, the continuous-batching lane engine, or the `lejit-serve` scheduler (a poisoned request must never take down co-batched lanes) |
 //! | `L2-index` | no `[]` indexing in those same hot paths (each use must be allowlisted with a bounds argument) |
 //! | `L3-float-eq` | no `==`/`!=` against float literals or `f32`/`f64` constants in solver/logit code |
 //! | `L3-float-cast` | no `as` float→int casts in solver/logit code (the theory solver is exact-rational) |
@@ -47,7 +47,7 @@ pub struct Finding {
 pub const LINTS: &[(&str, &str)] = &[
     (
         "L1-hash-collection",
-        "HashMap/HashSet banned in lejit-smt/core/lm non-test code (iteration order is nondeterministic; use BTreeMap/BTreeSet)",
+        "HashMap/HashSet banned in lejit-smt/core/lm/serve non-test code (iteration order is nondeterministic; use BTreeMap/BTreeSet)",
     ),
     (
         "L1-ambient-time",
@@ -59,7 +59,7 @@ pub const LINTS: &[(&str, &str)] = &[
     ),
     (
         "L2-unwrap",
-        "unwrap/expect/panicking macros banned in CDCL propagate/analyze, simplex pivot, and decode_* hot paths (use typed SolverError/DecodeError)",
+        "unwrap/expect/panicking macros banned in CDCL propagate/analyze, simplex pivot, decode_*, lane-engine, and serve-scheduler hot paths (use typed SolverError/DecodeError)",
     ),
     (
         "L2-index",
@@ -128,6 +128,32 @@ const PANIC_SCOPES: &[(&str, FnMatch)] = &[
         ]),
     ),
     ("crates/core/src/decoder.rs", FnMatch::DecodeFamily),
+    (
+        "crates/core/src/lanes.rs",
+        FnMatch::Exact(&[
+            "advance",
+            "admit",
+            "step",
+            "sweep_chunks",
+            "finish_ok",
+            "finish_err",
+        ]),
+    ),
+    (
+        "crates/serve/src/queue.rs",
+        FnMatch::Exact(&["lock", "try_push", "try_pop", "pop_wait", "close"]),
+    ),
+    (
+        "crates/serve/src/server.rs",
+        FnMatch::Exact(&[
+            "write_line",
+            "admit_request",
+            "shard_loop",
+            "seat",
+            "settle",
+            "sync_pool_metrics",
+        ]),
+    ),
 ];
 
 const HASH_IDENTS: &[&str] = &["HashMap", "HashSet"];
@@ -162,7 +188,8 @@ fn is_test_path(path: &str) -> bool {
 fn in_determinism_scope(path: &str) -> bool {
     (path.starts_with("crates/smt/")
         || path.starts_with("crates/core/")
-        || path.starts_with("crates/lm/"))
+        || path.starts_with("crates/lm/")
+        || path.starts_with("crates/serve/"))
         && !is_test_path(path)
 }
 

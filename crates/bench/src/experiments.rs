@@ -12,7 +12,7 @@ use lejit_baselines::{
 };
 use lejit_core::{
     par_batches_with, par_records, par_records_with, record_seed, DecodeError, DecodeStats,
-    Imputer, Lookahead, Synthesizer, TaskConfig,
+    Imputer, Lookahead, SessionPool, Synthesizer, TaskConfig,
 };
 use lejit_lm::{BatchedGpt, CachedGpt, LanguageModel, SamplerConfig};
 use lejit_metrics::{
@@ -572,7 +572,9 @@ pub fn fig5_synthesis(env: &BenchEnv) -> Table {
 
 /// Ablation A1: solver lookahead policy — full per-digit probing vs the
 /// interval-guided tiers vs no lookahead at all (dead-end rate, compliance,
-/// and per-character solver cost).
+/// and per-character solver cost) — plus the serving configuration:
+/// interval-guided over a warm per-worker [`SessionPool`], whose rows must
+/// decode the same bytes while skipping the cold session build.
 pub fn ablation_lookahead(env: &BenchEnv) -> Table {
     let windows = env.eval_windows();
     let d = &env.dataset;
@@ -587,19 +589,30 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
         "b&b nodes/char",
         "memo hits/char",
         "encode hit rate",
+        "pool hit rate",
+        "pool evictions",
         "sec/sample",
     ]);
-    for (label, lookahead) in [
-        ("full (LeJIT)", Lookahead::Full),
-        ("interval-guided (LeJIT)", Lookahead::IntervalGuided),
-        ("immediate only (grammar-style)", Lookahead::ImmediateOnly),
+    for (label, lookahead, pooled) in [
+        ("full (LeJIT)", Lookahead::Full, false),
+        ("interval-guided (LeJIT)", Lookahead::IntervalGuided, false),
+        (
+            "interval-guided (pooled sessions)",
+            Lookahead::IntervalGuided,
+            true,
+        ),
+        (
+            "immediate only (grammar-style)",
+            Lookahead::ImmediateOnly,
+            false,
+        ),
     ] {
         let start = Instant::now();
         let results = par_records_with(
             env.threads,
             windows.len(),
-            || CachedGpt::new(&env.gpt),
-            |cached, i| {
+            || (CachedGpt::new(&env.gpt), SessionPool::new(4)),
+            |(cached, pool), i| {
                 let imp = Imputer::new(
                     &*cached,
                     env.mined.imputation.clone(),
@@ -611,7 +624,12 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
                     },
                 );
                 let mut rng = StdRng::seed_from_u64(record_seed(600, i as u64));
-                match imp.impute(&windows[i].coarse, &mut rng) {
+                let out = if pooled {
+                    imp.impute_pooled(pool, &windows[i].coarse, &mut rng)
+                } else {
+                    imp.impute(&windows[i].coarse, &mut rng)
+                };
+                match out {
                     Ok(o) => Ok((o.stats, o.values)),
                     Err(DecodeError::DeadEnd { .. }) => Err(true),
                     Err(_) => Err(false),
@@ -633,6 +651,9 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
                     total.theory_memo_hits += s.theory_memo_hits;
                     total.encode_cache_hits += s.encode_cache_hits;
                     total.encode_cache_misses += s.encode_cache_misses;
+                    total.pool_hits += s.pool_hits;
+                    total.pool_misses += s.pool_misses;
+                    total.pool_evictions += s.pool_evictions;
                     generated_chars += s.tokens - s.forced_tokens;
                     completed.push((w.coarse, values));
                 }
@@ -654,6 +675,12 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
         } else {
             pct(total.encode_cache_hits as f64 / encode_total as f64)
         };
+        let pool_total = total.pool_hits + total.pool_misses;
+        let pool_rate = if pool_total == 0 {
+            "-".to_string()
+        } else {
+            pct(total.pool_hits as f64 / pool_total as f64)
+        };
         table.row(vec![
             label.to_string(),
             dead_ends.to_string(),
@@ -665,6 +692,12 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
             per_char(total.solver_bnb_nodes),
             per_char(total.theory_memo_hits),
             encode_rate,
+            pool_rate,
+            if pool_total == 0 {
+                "-".to_string()
+            } else {
+                total.pool_evictions.to_string()
+            },
             format!("{wall:.4}"),
         ]);
     }

@@ -12,14 +12,13 @@
 //! unconstrained argmax was masked away. This quantifies the paper's
 //! "minimally invasive" claim — a well-trained model needs few nudges.
 
-use std::collections::btree_map::Entry;
-use std::collections::BTreeMap;
 use std::fmt;
 
 use rand::Rng;
 
 use lejit_lm::{sample_token, LanguageModel, SamplerConfig, TokenId};
 
+use crate::lanes::{AdmitOutcome, ContinuousBatcher, FinishedLane, LaneJob};
 use crate::schema::{DecodeSchema, SchemaItem, VarSpec};
 use crate::session::JitSession;
 use crate::trace::{DecodeTrace, TraceStep};
@@ -97,6 +96,50 @@ pub struct DecodeStats {
     pub encode_cache_hits: u64,
     /// Tseitin encode-cache misses (terms paying for a fresh encoding).
     pub encode_cache_misses: u64,
+    /// Times this decode's session came warm out of a session pool (zero
+    /// for the unpooled paths).
+    pub pool_hits: u64,
+    /// Times a session pool had to build this decode's session fresh.
+    pub pool_misses: u64,
+    /// Pool evictions attributed to this decode's session acquisition.
+    pub pool_evictions: u64,
+}
+
+impl DecodeStats {
+    /// Rebases the session-cumulative counters against `baseline`, turning
+    /// lifetime totals into this-decode deltas.
+    ///
+    /// The solver-side fields ([`Self::solver_checks`] through
+    /// [`Self::pool_evictions`]) are copied out of the session *absolutely*
+    /// — a session reused across decodes (checkpoint/rollback reuse, pooled
+    /// acquisition) reports its lifetime totals. Callers that hand out
+    /// per-request stats snapshot the session's counters before decoding
+    /// (via the same fill the decoder uses) and subtract here. The per-emit
+    /// fields (`tokens`, `forced_tokens`, `interventions`,
+    /// `forced_choices`) are already per-decode and stay untouched.
+    pub fn rebase_against(&mut self, baseline: &DecodeStats) {
+        self.solver_checks = self.solver_checks.saturating_sub(baseline.solver_checks);
+        self.solver_checks_saved = self
+            .solver_checks_saved
+            .saturating_sub(baseline.solver_checks_saved);
+        self.cache_hits = self.cache_hits.saturating_sub(baseline.cache_hits);
+        self.solver_pivots = self.solver_pivots.saturating_sub(baseline.solver_pivots);
+        self.solver_bnb_nodes = self
+            .solver_bnb_nodes
+            .saturating_sub(baseline.solver_bnb_nodes);
+        self.theory_memo_hits = self
+            .theory_memo_hits
+            .saturating_sub(baseline.theory_memo_hits);
+        self.encode_cache_hits = self
+            .encode_cache_hits
+            .saturating_sub(baseline.encode_cache_hits);
+        self.encode_cache_misses = self
+            .encode_cache_misses
+            .saturating_sub(baseline.encode_cache_misses);
+        self.pool_hits = self.pool_hits.saturating_sub(baseline.pool_hits);
+        self.pool_misses = self.pool_misses.saturating_sub(baseline.pool_misses);
+        self.pool_evictions = self.pool_evictions.saturating_sub(baseline.pool_evictions);
+    }
 }
 
 /// A successfully decoded record.
@@ -261,70 +304,6 @@ where
     })
 }
 
-/// Per-lane bookkeeping for [`JitDecoder::decode_batch`]: one record's
-/// position in the schema walk, carried across lock-step rounds.
-struct BatchLane {
-    context: Vec<TokenId>,
-    values: Vec<i64>,
-    text: String,
-    stats: DecodeStats,
-    /// Index into `schema.items` the lane is currently at.
-    item_idx: usize,
-    /// Index of the next variable to decode.
-    var_idx: usize,
-    /// `(digit state, terminator char, terminator token)` of the variable
-    /// being generated; `None` while parked between variables.
-    var: Option<(VarState, char, TokenId)>,
-    skip_next_literal_char: bool,
-}
-
-impl BatchLane {
-    fn new(capacity: usize) -> BatchLane {
-        BatchLane {
-            context: Vec::with_capacity(capacity + 64),
-            values: Vec::new(),
-            text: String::new(),
-            stats: DecodeStats::default(),
-            item_idx: 0,
-            var_idx: 0,
-            var: None,
-            skip_next_literal_char: false,
-        }
-    }
-
-    /// Emits pending literal characters and parks the lane on its next
-    /// variable (leaving `var` set) or at the schema end (`var` stays
-    /// `None`). Mirrors the literal arm of [`decode_loop`] exactly.
-    fn advance<F>(&mut self, schema: &DecodeSchema, tok: &F) -> Result<(), DecodeError>
-    where
-        F: Fn(char) -> Result<TokenId, DecodeError>,
-    {
-        while self.var.is_none() && self.item_idx < schema.items.len() {
-            match &schema.items[self.item_idx] {
-                SchemaItem::Literal(s) => {
-                    for (i, c) in s.chars().enumerate() {
-                        if i == 0 && self.skip_next_literal_char {
-                            self.skip_next_literal_char = false;
-                            continue;
-                        }
-                        self.context.push(tok(c)?);
-                        self.text.push(c);
-                        self.stats.tokens += 1;
-                        self.stats.forced_tokens += 1;
-                    }
-                    self.item_idx += 1;
-                }
-                SchemaItem::Variable(_) => {
-                    let term_char = schema.terminator_of(self.var_idx);
-                    let term_token = tok(term_char)?;
-                    self.var = Some((VarState::start(), term_char, term_token));
-                }
-            }
-        }
-        Ok(())
-    }
-}
-
 /// The solver-backed [`DecodePolicy`]: character sets come from the
 /// transition system, commits become partial instantiations.
 struct JitPolicy<'s> {
@@ -350,9 +329,11 @@ impl JitPolicy<'_> {
 
 /// Copies a session's solver-side counters (session caches plus the
 /// underlying [`lejit_smt::SolverStats`] cost profile) into `stats`.
-/// Shared by the serial and batch decode paths so both report the same
-/// per-check cost breakdown.
-fn fill_session_stats(session: &JitSession, stats: &mut DecodeStats) {
+/// Shared by the serial, batch, and continuous-batching decode paths so all
+/// report the same per-check cost breakdown. The copied values are the
+/// session's *lifetime* totals — see [`DecodeStats::rebase_against`] for
+/// per-decode deltas on reused sessions.
+pub(crate) fn fill_session_stats(session: &JitSession, stats: &mut DecodeStats) {
     stats.solver_checks = session.checks();
     stats.solver_checks_saved = session.solver_checks_saved();
     stats.cache_hits = session.cache_hits();
@@ -362,6 +343,9 @@ fn fill_session_stats(session: &JitSession, stats: &mut DecodeStats) {
     stats.theory_memo_hits = s.theory_memo_hits;
     stats.encode_cache_hits = s.encode_cache_hits;
     stats.encode_cache_misses = s.encode_cache_misses;
+    stats.pool_hits = s.pool_hits;
+    stats.pool_misses = s.pool_misses;
+    stats.pool_evictions = s.pool_evictions;
 }
 
 /// The LeJIT decoder: SMT-guided constrained generation.
@@ -504,203 +488,58 @@ impl<'m, M: LanguageModel> JitDecoder<'m, M> {
         let n = sessions.len();
         assert_eq!(prompts.len(), n, "one prompt per session");
         assert_eq!(rngs.len(), n, "one RNG per session");
-        let vocab = self.model.vocab();
-        let tok = |c: char| -> Result<TokenId, DecodeError> {
-            vocab.id_of(c).ok_or(DecodeError::MissingChar(c))
-        };
-        let digit_tokens: Vec<TokenId> = match ('0'..='9').map(tok).collect() {
-            Ok(t) => t,
-            Err(e) => return (0..n).map(|_| Err(e.clone())).collect(),
-        };
-
+        let mut batcher = ContinuousBatcher::new(schema.clone(), self.sampler, n.max(1))
+            .with_lookahead(self.lookahead)
+            .with_shared_lanes(self.shared_lanes);
         let mut results: Vec<Option<Result<DecodedOutput, DecodeError>>> =
             (0..n).map(|_| None).collect();
-        let mut lanes: Vec<BatchLane> = Vec::with_capacity(n);
-        for i in 0..n {
-            let mut lane = BatchLane::new(prompts[i].len());
-            if !sessions[i].satisfiable() {
-                results[i] = Some(Err(DecodeError::UnsatRules));
-            } else {
-                for c in prompts[i].chars() {
-                    match tok(c) {
-                        Ok(t) => lane.context.push(t),
-                        Err(e) => {
-                            results[i] = Some(Err(e));
-                            break;
-                        }
-                    }
+        let settle =
+            |f: FinishedLane<SliceJob<'_, R>>,
+             results: &mut Vec<Option<Result<DecodedOutput, DecodeError>>>| {
+                if let Some(r) = results.get_mut(f.tag as usize) {
+                    *r = Some(f.result);
                 }
-            }
-            lanes.push(lane);
-        }
-
-        loop {
-            // Walk every live lane through its pending literals; a lane
-            // that reaches the schema end finishes and drops out.
-            for i in 0..n {
-                if results[i].is_some() || lanes[i].var.is_some() {
-                    continue;
-                }
-                if let Err(e) = lanes[i].advance(schema, &tok) {
-                    results[i] = Some(Err(e));
-                    continue;
-                }
-                if lanes[i].var.is_none() {
-                    let lane = &mut lanes[i];
-                    let mut stats = lane.stats;
-                    fill_session_stats(&sessions[i], &mut stats);
-                    results[i] = Some(Ok(DecodedOutput {
-                        values: std::mem::take(&mut lane.values),
-                        text: std::mem::take(&mut lane.text),
-                        stats,
-                    }));
-                }
-            }
-
-            // Constraint masks first (no RNG involved), so a dead-ended
-            // lane drops out before the round's forward pass.
-            //
-            // With `shared_lanes` on, lanes at the same schema position
-            // with the same decoded values have identical live constraint
-            // systems; the first such lane each round donates its interval
-            // analysis to the rest (`JitSession::adopt_analysis_from`), so
-            // the hull of a shared position is derived once per round, not
-            // once per lane. A `BTreeMap` so no hasher state can order
-            // anything observable (determinism lint L1).
-            let mut leaders: BTreeMap<(usize, &[i64]), usize> = BTreeMap::new();
-            let mut pending: Vec<usize> = Vec::new();
-            let mut options: Vec<CharOptions> = Vec::new();
-            for i in 0..n {
-                if results[i].is_some() {
-                    continue;
-                }
-                let spec = match &schema.items[lanes[i].item_idx] {
-                    SchemaItem::Variable(spec) => spec,
-                    _ => {
-                        results[i] = Some(Err(DecodeError::Internal(
-                            "live lane parked on a non-variable schema item",
-                        )));
-                        continue;
-                    }
-                };
-                let Some((st, _, _)) = lanes[i].var.as_ref() else {
-                    results[i] = Some(Err(DecodeError::Internal(
-                        "live lane has no in-progress variable",
-                    )));
-                    continue;
-                };
-                if self.shared_lanes {
-                    match leaders.entry((lanes[i].var_idx, lanes[i].values.as_slice())) {
-                        Entry::Occupied(leader) => {
-                            let l = *leader.get();
-                            // The leader ran earlier this round, so l < i.
-                            let (donors, rest) = sessions.split_at_mut(i);
-                            rest[0].adopt_analysis_from(&donors[l], lanes[i].var_idx);
-                        }
-                        Entry::Vacant(slot) => {
-                            slot.insert(i);
-                        }
-                    }
-                }
-                let opts =
-                    allowed_chars(&mut sessions[i], lanes[i].var_idx, spec, st, self.lookahead);
-                if opts.is_dead_end() {
-                    results[i] = Some(Err(DecodeError::DeadEnd {
-                        var: spec.name.clone(),
-                        prefix: st.prefix,
-                    }));
-                    continue;
-                }
-                pending.push(i);
-                options.push(opts);
-            }
-            if pending.is_empty() {
-                break;
-            }
-
-            // One batched forward pass for the whole round.
-            let logits_rows = {
-                let contexts: Vec<&[TokenId]> = pending
-                    .iter()
-                    .map(|&i| lanes[i].context.as_slice())
-                    .collect();
-                self.model.forward_batch(&contexts)
             };
-
-            // Sample and commit each lane in lane order, from its own RNG
-            // — the exact per-character step of the serial loop.
-            for (slot, &i) in pending.iter().enumerate() {
-                let opts = &options[slot];
-                let logits = &logits_rows[slot];
-                let lane = &mut lanes[i];
-                let Some((st, term_char, term_token)) = lane.var.as_mut() else {
-                    results[i] = Some(Err(DecodeError::Internal(
-                        "pending lane has no in-progress variable",
-                    )));
-                    continue;
-                };
-                let (term_char, term_token) = (*term_char, *term_token);
-                // `total_cmp`: panic-free on NaN, deterministic on ties.
-                let argmax = logits
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.total_cmp(b.1))
-                    .map(|(t, _)| t as TokenId)
-                    .unwrap_or(0);
-                let mut allowed_tokens: Vec<TokenId> = opts
-                    .digits
-                    .iter()
-                    .map(|&d| digit_tokens[d as usize])
-                    .collect();
-                if opts.terminator {
-                    allowed_tokens.push(term_token);
-                }
-                if allowed_tokens.len() == 1 {
-                    lane.stats.forced_choices += 1;
-                }
-                if !allowed_tokens.contains(&argmax) {
-                    lane.stats.interventions += 1;
-                }
-                let mut masked = vec![f32::NEG_INFINITY; logits.len()];
-                for &t in &allowed_tokens {
-                    masked[t as usize] = logits[t as usize];
-                }
-                let rng = &mut rngs[i];
-                let chosen = match sample_token(&masked, &self.sampler, rng) {
-                    Some(t) => t,
-                    None => allowed_tokens[rng.random_range(0..allowed_tokens.len())],
-                };
-                lane.stats.tokens += 1;
-                lane.context.push(chosen);
-                if chosen == term_token && opts.terminator {
-                    let value = st.prefix;
-                    lane.text.push(term_char);
-                    lane.values.push(value);
-                    sessions[i].fix(lane.var_idx, value);
-                    lane.skip_next_literal_char = true;
-                    lane.var = None;
-                    lane.var_idx += 1;
-                    lane.item_idx += 1;
-                } else {
-                    match digit_tokens.iter().position(|&t| t == chosen) {
-                        Some(d) => {
-                            lane.text.push(char::from(b'0' + d as u8));
-                            st.push(d as u8);
-                        }
-                        None => {
-                            results[i] = Some(Err(DecodeError::Internal(
-                                "sampled token is neither an allowed digit nor the terminator",
-                            )));
-                        }
-                    }
+        for (i, (session, rng)) in sessions.iter_mut().zip(rngs.iter_mut()).enumerate() {
+            match batcher.admit(self.model, SliceJob { session, rng }, prompts[i], i as u64) {
+                AdmitOutcome::Seated => {}
+                AdmitOutcome::Finished(f) => settle(f, &mut results),
+                AdmitOutcome::Full(_) => {
+                    // Unreachable: the batcher was sized to the group.
+                    results[i] = Some(Err(DecodeError::Internal("no free lane slot")));
                 }
             }
         }
-
+        while !batcher.is_idle() {
+            let round = batcher.step(self.model);
+            for f in round.finished {
+                settle(f, &mut results);
+            }
+        }
         results
             .into_iter()
             .map(|r| r.unwrap_or(Err(DecodeError::Internal("lane never resolved"))))
             .collect()
+    }
+}
+
+/// [`LaneJob`] over borrowed per-record state: how [`JitDecoder::decode_batch`]
+/// feeds the continuous-batching engine a fixed group.
+struct SliceJob<'a, R: Rng> {
+    session: &'a mut JitSession,
+    rng: &'a mut R,
+}
+
+impl<R: Rng> LaneJob for SliceJob<'_, R> {
+    type Rng = R;
+    fn session(&self) -> &JitSession {
+        self.session
+    }
+    fn session_mut(&mut self) -> &mut JitSession {
+        self.session
+    }
+    fn rng_mut(&mut self) -> &mut R {
+        self.rng
     }
 }
 

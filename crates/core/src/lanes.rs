@@ -1,0 +1,570 @@
+//! Continuous batching: lane slots that refill as individual records finish.
+//!
+//! [`crate::decoder::JitDecoder::decode_batch`] decodes a *fixed group* —
+//! every lane starts together and the batch drains until the last lane
+//! finishes. A serving workload doesn't arrive in groups: requests trickle
+//! in, and a finished lane should hand its slot to the next queued request
+//! immediately instead of idling until the group drains. This module is the
+//! shared engine for both shapes: [`ContinuousBatcher`] owns a fixed set of
+//! lane *slots*, [`ContinuousBatcher::admit`] seats a job in the
+//! lowest-indexed free slot, and each [`ContinuousBatcher::step`] advances
+//! every seated lane by one character with **one**
+//! [`LanguageModel::forward_batch`] over the live contexts. `decode_batch`
+//! is now a thin driver over this engine (admit the whole group, step until
+//! idle); `lejit-serve` runs the same engine against a request queue,
+//! refilling slots between steps.
+//!
+//! # Determinism under arbitrary arrival interleaving
+//!
+//! Each job carries its own session and its own RNG stream, and a step
+//! touches them strictly per-lane: the constraint mask consults only that
+//! lane's session, the batched forward pass returns each row exactly as a
+//! serial `next_logits` on that lane's context would (the
+//! [`LanguageModel::forward_batch`] contract), and sampling draws only from
+//! that lane's RNG. No shared mutable state crosses lanes (cross-lane
+//! interval *sharing* is opt-in and only legal when the bases are
+//! identical; even then every guided tier is exact, so bytes are
+//! unaffected). A record admitted into slot 3 of a half-busy batcher
+//! therefore sees the *same* sequence of solver queries, logits, and RNG
+//! draws as a solo serial decode — its output is byte-identical no matter
+//! when it arrived or which lanes ran beside it. That is the property the
+//! arrival-order proptests and the CI determinism matrix's
+//! `LEJIT_ARRIVAL_SEED` axis pin down.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+use lejit_lm::{sample_token, LanguageModel, SamplerConfig, TokenId};
+
+use crate::decoder::{fill_session_stats, DecodeError, DecodeStats, DecodedOutput};
+use crate::schema::{DecodeSchema, SchemaItem};
+use crate::session::JitSession;
+use crate::transition::{allowed_chars, CharOptions, Lookahead, VarState};
+
+/// One unit of decode work a lane slot can host: a grounded session plus a
+/// private RNG stream. The batch driver implements this over borrowed
+/// slices; `lejit-serve` implements it over owned per-request state (and
+/// uses the job handed back in [`FinishedLane`] to write the response and
+/// recycle the session into its pool).
+pub trait LaneJob {
+    /// The RNG type driving this job's sampling.
+    type Rng: Rng;
+    /// The job's solver session (shared view, e.g. as a sharing donor).
+    fn session(&self) -> &JitSession;
+    /// The job's solver session (for queries and commits).
+    fn session_mut(&mut self) -> &mut JitSession;
+    /// The job's private RNG stream.
+    fn rng_mut(&mut self) -> &mut Self::Rng;
+}
+
+/// Per-lane schema-walk bookkeeping, carried across lock-step rounds.
+struct LaneState {
+    context: Vec<TokenId>,
+    values: Vec<i64>,
+    text: String,
+    stats: DecodeStats,
+    /// Index into `schema.items` the lane is currently at.
+    item_idx: usize,
+    /// Index of the next variable to decode.
+    var_idx: usize,
+    /// `(digit state, terminator char, terminator token)` of the variable
+    /// being generated; `None` while parked between variables.
+    var: Option<(VarState, char, TokenId)>,
+    skip_next_literal_char: bool,
+}
+
+impl LaneState {
+    fn new(capacity: usize) -> LaneState {
+        LaneState {
+            context: Vec::with_capacity(capacity + 64),
+            values: Vec::new(),
+            text: String::new(),
+            stats: DecodeStats::default(),
+            item_idx: 0,
+            var_idx: 0,
+            var: None,
+            skip_next_literal_char: false,
+        }
+    }
+
+    /// Emits pending literal characters and parks the lane on its next
+    /// variable (leaving `var` set) or at the schema end (`var` stays
+    /// `None`). Mirrors the literal arm of the serial decode loop exactly.
+    fn advance<F>(&mut self, schema: &DecodeSchema, tok: &F) -> Result<(), DecodeError>
+    where
+        F: Fn(char) -> Result<TokenId, DecodeError>,
+    {
+        while self.var.is_none() && self.item_idx < schema.items.len() {
+            match &schema.items[self.item_idx] {
+                SchemaItem::Literal(s) => {
+                    for (i, c) in s.chars().enumerate() {
+                        if i == 0 && self.skip_next_literal_char {
+                            self.skip_next_literal_char = false;
+                            continue;
+                        }
+                        self.context.push(tok(c)?);
+                        self.text.push(c);
+                        self.stats.tokens += 1;
+                        self.stats.forced_tokens += 1;
+                    }
+                    self.item_idx += 1;
+                }
+                SchemaItem::Variable(_) => {
+                    let term_char = schema.terminator_of(self.var_idx);
+                    let term_token = tok(term_char)?;
+                    self.var = Some((VarState::start(), term_char, term_token));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A seated lane: the caller's job plus the engine's walk state.
+struct LaneSlot<J: LaneJob> {
+    job: J,
+    tag: u64,
+    lane: LaneState,
+    /// Prefix of `lane.text` already reported through [`StepOutcome::chunks`].
+    chunk_mark: usize,
+}
+
+/// A lane that left the batcher: the caller's tag and job handed back,
+/// with the decode result (success or the lane's typed failure).
+pub struct FinishedLane<J: LaneJob> {
+    /// The tag the job was admitted under.
+    pub tag: u64,
+    /// The job, returned for recycling (e.g. releasing a pooled session).
+    pub job: J,
+    /// The decode outcome.
+    pub result: Result<DecodedOutput, DecodeError>,
+}
+
+/// What one [`ContinuousBatcher::step`] produced.
+pub struct StepOutcome<J: LaneJob> {
+    /// Lanes that finished (successfully or not) during this step.
+    pub finished: Vec<FinishedLane<J>>,
+    /// Newly emitted text per lane, as `(tag, delta)` pairs — the streamed
+    /// partial output. Concatenating a tag's chunks across steps reproduces
+    /// its final [`DecodedOutput::text`] exactly.
+    pub chunks: Vec<(u64, String)>,
+}
+
+impl<J: LaneJob> StepOutcome<J> {
+    fn empty() -> Self {
+        StepOutcome {
+            finished: Vec::new(),
+            chunks: Vec::new(),
+        }
+    }
+}
+
+/// What [`ContinuousBatcher::admit`] did with the offered job.
+pub enum AdmitOutcome<J: LaneJob> {
+    /// The job was seated in a free lane slot and will advance on the next
+    /// [`ContinuousBatcher::step`].
+    Seated,
+    /// The job failed before its first step (unsatisfiable rules, or the
+    /// vocabulary lacks a needed character) and is handed straight back.
+    Finished(FinishedLane<J>),
+    /// Every slot is occupied; the job is returned untouched. Callers doing
+    /// admission control should check [`ContinuousBatcher::has_free_slot`]
+    /// first and treat this as backpressure, not an error.
+    Full(J),
+}
+
+/// A fixed-width set of decode lanes refilled per-record: the engine behind
+/// both [`crate::JitDecoder::decode_batch`] and `lejit-serve`.
+///
+/// The schema, lookahead policy, and sharing flag are fixed per batcher;
+/// every admitted job decodes the same schema (its session supplies the
+/// rules, its prompt the conditioning). The model is passed per call so the
+/// batcher borrows nothing long-term — callers must pass the *same* model
+/// to every call on one batcher (its vocabulary defines the token ids the
+/// seated lanes hold).
+pub struct ContinuousBatcher<J: LaneJob> {
+    schema: DecodeSchema,
+    sampler: SamplerConfig,
+    lookahead: Lookahead,
+    shared_lanes: bool,
+    slots: Vec<Option<LaneSlot<J>>>,
+}
+
+impl<J: LaneJob> ContinuousBatcher<J> {
+    /// A batcher with `capacity` lane slots over `schema`, decoding with
+    /// `sampler` and full solver lookahead.
+    pub fn new(schema: DecodeSchema, sampler: SamplerConfig, capacity: usize) -> Self {
+        ContinuousBatcher {
+            schema,
+            sampler,
+            lookahead: Lookahead::Full,
+            shared_lanes: false,
+            slots: (0..capacity.max(1)).map(|_| None).collect(),
+        }
+    }
+
+    /// Overrides the lookahead policy.
+    pub fn with_lookahead(mut self, lookahead: Lookahead) -> Self {
+        self.lookahead = lookahead;
+        self
+    }
+
+    /// Enables cross-lane interval-analysis sharing. Only legal when every
+    /// admitted job's session carries an *identical* grounded base system —
+    /// see [`crate::JitDecoder::with_shared_lanes`] for the contract.
+    pub fn with_shared_lanes(mut self, shared: bool) -> Self {
+        self.shared_lanes = shared;
+        self
+    }
+
+    /// Total number of lane slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of currently seated lanes.
+    pub fn in_flight(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether at least one slot is free.
+    pub fn has_free_slot(&self) -> bool {
+        self.slots.iter().any(|s| s.is_none())
+    }
+
+    /// Whether no lane is seated (stepping would be a no-op).
+    pub fn is_idle(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Seats `job` in the lowest-indexed free slot. The admission check and
+    /// prompt encoding run here — exactly the work a serial decode does
+    /// before its first character — so a job that is unsatisfiable or hits
+    /// a vocabulary gap comes back as [`AdmitOutcome::Finished`] without
+    /// occupying a slot.
+    pub fn admit<M: LanguageModel>(
+        &mut self,
+        model: &M,
+        mut job: J,
+        prompt: &str,
+        tag: u64,
+    ) -> AdmitOutcome<J> {
+        let Some(free) = self.slots.iter().position(|s| s.is_none()) else {
+            return AdmitOutcome::Full(job);
+        };
+        if !job.session_mut().satisfiable() {
+            return AdmitOutcome::Finished(FinishedLane {
+                tag,
+                job,
+                result: Err(DecodeError::UnsatRules),
+            });
+        }
+        let vocab = model.vocab();
+        let mut lane = LaneState::new(prompt.len());
+        for c in prompt.chars() {
+            match vocab.id_of(c) {
+                Some(t) => lane.context.push(t),
+                None => {
+                    return AdmitOutcome::Finished(FinishedLane {
+                        tag,
+                        job,
+                        result: Err(DecodeError::MissingChar(c)),
+                    });
+                }
+            }
+        }
+        self.slots[free] = Some(LaneSlot {
+            job,
+            tag,
+            lane,
+            chunk_mark: 0,
+        });
+        AdmitOutcome::Seated
+    }
+
+    /// Advances every seated lane by one character: pending literals are
+    /// emitted, lanes reaching the schema end finish, each live lane's
+    /// solver is asked for its allowed next characters (masks before
+    /// logits, so a dead end costs no forward pass), one batched forward
+    /// pass covers all live contexts, and each lane samples and commits
+    /// from its own RNG — the exact per-character round of
+    /// [`crate::JitDecoder::decode_batch`], which is now a driver over this
+    /// method.
+    pub fn step<M: LanguageModel>(&mut self, model: &M) -> StepOutcome<J> {
+        let mut out = StepOutcome::empty();
+        if self.is_idle() {
+            return out;
+        }
+        let vocab = model.vocab();
+        let tok = |c: char| -> Result<TokenId, DecodeError> {
+            vocab.id_of(c).ok_or(DecodeError::MissingChar(c))
+        };
+        let digit_tokens: Vec<TokenId> = match ('0'..='9').map(tok).collect() {
+            Ok(t) => t,
+            Err(e) => {
+                // The vocabulary lacks a digit: no lane can make progress.
+                for i in 0..self.slots.len() {
+                    self.finish_err(i, e.clone(), &mut out);
+                }
+                return out;
+            }
+        };
+        let n = self.slots.len();
+
+        // Phase A: walk lanes parked between variables through their
+        // pending literals; a lane reaching the schema end finishes.
+        for i in 0..n {
+            let Some(slot) = self.slots[i].as_mut() else {
+                continue;
+            };
+            if slot.lane.var.is_some() {
+                continue;
+            }
+            if let Err(e) = slot.lane.advance(&self.schema, &tok) {
+                self.finish_err(i, e, &mut out);
+                continue;
+            }
+            if slot.lane.var.is_none() {
+                self.finish_ok(i, &mut out);
+            }
+        }
+
+        // Phase B: constraint masks in slot order (no RNG involved), so a
+        // dead-ended lane drops out before the round's forward pass. With
+        // `shared_lanes` on, the first lane at each (variable, decoded
+        // values) position donates its interval analysis to the rest — a
+        // `BTreeMap` so no hasher state can order anything observable
+        // (determinism lint L1); values are cloned into the key because the
+        // donor lookup needs the slots mutably.
+        let mut leaders: BTreeMap<(usize, Vec<i64>), usize> = BTreeMap::new();
+        let mut pending: Vec<usize> = Vec::new();
+        let mut options: Vec<CharOptions> = Vec::new();
+        for i in 0..n {
+            if self.slots[i].is_none() {
+                continue;
+            }
+            if self.shared_lanes {
+                let key = {
+                    let Some(slot) = self.slots[i].as_ref() else {
+                        continue;
+                    };
+                    (slot.lane.var_idx, slot.lane.values.clone())
+                };
+                match leaders.entry(key) {
+                    Entry::Occupied(leader) => {
+                        // The leader ran earlier this round, so l < i.
+                        let l = *leader.get();
+                        let (donors, rest) = self.slots.split_at_mut(i);
+                        if let (Some(Some(donor)), Some(Some(adopter))) =
+                            (donors.get(l), rest.first_mut())
+                        {
+                            let k = adopter.lane.var_idx;
+                            adopter
+                                .job
+                                .session_mut()
+                                .adopt_analysis_from(donor.job.session(), k);
+                        }
+                    }
+                    Entry::Vacant(slot) => {
+                        slot.insert(i);
+                    }
+                }
+            }
+            let lookahead = self.lookahead;
+            let verdict: Result<CharOptions, DecodeError> = {
+                let Some(slot) = self.slots[i].as_mut() else {
+                    continue;
+                };
+                let spec = match self.schema.items.get(slot.lane.item_idx) {
+                    Some(SchemaItem::Variable(spec)) => Some(spec),
+                    _ => None,
+                };
+                match (spec, slot.lane.var.as_ref()) {
+                    (Some(spec), Some((st, _, _))) => {
+                        let var_idx = slot.lane.var_idx;
+                        let opts =
+                            allowed_chars(slot.job.session_mut(), var_idx, spec, st, lookahead);
+                        if opts.is_dead_end() {
+                            Err(DecodeError::DeadEnd {
+                                var: spec.name.clone(),
+                                prefix: st.prefix,
+                            })
+                        } else {
+                            Ok(opts)
+                        }
+                    }
+                    (None, _) => Err(DecodeError::Internal(
+                        "live lane parked on a non-variable schema item",
+                    )),
+                    (_, None) => Err(DecodeError::Internal(
+                        "live lane has no in-progress variable",
+                    )),
+                }
+            };
+            match verdict {
+                Ok(opts) => {
+                    pending.push(i);
+                    options.push(opts);
+                }
+                Err(e) => self.finish_err(i, e, &mut out),
+            }
+        }
+        if pending.is_empty() {
+            self.sweep_chunks(&mut out);
+            return out;
+        }
+
+        // Phase C: one batched forward pass for the whole round.
+        let logits_rows = {
+            let contexts: Vec<&[TokenId]> = pending
+                .iter()
+                .filter_map(|&i| self.slots[i].as_ref().map(|s| s.lane.context.as_slice()))
+                .collect();
+            model.forward_batch(&contexts)
+        };
+
+        // Phase D: sample and commit each lane in slot order, from its own
+        // RNG — the exact per-character step of the serial loop.
+        for (row, &i) in pending.iter().enumerate() {
+            let opts = &options[row];
+            let Some(logits) = logits_rows.get(row) else {
+                self.finish_err(
+                    i,
+                    DecodeError::Internal("batched forward returned too few rows"),
+                    &mut out,
+                );
+                continue;
+            };
+            let Some(slot) = self.slots[i].as_mut() else {
+                continue;
+            };
+            let lane = &mut slot.lane;
+            let Some((st, term_char, term_token)) = lane.var.as_mut() else {
+                self.finish_err(
+                    i,
+                    DecodeError::Internal("pending lane has no in-progress variable"),
+                    &mut out,
+                );
+                continue;
+            };
+            let (term_char, term_token) = (*term_char, *term_token);
+            // `total_cmp`: panic-free on NaN, deterministic on ties.
+            let argmax = logits
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(t, _)| t as TokenId)
+                .unwrap_or(0);
+            let mut allowed_tokens: Vec<TokenId> = opts
+                .digits
+                .iter()
+                .map(|&d| digit_tokens[d as usize])
+                .collect();
+            if opts.terminator {
+                allowed_tokens.push(term_token);
+            }
+            if allowed_tokens.len() == 1 {
+                lane.stats.forced_choices += 1;
+            }
+            if !allowed_tokens.contains(&argmax) {
+                lane.stats.interventions += 1;
+            }
+            let mut masked = vec![f32::NEG_INFINITY; logits.len()];
+            for &t in &allowed_tokens {
+                masked[t as usize] = logits[t as usize];
+            }
+            let rng = slot.job.rng_mut();
+            let chosen = match sample_token(&masked, &self.sampler, rng) {
+                Some(t) => t,
+                None => allowed_tokens[rng.random_range(0..allowed_tokens.len())],
+            };
+            lane.stats.tokens += 1;
+            lane.context.push(chosen);
+            if chosen == term_token && opts.terminator {
+                let value = st.prefix;
+                lane.text.push(term_char);
+                lane.values.push(value);
+                let k = lane.var_idx;
+                slot.job.session_mut().fix(k, value);
+                lane.skip_next_literal_char = true;
+                lane.var = None;
+                lane.var_idx += 1;
+                lane.item_idx += 1;
+            } else {
+                match digit_tokens.iter().position(|&t| t == chosen) {
+                    Some(d) => {
+                        lane.text.push(char::from(b'0' + d as u8));
+                        st.push(d as u8);
+                    }
+                    None => {
+                        self.finish_err(
+                            i,
+                            DecodeError::Internal(
+                                "sampled token is neither an allowed digit nor the terminator",
+                            ),
+                            &mut out,
+                        );
+                    }
+                }
+            }
+        }
+
+        self.sweep_chunks(&mut out);
+        out
+    }
+
+    /// Emits the text deltas of still-seated lanes into `out.chunks`.
+    /// (Finishing lanes flush their final delta inside `finish_ok` /
+    /// `finish_err`, before the slot empties.)
+    fn sweep_chunks(&mut self, out: &mut StepOutcome<J>) {
+        for slot in self.slots.iter_mut().flatten() {
+            if slot.lane.text.len() > slot.chunk_mark {
+                out.chunks
+                    .push((slot.tag, slot.lane.text[slot.chunk_mark..].to_string()));
+                slot.chunk_mark = slot.lane.text.len();
+            }
+        }
+    }
+
+    /// Finishes slot `i` successfully: flushes its final chunk, copies the
+    /// session's solver-side counters into the stats, and frees the slot.
+    fn finish_ok(&mut self, i: usize, out: &mut StepOutcome<J>) {
+        let Some(mut slot) = self.slots.get_mut(i).and_then(Option::take) else {
+            return;
+        };
+        if slot.lane.text.len() > slot.chunk_mark {
+            out.chunks
+                .push((slot.tag, slot.lane.text[slot.chunk_mark..].to_string()));
+        }
+        let mut stats = slot.lane.stats;
+        fill_session_stats(slot.job.session(), &mut stats);
+        out.finished.push(FinishedLane {
+            tag: slot.tag,
+            job: slot.job,
+            result: Ok(DecodedOutput {
+                values: std::mem::take(&mut slot.lane.values),
+                text: std::mem::take(&mut slot.lane.text),
+                stats,
+            }),
+        });
+    }
+
+    /// Finishes slot `i` with `err`: flushes any partial chunk (stream
+    /// consumers already saw that text) and frees the slot.
+    fn finish_err(&mut self, i: usize, err: DecodeError, out: &mut StepOutcome<J>) {
+        let Some(slot) = self.slots.get_mut(i).and_then(Option::take) else {
+            return;
+        };
+        if slot.lane.text.len() > slot.chunk_mark {
+            out.chunks
+                .push((slot.tag, slot.lane.text[slot.chunk_mark..].to_string()));
+        }
+        out.finished.push(FinishedLane {
+            tag: slot.tag,
+            job: slot.job,
+            result: Err(err),
+        });
+    }
+}

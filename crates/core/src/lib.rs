@@ -22,6 +22,11 @@
 //! * [`decoder`] — the JIT decode loop gluing model, schema, and session,
 //!   serial ([`JitDecoder::decode`]) and lock-step batched
 //!   ([`JitDecoder::decode_batch`]),
+//! * [`lanes`] — the continuous-batching engine: fixed lane slots refilled
+//!   per-record ([`ContinuousBatcher`]), shared by `decode_batch` (admit a
+//!   group, drain it) and the `lejit-serve` request scheduler,
+//! * [`pool`] — warm solver-session pools keyed by rule-set fingerprint
+//!   ([`SessionPool`]), recycling grounded sessions across requests,
 //! * [`batch`] — the determinism-preserving parallel/batched harness:
 //!   per-record RNG seeding, the record-level thread pool, and the
 //!   model-level batch scheduler,
@@ -63,6 +68,8 @@
 
 pub mod batch;
 pub mod decoder;
+pub mod lanes;
+pub mod pool;
 pub mod repair;
 pub mod schema;
 pub mod session;
@@ -73,6 +80,8 @@ pub mod vanilla;
 
 pub use batch::{batch_spans, par_batches_with, par_records, par_records_with, record_seed};
 pub use decoder::{DecodeError, DecodeStats, DecodedOutput, JitDecoder};
+pub use lanes::{AdmitOutcome, ContinuousBatcher, FinishedLane, LaneJob, StepOutcome};
+pub use pool::{fnv1a64, PoolStats, PooledSession, SessionPool};
 pub use repair::{repair_arbitrary, repair_nearest, RepairError};
 pub use schema::{DecodeSchema, SchemaItem, VarSpec};
 pub use session::{JitSession, SessionCheckpoint};

@@ -310,6 +310,27 @@ impl JitSession {
         self.fix_epoch = cp.fix_epoch;
     }
 
+    /// Discards every answer derived from the *current* constraint system:
+    /// the carried witness model is dropped and a fresh fix epoch is
+    /// allocated, orphaning the epoch-keyed interval and memo caches.
+    ///
+    /// Call this after strengthening the solver through any channel other
+    /// than [`Self::fix`] — e.g. grounding a request's rules into a pooled
+    /// session's checkpoint frame via [`Self::solver_mut`]. Those caches and
+    /// the witness model describe the *weaker* pre-grounding system; left in
+    /// place they could unsoundly answer "feasible" for values the new rules
+    /// forbid. `fix` handles its own epoch bump and model consistency check;
+    /// raw solver assertions cannot, so the caller must invalidate.
+    ///
+    /// Knowledge keyed to *earlier* epochs (the state a later
+    /// [`Self::rollback`] restores) is untouched: rollback retracts the
+    /// strengthening along with the frame, making those answers valid again.
+    pub fn invalidate_derived(&mut self) {
+        self.witness_model = None;
+        self.fix_epoch = self.next_epoch;
+        self.next_epoch += 1;
+    }
+
     /// Whether variable `k` can take exactly `value` given the rules and
     /// everything fixed so far.
     pub fn value_feasible(&mut self, k: usize, value: i64) -> bool {
@@ -1009,6 +1030,37 @@ mod tests {
         let before = s.checks();
         assert!(s.value_feasible_guided(1, w1));
         assert_eq!(s.checks(), before, "model should survive the rollback");
+    }
+
+    #[test]
+    fn invalidate_derived_drops_model_and_orphans_caches() {
+        // Grounding extra constraints through `solver_mut` (the pooled-reuse
+        // path) strengthens the system without `fix`'s bookkeeping; the
+        // carried model and epoch-keyed caches describe the weaker system
+        // and must not answer afterwards.
+        let mut s = paper_session();
+        assert!(s.satisfiable()); // harvests a witness model
+        let w0 = s.model_value(0).unwrap();
+        assert!(s.value_feasible_guided(0, w0)); // warms epoch-keyed caches
+        let cp = s.checkpoint();
+        // Strengthen outside `fix`: forbid the witnessed value outright.
+        let t = s.var_terms[0];
+        let solver = s.solver_mut();
+        let c = solver.int(w0);
+        let eq = solver.eq(t, c);
+        let ne = solver.not(eq);
+        solver.assert(ne);
+        s.invalidate_derived();
+        let before = s.checks();
+        assert!(
+            !s.value_feasible_guided(0, w0),
+            "stale model/caches must not answer for the strengthened system"
+        );
+        assert!(s.checks() > before, "answer must come from fresh analysis");
+        // Rollback retracts the strengthening; pre-checkpoint knowledge is
+        // keyed to the restored epoch and becomes valid again.
+        s.rollback(cp);
+        assert!(s.value_feasible_guided(0, w0));
     }
 
     #[test]

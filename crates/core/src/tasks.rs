@@ -23,6 +23,7 @@ use lejit_telemetry::{encode_prompt, CoarseField, CoarseSignals, PROMPT_SEPARATO
 
 use crate::batch::{par_batches_with, record_seed};
 use crate::decoder::{DecodeError, DecodedOutput, JitDecoder};
+use crate::pool::{fnv1a64, PooledSession, SessionPool};
 use crate::repair::{repair_nearest, RepairError};
 use crate::schema::DecodeSchema;
 use crate::session::JitSession;
@@ -136,11 +137,32 @@ impl<'m, M: LanguageModel> Imputer<'m, M> {
         &self.rules
     }
 
+    /// The decode schema this imputer's windows follow.
+    pub fn schema(&self) -> DecodeSchema {
+        DecodeSchema::fine_series(self.window_len, self.bandwidth)
+    }
+
     /// Builds a fresh session with the rules grounded against this window's
     /// coarse signals (constants) and the fine series (solver variables).
     pub fn build_session(&self, coarse: &CoarseSignals) -> (JitSession, DecodeSchema) {
-        let schema = DecodeSchema::fine_series(self.window_len, self.bandwidth);
+        let schema = self.schema();
         let mut session = JitSession::new(&schema);
+        self.ground_in(&mut session, coarse);
+        (session, schema)
+    }
+
+    /// Grounds this imputer's rules against `coarse` into `session`'s
+    /// *current solver frame* — the session must declare this imputer's
+    /// schema variables (i.e. come from [`JitSession::new`] on
+    /// [`Self::schema`]).
+    ///
+    /// When the session is a reused one (pooled, or otherwise carrying
+    /// state from earlier epochs), ground inside a
+    /// [`JitSession::checkpoint`] frame and call
+    /// [`JitSession::invalidate_derived`] afterwards: grounding
+    /// strengthens the system outside [`JitSession::fix`], so the carried
+    /// witness model and epoch-keyed caches must not keep answering.
+    pub fn ground_in(&self, session: &mut JitSession, coarse: &CoarseSignals) {
         let solver = session.solver_mut();
         let coarse_terms: Vec<TermId> = CoarseField::ALL
             .into_iter()
@@ -163,10 +185,24 @@ impl<'m, M: LanguageModel> Imputer<'m, M> {
             let g = ground_rule(solver.pool_mut(), &ctx, rule);
             solver.assert(g);
         }
-        (session, schema)
     }
 
-    fn prompt(&self, coarse: &CoarseSignals) -> String {
+    /// The session-pool fingerprint for this imputer: everything that
+    /// shapes a pooled session's warm caches (the rule set and the schema
+    /// geometry). Imputers with equal keys produce interchangeable pooled
+    /// sessions; a collision is harmless (shelved sessions carry no rules —
+    /// see [`SessionPool`]'s soundness protocol).
+    pub fn pool_key(&self) -> u64 {
+        let desc = format!(
+            "{:?}|w={}|b={}",
+            self.rules, self.window_len, self.bandwidth
+        );
+        fnv1a64(desc.as_bytes())
+    }
+
+    /// The conditioning prompt for a window (coarse text plus separator) —
+    /// what every `impute*` method feeds the decoder.
+    pub fn prompt(&self, coarse: &CoarseSignals) -> String {
         let mut p = encode_prompt(coarse);
         p.push(PROMPT_SEPARATOR);
         p
@@ -203,6 +239,44 @@ impl<'m, M: LanguageModel> Imputer<'m, M> {
         let out = decoder.decode(session, schema, &self.prompt(coarse), rng);
         session.rollback(cp);
         out
+    }
+
+    /// LeJIT imputation against a warm session from `pool` (the serving
+    /// path): acquire under [`Self::pool_key`], ground this window's rules
+    /// into a checkpoint frame, invalidate derived state, decode, roll
+    /// back, release.
+    ///
+    /// Decoded bytes are identical to [`Self::impute`] on a fresh session —
+    /// every lookahead tier is exact, so pooling changes cost, not answers.
+    /// The returned stats are rebased to this request
+    /// ([`DecodeStats::rebase_against`]): per-request solver work plus this
+    /// acquisition's pool events, rather than the session's lifetime
+    /// totals.
+    ///
+    /// [`DecodeStats::rebase_against`]: crate::DecodeStats::rebase_against
+    pub fn impute_pooled<R: Rng>(
+        &self,
+        pool: &mut SessionPool,
+        coarse: &CoarseSignals,
+        rng: &mut R,
+    ) -> Result<DecodedOutput, DecodeError> {
+        let schema = self.schema();
+        let PooledSession {
+            mut session,
+            baseline,
+        } = pool.acquire(self.pool_key(), || JitSession::new(&schema));
+        let cp = session.checkpoint();
+        self.ground_in(&mut session, coarse);
+        session.invalidate_derived();
+        let decoder =
+            JitDecoder::new(self.model, self.config.sampler).with_lookahead(self.config.lookahead);
+        let out = decoder.decode(&mut session, &schema, &self.prompt(coarse), rng);
+        session.rollback(cp);
+        pool.release(self.pool_key(), session);
+        out.map(|mut o| {
+            o.stats.rebase_against(&baseline);
+            o
+        })
     }
 
     /// LeJIT imputation of a group of windows, lock-step through batched
@@ -637,6 +711,72 @@ mod tests {
                 w.coarse.get(CoarseField::TotalIngress)
             );
         }
+    }
+
+    #[test]
+    fn pooled_imputation_is_byte_identical_to_fresh() {
+        let d = dataset();
+        let model = imputation_model(&d);
+        let imputer = Imputer::new(
+            &model,
+            paper_ruleset(),
+            d.window_len,
+            d.bandwidth,
+            TaskConfig::default(),
+        );
+        let mut pool = SessionPool::new(2);
+        for (i, w) in d.test.iter().take(8).enumerate() {
+            let seed = record_seed(77, i as u64);
+            let fresh = imputer
+                .impute(&w.coarse, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            let pooled = imputer
+                .impute_pooled(&mut pool, &w.coarse, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            assert_eq!(pooled.text, fresh.text, "window {i}: bytes must match");
+            assert_eq!(pooled.values, fresh.values);
+            assert_eq!(pooled.stats.tokens, fresh.stats.tokens);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 1, "one cold build, then warm reuse");
+        assert_eq!(stats.hits, 7);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(pool.shelved(), 1);
+    }
+
+    #[test]
+    fn pooled_imputation_stats_are_per_request() {
+        let d = dataset();
+        let model = imputation_model(&d);
+        let imputer = Imputer::new(
+            &model,
+            paper_ruleset(),
+            d.window_len,
+            d.bandwidth,
+            TaskConfig::default(),
+        );
+        let mut pool = SessionPool::new(2);
+        let w = &d.test[0];
+        let a = imputer
+            .impute_pooled(&mut pool, &w.coarse, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let b = imputer
+            .impute_pooled(&mut pool, &w.coarse, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        // Same window, same seed, same bytes — so the second request's
+        // rebased counters must not include the first's work.
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.stats.pool_misses, 1);
+        assert_eq!(a.stats.pool_hits, 0);
+        assert_eq!(b.stats.pool_hits, 1);
+        assert_eq!(b.stats.pool_misses, 0);
+        assert!(
+            b.stats.solver_checks <= a.stats.solver_checks,
+            "a warm session never does more checks than a cold one \
+             (warm: {}, cold: {})",
+            b.stats.solver_checks,
+            a.stats.solver_checks
+        );
     }
 
     #[test]

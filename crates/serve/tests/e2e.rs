@@ -1,0 +1,308 @@
+//! End-to-end tests over a live TCP server: arrival-order determinism
+//! against a serial [`Imputer`] reference, typed overload under a
+//! saturating burst, and graceful drain with no lost or duplicated
+//! responses.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+use lejit_core::{record_seed, Imputer, TaskConfig};
+use lejit_lm::{NgramLm, Vocab};
+use lejit_rules::{parse_rules, RuleSet};
+use lejit_serve::protocol::render_ok;
+use lejit_serve::{ServeConfig, Server};
+use lejit_telemetry::{
+    encode_imputation_example, generate, CoarseSignals, Dataset, TelemetryConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::Value;
+
+fn dataset() -> Dataset {
+    generate(TelemetryConfig {
+        racks_train: 6,
+        racks_test: 2,
+        windows_per_rack: 40,
+        ..TelemetryConfig::default()
+    })
+}
+
+/// Deterministic training — two calls produce identical models, so the
+/// serial reference and the server can each own one.
+fn imputation_model(d: &Dataset) -> NgramLm {
+    let texts: Vec<String> = d.train.iter().map(encode_imputation_example).collect();
+    let mut corpus = texts.join("\n");
+    corpus.push_str("0123456789,;|=.TERGCD");
+    let vocab = Vocab::from_corpus(&corpus);
+    let seqs: Vec<Vec<_>> = texts.iter().map(|t| vocab.encode(t).unwrap()).collect();
+    NgramLm::train(vocab, &seqs, 5)
+}
+
+fn rules() -> RuleSet {
+    parse_rules(
+        "rule r1: forall t: fine[t] >= 0 and fine[t] <= 60;
+         rule r2: sum(fine) == total_ingress;
+         rule r3: ecn_bytes > 0 => max(fine) >= 45;",
+    )
+    .unwrap()
+}
+
+fn config(d: &Dataset) -> ServeConfig {
+    ServeConfig {
+        window_len: d.window_len,
+        bandwidth: d.bandwidth,
+        ..ServeConfig::default()
+    }
+}
+
+fn impute_line(id: usize, coarse: &CoarseSignals) -> String {
+    let c = coarse.0;
+    format!(
+        r#"{{"op":"impute","id":{id},"coarse":[{},{},{},{},{},{}]}}"#,
+        c[0], c[1], c[2], c[3], c[4], c[5]
+    )
+}
+
+fn connect(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (reader, stream)
+}
+
+fn read_lines(reader: &mut BufReader<TcpStream>, n: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut line = String::new();
+        assert_ne!(
+            reader.read_line(&mut line).unwrap(),
+            0,
+            "connection closed after {} of {} expected responses",
+            out.len(),
+            n
+        );
+        out.push(line.trim_end().to_string());
+    }
+    out
+}
+
+fn response_id(line: &str) -> u64 {
+    match &serde_json::parse_value(line).unwrap()["id"] {
+        Value::Number(n) => n.as_u64().unwrap(),
+        other => panic!("response without numeric id: {other:?} in {line}"),
+    }
+}
+
+fn shutdown(addr: SocketAddr) {
+    let (mut reader, mut stream) = connect(addr);
+    writeln!(stream, r#"{{"op":"shutdown"}}"#).unwrap();
+    let ack = read_lines(&mut reader, 1);
+    assert_eq!(ack[0], r#"{"ok":true,"draining":true}"#);
+}
+
+#[test]
+fn responses_are_byte_identical_across_arrival_orders_and_match_serial() {
+    let d = dataset();
+    let cfg = ServeConfig {
+        shards: 2,
+        lanes: 2,
+        queue_cap: 64,
+        pool_per_key: 2,
+        ..config(&d)
+    };
+    let windows: Vec<CoarseSignals> = d.test.iter().take(10).map(|w| w.coarse).collect();
+
+    // Serial reference: each request decoded alone under the server's
+    // default per-id seed.
+    let ref_model = imputation_model(&d);
+    let imputer = Imputer::new(
+        &ref_model,
+        rules(),
+        d.window_len,
+        d.bandwidth,
+        TaskConfig::default(),
+    );
+    let expected: Vec<String> = windows
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let mut rng = StdRng::seed_from_u64(record_seed(cfg.base_seed, i as u64));
+            let out = imputer.impute(w, &mut rng).unwrap();
+            render_ok(i as u64, &out.text, &out.values)
+        })
+        .collect();
+
+    let server = Server::new(imputation_model(&d), rules(), cfg);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut rounds: Vec<BTreeMap<u64, String>> = Vec::new();
+    std::thread::scope(|s| {
+        let run = s.spawn(|| server.run(listener).unwrap());
+
+        // Round A: one connection, ids in order.
+        let (mut reader, mut stream) = connect(addr);
+        for (i, w) in windows.iter().enumerate() {
+            writeln!(stream, "{}", impute_line(i, w)).unwrap();
+        }
+        let by_id = read_lines(&mut reader, windows.len())
+            .into_iter()
+            .map(|l| (response_id(&l), l))
+            .collect();
+        rounds.push(by_id);
+
+        // Round B: two concurrent connections, reversed interleaved order.
+        let halves: [Vec<usize>; 2] = [
+            (0..windows.len()).rev().filter(|i| i % 2 == 0).collect(),
+            (0..windows.len()).rev().filter(|i| i % 2 == 1).collect(),
+        ];
+        let windows = &windows;
+        let got: Vec<(u64, String)> = std::thread::scope(|inner| {
+            let handles: Vec<_> = halves
+                .iter()
+                .map(|ids| {
+                    inner.spawn(move || {
+                        let (mut reader, mut stream) = connect(addr);
+                        for &i in ids {
+                            writeln!(stream, "{}", impute_line(i, &windows[i])).unwrap();
+                        }
+                        read_lines(&mut reader, ids.len())
+                            .into_iter()
+                            .map(|l| (response_id(&l), l))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        rounds.push(got.into_iter().collect());
+
+        shutdown(addr);
+        run.join().unwrap();
+    });
+
+    for (round, by_id) in rounds.iter().enumerate() {
+        assert_eq!(by_id.len(), windows.len(), "round {round} lost responses");
+        for (i, want) in expected.iter().enumerate() {
+            assert_eq!(
+                by_id.get(&(i as u64)),
+                Some(want),
+                "round {round}, request {i}: response bytes diverged from serial decode"
+            );
+        }
+    }
+    let m = server.metrics();
+    assert_eq!(m.completed, 2 * windows.len() as u64);
+    assert_eq!(m.failed + m.rejected, 0);
+    // Warm pools: only the first request per (shard, fingerprint) builds a
+    // session cold.
+    assert!(m.pool_hits > 0, "expected warm session reuse: {m:?}");
+    assert_eq!(m.pool_hits + m.pool_misses, 2 * windows.len() as u64);
+}
+
+#[test]
+fn saturating_burst_gets_typed_overload_responses() {
+    let d = dataset();
+    let cfg = ServeConfig {
+        shards: 1,
+        lanes: 1,
+        queue_cap: 1,
+        pool_per_key: 1,
+        ..config(&d)
+    };
+    let n = 128;
+    let window = d.test[0].coarse;
+
+    let server = Server::new(imputation_model(&d), rules(), cfg);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut lines = Vec::new();
+    std::thread::scope(|s| {
+        let run = s.spawn(|| server.run(listener).unwrap());
+        let (mut reader, mut stream) = connect(addr);
+        // One pipelined burst: far faster than a 1-lane shard with a
+        // 1-deep queue can drain.
+        let burst: String = (0..n).map(|i| impute_line(i, &window) + "\n").collect();
+        stream.write_all(burst.as_bytes()).unwrap();
+        lines = read_lines(&mut reader, n);
+        shutdown(addr);
+        run.join().unwrap();
+    });
+
+    let mut seen: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut overloaded = 0u64;
+    let mut ok = 0u64;
+    for line in &lines {
+        *seen.entry(response_id(line)).or_default() += 1;
+        if line.contains(r#""error":"overloaded""#) {
+            assert!(
+                line.contains(r#""queue_cap":1"#),
+                "overload response must carry the queue bound: {line}"
+            );
+            overloaded += 1;
+        } else {
+            assert!(line.contains(r#""ok":true"#), "unexpected response: {line}");
+            ok += 1;
+        }
+    }
+    assert_eq!(seen.len(), n, "every request answered exactly once");
+    assert!(seen.values().all(|&c| c == 1), "duplicated responses");
+    assert!(overloaded > 0, "burst never tripped admission control");
+    assert!(ok > 0, "admission control starved the decoder entirely");
+    let m = server.metrics();
+    assert_eq!(m.rejected, overloaded);
+    assert_eq!(m.completed, ok);
+}
+
+#[test]
+fn graceful_drain_answers_everything_admitted_then_refuses() {
+    let d = dataset();
+    let cfg = ServeConfig {
+        shards: 2,
+        lanes: 4,
+        queue_cap: 256,
+        ..config(&d)
+    };
+    let n = 12;
+    let windows: Vec<CoarseSignals> = d.test.iter().cycle().take(n).map(|w| w.coarse).collect();
+
+    let server = Server::new(imputation_model(&d), rules(), cfg);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut lines = Vec::new();
+    std::thread::scope(|s| {
+        let run = s.spawn(|| server.run(listener).unwrap());
+        let (mut reader, mut stream) = connect(addr);
+        for (i, w) in windows.iter().enumerate() {
+            writeln!(stream, "{}", impute_line(i, w)).unwrap();
+        }
+        // Shutdown races the in-flight work from a second connection.
+        shutdown(addr);
+        lines = read_lines(&mut reader, n);
+        run.join().unwrap();
+    });
+
+    let mut seen: BTreeMap<u64, u32> = BTreeMap::new();
+    for line in &lines {
+        *seen.entry(response_id(line)).or_default() += 1;
+        assert!(
+            line.contains(r#""ok":true"#) || line.contains(r#""error":"shutting_down""#),
+            "drain must answer or refuse, never drop: {line}"
+        );
+    }
+    assert_eq!(seen.len(), n, "a request was lost in the drain");
+    assert!(seen.values().all(|&c| c == 1), "duplicated responses");
+    let m = server.metrics();
+    assert_eq!(
+        m.completed,
+        lines.iter().filter(|l| l.contains(r#""ok":true"#)).count() as u64
+    );
+
+    // The listener is gone: post-drain clients are refused outright.
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "server still accepting after drain"
+    );
+}

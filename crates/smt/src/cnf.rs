@@ -1,11 +1,19 @@
 //! Tseitin transformation of the boolean skeleton into CNF.
 //!
-//! Every boolean subterm gets a SAT literal; definitional clauses are added
-//! once (the encoder caches by [`TermId`]). Theory atoms (`Le` terms) are
-//! canonicalized into [`LinAtom`]s first and cached *by atom*, so syntactic
-//! variants of the same inequality (`x ≤ 5` vs `x + 1 ≤ 6`) share one SAT
-//! variable — which both shrinks the search space and lets the theory layer
-//! keep a single registry.
+//! Every boolean subterm gets a SAT literal, cached by [`TermId`] — the
+//! *variable* mapping is permanent, so re-encoding a term is free. The
+//! *definitional clauses*, however, are scoped to the assertion frame that
+//! (re-)introduced them: each is guarded by that frame's selector literal,
+//! so retracting the frame physically deletes them and the SAT search stops
+//! paying for encodings nothing live references (a long-lived session would
+//! otherwise decide every variable it ever allocated, every solve, forever).
+//! On a cache hit whose defining frame has since been retracted, the clauses
+//! are re-emitted under the current frame — same variables, fresh guard.
+//!
+//! Theory atoms (`Le` terms) are canonicalized into [`LinAtom`]s first and
+//! cached *by atom*, so syntactic variants of the same inequality (`x ≤ 5`
+//! vs `x + 1 ≤ 6`) share one SAT variable — which both shrinks the search
+//! space and lets the theory layer keep a single registry.
 
 use std::collections::BTreeMap;
 
@@ -21,10 +29,28 @@ use crate::term::{Term, TermId, TermPool, VarId};
 pub struct Encoder {
     /// Cache of already-encoded boolean terms.
     cache: BTreeMap<TermId, Lit>,
-    /// SAT variable per canonical theory atom.
-    atom_vars: BTreeMap<LinAtom, SatVar>,
+    /// SAT variable and registry index per canonical theory atom.
+    atom_vars: BTreeMap<LinAtom, (SatVar, u32)>,
     /// Registry: every theory atom with its SAT variable, in allocation order.
     atoms: Vec<(LinAtom, SatVar)>,
+    /// Scope of each `And`/`Or` term's definitional clauses: `None` means
+    /// permanent (emitted at the root, outside any frame); `Some(id)` means
+    /// guarded by the frame with that *generation id* — live exactly while
+    /// that frame is open, deleted by the frame's retract. Generation ids
+    /// (not selector variables) are the key because selector variables are
+    /// recycled: a reused selector must not make a retired frame's deleted
+    /// clauses look live. Leaf terms (`Var`, `Le`, constants) and `Not`
+    /// have no definitional clauses and no entry.
+    def_guard: BTreeMap<TermId, Option<u64>>,
+    /// Cache of each encoded term's *atom cone*: the registry indices of
+    /// every theory atom reachable in its encoding, sorted and deduplicated.
+    /// The SMT layer refcounts these per assertion frame so a theory check
+    /// only receives atoms belonging to live assertions — definitional
+    /// clauses are permanent (that is what makes `cache` sound across
+    /// frames), so without the cone bookkeeping every atom ever encoded
+    /// would stay decidable forever and per-check theory cost would grow
+    /// with session history.
+    cones: BTreeMap<TermId, Vec<u32>>,
     /// SAT variable per boolean problem variable.
     bool_vars: BTreeMap<VarId, SatVar>,
     /// Literal that is constant-true (allocated lazily).
@@ -70,18 +96,38 @@ impl Encoder {
         l
     }
 
-    /// Encodes a boolean term, returning its literal. Definitional clauses
-    /// are added to `sat` as needed (idempotently).
-    pub fn encode(&mut self, pool: &TermPool, sat: &mut SatSolver, t: TermId) -> Lit {
+    /// Encodes a boolean term, returning its literal.
+    ///
+    /// `guard` is the current frame's selector literal plus its generation
+    /// id (or `None` at the root): every definitional clause emitted is
+    /// prefixed with `¬selector`, scoping it to the frame. `open` is the
+    /// stack of open frames' generation ids (ascending — generation ids are
+    /// allocated monotonically and never reused, unlike selector
+    /// *variables*, which are recycled), used to decide whether a cached
+    /// term's definitional clauses are still live; if their defining frame
+    /// was retracted they are re-emitted under `guard`, reusing the cached
+    /// variables.
+    pub fn encode(
+        &mut self,
+        pool: &TermPool,
+        sat: &mut SatSolver,
+        t: TermId,
+        guard: Option<(Lit, u64)>,
+        open: &[u64],
+    ) -> Lit {
         if let Some(&l) = self.cache.get(&t) {
             self.cache_hits += 1;
+            self.ensure_defs(pool, sat, t, guard, open);
             return l;
         }
         self.cache_misses += 1;
         let lit = match pool.get(t) {
             Term::True => self.true_lit(sat),
             Term::False => !self.true_lit(sat),
-            Term::Not(inner) => !self.encode(pool, sat, *inner),
+            Term::Not(inner) => {
+                let inner = *inner;
+                !self.encode(pool, sat, inner, guard, open)
+            }
             Term::Var(v) => {
                 let sv = *self.bool_vars.entry(*v).or_insert_with(|| sat.new_var());
                 Lit::new(sv, true)
@@ -99,10 +145,11 @@ impl Encoder {
                     }
                 } else {
                     let sv = match self.atom_vars.get(&atom) {
-                        Some(&sv) => sv,
+                        Some(&(sv, _)) => sv,
                         None => {
                             let sv = sat.new_var();
-                            self.atom_vars.insert(atom.clone(), sv);
+                            let idx = self.atoms.len() as u32;
+                            self.atom_vars.insert(atom.clone(), (sv, idx));
                             self.atoms.push((atom, sv));
                             sv
                         }
@@ -112,38 +159,172 @@ impl Encoder {
             }
             Term::And(kids) => {
                 let kids: Vec<TermId> = kids.to_vec();
-                let lits: Vec<Lit> = kids.iter().map(|&k| self.encode(pool, sat, k)).collect();
+                let lits: Vec<Lit> = kids
+                    .iter()
+                    .map(|&k| self.encode(pool, sat, k, guard, open))
+                    .collect();
                 let v = sat.new_var();
                 let lv = Lit::new(v, true);
-                // v → kᵢ for all i;  (k₁ ∧ … ∧ kₙ) → v.
-                let mut long: Vec<Lit> = Vec::with_capacity(lits.len() + 1);
-                long.push(lv);
-                for &k in &lits {
-                    sat.add_clause(&[!lv, k]);
-                    long.push(!k);
-                }
-                sat.add_clause(&long);
+                Self::emit_and_defs(sat, lv, &lits, guard.map(|(g, _)| g));
+                self.def_guard.insert(t, guard.map(|(_, id)| id));
                 lv
             }
             Term::Or(kids) => {
                 let kids: Vec<TermId> = kids.to_vec();
-                let lits: Vec<Lit> = kids.iter().map(|&k| self.encode(pool, sat, k)).collect();
+                let lits: Vec<Lit> = kids
+                    .iter()
+                    .map(|&k| self.encode(pool, sat, k, guard, open))
+                    .collect();
                 let v = sat.new_var();
                 let lv = Lit::new(v, true);
-                // kᵢ → v for all i;  v → (k₁ ∨ … ∨ kₙ).
-                let mut long: Vec<Lit> = Vec::with_capacity(lits.len() + 1);
-                long.push(!lv);
-                for &k in &lits {
-                    sat.add_clause(&[lv, !k]);
-                    long.push(k);
-                }
-                sat.add_clause(&long);
+                Self::emit_or_defs(sat, lv, &lits, guard.map(|(g, _)| g));
+                self.def_guard.insert(t, guard.map(|(_, id)| id));
                 lv
             }
             other => panic!("cannot encode non-boolean term {other:?}"),
         };
         self.cache.insert(t, lit);
         lit
+    }
+
+    /// Whether `t`'s definitional clauses are currently attached: permanent,
+    /// or guarded by a frame generation id still on the open-frame stack.
+    fn defs_live(&self, t: TermId, open: &[u64]) -> bool {
+        match self.def_guard.get(&t) {
+            None => false,
+            Some(None) => true,
+            Some(Some(id)) => open.binary_search(id).is_ok(),
+        }
+    }
+
+    /// Re-attaches the definitional clauses of every dead `And`/`Or` node in
+    /// `t`'s (already-encoded) subtree, guarded by the current frame.
+    ///
+    /// Recursion stops at live nodes: a node's defs being live implies its
+    /// children's are too, because children are made live whenever a parent
+    /// is (re-)emitted and frames retract in LIFO order — a child's guard
+    /// frame, opened no later than the parent's, can only close after it.
+    fn ensure_defs(
+        &mut self,
+        pool: &TermPool,
+        sat: &mut SatSolver,
+        t: TermId,
+        guard: Option<(Lit, u64)>,
+        open: &[u64],
+    ) {
+        match pool.get(t) {
+            Term::True | Term::False | Term::Var(_) | Term::Le(..) => {}
+            Term::Not(inner) => {
+                let inner = *inner;
+                self.ensure_defs(pool, sat, inner, guard, open);
+            }
+            Term::And(kids) | Term::Or(kids) => {
+                if self.defs_live(t, open) {
+                    return;
+                }
+                let is_and = matches!(pool.get(t), Term::And(_));
+                let kids: Vec<TermId> = kids.to_vec();
+                for &k in &kids {
+                    self.ensure_defs(pool, sat, k, guard, open);
+                }
+                let lv = self.cache[&t];
+                let lits: Vec<Lit> = kids.iter().map(|&k| self.cache[&k]).collect();
+                if is_and {
+                    Self::emit_and_defs(sat, lv, &lits, guard.map(|(g, _)| g));
+                } else {
+                    Self::emit_or_defs(sat, lv, &lits, guard.map(|(g, _)| g));
+                }
+                self.def_guard.insert(t, guard.map(|(_, id)| id));
+            }
+            _ => {}
+        }
+    }
+
+    /// `v → kᵢ` for all i; `(k₁ ∧ … ∧ kₙ) → v` — each clause prefixed with
+    /// `¬guard` when a frame is open.
+    fn emit_and_defs(sat: &mut SatSolver, lv: Lit, lits: &[Lit], guard: Option<Lit>) {
+        let g = guard.map(|s| !s);
+        let mut long: Vec<Lit> = Vec::with_capacity(lits.len() + 2);
+        if let Some(g) = g {
+            long.push(g);
+        }
+        long.push(lv);
+        for &k in lits {
+            match g {
+                Some(g) => sat.add_clause(&[g, !lv, k]),
+                None => sat.add_clause(&[!lv, k]),
+            };
+            long.push(!k);
+        }
+        sat.add_clause(&long);
+    }
+
+    /// `kᵢ → v` for all i; `v → (k₁ ∨ … ∨ kₙ)` — each clause prefixed with
+    /// `¬guard` when a frame is open.
+    fn emit_or_defs(sat: &mut SatSolver, lv: Lit, lits: &[Lit], guard: Option<Lit>) {
+        let g = guard.map(|s| !s);
+        let mut long: Vec<Lit> = Vec::with_capacity(lits.len() + 2);
+        if let Some(g) = g {
+            long.push(g);
+        }
+        long.push(!lv);
+        for &k in lits {
+            match g {
+                Some(g) => sat.add_clause(&[g, lv, !k]),
+                None => sat.add_clause(&[lv, !k]),
+            };
+            long.push(k);
+        }
+        sat.add_clause(&long);
+    }
+
+    /// The *atom cone* of an already-encoded term: registry indices of every
+    /// theory atom reachable in its encoding, sorted ascending, deduplicated.
+    ///
+    /// Must be called after [`Self::encode`] for the same term (the cone is
+    /// read off the atom registry, which `encode` populates); the result is
+    /// cached per [`TermId`]. [`crate::Solver::assert`] refcounts these
+    /// indices per frame so theory checks only see live assertions' atoms.
+    pub fn cone(&mut self, pool: &TermPool, t: TermId) -> &[u32] {
+        self.ensure_cone(pool, t);
+        &self.cones[&t]
+    }
+
+    /// Memoized cone computation: every subterm's cone is cached, so shared
+    /// (hash-consed) subterms are visited once, not once per occurrence.
+    fn ensure_cone(&mut self, pool: &TermPool, t: TermId) {
+        if self.cones.contains_key(&t) {
+            return;
+        }
+        let mut acc: Vec<u32> = Vec::new();
+        match pool.get(t) {
+            Term::True | Term::False | Term::Var(_) => {}
+            Term::Not(inner) => {
+                let inner = *inner;
+                self.ensure_cone(pool, inner);
+                acc.extend_from_slice(&self.cones[&inner]);
+            }
+            Term::Le(a, b) => {
+                let atom = LinAtom::from_le(pool, *a, *b);
+                // Constant atoms fold to truth literals in `encode` and
+                // never reach the registry.
+                if !atom.expr.is_constant() {
+                    if let Some(&(_, idx)) = self.atom_vars.get(&atom) {
+                        acc.push(idx);
+                    }
+                }
+            }
+            Term::And(kids) | Term::Or(kids) => {
+                for k in kids.iter().copied() {
+                    self.ensure_cone(pool, k);
+                    acc.extend_from_slice(&self.cones[&k]);
+                }
+            }
+            _ => {}
+        }
+        acc.sort_unstable();
+        acc.dedup();
+        self.cones.insert(t, acc);
     }
 }
 
@@ -167,8 +348,8 @@ mod tests {
         let a1 = p.le(x, five);
         let x1 = p.add(&[x, one]);
         let a2 = p.le(x1, six);
-        let l1 = enc.encode(&p, &mut sat, a1);
-        let l2 = enc.encode(&p, &mut sat, a2);
+        let l1 = enc.encode(&p, &mut sat, a1, None, &[]);
+        let l2 = enc.encode(&p, &mut sat, a2, None, &[]);
         assert_eq!(l1, l2, "x<=5 and x+1<=6 must share a SAT variable");
         assert_eq!(enc.atoms().len(), 1);
     }
@@ -180,7 +361,7 @@ mod tests {
         let b = p.bool_var("b");
         let (ta, tb) = (p.var(a), p.var(b));
         let conj = p.and(&[ta, tb]);
-        let root = enc.encode(&p, &mut sat, conj);
+        let root = enc.encode(&p, &mut sat, conj, None, &[]);
         sat.add_clause(&[root]);
         assert_eq!(sat.solve(&[]).unwrap(), SatOutcome::Sat);
         let sa = enc.bool_var(a).unwrap();
@@ -196,7 +377,7 @@ mod tests {
         let b = p.bool_var("b");
         let (ta, tb) = (p.var(a), p.var(b));
         let disj = p.or(&[ta, tb]);
-        let root = enc.encode(&p, &mut sat, disj);
+        let root = enc.encode(&p, &mut sat, disj, None, &[]);
         sat.add_clause(&[root]);
         let sa = enc.bool_var(a).unwrap();
         let sb = enc.bool_var(b).unwrap();
@@ -217,7 +398,7 @@ mod tests {
         let diff = p.add(&[x, negx]); // folds to 0
         let minus1 = p.int(-1);
         let t = p.le(diff, minus1); // 0 <= -1 folds at pool level to False
-        let l = enc.encode(&p, &mut sat, t);
+        let l = enc.encode(&p, &mut sat, t, None, &[]);
         sat.add_clause(&[l]);
         assert_eq!(sat.solve(&[]).unwrap(), SatOutcome::Unsat);
     }
@@ -227,8 +408,8 @@ mod tests {
         let (mut p, mut sat, mut enc) = setup();
         let t = p.tt();
         let f = p.ff();
-        let lt = enc.encode(&p, &mut sat, t);
-        let lf = enc.encode(&p, &mut sat, f);
+        let lt = enc.encode(&p, &mut sat, t, None, &[]);
+        let lf = enc.encode(&p, &mut sat, f, None, &[]);
         assert_eq!(lt, !lf);
         sat.add_clause(&[lt]);
         assert_eq!(sat.solve(&[]).unwrap(), SatOutcome::Sat);
@@ -241,9 +422,9 @@ mod tests {
         let b = p.bool_var("b");
         let (ta, tb) = (p.var(a), p.var(b));
         let conj = p.and(&[ta, tb]);
-        let l1 = enc.encode(&p, &mut sat, conj);
+        let l1 = enc.encode(&p, &mut sat, conj, None, &[]);
         let vars_before = sat.num_vars();
-        let l2 = enc.encode(&p, &mut sat, conj);
+        let l2 = enc.encode(&p, &mut sat, conj, None, &[]);
         assert_eq!(l1, l2);
         assert_eq!(sat.num_vars(), vars_before);
     }

@@ -163,6 +163,20 @@ pub struct SatSolver {
     /// Heap-free VSIDS: we keep a simple order cache rebuilt lazily.
     order: Vec<SatVar>,
     order_dirty: bool,
+    /// Variables retired by [`Self::retract`] and available for reuse by
+    /// [`Self::new_var`]. Frame selectors churn at the rate of push/pop —
+    /// hundreds per decoded record in a long-lived session — and without
+    /// recycling, `order`/`assigns` would grow forever and every solve's
+    /// branching scan would slow linearly with session age.
+    free_vars: Vec<SatVar>,
+    /// Live-clause occurrence count per variable. A variable with zero
+    /// occurrences appears in no attached clause, so no assignment to it can
+    /// falsify anything: `pick_branch` leaves it undefined. This is what
+    /// keeps long-lived sessions honest — after [`Self::retract`] deletes a
+    /// frame's clauses, the frame's Tseitin/atom variables drop to zero
+    /// occurrences and stop being decided, so the SMT layer never hands
+    /// their (stale) theory atoms to the theory solver again.
+    occ: Vec<u32>,
     var_inc: f64,
     cla_inc: f64,
     ok: bool,
@@ -200,6 +214,8 @@ impl SatSolver {
             qhead: 0,
             order: Vec::new(),
             order_dirty: false,
+            free_vars: Vec::new(),
+            occ: Vec::new(),
             var_inc: 1.0,
             cla_inc: 1.0,
             ok: true,
@@ -233,8 +249,22 @@ impl SatSolver {
         self.clauses.iter().filter(|c| !c.lits.is_empty()).count()
     }
 
-    /// Allocates a fresh variable.
+    /// Allocates a variable: a recycled one retired by [`Self::retract`] if
+    /// available (reset to a fresh state — no clause mentions it, so reuse
+    /// is invisible to the search), else a brand-new slot.
     pub fn new_var(&mut self) -> SatVar {
+        if let Some(v) = self.free_vars.pop() {
+            let i = v.index();
+            debug_assert_eq!(self.assigns[i], LBool::Undef);
+            debug_assert_eq!(self.occ[i], 0);
+            self.polarity[i] = false;
+            self.activity[i] = 0.0;
+            self.reason[i] = None;
+            self.level[i] = 0;
+            self.seen[i] = false;
+            self.order_dirty = true;
+            return v;
+        }
         let v = SatVar(self.assigns.len() as u32);
         self.assigns.push(LBool::Undef);
         self.polarity.push(false);
@@ -242,6 +272,7 @@ impl SatSolver {
         self.reason.push(None);
         self.level.push(0);
         self.seen.push(false);
+        self.occ.push(0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order.push(v);
@@ -351,6 +382,9 @@ impl SatSolver {
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
         let (l0, l1) = (lits[0], lits[1]);
+        for l in &lits {
+            self.occ[l.var().index()] += 1;
+        }
         let cr = self.alloc_clause(lits, learnt);
         self.watches[(!l0).code()].push(Watcher {
             clause: cr,
@@ -367,6 +401,10 @@ impl SatSolver {
         let (l0, l1) = (self.clauses[cr].lits[0], self.clauses[cr].lits[1]);
         self.watches[(!l0).code()].retain(|w| w.clause != cr);
         self.watches[(!l1).code()].retain(|w| w.clause != cr);
+        for i in 0..self.clauses[cr].lits.len() {
+            let v = self.clauses[cr].lits[i].var().index();
+            self.occ[v] = self.occ[v].saturating_sub(1);
+        }
         self.clauses[cr].lits.clear();
         self.free_clauses.push(cr);
     }
@@ -415,11 +453,13 @@ impl SatSolver {
             }
         }
         self.reason[v.index()] = None;
-        // Retire the variable: a root-level assignment keeps `pick_branch`
-        // from ever deciding on it again (the effect the permanent `¬sel`
-        // unit of the old selector idiom had, without keeping any clause).
+        // Retire the variable. With every clause mentioning it gone its
+        // occurrence count is zero, so `pick_branch` will never decide it;
+        // if it is also unassigned it can be recycled outright by
+        // [`Self::new_var`]. (A selector root-assigned `¬sel` by an earlier
+        // propagation stays on the trail and is simply left retired.)
         if self.assigns[v.index()] == LBool::Undef {
-            self.unchecked_enqueue(Lit::new(v, false), None);
+            self.free_vars.push(v);
         }
         // Decay surviving learnt activities: bumps earned proving facts
         // about the retracted frame should not dominate branching in the
@@ -662,7 +702,13 @@ impl SatSolver {
             self.order_dirty = false;
         }
         for &v in &self.order {
-            if self.assigns[v.index()] == LBool::Undef {
+            // Zero-occurrence variables are don't-cares: nothing live
+            // mentions them, so deciding them can neither satisfy nor
+            // falsify a clause. Skipping them keeps the model *partial*
+            // over retired frames' variables — once every occurring
+            // variable is assigned and propagation is at fixpoint with no
+            // conflict, every live clause is satisfied.
+            if self.assigns[v.index()] == LBool::Undef && self.occ[v.index()] > 0 {
                 return Some(Lit::new(v, self.polarity[v.index()]));
             }
         }

@@ -262,7 +262,7 @@ fn exec(solver: &mut Solver, form: &Sexp, out: &mut ScriptOutput) -> Result<(), 
                 "(:checks {} :theory-checks {} :theory-conflicts {} \
                  :theory-memo-hits {} :tableau-builds {} :slack-rows {} \
                  :slack-row-hits {} :pivots {} :bnb-nodes {} \
-                 :encode-cache {}/{})",
+                 :encode-cache {}/{} :session-pool {}/{}/{})",
                 s.checks,
                 s.theory_checks,
                 s.theory_conflicts,
@@ -274,6 +274,9 @@ fn exec(solver: &mut Solver, form: &Sexp, out: &mut ScriptOutput) -> Result<(), 
                 s.bnb_nodes,
                 s.encode_cache_hits,
                 s.encode_cache_hits + s.encode_cache_misses,
+                s.pool_hits,
+                s.pool_misses,
+                s.pool_evictions,
             ));
         }
         "set-logic" | "set-option" | "set-info" | "exit" => {} // accepted, ignored

@@ -134,6 +134,15 @@ pub struct SolverStats {
     pub encode_cache_hits: u64,
     /// Tseitin encode-cache misses (terms freshly encoded).
     pub encode_cache_misses: u64,
+    /// Times this solver was handed out warm by a session pool
+    /// ([`Solver::note_pool_events`]; zero for solvers that never lived in
+    /// a pool).
+    pub pool_hits: u64,
+    /// Times a session pool had to build this solver fresh (a cold miss).
+    pub pool_misses: u64,
+    /// Pool evictions attributed to this solver's acquisition (sessions the
+    /// pool dropped to stay within its per-key cap since the last acquire).
+    pub pool_evictions: u64,
 }
 
 /// Result of [`Solver::bounds`]: the feasible hull of an integer variable
@@ -208,6 +217,25 @@ pub struct Solver {
     /// Declared-variable count the memo entries were computed under.
     memo_vars: usize,
     frames: Vec<Lit>,
+    /// Generation id per open frame, parallel to `frames`. Ids are
+    /// allocated monotonically and never reused — unlike selector
+    /// *variables*, which the SAT core recycles — so the encoder can use
+    /// them to decide whether a cached term's definitional clauses (scoped
+    /// to the frame that emitted them) are still attached.
+    frame_ids: Vec<u64>,
+    /// Next frame generation id.
+    next_frame_id: u64,
+    /// Per-frame atom cones: for each open frame, the registry indices of
+    /// the atoms its assertions reference (with multiplicity), popped in
+    /// lockstep with `frames` by [`Self::retract`].
+    frame_atoms: Vec<Vec<u32>>,
+    /// Live-assertion refcount per atom-registry index. An atom with count
+    /// zero belongs only to retired (or never-asserted) encodings; theory
+    /// checks skip it even when the SAT core assigned its variable — the
+    /// permanent definitional clauses keep old atom variables decidable, and
+    /// without this filter a long-lived session's theory checks would grow
+    /// with everything it ever asserted instead of with what is live now.
+    atom_live: Vec<u32>,
     model: Option<Model>,
     stats: SolverStats,
     theory_config: TheoryConfig,
@@ -234,6 +262,10 @@ impl Solver {
             theory_memo: BTreeMap::new(),
             memo_vars: 0,
             frames: Vec::new(),
+            frame_ids: Vec::new(),
+            next_frame_id: 0,
+            frame_atoms: Vec::new(),
+            atom_live: Vec::new(),
             model: None,
             stats: SolverStats::default(),
             theory_config: TheoryConfig::default(),
@@ -266,6 +298,20 @@ impl Solver {
         s.encode_cache_hits = hits;
         s.encode_cache_misses = misses;
         s
+    }
+
+    /// Credits session-pool traffic to this solver's statistics. Called by
+    /// the pool that owns the enclosing session (e.g. `lejit-core`'s
+    /// `SessionPool`) so warm-reuse observability flows through the same
+    /// [`SolverStats`] → decode-stats → table pipeline as every other
+    /// counter. Each pool event is attributed to exactly one solver, so
+    /// summing these fields across sessions reproduces the pool's totals.
+    /// Deterministic: pool traffic is a pure function of the request
+    /// sequence, never of timing.
+    pub fn note_pool_events(&mut self, hits: u64, misses: u64, evictions: u64) {
+        self.stats.pool_hits += hits;
+        self.stats.pool_misses += misses;
+        self.stats.pool_evictions += evictions;
     }
 
     /// The theory configuration used by every check.
@@ -390,7 +436,28 @@ impl Solver {
     pub fn assert(&mut self, t: TermId) {
         debug_assert_eq!(self.pool.sort_of(t), Sort::Bool);
         self.model = None;
-        let lit = self.enc.encode(&self.pool, &mut self.sat, t);
+        let guard = match (self.frames.last(), self.frame_ids.last()) {
+            (Some(&sel), Some(&id)) => Some((sel, id)),
+            _ => None,
+        };
+        let lit = self
+            .enc
+            .encode(&self.pool, &mut self.sat, t, guard, &self.frame_ids);
+        // Refcount the assertion's atom cone: root asserts bump permanently,
+        // frame asserts are recorded for the matching decrement on retract.
+        if self.atom_live.len() < self.enc.atoms().len() {
+            self.atom_live.resize(self.enc.atoms().len(), 0);
+        }
+        let cone = self.enc.cone(&self.pool, t);
+        for &i in cone {
+            self.atom_live[i as usize] += 1;
+        }
+        if !self.frames.is_empty() {
+            let cone = cone.to_vec();
+            if let Some(top) = self.frame_atoms.last_mut() {
+                top.extend(cone);
+            }
+        }
         match self.frames.last() {
             Some(&sel) => {
                 self.sat.add_clause(&[!sel, lit]);
@@ -405,6 +472,9 @@ impl Solver {
     pub fn push(&mut self) {
         let v = self.sat.new_var();
         self.frames.push(Lit::new(v, true));
+        self.frame_ids.push(self.next_frame_id);
+        self.next_frame_id += 1;
+        self.frame_atoms.push(Vec::new());
     }
 
     /// Discards the most recent frame and all its assertions. A `pop` with
@@ -420,7 +490,14 @@ impl Solver {
     /// [`Self::pop`] is an alias. A retract with no open frame is a no-op.
     pub fn retract(&mut self) {
         if let Some(sel) = self.frames.pop() {
+            self.frame_ids.pop();
             self.sat.retract(sel.var());
+            if let Some(cone) = self.frame_atoms.pop() {
+                for i in cone {
+                    let c = &mut self.atom_live[i as usize];
+                    *c = c.saturating_sub(1);
+                }
+            }
             self.model = None;
         }
     }
@@ -463,10 +540,18 @@ impl Solver {
             }
             self.stats.theory_checks += 1;
 
-            // Collect the theory atoms the SAT core actually assigned.
+            // Collect the theory atoms the SAT core actually assigned,
+            // restricted to atoms some *live* assertion references
+            // (`atom_live`): the permanent definitional clauses keep retired
+            // encodings' atom variables assignable, but their truth values
+            // carry no meaning for the live formula, and handing them to the
+            // theory would make per-check cost grow with session history.
             let mut conj: Vec<LinAtom> = Vec::new();
             let mut asserted_lits: Vec<Lit> = Vec::new();
-            for (atom, sv) in self.enc.atoms() {
+            for (i, (atom, sv)) in self.enc.atoms().iter().enumerate() {
+                if self.atom_live.get(i).copied().unwrap_or(0) == 0 {
+                    continue;
+                }
                 if let Some(val) = self.sat.assigned_value(*sv) {
                     conj.push(if val { atom.clone() } else { atom.negated() });
                     asserted_lits.push(Lit::new(*sv, val));
@@ -515,7 +600,19 @@ impl Solver {
                         // which cannot happen (lo <= hi); defensive fallback.
                         return Ok(SatResult::Unsat);
                     }
-                    let mut blocking: Vec<Lit> = Vec::with_capacity(core.len());
+                    let mut blocking: Vec<Lit> = Vec::with_capacity(core.len() + 1);
+                    // Guard the lemma with the innermost frame selector (when
+                    // one is open) so `retract` deletes it with the frame.
+                    // The lemma is theory-valid, so scoping it only loses
+                    // cross-frame reuse — but an *unguarded* lemma would pin
+                    // its atom variables live forever: in a long-lived pooled
+                    // session, retired groundings' atoms would stay decidable,
+                    // get re-asserted into every future theory check, and
+                    // per-check cost would grow with session history instead
+                    // of staying proportional to the live assertion set.
+                    if let Some(sel) = self.frames.last() {
+                        blocking.push(!*sel);
+                    }
                     for &i in &core {
                         let l = asserted_lits
                             .get(i)
