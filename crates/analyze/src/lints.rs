@@ -100,6 +100,8 @@ const PANIC_SCOPES: &[(&str, FnMatch)] = &[
             "pick_branch",
             "reduce_db",
             "solve",
+            "solve_with",
+            "explain_theory",
             "retract",
             "detach_clause",
         ]),
@@ -112,6 +114,8 @@ const PANIC_SCOPES: &[(&str, FnMatch)] = &[
             "update_nonbasic",
             "assert_lower",
             "assert_upper",
+            "lower_bound",
+            "upper_bound",
             "add_row",
             "snapshot",
             "undo_to",
@@ -125,7 +129,13 @@ const PANIC_SCOPES: &[(&str, FnMatch)] = &[
             "assert_atom",
             "sync_pool",
             "branch_and_bound",
+            "propagate",
+            "entailed",
         ]),
+    ),
+    (
+        "crates/smt/src/solver.rs",
+        FnMatch::Exact(&["propagate", "explain"]),
     ),
     ("crates/core/src/decoder.rs", FnMatch::DecodeFamily),
     (

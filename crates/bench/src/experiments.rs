@@ -570,12 +570,48 @@ pub fn fig5_synthesis(env: &BenchEnv) -> Table {
     table
 }
 
+/// One A1 configuration's machine-readable cost profile, consumed by the
+/// `ablation_lookahead` binary to emit `BENCH_solver.json` (the CI solver
+/// benchmark artifact). Per-character rates are `0.0` when the run
+/// generated no characters.
+pub struct SolverBenchRow {
+    /// Configuration label (matches the table's first column).
+    pub label: String,
+    /// Records that dead-ended.
+    pub dead_ends: usize,
+    /// Records decoded to completion.
+    pub completed: usize,
+    /// Theory checks per generated character.
+    pub checks_per_char: f64,
+    /// Simplex pivots per generated character.
+    pub pivots_per_char: f64,
+    /// Branch-and-bound nodes per generated character.
+    pub bnb_per_char: f64,
+    /// Theory propagations per generated character.
+    pub props_per_char: f64,
+    /// Lazy explanation clauses materialized per generated character.
+    pub explains_per_char: f64,
+    /// Mean wall-clock seconds per sample.
+    pub sec_per_sample: f64,
+}
+
 /// Ablation A1: solver lookahead policy — full per-digit probing vs the
 /// interval-guided tiers vs no lookahead at all (dead-end rate, compliance,
-/// and per-character solver cost) — plus the serving configuration:
-/// interval-guided over a warm per-worker [`SessionPool`], whose rows must
-/// decode the same bytes while skipping the cold session build.
+/// and per-character solver cost) — plus the serving configuration
+/// (interval-guided over a warm per-worker [`SessionPool`], which must
+/// decode the same bytes while skipping the cold session build) and the
+/// theory-propagation off-oracles (full and interval-guided tiers with
+/// `TaskConfig::theory_propagate` disabled, which must also decode the same
+/// bytes — the on/off delta in pivots and branch-and-bound nodes is the
+/// propagation effect, read at the full tier where theory conflicts are
+/// dense and at the guided tier where checks are already near-trivial).
 pub fn ablation_lookahead(env: &BenchEnv) -> Table {
+    ablation_lookahead_detailed(env).0
+}
+
+/// [`ablation_lookahead`] plus the machine-readable [`SolverBenchRow`]s
+/// behind the table, for `BENCH_solver.json`.
+pub fn ablation_lookahead_detailed(env: &BenchEnv) -> (Table, Vec<SolverBenchRow>) {
     let windows = env.eval_windows();
     let d = &env.dataset;
     let mut table = Table::new(&[
@@ -587,24 +623,40 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
         "checks saved/char",
         "pivots/char",
         "b&b nodes/char",
+        "props/char",
         "memo hits/char",
         "encode hit rate",
         "pool hit rate",
         "pool evictions",
         "sec/sample",
     ]);
-    for (label, lookahead, pooled) in [
-        ("full (LeJIT)", Lookahead::Full, false),
-        ("interval-guided (LeJIT)", Lookahead::IntervalGuided, false),
+    let mut rows = Vec::new();
+    for (label, lookahead, pooled, propagate) in [
+        ("full (LeJIT)", Lookahead::Full, false, true),
+        ("full (no propagation)", Lookahead::Full, false, false),
+        (
+            "interval-guided (LeJIT)",
+            Lookahead::IntervalGuided,
+            false,
+            true,
+        ),
+        (
+            "interval-guided (no propagation)",
+            Lookahead::IntervalGuided,
+            false,
+            false,
+        ),
         (
             "interval-guided (pooled sessions)",
             Lookahead::IntervalGuided,
+            true,
             true,
         ),
         (
             "immediate only (grammar-style)",
             Lookahead::ImmediateOnly,
             false,
+            true,
         ),
     ] {
         let start = Instant::now();
@@ -620,6 +672,7 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
                     d.bandwidth,
                     TaskConfig {
                         lookahead,
+                        theory_propagate: propagate,
                         ..task_config(100)
                     },
                 );
@@ -648,6 +701,8 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
                     total.solver_checks_saved += s.solver_checks_saved;
                     total.solver_pivots += s.solver_pivots;
                     total.solver_bnb_nodes += s.solver_bnb_nodes;
+                    total.theory_propagations += s.theory_propagations;
+                    total.theory_explanations += s.theory_explanations;
                     total.theory_memo_hits += s.theory_memo_hits;
                     total.encode_cache_hits += s.encode_cache_hits;
                     total.encode_cache_misses += s.encode_cache_misses;
@@ -662,11 +717,18 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
             }
         }
         let stats = violation_stats(&env.mined.imputation, &completed);
+        let rate = |n: u64| {
+            if generated_chars == 0 {
+                0.0
+            } else {
+                n as f64 / generated_chars as f64
+            }
+        };
         let per_char = |n: u64| {
             if generated_chars == 0 {
                 "-".to_string()
             } else {
-                format!("{:.2}", n as f64 / generated_chars as f64)
+                format!("{:.2}", rate(n))
             }
         };
         let encode_total = total.encode_cache_hits + total.encode_cache_misses;
@@ -690,6 +752,7 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
             per_char(total.solver_checks_saved),
             per_char(total.solver_pivots),
             per_char(total.solver_bnb_nodes),
+            per_char(total.theory_propagations),
             per_char(total.theory_memo_hits),
             encode_rate,
             pool_rate,
@@ -700,8 +763,19 @@ pub fn ablation_lookahead(env: &BenchEnv) -> Table {
             },
             format!("{wall:.4}"),
         ]);
+        rows.push(SolverBenchRow {
+            label: label.to_string(),
+            dead_ends,
+            completed: completed.len(),
+            checks_per_char: rate(total.solver_checks),
+            pivots_per_char: rate(total.solver_pivots),
+            bnb_per_char: rate(total.solver_bnb_nodes),
+            props_per_char: rate(total.theory_propagations),
+            explains_per_char: rate(total.theory_explanations),
+            sec_per_sample: wall,
+        });
     }
-    table
+    (table, rows)
 }
 
 /// Thread-scaling study: LeJIT full-rule imputation wall time vs worker

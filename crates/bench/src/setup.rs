@@ -67,6 +67,16 @@ impl Scale {
         }
     }
 
+    /// The lower-case name used in result paths and JSON artifacts
+    /// (matches the `LEJIT_SCALE` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+
     /// Number of held-out test windows to evaluate per method.
     pub fn eval_windows(self) -> usize {
         match self {

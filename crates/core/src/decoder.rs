@@ -92,6 +92,12 @@ pub struct DecodeStats {
     /// DPLL(T) theory checks answered from the solver's verdict memo
     /// without touching the tableau.
     pub theory_memo_hits: u64,
+    /// Atom literals the theory propagator enqueued on the SAT trail (bound
+    /// consequences derived between unit propagation and each decision).
+    pub theory_propagations: u64,
+    /// Theory reason clauses materialized on demand during conflict
+    /// analysis (a subset of `theory_propagations`).
+    pub theory_explanations: u64,
     /// Tseitin encode-cache hits (terms answered without fresh clauses).
     pub encode_cache_hits: u64,
     /// Tseitin encode-cache misses (terms paying for a fresh encoding).
@@ -130,6 +136,12 @@ impl DecodeStats {
         self.theory_memo_hits = self
             .theory_memo_hits
             .saturating_sub(baseline.theory_memo_hits);
+        self.theory_propagations = self
+            .theory_propagations
+            .saturating_sub(baseline.theory_propagations);
+        self.theory_explanations = self
+            .theory_explanations
+            .saturating_sub(baseline.theory_explanations);
         self.encode_cache_hits = self
             .encode_cache_hits
             .saturating_sub(baseline.encode_cache_hits);
@@ -341,6 +353,8 @@ pub(crate) fn fill_session_stats(session: &JitSession, stats: &mut DecodeStats) 
     stats.solver_pivots = s.pivots;
     stats.solver_bnb_nodes = s.bnb_nodes;
     stats.theory_memo_hits = s.theory_memo_hits;
+    stats.theory_propagations = s.theory_propagations;
+    stats.theory_explanations = s.theory_explanations;
     stats.encode_cache_hits = s.encode_cache_hits;
     stats.encode_cache_misses = s.encode_cache_misses;
     stats.pool_hits = s.pool_hits;
@@ -770,6 +784,8 @@ pub(crate) mod tests {
             assert_eq!(s.stats.solver_pivots, g.stats.solver_pivots);
             assert_eq!(s.stats.solver_bnb_nodes, g.stats.solver_bnb_nodes);
             assert_eq!(s.stats.theory_memo_hits, g.stats.theory_memo_hits);
+            assert_eq!(s.stats.theory_propagations, g.stats.theory_propagations);
+            assert_eq!(s.stats.theory_explanations, g.stats.theory_explanations);
             assert_eq!(s.stats.encode_cache_hits, g.stats.encode_cache_hits);
             assert_eq!(s.stats.encode_cache_misses, g.stats.encode_cache_misses);
         }

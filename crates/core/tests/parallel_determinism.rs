@@ -145,9 +145,10 @@ fn batched_imputation_matrix_is_byte_identical() {
     let base_seed = 4242u64;
 
     // Fingerprint = decoded bytes plus the per-record solver cost profile
-    // (checks, warm-tableau pivots, branch-and-bound nodes, verdict-memo
-    // and Tseitin-cache traffic): batching and threading may regroup model
-    // calls but must not change any per-record solver work.
+    // (checks, warm-tableau pivots, branch-and-bound nodes, theory
+    // propagations/explanations, verdict-memo and Tseitin-cache traffic):
+    // batching and threading may regroup model calls but must not change
+    // any per-record solver work.
     let decode_all = |threads: usize, batch: usize| -> Vec<String> {
         let imputer = Imputer::new(
             &model,
@@ -167,11 +168,13 @@ fn batched_imputation_matrix_is_byte_identical() {
                 let o = r.unwrap();
                 let s = o.stats;
                 format!(
-                    "{}|checks={} pivots={} bnb={} memo={} enc={}/{}",
+                    "{}|checks={} pivots={} bnb={} props={}/{} memo={} enc={}/{}",
                     o.text,
                     s.solver_checks,
                     s.solver_pivots,
                     s.solver_bnb_nodes,
+                    s.theory_propagations,
+                    s.theory_explanations,
                     s.theory_memo_hits,
                     s.encode_cache_hits,
                     s.encode_cache_misses,
@@ -188,6 +191,69 @@ fn batched_imputation_matrix_is_byte_identical() {
                 decode_all(threads, batch),
                 sequential,
                 "threads={threads} batch={batch}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theory_propagation_onoff_is_byte_identical_end_to_end() {
+    // The propagation off-path is kept as a differential oracle
+    // (`TaskConfig::theory_propagate`): propagation only pre-places atom
+    // polarities the theory check would confirm anyway, so the decoded
+    // bytes — every character of every record, across the full
+    // (threads, batch) matrix — must be identical with it on or off. Only
+    // the cost profile may differ, with the on-path doing the propagating.
+    let d = dataset();
+    let model = imputation_model(&d);
+    let rules = parse_rules(
+        "rule r1: forall t: fine[t] >= 0 and fine[t] <= 60;
+         rule r2: sum(fine) == total_ingress;
+         rule r3: ecn_bytes > 0 => max(fine) >= 45;",
+    )
+    .unwrap();
+    let windows: Vec<_> = d.test.iter().take(12).map(|w| w.coarse).collect();
+    let base_seed = 4242u64;
+
+    let decode_all = |threads: usize, batch: usize, propagate: bool| -> (Vec<String>, u64) {
+        let imputer = Imputer::new(
+            &model,
+            rules.clone(),
+            d.window_len,
+            d.bandwidth,
+            TaskConfig {
+                threads,
+                batch_size: batch,
+                theory_propagate: propagate,
+                ..TaskConfig::default()
+            },
+        );
+        let mut props = 0u64;
+        let texts = imputer
+            .impute_batch(&windows, base_seed)
+            .into_iter()
+            .map(|r| {
+                let o = r.unwrap();
+                props += o.stats.theory_propagations;
+                o.text
+            })
+            .collect();
+        (texts, props)
+    };
+
+    let (reference, props_off) = decode_all(1, 1, false);
+    assert_eq!(props_off, 0, "off-path must not propagate");
+    for threads in [1, 4] {
+        for batch in [1, 8] {
+            let (texts, props_on) = decode_all(threads, batch, true);
+            assert_eq!(
+                texts, reference,
+                "threads={threads} batch={batch}: propagate=on drifted \
+                 from the off oracle"
+            );
+            assert!(
+                props_on > 0,
+                "threads={threads} batch={batch}: on-path never propagated"
             );
         }
     }

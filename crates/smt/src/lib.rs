@@ -69,7 +69,8 @@
 //! make the sum reach 100, so the feasible region is pruned to `[0, 40]`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod cnf;
 pub mod error;
@@ -85,8 +86,10 @@ pub mod theory;
 pub use error::SolverError;
 pub use linear::{LinAtom, LinExpr};
 pub use rational::Rational;
-pub use sat::{Lit, SatSolver, SatStats, SatVar};
+pub use sat::{Lit, SatSolver, SatStats, SatVar, TheoryPropagator};
 pub use smtlib::{run_script, ScriptOutput, SmtLibError};
 pub use solver::{IntervalMap, Model, SatResult, Solver, SolverStats, VarBounds};
 pub use term::{Sort, Term, TermId, TermPool, VarId, VarInfo};
-pub use theory::{check_conjunction, TheoryConfig, TheorySession, TheoryStats, TheoryVerdict};
+pub use theory::{
+    check_conjunction, TheoryConfig, TheoryPropagation, TheorySession, TheoryStats, TheoryVerdict,
+};

@@ -260,13 +260,16 @@ fn exec(solver: &mut Solver, form: &Sexp, out: &mut ScriptOutput) -> Result<(), 
             let s = solver.stats();
             out.lines.push(format!(
                 "(:checks {} :theory-checks {} :theory-conflicts {} \
-                 :theory-memo-hits {} :tableau-builds {} :slack-rows {} \
+                 :theory-memo-hits {} :theory-propagations {} \
+                 :theory-explanations {} :tableau-builds {} :slack-rows {} \
                  :slack-row-hits {} :pivots {} :bnb-nodes {} \
                  :encode-cache {}/{} :session-pool {}/{}/{})",
                 s.checks,
                 s.theory_checks,
                 s.theory_conflicts,
                 s.theory_memo_hits,
+                s.theory_propagations,
+                s.theory_explanations,
                 s.tableau_builds,
                 s.slack_rows_built,
                 s.slack_row_hits,
@@ -593,6 +596,8 @@ mod tests {
         for key in [
             ":theory-checks",
             ":theory-memo-hits",
+            ":theory-propagations",
+            ":theory-explanations",
             ":tableau-builds",
             ":pivots",
             ":bnb-nodes",

@@ -24,7 +24,7 @@ use std::collections::BTreeMap;
 use crate::cnf::Encoder;
 use crate::error::SolverError;
 use crate::linear::LinAtom;
-use crate::sat::{Lit, SatOutcome, SatSolver, SatStats};
+use crate::sat::{Lit, SatOutcome, SatSolver, SatStats, SatVar, TheoryPropagator};
 use crate::term::{Sort, Term, TermId, TermPool, VarId};
 use crate::theory::{TheoryConfig, TheorySession, TheoryVerdict};
 
@@ -143,6 +143,35 @@ pub struct SolverStats {
     /// Pool evictions attributed to this solver's acquisition (sessions the
     /// pool dropped to stay within its per-key cap since the last acquire).
     pub pool_evictions: u64,
+    /// Atom literals enqueued on the SAT trail by theory propagation —
+    /// bound consequences the warm tableau derived between unit propagation
+    /// and the next decision, instead of a later full check refuting them.
+    ///
+    /// ```
+    /// use lejit_smt::{SatResult, Solver};
+    ///
+    /// let mut s = Solver::new();
+    /// let x = s.int_var("x", 0, 10);
+    /// let tx = s.var(x);
+    /// let c3 = s.int(3);
+    /// let le3 = s.le(tx, c3);
+    /// s.assert(le3);
+    /// // x ≤ 3 entails x ≤ 5 and refutes x ≥ 7: with propagation on (the
+    /// // default) both disjuncts are decided by the theory, not by search.
+    /// let c5 = s.int(5);
+    /// let le5 = s.le(tx, c5);
+    /// let c7 = s.int(7);
+    /// let ge7 = s.ge(tx, c7);
+    /// let disj = s.or(&[le5, ge7]);
+    /// s.assert(disj);
+    /// assert_eq!(s.check().unwrap(), SatResult::Sat);
+    /// assert!(s.stats().theory_propagations >= 1);
+    /// ```
+    pub theory_propagations: u64,
+    /// Theory reason clauses materialized on demand during conflict
+    /// analysis — the subset of `theory_propagations` whose literal was
+    /// actually resolved on by 1-UIP (the rest never paid for a clause).
+    pub theory_explanations: u64,
 }
 
 /// Result of [`Solver::bounds`]: the feasible hull of an integer variable
@@ -201,6 +230,110 @@ fn gap_complement(lo: i64, hi: i64, values: &[i64]) -> Vec<(i64, i64)> {
 
 /// Maximum DPLL(T) refinement iterations per `check()` before `Unknown`.
 const MAX_REFINEMENTS: u64 = 100_000;
+
+/// The [`TheoryPropagator`] a [`Solver`] hands to the SAT core during
+/// `check()` when [`TheoryConfig::propagate`] is on: an adapter from trail
+/// state to [`TheorySession::propagate`] calls, recording each propagated
+/// literal's antecedents so `explain` can build the reason clause on demand.
+///
+/// Built fresh per `SatSolver::solve_with` call — antecedent records never
+/// outlive the solve that produced them. That is sound because a literal's
+/// reason is only consulted while the literal sits on the trail above the
+/// root level, and every such literal is unassigned again when the next
+/// solve starts (`cancel_until(0)`); theory-propagated literals *at* the
+/// root level keep their lazy marker across solves but are never resolved
+/// on (1-UIP skips root literals), so their explanations are never
+/// requested.
+struct SessionPropagator<'a> {
+    pool: &'a TermPool,
+    enc: &'a Encoder,
+    theory: &'a mut TheorySession,
+    atom_live: &'a [u32],
+    /// Innermost frame selector at solve time. Explanation clauses are
+    /// guarded with its negation so `retract` deletes them with the frame —
+    /// an unguarded explanation would pin its atom variables live forever
+    /// (the same argument as for theory blocking lemmas in
+    /// [`Solver::check`]).
+    guard: Option<Lit>,
+    /// Antecedent literals of every propagation this solve, keyed by the
+    /// propagated literal.
+    antecedents: BTreeMap<Lit, Vec<Lit>>,
+}
+
+impl TheoryPropagator for SessionPropagator<'_> {
+    fn propagate(&mut self, sat: &SatSolver) -> Result<Vec<Lit>, SolverError> {
+        // Partition the live atom registry (in registry order, which makes
+        // the propagation order deterministic) into asserted atoms and
+        // unassigned candidates.
+        let mut asserted: Vec<LinAtom> = Vec::new();
+        let mut asserted_lits: Vec<Lit> = Vec::new();
+        let mut candidates: Vec<LinAtom> = Vec::new();
+        let mut cand_vars: Vec<SatVar> = Vec::new();
+        for (i, (atom, sv)) in self.enc.atoms().iter().enumerate() {
+            if self.atom_live.get(i).copied().unwrap_or(0) == 0 {
+                continue;
+            }
+            // A literal this propagator itself placed earlier carries no
+            // new information — it is entailed by the real assertions —
+            // so it joins neither side of the partition: re-asserting it
+            // would be a no-op bound assert, and as an antecedent it would
+            // weaken explanations (the real assertions beneath it are the
+            // better reason).
+            if sat.reason_is_theory(*sv) {
+                continue;
+            }
+            match sat.assigned_value(*sv) {
+                Some(val) => {
+                    asserted.push(if val { atom.clone() } else { atom.negated() });
+                    asserted_lits.push(Lit::new(*sv, val));
+                }
+                // Only branchable variables are worth propagating: a var
+                // with no live clause occurrence (e.g. an interval-probe
+                // atom used purely as a `check_assuming` assumption) is
+                // never decided and watches nothing, so enqueueing it costs
+                // trail traffic without pruning any search.
+                None if sat.is_branchable(*sv) => {
+                    candidates.push(atom.clone());
+                    cand_vars.push(*sv);
+                }
+                None => {}
+            }
+        }
+        let props = self.theory.propagate(self.pool, &asserted, &candidates)?;
+        let mut out = Vec::with_capacity(props.len());
+        for p in props {
+            let &sv = cand_vars
+                .get(p.candidate)
+                .ok_or(SolverError::Internal("propagated candidate out of range"))?;
+            let lit = Lit::new(sv, p.value);
+            let mut ants = Vec::with_capacity(p.antecedents.len());
+            for ai in p.antecedents {
+                ants.push(
+                    *asserted_lits
+                        .get(ai)
+                        .ok_or(SolverError::Internal("propagation antecedent out of range"))?,
+                );
+            }
+            self.antecedents.insert(lit, ants);
+            out.push(lit);
+        }
+        Ok(out)
+    }
+
+    fn explain(&mut self, lit: Lit) -> Result<Vec<Lit>, SolverError> {
+        let ants = self
+            .antecedents
+            .get(&lit)
+            .ok_or(SolverError::Internal("explanation for unknown propagation"))?;
+        let mut clause = Vec::with_capacity(ants.len() + 2);
+        clause.push(lit);
+        if let Some(g) = self.guard {
+            clause.push(!g);
+        }
+        clause.extend(ants.iter().map(|&a| !a));
+        Ok(clause)
+    }
+}
 
 /// The SMT solver. See the [crate docs](crate) for an end-to-end example.
 pub struct Solver {
@@ -297,6 +430,9 @@ impl Solver {
         let (hits, misses) = self.enc.cache_stats();
         s.encode_cache_hits = hits;
         s.encode_cache_misses = misses;
+        let sat = self.sat.stats();
+        s.theory_propagations = sat.theory_propagations;
+        s.theory_explanations = sat.theory_explanations;
         s
     }
 
@@ -534,7 +670,24 @@ impl Solver {
         }
 
         for _ in 0..MAX_REFINEMENTS {
-            match self.sat.solve(&assumptions)? {
+            // With propagation on, the SAT search consults the warm tableau
+            // between unit propagation and every decision (see
+            // [`SessionPropagator`]); off restores the pure lazy loop and
+            // serves as the oracle for the differential tests.
+            let outcome = if self.theory_config.propagate {
+                let mut prop = SessionPropagator {
+                    pool: &self.pool,
+                    enc: &self.enc,
+                    theory: &mut self.theory,
+                    atom_live: &self.atom_live,
+                    guard: self.frames.last().copied(),
+                    antecedents: BTreeMap::new(),
+                };
+                self.sat.solve_with(&assumptions, Some(&mut prop))?
+            } else {
+                self.sat.solve(&assumptions)?
+            };
+            match outcome {
                 SatOutcome::Unsat => return Ok(SatResult::Unsat),
                 SatOutcome::Sat => {}
             }
@@ -550,6 +703,17 @@ impl Solver {
             let mut asserted_lits: Vec<Lit> = Vec::new();
             for (i, (atom, sv)) in self.enc.atoms().iter().enumerate() {
                 if self.atom_live.get(i).copied().unwrap_or(0) == 0 {
+                    continue;
+                }
+                // Theory-propagated literals are *excluded*: each was
+                // derived by bound subsumption from ordinary assertions
+                // that are still on the trail beneath it (root-level
+                // assignments persist to a Sat outcome), so the reduced
+                // conjunction entails it — feasibility, the witness model,
+                // and any Unsat core are unchanged, while the check stays
+                // exactly as large as with propagation off and the memo
+                // fingerprint matches the off-path one.
+                if self.sat.reason_is_theory(*sv) {
                     continue;
                 }
                 if let Some(val) = self.sat.assigned_value(*sv) {
@@ -978,21 +1142,37 @@ mod tests {
 
     #[test]
     fn disjunction_needs_theory_refinement() {
-        let mut s = Solver::new();
-        let x = s.int_var("x", 0, 10);
-        let tx = s.var(x);
-        let c3 = s.int(3);
-        let c7 = s.int(7);
-        let c5 = s.int(5);
-        // (x <= 3 or x >= 7) and x = 5 → unsat only via theory lemmas.
-        let a = s.le(tx, c3);
-        let b = s.ge(tx, c7);
-        let disj = s.or(&[a, b]);
-        let eq = s.eq(tx, c5);
-        s.assert(disj);
-        s.assert(eq);
-        assert_eq!(s.check().unwrap(), SatResult::Unsat);
-        assert!(s.stats().theory_conflicts >= 1);
+        // (x <= 3 or x >= 7) and x = 5 is propositionally satisfiable; only
+        // the theory refutes it. With propagation off that takes a blocking
+        // lemma; with propagation on (the default) the tableau refutes both
+        // disjuncts directly on the trail, before any lemma is needed.
+        let run = |propagate: bool| {
+            let mut s = Solver::new();
+            s.set_theory_config(TheoryConfig {
+                propagate,
+                ..TheoryConfig::default()
+            });
+            let x = s.int_var("x", 0, 10);
+            let tx = s.var(x);
+            let c3 = s.int(3);
+            let c7 = s.int(7);
+            let c5 = s.int(5);
+            let a = s.le(tx, c3);
+            let b = s.ge(tx, c7);
+            let disj = s.or(&[a, b]);
+            let eq = s.eq(tx, c5);
+            s.assert(disj);
+            s.assert(eq);
+            let r = s.check().unwrap();
+            (r, s.stats())
+        };
+        let (off, off_stats) = run(false);
+        assert_eq!(off, SatResult::Unsat);
+        assert!(off_stats.theory_conflicts >= 1);
+        assert_eq!(off_stats.theory_propagations, 0);
+        let (on, on_stats) = run(true);
+        assert_eq!(on, SatResult::Unsat);
+        assert!(on_stats.theory_propagations >= 1);
     }
 
     #[test]

@@ -56,16 +56,53 @@ pub enum TheoryVerdict {
     Unknown,
 }
 
+/// One literal derived by [`TheorySession::propagate`]: the candidate atom
+/// at `candidate` must take `value`, because the asserted atoms at
+/// `antecedents` (positions into the asserted slice) force it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TheoryPropagation {
+    /// Index into the candidate slice of the entailed atom.
+    pub candidate: usize,
+    /// Entailed polarity: `true` for the atom itself, `false` for its
+    /// negation.
+    pub value: bool,
+    /// Positions into the asserted slice of the atoms whose bounds entail
+    /// the candidate. Empty when declared variable bounds alone do.
+    pub antecedents: Vec<usize>,
+}
+
 /// Configuration for the theory check.
 #[derive(Clone, Copy, Debug)]
 pub struct TheoryConfig {
     /// Maximum number of branch-and-bound nodes to explore.
     pub max_nodes: u64,
+    /// Whether to run theory propagation inside the SAT search (on by
+    /// default): between unit propagation and each decision, the warm
+    /// tableau is consulted for atom literals already entailed by the
+    /// asserted bounds, and those are enqueued on the trail instead of
+    /// being discovered by a later full check.
+    ///
+    /// Turning it off restores the pure lazy-SMT loop; verdicts and decode
+    /// outputs are identical either way (propagated atoms are *entailed*,
+    /// so asserting them during a check is a no-op) — the off-path is kept
+    /// as the oracle for the differential tests.
+    ///
+    /// ```
+    /// use lejit_smt::TheoryConfig;
+    ///
+    /// assert!(TheoryConfig::default().propagate);
+    /// let off = TheoryConfig { propagate: false, ..TheoryConfig::default() };
+    /// assert!(!off.propagate);
+    /// ```
+    pub propagate: bool,
 }
 
 impl Default for TheoryConfig {
     fn default() -> Self {
-        TheoryConfig { max_nodes: 50_000 }
+        TheoryConfig {
+            max_nodes: 50_000,
+            propagate: true,
+        }
     }
 }
 
@@ -241,6 +278,121 @@ impl TheorySession {
             Ok(()) => Ok(None),
             Err(core) => Ok(Some(TheoryVerdict::Unsat(filter_core(core)))),
         }
+    }
+
+    /// Tests whether `atom` (Σ c·x + k ≤ 0) is entailed by the bounds
+    /// currently asserted on the tableau, by pure bound subsumption — no
+    /// pivoting, no row evaluation.
+    ///
+    /// Returns the antecedent bound tags on success: the (at most one, for
+    /// this bound shape) asserted bounds that force the atom. Declared-bound
+    /// sentinels are filtered out — an atom entailed by declared bounds
+    /// alone has an empty antecedent list.
+    ///
+    /// Deliberately incomplete: a multi-coefficient atom is only recognized
+    /// when its interned slack row already carries a subsuming upper bound
+    /// (i.e. a same-form atom with a tighter constant is asserted); bounds
+    /// implied *through* a row are left for the full check. Rows are never
+    /// built here — a fresh slack variable carries no bounds, so building
+    /// one cannot create an entailment.
+    fn entailed(&self, atom: &LinAtom) -> Result<Option<Vec<usize>>, SolverError> {
+        // Σ c·x + k ≤ 0  ⇔  Σ c·x ≤ −k.
+        let neg_k = atom
+            .expr
+            .constant
+            .checked_neg()
+            .ok_or(SolverError::Overflow("negating atom constant"))?;
+        let bound = Rational::from_int(neg_k);
+        if atom.expr.is_constant() {
+            // k ≤ 0 is entailed by nothing (or by nothing at all).
+            return Ok(if atom.expr.constant <= 0 {
+                Some(Vec::new())
+            } else {
+                None
+            });
+        }
+        let mut coeffs: Vec<(SVar, Rational)> = Vec::with_capacity(atom.expr.coeffs.len());
+        for (&v, &c) in &atom.expr.coeffs {
+            let sv = *self
+                .svar_of
+                .get(&v)
+                .ok_or(SolverError::Internal("atom references undeclared variable"))?;
+            coeffs.push((sv, Rational::from_int(c)));
+        }
+        let witness = if let &[(sv, c)] = coeffs.as_slice() {
+            // c·x ≤ bound  ⇔  x ≤ bound/c (c>0)  or  x ≥ bound/c (c<0).
+            if c.is_positive() {
+                self.sx.upper_bound(sv).filter(|(up, _)| *up <= bound / c)
+            } else {
+                self.sx.lower_bound(sv).filter(|(lo, _)| *lo >= bound / c)
+            }
+        } else {
+            match self.slack_of.get(&coeffs) {
+                Some(&sv) => self.sx.upper_bound(sv).filter(|(up, _)| *up <= bound),
+                None => None,
+            }
+        };
+        Ok(witness.map(|(_, tag)| {
+            if tag.0 < DECL_BASE {
+                vec![tag.0 as usize]
+            } else {
+                Vec::new()
+            }
+        }))
+    }
+
+    /// Theory propagation: with `asserted` atoms holding (each tagged by its
+    /// position), scans `candidates` — currently *unassigned* atoms — for
+    /// literals already entailed by the asserted bounds, in input order
+    /// (callers pass candidates in atom-registry order, so the result is
+    /// deterministic).
+    ///
+    /// Each [`TheoryPropagation`] names the candidate index, the entailed
+    /// polarity (`true` for the atom itself, `false` for its negation), and
+    /// the positions into `asserted` of the antecedent atoms — the
+    /// explanation `antecedents ⇒ candidate=value`, which the SAT layer
+    /// turns into a reason clause on demand.
+    ///
+    /// The tableau is snapshotted and fully unwound before returning; like
+    /// [`Self::check`], the basis and `β` carry forward. If the asserted
+    /// atoms clash among themselves the scan is abandoned and no
+    /// propagations are reported — the following full check finds the
+    /// conflict and produces a proper core.
+    pub fn propagate(
+        &mut self,
+        pool: &TermPool,
+        asserted: &[LinAtom],
+        candidates: &[LinAtom],
+    ) -> Result<Vec<TheoryPropagation>, SolverError> {
+        self.sync_pool(pool)?;
+        let snap = self.sx.snapshot();
+        let mut out = Vec::new();
+        let mut clash = false;
+        for (i, atom) in asserted.iter().enumerate() {
+            if self.assert_atom(i, atom)?.is_some() {
+                clash = true;
+                break;
+            }
+        }
+        if !clash {
+            for (ci, cand) in candidates.iter().enumerate() {
+                if let Some(antecedents) = self.entailed(cand)? {
+                    out.push(TheoryPropagation {
+                        candidate: ci,
+                        value: true,
+                        antecedents,
+                    });
+                } else if let Some(antecedents) = self.entailed(&cand.negated())? {
+                    out.push(TheoryPropagation {
+                        candidate: ci,
+                        value: false,
+                        antecedents,
+                    });
+                }
+            }
+        }
+        self.sx.undo_to(snap);
+        Ok(out)
     }
 
     /// Checks the conjunction of `atoms` against the live tableau.
@@ -581,7 +733,11 @@ mod tests {
         // A system needing at least one branch, with a budget of 1 node.
         let a1 = atom(&[(vs[0], 2), (vs[1], 2), (vs[2], 2)], -7);
         let a2 = atom(&[(vs[0], -2), (vs[1], -2), (vs[2], -2)], 7);
-        let verdict = check_conjunction(&p, &[a1, a2], TheoryConfig { max_nodes: 1 }).unwrap();
+        let config = TheoryConfig {
+            max_nodes: 1,
+            ..TheoryConfig::default()
+        };
+        let verdict = check_conjunction(&p, &[a1, a2], config).unwrap();
         assert_eq!(verdict, TheoryVerdict::Unknown);
     }
 }

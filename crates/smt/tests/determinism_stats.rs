@@ -97,6 +97,13 @@ fn identical_statistics_across_runs() {
         stats1.theory_memo_hits > 0,
         "repeated probes never hit the theory-verdict memo"
     );
+    // Fixing i0..i2 entails the polarity of the `i_t >= 30` branch atoms,
+    // so the default-on theory propagation must fire — and its counters,
+    // being part of `stats`, are covered by the equality checks above.
+    assert!(
+        stats1.theory_propagations > 0,
+        "bound-entailed branch atoms were never theory-propagated"
+    );
     assert!(
         stats1.encode_cache_hits > 0 && stats1.encode_cache_misses > 0,
         "Tseitin encode cache was not exercised on both paths"
