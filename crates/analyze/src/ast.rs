@@ -1,0 +1,670 @@
+//! A tolerant recursive-descent *item* parser over the [`crate::lexer`]
+//! token stream.
+//!
+//! The workspace vendors no `syn`, so the analyzer builds its own
+//! structural view of each file: `use` declarations (with `as` aliases
+//! flattened out of `use a::{b, c as d}` groups), function definitions
+//! with their owning `impl`/`trait` type and body token ranges, and
+//! `macro_rules!` definitions with their body ranges. This is what turns
+//! the PR 4 token-level pass into a call-graph-aware one: the lints in
+//! [`crate::lints`] resolve aliases through [`Ast::aliases`] and the call
+//! graph in [`crate::graph`] walks [`FnDef`] bodies.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never panic, never reject.** Analyzer input is arbitrary (possibly
+//!    mid-edit) Rust source; on anything unexpected the parser skips a
+//!    token and keeps going. A missed item degrades one lint's precision,
+//!    it does not take down the pass.
+//! 2. **Structural, not semantic.** No type inference, no name resolution
+//!    beyond the per-file alias table. The lints document the resulting
+//!    approximations honestly (see `lints.rs` module docs).
+//!
+//! Known tolerated approximations: raw identifiers (`r#fn`) are not
+//! recognized; const-generic expressions containing braces may desync the
+//! generics skipper for the remainder of one item; both are unused in this
+//! workspace.
+
+use crate::lexer::{Tok, TokKind};
+
+/// An inclusive token-index range: `open` and `close` are the indexes of
+/// the delimiter tokens themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokRange {
+    /// Index of the opening delimiter token.
+    pub open: usize,
+    /// Index of the matching closing delimiter token.
+    pub close: usize,
+}
+
+/// One flattened `use` leaf: `use a::b::{c as d}` produces
+/// `path = ["a", "b", "c"], alias = Some("d")`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseDecl {
+    /// Path segments, outermost first (`crate`/`self`/`super` kept as
+    /// ordinary segments; a `{self}` leaf contributes no extra segment).
+    pub path: Vec<String>,
+    /// The `as` rename, when present.
+    pub alias: Option<String>,
+    /// 1-based line of the leaf (the alias ident if renamed, else the
+    /// last path segment).
+    pub line: u32,
+    /// 1-based column of the same token.
+    pub col: u32,
+}
+
+impl UseDecl {
+    /// The canonical final segment of the imported path (what the alias
+    /// renames), if the path is non-empty.
+    pub fn last_segment(&self) -> Option<&str> {
+        self.path.last().map(String::as_str)
+    }
+}
+
+/// One function definition (free fn, method, or trait default method).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// The `impl`/`trait` self type this fn belongs to (last path segment
+    /// of the self type; for `impl Trait for Type` this is `Type`).
+    /// `None` for free functions.
+    pub owner: Option<String>,
+    /// Parameter-list token range including the parens, when present.
+    pub params: Option<TokRange>,
+    /// Body token range including the braces; `None` for trait-method
+    /// declarations without a body.
+    pub body: Option<TokRange>,
+    /// 1-based line of the `fn` keyword.
+    pub line_start: u32,
+    /// 1-based line of the closing brace (or of the name for bodyless
+    /// declarations).
+    pub line_end: u32,
+    /// True when the fn is `#[test]`, under `#[cfg(test)]`, or inside a
+    /// test-gated mod/impl.
+    pub is_test: bool,
+}
+
+/// One `macro_rules!` definition with its body token range.
+#[derive(Debug, Clone)]
+pub struct MacroDef {
+    /// The macro's name.
+    pub name: String,
+    /// The rules body including the outer delimiters.
+    pub body: TokRange,
+    /// 1-based line of the `macro_rules` keyword.
+    pub line: u32,
+}
+
+/// The structural view of one file.
+#[derive(Debug, Default)]
+pub struct Ast {
+    /// All flattened `use` leaves (item-level and fn-body-local).
+    pub uses: Vec<UseDecl>,
+    /// All function definitions, in source order.
+    pub fns: Vec<FnDef>,
+    /// All `macro_rules!` definitions.
+    pub macros: Vec<MacroDef>,
+}
+
+impl Ast {
+    /// The per-file alias table: `alias -> canonical last path segment`,
+    /// e.g. `use std::collections::HashMap as Map` yields
+    /// `("Map", "HashMap")`. Later declarations win (shadowing).
+    pub fn aliases(&self) -> Vec<(&str, &str)> {
+        self.uses
+            .iter()
+            .filter_map(|u| match (&u.alias, u.last_segment()) {
+                (Some(a), Some(seg)) => Some((a.as_str(), seg)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Parse one file's token stream into its structural view.
+pub fn parse(toks: &[Tok]) -> Ast {
+    let mut p = Parser {
+        toks,
+        out: Ast::default(),
+    };
+    p.parse_items(0, toks.len(), None, false);
+    p.out
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    out: Ast,
+}
+
+impl Parser<'_> {
+    fn ident(&self, i: usize) -> Option<&str> {
+        self.toks
+            .get(i)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+    }
+
+    fn punct(&self, i: usize, text: &str) -> bool {
+        self.toks
+            .get(i)
+            .map(|t| t.kind == TokKind::Punct && t.text == text)
+            .unwrap_or(false)
+    }
+
+    /// Index of the delimiter matching the one at `open_idx` (which must
+    /// hold `open`), or `hi - 1` when unbalanced.
+    fn match_delim(&self, open_idx: usize, open: &str, close: &str, hi: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open_idx;
+        while i < hi {
+            let t = &self.toks[i];
+            if t.kind == TokKind::Punct {
+                if t.text == open {
+                    depth += 1;
+                } else if t.text == close {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+            }
+            i += 1;
+        }
+        hi.saturating_sub(1)
+    }
+
+    /// `i` is at a `<`: skip a balanced generic-argument list, counting
+    /// `>>`/`>=`/`>>=` as the multiple closers the lexer munched them
+    /// into. Returns the index just past the final closer (or `hi`).
+    fn skip_angles(&self, mut i: usize, hi: usize) -> usize {
+        let mut depth = 0i32;
+        while i < hi {
+            let t = &self.toks[i];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "<" | "<=" => depth += 1,
+                    "<<" | "<<=" => depth += 2,
+                    ">" | ">=" => depth -= 1,
+                    ">>" | ">>=" => depth -= 2,
+                    _ => {}
+                }
+            }
+            i += 1;
+            if depth <= 0 {
+                return i;
+            }
+        }
+        hi
+    }
+
+    /// Does the attribute `[ … ]` between `open..=close` gate test code?
+    /// Recognizes `#[test]` and `#[cfg(test)]`-style shapes, but not
+    /// `#[cfg(not(test))]`.
+    fn attr_is_test(&self, open: usize, close: usize) -> bool {
+        let idents: Vec<&str> = self.toks[open..=close.min(self.toks.len().saturating_sub(1))]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        match idents.first() {
+            Some(&"test") => true,
+            Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+            _ => false,
+        }
+    }
+
+    /// The item scanner. Walks `[lo, hi)` reacting only to the constructs
+    /// the analyzer extracts; everything else is skipped one token at a
+    /// time (which makes scanning fn bodies as "items" safe — statement
+    /// keywords are simply ignored, while nested `fn`/`use` items are
+    /// still picked up).
+    fn parse_items(&mut self, lo: usize, hi: usize, owner: Option<&str>, in_test: bool) {
+        let mut pending_test = false;
+        let mut i = lo;
+        while i < hi {
+            let t = &self.toks[i];
+            if t.kind == TokKind::Punct && t.text == "#" {
+                let mut j = i + 1;
+                if self.punct(j, "!") {
+                    j += 1;
+                }
+                if self.punct(j, "[") {
+                    let close = self.match_delim(j, "[", "]", hi);
+                    if self.attr_is_test(j, close) {
+                        pending_test = true;
+                    }
+                    i = close + 1;
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            if t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let gated = in_test || pending_test;
+            match t.text.as_str() {
+                "use" => {
+                    i = self.parse_use(i, hi);
+                    pending_test = false;
+                }
+                "fn" => {
+                    i = self.parse_fn(i, hi, owner, gated);
+                    pending_test = false;
+                }
+                "impl" => {
+                    i = self.parse_impl(i, hi, gated);
+                    pending_test = false;
+                }
+                "trait" => {
+                    i = self.parse_trait(i, hi, gated);
+                    pending_test = false;
+                }
+                "mod" => {
+                    i = self.parse_mod(i, hi, owner, gated);
+                    pending_test = false;
+                }
+                "macro_rules" => {
+                    i = self.parse_macro_rules(i, hi);
+                    pending_test = false;
+                }
+                // Modifiers that may sit between a test attribute and the
+                // item it gates: skip without clearing `pending_test`.
+                "pub" => {
+                    i += 1;
+                    if self.punct(i, "(") {
+                        i = self.match_delim(i, "(", ")", hi) + 1;
+                    }
+                }
+                "unsafe" | "async" | "extern" | "default" => i += 1,
+                "const" => {
+                    // `const fn` is a modifier; `const NAME: T = …;` is an
+                    // item we don't extract.
+                    let is_fn_modifier = matches!(
+                        self.ident(i + 1),
+                        Some("fn") | Some("unsafe") | Some("async") | Some("extern")
+                    );
+                    if !is_fn_modifier {
+                        pending_test = false;
+                    }
+                    i += 1;
+                }
+                _ => {
+                    pending_test = false;
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// `i` is at `use`. Flattens the whole use tree into leaves.
+    fn parse_use(&mut self, i: usize, hi: usize) -> usize {
+        let after = self.parse_use_tree(i + 1, hi, &[]);
+        if self.punct(after, ";") {
+            after + 1
+        } else {
+            after
+        }
+    }
+
+    /// Parse one use-tree node starting at `i` with the given path prefix;
+    /// returns the index just past the node.
+    fn parse_use_tree(&mut self, mut i: usize, hi: usize, prefix: &[String]) -> usize {
+        let mut segs: Vec<String> = prefix.to_vec();
+        let mut last_tok: Option<usize> = None;
+        let mut glob = false;
+        while i < hi {
+            let t = &self.toks[i];
+            match t.kind {
+                TokKind::Ident if t.text == "as" => {
+                    if let Some(alias) = self.toks.get(i + 1).filter(|a| a.kind == TokKind::Ident) {
+                        self.out.uses.push(UseDecl {
+                            path: segs,
+                            alias: Some(alias.text.clone()),
+                            line: alias.line,
+                            col: alias.col,
+                        });
+                        return i + 2;
+                    }
+                    return i + 1;
+                }
+                TokKind::Ident if t.text == "self" => {
+                    last_tok = Some(i);
+                    i += 1;
+                }
+                TokKind::Ident => {
+                    segs.push(t.text.clone());
+                    last_tok = Some(i);
+                    i += 1;
+                }
+                TokKind::Punct if t.text == "::" => i += 1,
+                TokKind::Punct if t.text == "*" => {
+                    glob = true;
+                    i += 1;
+                }
+                TokKind::Punct if t.text == "{" => {
+                    i += 1;
+                    while i < hi && !self.punct(i, "}") {
+                        let next = self.parse_use_tree(i, hi, &segs);
+                        i = if self.punct(next, ",") {
+                            next + 1
+                        } else {
+                            next
+                        };
+                        if next == i && !self.punct(i, "}") {
+                            // No progress (malformed tree): bail out of
+                            // the group rather than loop forever.
+                            if i >= hi || !self.punct(i, "}") {
+                                i += 1;
+                            }
+                        }
+                    }
+                    return if i < hi { i + 1 } else { i };
+                }
+                _ => break,
+            }
+        }
+        if !glob && segs.len() > prefix.len() {
+            let at = last_tok.map(|k| &self.toks[k]);
+            self.out.uses.push(UseDecl {
+                path: segs,
+                alias: None,
+                line: at.map(|t| t.line).unwrap_or(0),
+                col: at.map(|t| t.col).unwrap_or(0),
+            });
+        }
+        i
+    }
+
+    /// `i` is at `fn`. Records the definition and recurses into the body
+    /// (nested fns and body-local `use` imports are items too).
+    fn parse_fn(&mut self, i: usize, hi: usize, owner: Option<&str>, is_test: bool) -> usize {
+        let Some(name_tok) = self.toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            return i + 1;
+        };
+        let name = name_tok.text.clone();
+        let line_start = self.toks[i].line;
+        let mut j = i + 2;
+        if self.punct(j, "<") {
+            j = self.skip_angles(j, hi);
+        }
+        let mut params = None;
+        if self.punct(j, "(") {
+            let close = self.match_delim(j, "(", ")", hi);
+            params = Some(TokRange { open: j, close });
+            j = close + 1;
+        }
+        // Scan the return type / where clause for the body (or `;`),
+        // skipping bracketed groups so `-> [u8; 4]` cannot fake a
+        // statement end.
+        let mut body = None;
+        while j < hi {
+            if self.punct(j, "{") {
+                let close = self.match_delim(j, "{", "}", hi);
+                body = Some(TokRange { open: j, close });
+                break;
+            }
+            if self.punct(j, ";") {
+                break;
+            }
+            if self.punct(j, "<") {
+                j = self.skip_angles(j, hi);
+            } else if self.punct(j, "(") {
+                j = self.match_delim(j, "(", ")", hi) + 1;
+            } else if self.punct(j, "[") {
+                j = self.match_delim(j, "[", "]", hi) + 1;
+            } else {
+                j += 1;
+            }
+        }
+        let line_end = body
+            .map(|b: TokRange| self.toks[b.close.min(self.toks.len() - 1)].line)
+            .unwrap_or(name_tok.line);
+        self.out.fns.push(FnDef {
+            name,
+            owner: owner.map(str::to_string),
+            params,
+            body,
+            line_start,
+            line_end,
+            is_test,
+        });
+        match body {
+            Some(b) => {
+                self.parse_items(b.open + 1, b.close, None, is_test);
+                b.close + 1
+            }
+            None => j + 1,
+        }
+    }
+
+    /// `i` is at `impl`. Extracts the self type (the segment after `for`
+    /// when present) and recurses into the body with it as `owner`.
+    fn parse_impl(&mut self, i: usize, hi: usize, in_test: bool) -> usize {
+        let mut j = i + 1;
+        if self.punct(j, "<") {
+            j = self.skip_angles(j, hi);
+        }
+        let mut owner: Option<String> = None;
+        while j < hi {
+            let t = &self.toks[j];
+            match t.kind {
+                TokKind::Punct => match t.text.as_str() {
+                    "{" => break,
+                    "<" | "<<" => j = self.skip_angles(j, hi),
+                    "(" => j = self.match_delim(j, "(", ")", hi) + 1,
+                    "[" => j = self.match_delim(j, "[", "]", hi) + 1,
+                    ";" => return j + 1, // `impl Trait for Type;` (never valid, tolerate)
+                    _ => j += 1,
+                },
+                TokKind::Ident => match t.text.as_str() {
+                    "for" => {
+                        owner = None;
+                        j += 1;
+                    }
+                    "where" => {
+                        while j < hi && !self.punct(j, "{") {
+                            if self.punct(j, "<") {
+                                j = self.skip_angles(j, hi);
+                            } else {
+                                j += 1;
+                            }
+                        }
+                        break;
+                    }
+                    "dyn" | "mut" | "const" | "unsafe" => j += 1,
+                    other => {
+                        owner = Some(other.to_string());
+                        j += 1;
+                    }
+                },
+                _ => j += 1,
+            }
+        }
+        if self.punct(j, "{") {
+            let close = self.match_delim(j, "{", "}", hi);
+            self.parse_items(j + 1, close, owner.as_deref(), in_test);
+            close + 1
+        } else {
+            j
+        }
+    }
+
+    /// `i` is at `trait`. Default methods get the trait name as `owner`.
+    fn parse_trait(&mut self, i: usize, hi: usize, in_test: bool) -> usize {
+        let Some(name) = self.ident(i + 1).map(str::to_string) else {
+            return i + 1;
+        };
+        let mut j = i + 2;
+        while j < hi {
+            if self.punct(j, "{") {
+                let close = self.match_delim(j, "{", "}", hi);
+                self.parse_items(j + 1, close, Some(&name), in_test);
+                return close + 1;
+            }
+            if self.punct(j, ";") {
+                return j + 1;
+            }
+            if self.punct(j, "<") {
+                j = self.skip_angles(j, hi);
+            } else {
+                j += 1;
+            }
+        }
+        j
+    }
+
+    /// `i` is at `mod`. Inline bodies recurse (preserving a `#[cfg(test)]`
+    /// gate for everything inside); `mod name;` is skipped.
+    fn parse_mod(&mut self, i: usize, hi: usize, owner: Option<&str>, in_test: bool) -> usize {
+        let mut j = i + 1;
+        while j < hi {
+            if self.punct(j, "{") {
+                let close = self.match_delim(j, "{", "}", hi);
+                self.parse_items(j + 1, close, owner, in_test);
+                return close + 1;
+            }
+            if self.punct(j, ";") {
+                return j + 1;
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// `i` is at `macro_rules`. Records the definition body; the body is
+    /// *not* scanned for items (macro fragments are not Rust items).
+    fn parse_macro_rules(&mut self, i: usize, hi: usize) -> usize {
+        let line = self.toks[i].line;
+        let mut j = i + 1;
+        if self.punct(j, "!") {
+            j += 1;
+        }
+        let Some(name) = self.ident(j).map(str::to_string) else {
+            return i + 1;
+        };
+        j += 1;
+        for (open, close) in [("{", "}"), ("(", ")"), ("[", "]")] {
+            if self.punct(j, open) {
+                let end = self.match_delim(j, open, close, hi);
+                self.out.macros.push(MacroDef {
+                    name,
+                    body: TokRange {
+                        open: j,
+                        close: end,
+                    },
+                    line,
+                });
+                return end + 1;
+            }
+        }
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn ast_of(src: &str) -> Ast {
+        parse(&lexer::lex(src).tokens)
+    }
+
+    #[test]
+    fn flattens_grouped_use_with_aliases() {
+        let ast = ast_of("use std::collections::{HashMap as Map, BTreeMap};\nuse a::b as c;\n");
+        let aliases = ast.aliases();
+        assert!(aliases.contains(&("Map", "HashMap")), "{aliases:?}");
+        assert!(aliases.contains(&("c", "b")), "{aliases:?}");
+        assert!(ast
+            .uses
+            .iter()
+            .any(|u| u.alias.is_none() && u.path == ["std", "collections", "BTreeMap"]));
+    }
+
+    #[test]
+    fn glob_and_self_leaves_do_not_alias() {
+        let ast = ast_of("use a::*;\nuse a::b::{self, c};\n");
+        assert!(ast.aliases().is_empty());
+        assert!(ast.uses.iter().any(|u| u.path == ["a", "b", "c"]));
+    }
+
+    #[test]
+    fn fn_owner_comes_from_impl_self_type() {
+        let src = "impl Display for Rational {\n    fn fmt(&self) -> R { x }\n}\nimpl<M: Model> Server<M> {\n    fn run(&mut self) {}\n}\nfn free() {}\n";
+        let ast = ast_of(src);
+        let owners: Vec<(&str, Option<&str>)> = ast
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_deref()))
+            .collect();
+        assert_eq!(
+            owners,
+            vec![
+                ("fmt", Some("Rational")),
+                ("run", Some("Server")),
+                ("free", None)
+            ]
+        );
+    }
+
+    #[test]
+    fn generics_with_shift_close_do_not_desync() {
+        let src = "fn f<T: Into<Vec<u8>>>(x: T) -> Vec<Vec<u8>> { g() }\nfn g() {}\n";
+        let ast = ast_of(src);
+        assert_eq!(ast.fns.len(), 2);
+        assert!(ast.fns[0].body.is_some());
+        assert_eq!(ast.fns[1].name, "g");
+    }
+
+    #[test]
+    fn cfg_test_gates_mods_impls_and_fns() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn case() {}\n}\nimpl S {\n    fn live(&self) {}\n    #[cfg(test)]\n    fn probe(&self) {}\n}\n";
+        let ast = ast_of(src);
+        let by_name = |n: &str| ast.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(by_name("helper").is_test);
+        assert!(by_name("case").is_test);
+        assert!(!by_name("live").is_test);
+        assert!(by_name("probe").is_test);
+    }
+
+    #[test]
+    fn trait_default_methods_get_trait_owner() {
+        let src = "trait Model {\n    fn required(&self) -> u8;\n    fn forward(&self) -> u8 { self.required() }\n}\n";
+        let ast = ast_of(src);
+        assert_eq!(ast.fns.len(), 2);
+        assert_eq!(ast.fns[0].owner.as_deref(), Some("Model"));
+        assert!(ast.fns[0].body.is_none());
+        assert!(ast.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn macro_rules_body_recorded_not_item_scanned() {
+        let src = "macro_rules! mk {\n    () => { fn generated() {} };\n}\nfn real() {}\n";
+        let ast = ast_of(src);
+        assert_eq!(ast.macros.len(), 1);
+        assert_eq!(ast.macros[0].name, "mk");
+        let names: Vec<&str> = ast.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn array_return_type_does_not_end_the_signature() {
+        let src = "fn digits() -> [u8; 4] { [0; 4] }\n";
+        let ast = ast_of(src);
+        assert_eq!(ast.fns.len(), 1);
+        assert!(ast.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn nested_fns_and_body_local_uses_are_found() {
+        let src = "fn outer() {\n    use std::mem as m;\n    fn inner() {}\n    inner();\n}\n";
+        let ast = ast_of(src);
+        let names: Vec<&str> = ast.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        assert!(ast.aliases().contains(&("m", "mem")));
+    }
+}

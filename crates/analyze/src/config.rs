@@ -1,11 +1,21 @@
-//! The `analyze.toml` allowlist: every suppression names a lint, a file,
-//! and a mandatory written justification.
+//! The `analyze.toml` configuration: the allowlist plus the declared
+//! interprocedural root set and lock order.
 //!
 //! Format (a strict TOML subset, parsed in-house because the workspace
 //! vendors no TOML crate):
 //!
 //! ```toml
-//! # Comments are allowed.
+//! # Hot-path entry points for the L2/L5 reachability closure.
+//! [interproc]
+//! roots = [
+//!     "SatSolver::solve_with",
+//!     "JitDecoder::decode",
+//! ]
+//!
+//! # Global lock acquisition order for L6 (outermost first).
+//! [locks]
+//! order = ["conns", "conn"]
+//!
 //! [[allow]]
 //! lint = "L2-index"
 //! path = "crates/smt/src/sat.rs"
@@ -18,10 +28,10 @@
 //! * `reason` is **mandatory and non-empty** — a suppression without a
 //!   written justification is a configuration error (exit code 2), not a
 //!   warning.
-//! * Unknown keys are configuration errors, so typos (`lnit = …`) cannot
-//!   silently disable a suppression.
-//! * Entries that match no finding are reported as warnings so the
-//!   allowlist shrinks as violations are fixed.
+//! * Unknown keys and unknown sections are configuration errors, so typos
+//!   (`lnit = …`) cannot silently disable a suppression.
+//! * Entries that match no finding are reported as stale; with
+//!   `--deny-stale` (CI) they fail the run, so the allowlist only shrinks.
 
 use std::fmt;
 
@@ -41,11 +51,17 @@ pub struct AllowEntry {
     pub defined_at: u32,
 }
 
-/// A parsed allowlist.
+/// The parsed configuration.
 #[derive(Debug, Default, Clone)]
-pub struct Allowlist {
-    /// All entries in file order.
+pub struct AnalyzeConfig {
+    /// All `[[allow]]` entries in file order.
     pub entries: Vec<AllowEntry>,
+    /// `[interproc] roots`: entry points of the panic-freedom closure,
+    /// as `Owner::name` or bare `name` specs.
+    pub roots: Vec<String>,
+    /// `[locks] order`: the global lock acquisition order, outermost
+    /// first, as guard receiver names.
+    pub lock_order: Vec<String>,
 }
 
 /// A configuration error: malformed `analyze.toml`.
@@ -104,63 +120,119 @@ impl PartialEntry {
     }
 }
 
-/// Parse the contents of `analyze.toml`.
-pub fn parse_allowlist(src: &str) -> Result<Allowlist, ConfigError> {
-    let mut entries = Vec::new();
-    let mut current: Option<PartialEntry> = None;
+enum Section {
+    Top,
+    Allow,
+    Interproc,
+    Locks,
+}
 
-    for (idx, raw_line) in src.lines().enumerate() {
+/// Parse the contents of `analyze.toml`.
+pub fn parse_config(src: &str) -> Result<AnalyzeConfig, ConfigError> {
+    let mut out = AnalyzeConfig::default();
+    let mut current: Option<PartialEntry> = None;
+    let mut section = Section::Top;
+
+    let lines: Vec<&str> = src.lines().collect();
+    let mut idx = 0usize;
+    while idx < lines.len() {
         let lineno = (idx + 1) as u32;
-        let line = strip_comment(raw_line).trim().to_string();
+        let line = strip_comment(lines[idx]).trim().to_string();
+        idx += 1;
         if line.is_empty() {
             continue;
         }
         if line == "[[allow]]" {
             if let Some(partial) = current.take() {
-                entries.push(partial.finish()?);
+                out.entries.push(partial.finish()?);
             }
             current = Some(PartialEntry {
                 defined_at: lineno,
                 ..PartialEntry::default()
             });
+            section = Section::Allow;
             continue;
         }
         if line.starts_with('[') {
-            return Err(err(
-                lineno,
-                format!("unexpected section `{line}`; only [[allow]] is supported"),
-            ));
+            if let Some(partial) = current.take() {
+                out.entries.push(partial.finish()?);
+            }
+            section = match line.as_str() {
+                "[interproc]" => Section::Interproc,
+                "[locks]" => Section::Locks,
+                other => {
+                    let msg = format!(
+                        "unexpected section `{other}`; expected [[allow]], [interproc], or [locks]"
+                    );
+                    return Err(err(lineno, msg));
+                }
+            };
+            continue;
         }
         let Some(eq) = line.find('=') else {
             return Err(err(lineno, format!("expected `key = value`, got `{line}`")));
         };
-        let key = line[..eq].trim();
-        let value = line[eq + 1..].trim();
-        let entry = current
-            .as_mut()
-            .ok_or_else(|| err(lineno, "`key = value` before the first [[allow]] header"))?;
-        match key {
-            "lint" => entry.lint = Some(parse_string(value, lineno)?),
-            "path" => entry.path = Some(parse_string(value, lineno)?),
-            "reason" => entry.reason = Some(parse_string(value, lineno)?),
-            "line" => {
-                let n: u32 = value.parse().map_err(|_| {
-                    err(lineno, format!("`line` must be an integer, got `{value}`"))
+        let key = line[..eq].trim().to_string();
+        let mut value = line[eq + 1..].trim().to_string();
+        // A `[`-opened array may span lines: keep consuming until the
+        // brackets balance.
+        if value.starts_with('[') {
+            while value.matches('[').count() > value.matches(']').count() && idx < lines.len() {
+                value.push(' ');
+                value.push_str(strip_comment(lines[idx]).trim());
+                idx += 1;
+            }
+        }
+        match section {
+            Section::Top => {
+                return Err(err(lineno, "`key = value` before the first section header"));
+            }
+            Section::Allow => {
+                let entry = current.as_mut().ok_or_else(|| {
+                    err(lineno, "`key = value` before the first [[allow]] header")
                 })?;
-                entry.line = Some(n);
+                match key.as_str() {
+                    "lint" => entry.lint = Some(parse_string(&value, lineno)?),
+                    "path" => entry.path = Some(parse_string(&value, lineno)?),
+                    "reason" => entry.reason = Some(parse_string(&value, lineno)?),
+                    "line" => {
+                        let n: u32 = value.parse().map_err(|_| {
+                            err(lineno, format!("`line` must be an integer, got `{value}`"))
+                        })?;
+                        entry.line = Some(n);
+                    }
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!("unknown key `{other}` (expected lint/path/line/reason)"),
+                        ))
+                    }
+                }
             }
-            other => {
-                return Err(err(
-                    lineno,
-                    format!("unknown key `{other}` (expected lint/path/line/reason)"),
-                ))
-            }
+            Section::Interproc => match key.as_str() {
+                "roots" => out.roots = parse_string_array(&value, lineno)?,
+                other => {
+                    return Err(err(
+                        lineno,
+                        format!("unknown key `{other}` in [interproc] (expected roots)"),
+                    ))
+                }
+            },
+            Section::Locks => match key.as_str() {
+                "order" => out.lock_order = parse_string_array(&value, lineno)?,
+                other => {
+                    return Err(err(
+                        lineno,
+                        format!("unknown key `{other}` in [locks] (expected order)"),
+                    ))
+                }
+            },
         }
     }
     if let Some(partial) = current.take() {
-        entries.push(partial.finish()?);
+        out.entries.push(partial.finish()?);
     }
-    Ok(Allowlist { entries })
+    Ok(out)
 }
 
 /// Strip a `#` comment, respecting double-quoted strings.
@@ -214,6 +286,40 @@ fn parse_string(value: &str, lineno: u32) -> Result<String, ConfigError> {
     Ok(out)
 }
 
+/// Parse a `["a", "b", …]` array of double-quoted strings (whitespace and
+/// trailing commas tolerated; anything else is an error).
+fn parse_string_array(value: &str, lineno: u32) -> Result<Vec<String>, ConfigError> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(lineno, format!("expected a `[…]` string array, got `{v}`")))?;
+    let mut out = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        if !rest.starts_with('"') {
+            return Err(err(
+                lineno,
+                format!("expected a double-quoted string in array, got `{rest}`"),
+            ));
+        }
+        let end = rest[1..]
+            .find('"')
+            .ok_or_else(|| err(lineno, "unterminated string in array"))?;
+        out.push(rest[1..=end].to_string());
+        rest = rest[end + 2..].trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return Err(err(
+                lineno,
+                format!("expected `,` between array elements, got `{rest}`"),
+            ));
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,7 +339,7 @@ path = "crates/smt/src/sat.rs"
 line = 42
 reason = "VSIDS activity is heuristic-only"
 "#;
-        let list = parse_allowlist(src).expect("parse");
+        let list = parse_config(src).expect("parse");
         assert_eq!(list.entries.len(), 2);
         assert_eq!(list.entries[0].lint, "L2-index");
         assert_eq!(list.entries[0].line, None);
@@ -241,30 +347,55 @@ reason = "VSIDS activity is heuristic-only"
     }
 
     #[test]
+    fn parses_interproc_roots_multiline() {
+        let src = "[interproc]\nroots = [\n    \"SatSolver::solve_with\", # CDCL entry\n    \"decode\",\n]\n\n[locks]\norder = [\"conns\", \"conn\"]\n\n[[allow]]\nlint = \"L2-index\"\npath = \"a.rs\"\nreason = \"ok\"\n";
+        let cfg = parse_config(src).expect("parse");
+        assert_eq!(cfg.roots, vec!["SatSolver::solve_with", "decode"]);
+        assert_eq!(cfg.lock_order, vec!["conns", "conn"]);
+        assert_eq!(cfg.entries.len(), 1);
+    }
+
+    #[test]
     fn missing_reason_is_an_error() {
         let src = "[[allow]]\nlint = \"L1-hash-collection\"\npath = \"x.rs\"\n";
-        let e = parse_allowlist(src).unwrap_err();
+        let e = parse_config(src).unwrap_err();
         assert!(e.message.contains("reason"), "{e}");
     }
 
     #[test]
     fn empty_reason_is_an_error() {
         let src = "[[allow]]\nlint = \"L4-safety-comment\"\npath = \"x.rs\"\nreason = \"  \"\n";
-        let e = parse_allowlist(src).unwrap_err();
+        let e = parse_config(src).unwrap_err();
         assert!(e.message.contains("non-empty"), "{e}");
     }
 
     #[test]
     fn unknown_keys_are_errors() {
         let src = "[[allow]]\nlnit = \"L1\"\n";
-        let e = parse_allowlist(src).unwrap_err();
+        let e = parse_config(src).unwrap_err();
         assert!(e.message.contains("unknown key"), "{e}");
+    }
+
+    #[test]
+    fn unknown_sections_are_errors() {
+        let src = "[interprc]\nroots = []\n";
+        let e = parse_config(src).unwrap_err();
+        assert!(e.message.contains("unexpected section"), "{e}");
     }
 
     #[test]
     fn hash_in_string_is_not_a_comment() {
         let src = "[[allow]]\nlint = \"L2-unwrap\"\npath = \"a.rs\"\nreason = \"issue #12\"\n";
-        let list = parse_allowlist(src).expect("parse");
+        let list = parse_config(src).expect("parse");
         assert_eq!(list.entries[0].reason, "issue #12");
+    }
+
+    #[test]
+    fn allow_entry_before_sections_still_parses() {
+        // Section order is free: [[allow]] then [interproc] then [[allow]].
+        let src = "[[allow]]\nlint = \"L2-unwrap\"\npath = \"a.rs\"\nreason = \"r\"\n[interproc]\nroots = [\"f\"]\n[[allow]]\nlint = \"L2-index\"\npath = \"b.rs\"\nreason = \"r\"\n";
+        let cfg = parse_config(src).expect("parse");
+        assert_eq!(cfg.entries.len(), 2);
+        assert_eq!(cfg.roots, vec!["f"]);
     }
 }

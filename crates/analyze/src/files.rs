@@ -29,6 +29,36 @@ pub fn collect_rust_files(root: &Path) -> Vec<SourceFile> {
     out
 }
 
+/// Collect `(crate_dir, manifest text)` for the root package and every
+/// `crates/*` / `vendor/*` member, for the call graph's dependency
+/// filter. Missing or unreadable manifests are simply absent (the filter
+/// is permissive about unknown crates).
+pub fn collect_manifests(root: &Path) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    if let Ok(text) = fs::read_to_string(root.join("Cargo.toml")) {
+        out.push((String::new(), text));
+    }
+    for top in ["crates", "vendor"] {
+        let Ok(entries) = fs::read_dir(root.join(top)) else {
+            continue;
+        };
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let Some(name) = dir.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if let Ok(text) = fs::read_to_string(dir.join("Cargo.toml")) {
+                out.push((format!("{top}/{name}"), text));
+            }
+        }
+    }
+    out
+}
+
 fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) {
     let Ok(entries) = fs::read_dir(dir) else {
         return;

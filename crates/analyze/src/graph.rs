@@ -1,0 +1,557 @@
+//! The workspace function call graph and the reachability closure that
+//! drives the interprocedural lints (L2 panic-freedom, L5 checked
+//! arithmetic).
+//!
+//! Nodes are the non-test function bodies found by [`crate::ast`] across
+//! every scanned file. Edges are extracted lexically from body tokens and
+//! are a deliberate **over-approximation** — for panic-freedom, missing an
+//! edge hides a reachable panic, while a spurious edge merely asks for one
+//! more audited allowlist entry:
+//!
+//! * `self.m(…)` — resolved to `(owner, m)` when the enclosing impl
+//!   defines `m`, else to every workspace *method* named `m`;
+//! * `Type::m(…)` / `Self::m(…)` — resolved through the per-file `use`
+//!   alias table; a capitalized qualifier binds only to workspace types
+//!   that define `m` (so `Vec::new` adds no edges), a lowercase qualifier
+//!   is treated as a module path and binds to free functions named `m`;
+//! * `recv.m(…)` — every workspace method named `m`;
+//! * `m(…)` — every workspace free function named `m`.
+//!
+//! Candidate sets are then filtered by the crate dependency graph parsed
+//! from the workspace `Cargo.toml` manifests: an edge from `crates/core`
+//! into `crates/serve` is impossible because `lejit-core` does not depend
+//! on `lejit-serve`, and dropping it keeps name-based matching from
+//! smearing the closure across unrelated crates.
+//!
+//! Documented blind spots (inherent to a lexical graph, listed in
+//! DESIGN.md §9): calls through operator traits (`a + b` invoking
+//! `impl Add`), function pointers / closures passed as values, and macro
+//! expansion (handled separately by the macro-body check in
+//! [`crate::lints`]).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::ast::{Ast, TokRange};
+use crate::lexer::{Tok, TokKind};
+
+/// One call-graph node: a function body in a scanned file.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Index into the file list handed to [`build`].
+    pub file: usize,
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// `impl`/`trait` self type, `None` for free functions.
+    pub owner: Option<String>,
+    /// Function name.
+    pub name: String,
+    /// Parameter-list token range (parens included), when present.
+    pub params: Option<TokRange>,
+    /// Body token range (braces included) within the file's token stream.
+    pub body: TokRange,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+impl FnNode {
+    /// `Owner::name` or `name`, for diagnostics.
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One file's inputs to graph construction.
+pub struct FileUnit<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub path: &'a str,
+    /// The file's token stream.
+    pub toks: &'a [Tok],
+    /// The file's parsed structure.
+    pub ast: &'a Ast,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All nodes.
+    pub nodes: Vec<FnNode>,
+    /// `callees[i]` = node ids callable from node `i` (sorted, deduped).
+    pub callees: Vec<Vec<usize>>,
+}
+
+/// The reachability closure from a declared root set.
+#[derive(Debug, Default)]
+pub struct Closure {
+    /// Ids of every node reachable from a root (roots included).
+    pub reachable: BTreeSet<usize>,
+    /// BFS parent of each non-root reachable node, for call-chain
+    /// diagnostics.
+    pub parent: BTreeMap<usize, usize>,
+    /// Node ids the root specs matched directly.
+    pub root_ids: BTreeSet<usize>,
+    /// Root specs that matched no function (likely a typo — reported).
+    pub unmatched_roots: Vec<String>,
+}
+
+impl Closure {
+    /// The call chain from a root to `id`, as `Owner::name` strings
+    /// (root first, `id` last).
+    pub fn chain(&self, graph: &CallGraph, id: usize) -> Vec<String> {
+        let mut rev = vec![id];
+        let mut cur = id;
+        while let Some(&p) = self.parent.get(&cur) {
+            rev.push(p);
+            cur = p;
+        }
+        rev.reverse();
+        rev.iter()
+            .filter_map(|&n| graph.nodes.get(n).map(FnNode::qualified))
+            .collect()
+    }
+}
+
+/// The crate dependency map: which crate directories a caller's crate can
+/// reach. Built from the workspace `Cargo.toml` manifests; a directory
+/// with no manifest (analyzer test fixtures) is fully permissive.
+#[derive(Debug, Default)]
+pub struct CrateDeps {
+    reach: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// The crate directory key for a workspace-relative file path:
+/// `crates/smt/src/sat.rs` → `crates/smt`, `vendor/minipool/src/lib.rs` →
+/// `vendor/minipool`, anything else (the root package's `src/`,
+/// `examples/`, `tests/`) → `""`.
+pub fn crate_dir_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some(top @ ("crates" | "vendor")), Some(name), Some(_)) => format!("{top}/{name}"),
+        _ => String::new(),
+    }
+}
+
+impl CrateDeps {
+    /// Build the transitive dependency map from `(crate_dir, manifest
+    /// text)` pairs. Only `[dependencies]` count: dev-dependencies are
+    /// usable from test code only, which the call graph excludes.
+    pub fn from_manifests(manifests: &[(String, String)]) -> CrateDeps {
+        let mut name_to_dir: BTreeMap<String, String> = BTreeMap::new();
+        let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut parsed: Vec<(String, Vec<String>)> = Vec::new();
+        for (dir, text) in manifests {
+            let (name, deps) = parse_manifest(text);
+            if let Some(name) = name {
+                name_to_dir.insert(name, dir.clone());
+            }
+            parsed.push((dir.clone(), deps));
+        }
+        for (dir, deps) in parsed {
+            let set = direct.entry(dir).or_default();
+            for dep in deps {
+                if let Some(d) = name_to_dir.get(&dep) {
+                    set.insert(d.clone());
+                }
+            }
+        }
+        // Transitive closure (the workspace graph is tiny and acyclic).
+        let dirs: Vec<String> = direct.keys().cloned().collect();
+        let mut reach: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for dir in &dirs {
+            let mut seen = BTreeSet::new();
+            let mut queue = VecDeque::from([dir.clone()]);
+            while let Some(d) = queue.pop_front() {
+                if !seen.insert(d.clone()) {
+                    continue;
+                }
+                if let Some(next) = direct.get(&d) {
+                    queue.extend(next.iter().cloned());
+                }
+            }
+            reach.insert(dir.clone(), seen);
+        }
+        CrateDeps { reach }
+    }
+
+    /// Can code in `caller_dir` call into `callee_dir`? Unknown
+    /// directories (no manifest seen) are permissive by design.
+    pub fn edge_allowed(&self, caller_dir: &str, callee_dir: &str) -> bool {
+        match self.reach.get(caller_dir) {
+            Some(set) => set.contains(callee_dir) || !self.reach.contains_key(callee_dir),
+            None => true,
+        }
+    }
+}
+
+/// Minimal `Cargo.toml` reader: the `[package] name` and the direct
+/// `[dependencies]` keys (table, inline-table, and dotted forms).
+fn parse_manifest(text: &str) -> (Option<String>, Vec<String>) {
+    let mut section = String::new();
+    let mut name = None;
+    let mut deps = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line
+                .trim_matches(|c| c == '[' || c == ']')
+                .trim()
+                .to_string();
+            if let Some(rest) = section.strip_prefix("dependencies.") {
+                deps.push(rest.trim().to_string());
+            }
+            continue;
+        }
+        if section == "package" {
+            if let Some(v) = line.strip_prefix("name") {
+                let v = v.trim_start();
+                if let Some(v) = v.strip_prefix('=') {
+                    name = Some(v.trim().trim_matches('"').to_string());
+                }
+            }
+        } else if section == "dependencies" {
+            if let Some(eq) = line.find('=') {
+                let key = line[..eq].trim().trim_matches('"');
+                let key = key.split('.').next().unwrap_or(key).trim();
+                if !key.is_empty() {
+                    deps.push(key.to_string());
+                }
+            }
+        }
+    }
+    (name, deps)
+}
+
+/// Keywords that look like `ident(` but are never calls.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "for", "return", "loop", "in", "as", "move", "else", "let", "fn",
+    "impl", "dyn", "where", "break", "continue", "unsafe",
+];
+
+/// Build the call graph over `units`, filtering edges through `deps`.
+/// Test fns, test files, and bodyless declarations contribute no nodes.
+pub fn build(units: &[FileUnit<'_>], deps: &CrateDeps) -> CallGraph {
+    let mut nodes: Vec<FnNode> = Vec::new();
+    for (fi, u) in units.iter().enumerate() {
+        if crate::lints::is_test_path(u.path) {
+            continue;
+        }
+        for f in &u.ast.fns {
+            let Some(body) = f.body else { continue };
+            if f.is_test {
+                continue;
+            }
+            nodes.push(FnNode {
+                file: fi,
+                path: u.path.to_string(),
+                owner: f.owner.clone(),
+                name: f.name.clone(),
+                params: f.params,
+                body,
+                line: f.line_start,
+            });
+        }
+    }
+
+    let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_qual: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut typed_names: BTreeSet<&str> = BTreeSet::new();
+    for (id, n) in nodes.iter().enumerate() {
+        match &n.owner {
+            Some(o) => {
+                methods_by_name.entry(&n.name).or_default().push(id);
+                by_qual.entry((o, &n.name)).or_default().push(id);
+                typed_names.insert(o);
+            }
+            None => free_by_name.entry(&n.name).or_default().push(id),
+        }
+    }
+
+    let crate_dirs: Vec<String> = nodes.iter().map(|n| crate_dir_of(&n.path)).collect();
+    let mut callees: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for id in 0..nodes.len() {
+        let node = &nodes[id];
+        let u = &units[node.file];
+        let toks = u.toks;
+        let aliases: BTreeMap<&str, &str> = u.ast.aliases().into_iter().collect();
+        let mut found: BTreeSet<usize> = BTreeSet::new();
+        for k in (node.body.open + 1)..node.body.close.min(toks.len()) {
+            let t = &toks[k];
+            if t.kind != TokKind::Ident || CALL_KEYWORDS.contains(&t.text.as_str()) {
+                continue;
+            }
+            if !punct_at(toks, k + 1, "(") {
+                continue;
+            }
+            let callee = t.text.as_str();
+            let prev = k.checked_sub(1).map(|p| &toks[p]);
+            let candidates: &[usize] = match prev {
+                // `fn callee(…)` is a (nested) definition, not a call.
+                Some(p) if p.kind == TokKind::Ident && p.text == "fn" => &[],
+                Some(p) if p.kind == TokKind::Punct && p.text == "." => {
+                    let rcv = k.checked_sub(2).map(|r| &toks[r]);
+                    let self_call = matches!(rcv, Some(r) if r.kind == TokKind::Ident && r.text == "self")
+                        && !punct_at_back(toks, k, 3, ".");
+                    let own = node.owner.as_deref().and_then(|o| {
+                        if self_call {
+                            by_qual.get(&(o, callee))
+                        } else {
+                            None
+                        }
+                    });
+                    match own {
+                        Some(v) => v,
+                        None => methods_by_name
+                            .get(callee)
+                            .map(Vec::as_slice)
+                            .unwrap_or(&[]),
+                    }
+                }
+                Some(p) if p.kind == TokKind::Punct && p.text == "::" => {
+                    let qual = k
+                        .checked_sub(2)
+                        .map(|q| &toks[q])
+                        .filter(|q| q.kind == TokKind::Ident)
+                        .map(|q| q.text.as_str());
+                    match qual {
+                        Some(q) => {
+                            let q = if q == "Self" {
+                                node.owner.as_deref().unwrap_or(q)
+                            } else {
+                                aliases.get(q).copied().unwrap_or(q)
+                            };
+                            if q.starts_with(char::is_uppercase) {
+                                // Type-qualified: bind only to workspace
+                                // types that define it (std types add no
+                                // edges).
+                                by_qual.get(&(q, callee)).map(Vec::as_slice).unwrap_or(&[])
+                            } else {
+                                // Module-qualified free fn.
+                                free_by_name.get(callee).map(Vec::as_slice).unwrap_or(&[])
+                            }
+                        }
+                        None => &[],
+                    }
+                }
+                _ => free_by_name.get(callee).map(Vec::as_slice).unwrap_or(&[]),
+            };
+            for &c in candidates {
+                if c != id && deps.edge_allowed(&crate_dirs[id], &crate_dirs[c]) {
+                    found.insert(c);
+                }
+            }
+        }
+        callees[id] = found.into_iter().collect();
+    }
+
+    CallGraph { nodes, callees }
+}
+
+fn punct_at(toks: &[Tok], i: usize, text: &str) -> bool {
+    toks.get(i)
+        .map(|t| t.kind == TokKind::Punct && t.text == text)
+        .unwrap_or(false)
+}
+
+fn punct_at_back(toks: &[Tok], i: usize, back: usize, text: &str) -> bool {
+    i.checked_sub(back)
+        .map(|p| punct_at(toks, p, text))
+        .unwrap_or(false)
+}
+
+/// BFS the closure from `roots`. A root spec is either `Owner::name`
+/// (matches methods of that type/trait) or a bare `name` (matches every
+/// function with that name, free or method).
+pub fn closure(graph: &CallGraph, roots: &[String]) -> Closure {
+    let mut out = Closure::default();
+    for spec in roots {
+        let ids: Vec<usize> = match spec.split_once("::") {
+            Some((owner, name)) => graph
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.owner.as_deref() == Some(owner) && n.name == name)
+                .map(|(i, _)| i)
+                .collect(),
+            None => graph
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.name == *spec)
+                .map(|(i, _)| i)
+                .collect(),
+        };
+        if ids.is_empty() {
+            out.unmatched_roots.push(spec.clone());
+        }
+        out.root_ids.extend(ids);
+    }
+    let mut queue: VecDeque<usize> = out.root_ids.iter().copied().collect();
+    out.reachable.extend(out.root_ids.iter().copied());
+    while let Some(cur) = queue.pop_front() {
+        for &next in &graph.callees[cur] {
+            if out.reachable.insert(next) {
+                out.parent.insert(next, cur);
+                queue.push_back(next);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast;
+    use crate::lexer;
+
+    struct Owned {
+        path: String,
+        lexed: lexer::Lexed,
+        ast: ast::Ast,
+    }
+
+    fn units(files: &[(&str, &str)]) -> Vec<Owned> {
+        files
+            .iter()
+            .map(|(p, src)| {
+                let lexed = lexer::lex(src);
+                let ast = ast::parse(&lexed.tokens);
+                Owned {
+                    path: p.to_string(),
+                    lexed,
+                    ast,
+                }
+            })
+            .collect()
+    }
+
+    fn graph_of(owned: &[Owned], deps: &CrateDeps) -> CallGraph {
+        let units: Vec<FileUnit<'_>> = owned
+            .iter()
+            .map(|o| FileUnit {
+                path: &o.path,
+                toks: &o.lexed.tokens,
+                ast: &o.ast,
+            })
+            .collect();
+        build(&units, deps)
+    }
+
+    #[test]
+    fn two_deep_chain_is_reachable_across_files() {
+        let owned = units(&[
+            (
+                "crates/smt/src/theory.rs",
+                "pub fn branch_and_bound() { tighten(1); }\n",
+            ),
+            (
+                "crates/smt/src/helper.rs",
+                "pub fn tighten(x: u8) { bound_floor(x); }\nfn bound_floor(x: u8) {}\nfn unreached() {}\n",
+            ),
+        ]);
+        let g = graph_of(&owned, &CrateDeps::default());
+        let c = closure(&g, &["branch_and_bound".to_string()]);
+        let reach: Vec<String> = c
+            .reachable
+            .iter()
+            .map(|&i| g.nodes[i].qualified())
+            .collect();
+        assert!(reach.contains(&"tighten".to_string()), "{reach:?}");
+        assert!(reach.contains(&"bound_floor".to_string()), "{reach:?}");
+        assert!(!reach.contains(&"unreached".to_string()), "{reach:?}");
+        let floor_id = g
+            .nodes
+            .iter()
+            .position(|n| n.name == "bound_floor")
+            .unwrap();
+        assert_eq!(
+            c.chain(&g, floor_id),
+            vec!["branch_and_bound", "tighten", "bound_floor"]
+        );
+    }
+
+    #[test]
+    fn qualified_calls_resolve_through_aliases_and_skip_std_types() {
+        let owned = units(&[(
+            "crates/smt/src/a.rs",
+            "use crate::rational::Rational as Rat;\nimpl Rational { pub fn new() {} }\npub fn f() { Rat::new(); Vec::new(); }\n",
+        )]);
+        let g = graph_of(&owned, &CrateDeps::default());
+        let c = closure(&g, &["f".to_string()]);
+        let reach: Vec<String> = c
+            .reachable
+            .iter()
+            .map(|&i| g.nodes[i].qualified())
+            .collect();
+        assert!(reach.contains(&"Rational::new".to_string()), "{reach:?}");
+        assert_eq!(reach.len(), 2, "Vec::new must not bind: {reach:?}");
+    }
+
+    #[test]
+    fn self_calls_bind_to_the_enclosing_impl_first() {
+        let owned = units(&[(
+            "crates/smt/src/a.rs",
+            "impl A { fn go(&self) { self.step(); } fn step(&self) {} }\nimpl B { fn step(&self) {} }\n",
+        )]);
+        let g = graph_of(&owned, &CrateDeps::default());
+        let c = closure(&g, &["A::go".to_string()]);
+        let reach: Vec<String> = c
+            .reachable
+            .iter()
+            .map(|&i| g.nodes[i].qualified())
+            .collect();
+        assert!(reach.contains(&"A::step".to_string()), "{reach:?}");
+        assert!(!reach.contains(&"B::step".to_string()), "{reach:?}");
+    }
+
+    #[test]
+    fn dep_filter_blocks_impossible_cross_crate_edges() {
+        let manifests = vec![
+            (
+                "crates/core".to_string(),
+                "[package]\nname = \"lejit-core\"\n[dependencies]\nlejit-smt = { path = \"../smt\" }\n".to_string(),
+            ),
+            (
+                "crates/smt".to_string(),
+                "[package]\nname = \"lejit-smt\"\n".to_string(),
+            ),
+            (
+                "crates/serve".to_string(),
+                "[package]\nname = \"lejit-serve\"\n[dependencies]\nlejit-core = { path = \"../core\" }\n".to_string(),
+            ),
+        ];
+        let deps = CrateDeps::from_manifests(&manifests);
+        let owned = units(&[
+            ("crates/smt/src/a.rs", "pub fn helper() {}\n"),
+            ("crates/serve/src/b.rs", "pub fn helper() {}\n"),
+            ("crates/core/src/c.rs", "pub fn go() { helper(); }\n"),
+        ]);
+        let g = graph_of(&owned, &deps);
+        let c = closure(&g, &["go".to_string()]);
+        let reach: Vec<&str> = c
+            .reachable
+            .iter()
+            .map(|&i| g.nodes[i].path.as_str())
+            .collect();
+        assert!(reach.contains(&"crates/smt/src/a.rs"), "{reach:?}");
+        assert!(
+            !reach.contains(&"crates/serve/src/b.rs"),
+            "core cannot call serve: {reach:?}"
+        );
+    }
+
+    #[test]
+    fn unmatched_roots_are_reported() {
+        let owned = units(&[("crates/smt/src/a.rs", "pub fn real() {}\n")]);
+        let g = graph_of(&owned, &CrateDeps::default());
+        let c = closure(&g, &["real".to_string(), "no_such_fn".to_string()]);
+        assert_eq!(c.unmatched_roots, vec!["no_such_fn".to_string()]);
+        assert_eq!(c.reachable.len(), 1);
+    }
+}

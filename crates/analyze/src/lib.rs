@@ -7,40 +7,51 @@
 //! *statically*, so a violation cannot compile into the tree unnoticed:
 //!
 //! * **L1 determinism** — no nondeterministically-ordered collections or
-//!   ambient time/randomness in decode-path crates;
-//! * **L2 panic-freedom** — no `unwrap`/`expect`/`[]` in the CDCL
-//!   propagate/analyze loop, the simplex pivot, or `JitDecoder::decode_*`;
+//!   ambient time/randomness in decode-path crates, resolved through
+//!   `use … as` aliases and attributed inside macro bodies;
+//! * **L2 panic-freedom** — no `unwrap`/`expect`/`[]`/panicking macros in
+//!   any function *reachable* (per the workspace call graph) from the
+//!   hot-path roots declared in `analyze.toml`;
 //! * **L3 float hygiene** — no float equality or float→int `as` casts in
 //!   solver/logit code; no floats at all in the exact-rational `lejit-smt`;
-//! * **L4 unsafe audit** — every `unsafe` carries a `// SAFETY:` comment.
+//! * **L4 unsafe audit** — every `unsafe` carries a `// SAFETY:` comment;
+//! * **L5 checked arithmetic** — no unchecked `i64` `+`/`-`/`*` on the
+//!   reachable `crates/smt` paths that carry `SolverError::Overflow`;
+//! * **L6 lock discipline** — nested guards in `crates/serve` /
+//!   `vendor/minipool` follow the declared lock order, and no guard is
+//!   held across a blocking call.
+//!
+//! The pass lexes every file ([`lexer`]), parses items/uses/fns ([`ast`]),
+//! builds the workspace function call graph with a `Cargo.toml`-derived
+//! crate-dependency filter ([`graph`]), and runs the lints ([`lints`]).
 //!
 //! Diagnostics are deny-by-default. Suppressions live in `analyze.toml`
 //! at the scan root and each must carry a written justification (see
 //! [`config`]). Run it as:
 //!
 //! ```text
-//! cargo run -p lejit-analyze -- check
+//! cargo run -p lejit-analyze -- check [--deny-stale] [--json]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` unallowlisted findings, `2` usage or
-//! configuration error.
-//!
-//! The analyzer is token-level (the workspace vendors no `syn`): see
-//! [`lints`] for per-lint soundness notes and documented limitations.
+//! Exit codes: `0` clean, `1` unallowlisted findings (or, with
+//! `--deny-stale`, stale allowlist entries / unmatched roots), `2` usage
+//! or configuration error.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ast;
 pub mod config;
 pub mod files;
+pub mod graph;
 pub mod lexer;
 pub mod lints;
 
 use std::fs;
 use std::path::Path;
 
-use config::{Allowlist, ConfigError};
-use lints::Finding;
+use config::{AnalyzeConfig, ConfigError};
+use lints::{Finding, InterprocStats};
 
 /// A finding plus its allowlist disposition.
 #[derive(Debug, Clone)]
@@ -60,6 +71,8 @@ pub struct Report {
     pub unused_allows: Vec<config::AllowEntry>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Interprocedural closure summary (roots, reachable function count).
+    pub interproc: InterprocStats,
 }
 
 impl Report {
@@ -71,6 +84,12 @@ impl Report {
     /// True when the run is clean (no unallowlisted findings).
     pub fn is_clean(&self) -> bool {
         self.unallowlisted().next().is_none()
+    }
+
+    /// True when the configuration is fully live: no stale allowlist
+    /// entries and no root specs that match nothing (`--deny-stale`).
+    pub fn is_config_live(&self) -> bool {
+        self.unused_allows.is_empty() && self.interproc.unmatched_roots.is_empty()
     }
 
     /// Render the human-readable report.
@@ -106,6 +125,11 @@ impl Report {
                 e.line.map(|l| format!(":{l}")).unwrap_or_default(),
             ));
         }
+        for r in &self.interproc.unmatched_roots {
+            out.push_str(&format!(
+                "warning: analyze.toml: [interproc] root `{r}` matches no function — remove or fix it\n",
+            ));
+        }
         let allowed = self
             .diagnostics
             .iter()
@@ -113,15 +137,100 @@ impl Report {
             .count();
         let open = self.diagnostics.len() - allowed;
         out.push_str(&format!(
-            "lejit-analyze: {} finding{} ({} allowlisted, {} unallowlisted) across {} files\n",
+            "lejit-analyze: {} finding{} ({} allowlisted, {} unallowlisted) across {} files; {} roots matched {} functions, closure covers {} functions\n",
             self.diagnostics.len(),
             if self.diagnostics.len() == 1 { "" } else { "s" },
             allowed,
             open,
             self.files_scanned,
+            self.interproc.roots_declared,
+            self.interproc.root_fns,
+            self.interproc.reachable_fns,
         ));
         out
     }
+
+    /// Render the machine-readable report (a single JSON object; the CI
+    /// artifact format).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str(&format!(
+            "  \"interproc\": {{\"roots_declared\": {}, \"root_fns\": {}, \"reachable_fns\": {}, \"unmatched_roots\": [{}]}},\n",
+            self.interproc.roots_declared,
+            self.interproc.root_fns,
+            self.interproc.reachable_fns,
+            self.interproc
+                .unmatched_roots
+                .iter()
+                .map(|r| json_str(r))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
+        out.push_str("  \"findings\": [\n");
+        let items: Vec<String> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                format!(
+                    "    {{\"lint\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"allowed\": {}, \"message\": {}}}",
+                    json_str(d.finding.lint),
+                    json_str(&d.finding.path),
+                    d.finding.line,
+                    d.finding.col,
+                    d.allowed.as_deref().map(json_str).unwrap_or_else(|| "null".to_string()),
+                    json_str(&d.finding.message),
+                )
+            })
+            .collect();
+        out.push_str(&items.join(",\n"));
+        if !items.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"unused_allows\": [\n");
+        let stale: Vec<String> = self
+            .unused_allows
+            .iter()
+            .map(|e| {
+                format!(
+                    "    {{\"lint\": {}, \"path\": {}, \"line\": {}, \"defined_at\": {}}}",
+                    json_str(&e.lint),
+                    json_str(&e.path),
+                    e.line
+                        .map(|l| l.to_string())
+                        .unwrap_or_else(|| "null".to_string()),
+                    e.defined_at,
+                )
+            })
+            .collect();
+        out.push_str(&stale.join(",\n"));
+        if !stale.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Escape a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Errors a `check` run can produce (distinct from lint findings).
@@ -146,27 +255,36 @@ impl std::fmt::Display for CheckError {
 ///
 /// `allowlist_path`: `Some(path)` loads that file (an error if missing);
 /// `None` loads `<root>/analyze.toml` if present, else runs with an empty
-/// allowlist.
+/// configuration.
 pub fn run_check(root: &Path, allowlist_path: Option<&Path>) -> Result<Report, CheckError> {
-    let allowlist = load_allowlist(root, allowlist_path)?;
+    let cfg = load_config(root, allowlist_path)?;
     let sources = files::collect_rust_files(root);
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut files_scanned = 0usize;
+    let deps = graph::CrateDeps::from_manifests(&files::collect_manifests(root));
+
+    let mut analyses = Vec::with_capacity(sources.len());
     for src in &sources {
         let text = fs::read_to_string(&src.abs_path)
             .map_err(|e| CheckError::Io(format!("{}: {e}", src.abs_path.display())))?;
-        files_scanned += 1;
-        findings.extend(lints::lint_file(&src.rel_path, &text));
+        analyses.push(lints::analyze_file(&src.rel_path, &text));
     }
+    let files_scanned = analyses.len();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for fa in &analyses {
+        findings.extend(lints::lint_local(fa, &cfg.lock_order));
+    }
+    let (interproc_findings, interproc) = lints::lint_interproc(&analyses, &deps, &cfg.roots);
+    findings.extend(interproc_findings);
     findings.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.lint).cmp(&(b.path.as_str(), b.line, b.col, b.lint))
     });
+    findings.dedup();
 
-    let mut used = vec![false; allowlist.entries.len()];
+    let mut used = vec![false; cfg.entries.len()];
     let diagnostics = findings
         .into_iter()
         .map(|finding| {
-            let allowed = allowlist
+            let allowed = cfg
                 .entries
                 .iter()
                 .enumerate()
@@ -182,7 +300,7 @@ pub fn run_check(root: &Path, allowlist_path: Option<&Path>) -> Result<Report, C
             Diagnostic { finding, allowed }
         })
         .collect();
-    let unused_allows = allowlist
+    let unused_allows = cfg
         .entries
         .into_iter()
         .zip(used)
@@ -193,21 +311,22 @@ pub fn run_check(root: &Path, allowlist_path: Option<&Path>) -> Result<Report, C
         diagnostics,
         unused_allows,
         files_scanned,
+        interproc,
     })
 }
 
-fn load_allowlist(root: &Path, explicit: Option<&Path>) -> Result<Allowlist, CheckError> {
+fn load_config(root: &Path, explicit: Option<&Path>) -> Result<AnalyzeConfig, CheckError> {
     let path = match explicit {
         Some(p) => p.to_path_buf(),
         None => {
             let default = root.join("analyze.toml");
             if !default.exists() {
-                return Ok(Allowlist::default());
+                return Ok(AnalyzeConfig::default());
             }
             default
         }
     };
     let text = fs::read_to_string(&path)
         .map_err(|e| CheckError::Io(format!("{}: {e}", path.display())))?;
-    config::parse_allowlist(&text).map_err(CheckError::Config)
+    config::parse_config(&text).map_err(CheckError::Config)
 }

@@ -1,30 +1,46 @@
-//! The lint passes: project-specific invariants checked over the token
-//! stream produced by [`crate::lexer`].
+//! The lint passes: project-specific invariants checked over the parsed
+//! view ([`crate::ast`]) of each file plus the workspace call graph
+//! ([`crate::graph`]).
 //!
 //! | Lint | Invariant |
 //! |------|-----------|
-//! | `L1-hash-collection` | no `HashMap`/`HashSet` in `lejit-smt`/`lejit-core`/`lejit-lm`/`lejit-serve` non-test code — iteration order feeds clause learning, model extraction, lane assignment, and response routing; use `BTreeMap`/`BTreeSet` |
-//! | `L1-ambient-time` | no `std::time`/`Instant`/`SystemTime` outside `crates/bench` |
-//! | `L1-ambient-random` | no ambient randomness (`thread_rng`, `from_entropy`, `RandomState`, `DefaultHasher`) outside `crates/bench` |
-//! | `L2-unwrap` | no `unwrap`/`expect`/panicking macros in the CDCL propagate/analyze loop, the simplex pivot, `JitDecoder::decode_*`, the continuous-batching lane engine, or the `lejit-serve` scheduler (a poisoned request must never take down co-batched lanes) |
-//! | `L2-index` | no `[]` indexing in those same hot paths (each use must be allowlisted with a bounds argument) |
+//! | `L1-hash-collection` | no `HashMap`/`HashSet` — including through `use … as` aliases — in `lejit-smt`/`lejit-core`/`lejit-lm`/`lejit-serve` non-test code; iteration order feeds clause learning, model extraction, lane assignment, and response routing; use `BTreeMap`/`BTreeSet` |
+//! | `L1-ambient-time` | no `std::time`/`Instant`/`SystemTime` (alias-resolved) outside `crates/bench` |
+//! | `L1-ambient-random` | no ambient randomness (`thread_rng`, `from_entropy`, `RandomState`, `DefaultHasher`, alias-resolved) outside `crates/bench` |
+//! | `L2-unwrap` | no `unwrap`/`expect`/panicking macros in any function *reachable from a declared hot-path root* (`[interproc] roots` in `analyze.toml`); reachability is the call-graph closure, so a panic two calls below `solve_with` is flagged without hand-pinning its function |
+//! | `L2-index` | no `[]` indexing in those same reachable functions (each use must be allowlisted with a bounds argument) |
 //! | `L3-float-eq` | no `==`/`!=` against float literals or `f32`/`f64` constants in solver/logit code |
 //! | `L3-float-cast` | no `as` float→int casts in solver/logit code (the theory solver is exact-rational) |
 //! | `L3-float-type` | no `f32`/`f64` types in `lejit-smt` at all (exact-rational by design) |
 //! | `L4-safety-comment` | every `unsafe` keyword carries a `// SAFETY:` comment within the three preceding lines |
+//! | `L5-arith` | no unchecked `i64` `+`/`-`/`*` in `crates/smt` functions reachable from the roots — overflow must surface as `SolverError::Overflow`, not wrap or abort |
+//! | `L6-lock-order` | nested lock guards in `crates/serve`/`vendor/minipool` must follow the declared `[locks] order`; re-acquiring a held lock is always an error |
+//! | `L6-lock-blocking` | no lock guard held across a blocking call (`send`/`recv`/`recv_timeout`/`pop_wait`/`join`); `Condvar::wait` is exempt because it consumes the guard |
 //!
-//! Scope notes: L1–L3 apply to non-test code only (files under `tests/`,
-//! `benches/`, `examples/`, and `#[cfg(test)]`/`#[test]` spans are exempt —
-//! test code may legitimately unwrap and compare). L4 applies everywhere,
-//! including `vendor/`.
+//! Scope notes: L1–L3, L5, L6 apply to non-test code only (files under
+//! `tests/`, `benches/`, `examples/`, and `#[cfg(test)]`/`#[test]` spans
+//! are exempt — test code may legitimately unwrap and compare). L4 applies
+//! everywhere, including `vendor/`. L2/L5 findings are *emitted* only in
+//! `crates/smt`, `crates/core`, and `crates/serve` (the solver hot-path
+//! crates with typed error enums); the closure itself spans the whole
+//! workspace so chains through other crates are still followed.
 //!
-//! Honest limitations (documented, not hidden): the passes are
-//! token-level, not type-aware. `a == b` where both sides are `f64`
-//! *variables* is not detected (L3-float-type closes that hole inside
-//! `lejit-smt` by banning the types themselves), and a float→int cast is
-//! only detected when the source expression lexically contains a float
-//! literal or an `f32`/`f64` token.
+//! Honest limitations (documented, not hidden): the analysis is
+//! structural, not type-aware. Calls through operator traits (`a + b`
+//! invoking `impl Add`), function pointers, and closures passed as values
+//! are invisible to the call graph; macro *expansion* is approximated by
+//! flagging invocations of workspace macros whose bodies contain panic
+//! evidence; `a == b` where both sides are `f64` variables is not
+//! detected (L3-float-type closes that hole inside `lejit-smt` by banning
+//! the types); L5 sees an operand as `i64` only when the enclosing
+//! function lexically declares it so (`x: i64`, `let x: i64`, `42i64`);
+//! L6 names a guard by its receiver field and cannot see a guard returned
+//! by a helper call in another function.
 
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{self, Ast};
+use crate::graph::{self, CrateDeps, FileUnit};
 use crate::lexer::{self, Lexed, Tok, TokKind};
 
 /// One diagnostic produced by a lint pass.
@@ -47,11 +63,11 @@ pub struct Finding {
 pub const LINTS: &[(&str, &str)] = &[
     (
         "L1-hash-collection",
-        "HashMap/HashSet banned in lejit-smt/core/lm/serve non-test code (iteration order is nondeterministic; use BTreeMap/BTreeSet)",
+        "HashMap/HashSet (alias-resolved) banned in lejit-smt/core/lm/serve non-test code (iteration order is nondeterministic; use BTreeMap/BTreeSet)",
     ),
     (
         "L1-ambient-time",
-        "std::time / Instant / SystemTime banned outside crates/bench (wall-clock must not influence decoding)",
+        "std::time / Instant / SystemTime (alias-resolved) banned outside crates/bench (wall-clock must not influence decoding)",
     ),
     (
         "L1-ambient-random",
@@ -59,11 +75,11 @@ pub const LINTS: &[(&str, &str)] = &[
     ),
     (
         "L2-unwrap",
-        "unwrap/expect/panicking macros banned in CDCL propagate/analyze, simplex pivot, decode_*, lane-engine, and serve-scheduler hot paths (use typed SolverError/DecodeError)",
+        "unwrap/expect/panicking macros banned in every function reachable from the declared [interproc] roots (use typed SolverError/DecodeError)",
     ),
     (
         "L2-index",
-        "[] indexing banned in those same hot paths unless allowlisted with a bounds justification",
+        "[] indexing banned in those same reachable functions unless allowlisted with a bounds justification",
     ),
     (
         "L3-float-eq",
@@ -81,88 +97,17 @@ pub const LINTS: &[(&str, &str)] = &[
         "L4-safety-comment",
         "every `unsafe` keyword must carry a `// SAFETY:` comment within the three preceding lines",
     ),
-];
-
-/// Files whose listed functions form the L2 panic-freedom scope.
-/// `Prefix` matches `name == p` or `name.starts_with(p_)` for `decode_*`.
-enum FnMatch {
-    Exact(&'static [&'static str]),
-    DecodeFamily,
-}
-
-const PANIC_SCOPES: &[(&str, FnMatch)] = &[
     (
-        "crates/smt/src/sat.rs",
-        FnMatch::Exact(&[
-            "propagate",
-            "analyze",
-            "learn",
-            "pick_branch",
-            "reduce_db",
-            "solve",
-            "solve_with",
-            "explain_theory",
-            "retract",
-            "detach_clause",
-        ]),
+        "L5-arith",
+        "unchecked i64 +/-/* banned in crates/smt functions reachable from the roots (overflow must surface as SolverError::Overflow)",
     ),
     (
-        "crates/smt/src/simplex.rs",
-        FnMatch::Exact(&[
-            "check",
-            "pivot_and_update",
-            "update_nonbasic",
-            "assert_lower",
-            "assert_upper",
-            "lower_bound",
-            "upper_bound",
-            "add_row",
-            "snapshot",
-            "undo_to",
-        ]),
+        "L6-lock-order",
+        "nested lock guards in crates/serve and vendor/minipool must follow the declared [locks] order; re-acquiring a held lock is always flagged",
     ),
     (
-        "crates/smt/src/theory.rs",
-        FnMatch::Exact(&[
-            "check",
-            "check_asserted",
-            "assert_atom",
-            "sync_pool",
-            "branch_and_bound",
-            "propagate",
-            "entailed",
-        ]),
-    ),
-    (
-        "crates/smt/src/solver.rs",
-        FnMatch::Exact(&["propagate", "explain"]),
-    ),
-    ("crates/core/src/decoder.rs", FnMatch::DecodeFamily),
-    (
-        "crates/core/src/lanes.rs",
-        FnMatch::Exact(&[
-            "advance",
-            "admit",
-            "step",
-            "sweep_chunks",
-            "finish_ok",
-            "finish_err",
-        ]),
-    ),
-    (
-        "crates/serve/src/queue.rs",
-        FnMatch::Exact(&["lock", "try_push", "try_pop", "pop_wait", "close"]),
-    ),
-    (
-        "crates/serve/src/server.rs",
-        FnMatch::Exact(&[
-            "write_line",
-            "admit_request",
-            "shard_loop",
-            "seat",
-            "settle",
-            "sync_pool_metrics",
-        ]),
+        "L6-lock-blocking",
+        "no lock guard held across send/recv/recv_timeout/pop_wait/join (Condvar::wait is exempt: it consumes the guard)",
     ),
 ];
 
@@ -182,6 +127,10 @@ const INT_TYPES: &[&str] = &[
     "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize",
 ];
 const FLOAT_TYPES: &[&str] = &["f32", "f64"];
+/// Method names whose call blocks the thread; holding a lock guard across
+/// one risks deadlock (L6). `Condvar::wait` is deliberately absent: it
+/// consumes the guard it is handed.
+const BLOCKING_CALLS: &[&str] = &["send", "recv", "recv_timeout", "pop_wait", "join"];
 
 /// Rust keywords that cannot be the base of an indexing expression
 /// (used to tell `x[i]` apart from `let [a, b] = …` and array literals).
@@ -191,7 +140,8 @@ const KEYWORDS: &[&str] = &[
     "return", "static", "struct", "trait", "true", "type", "unsafe", "use", "where", "while",
 ];
 
-fn is_test_path(path: &str) -> bool {
+/// Is this a test/bench/example path, exempt from the behavioral lints?
+pub fn is_test_path(path: &str) -> bool {
     path.contains("/tests/") || path.contains("/benches/") || path.starts_with("examples/")
 }
 
@@ -211,11 +161,22 @@ fn in_float_scope(path: &str) -> bool {
     in_determinism_scope(path)
 }
 
-/// A function body's line extent.
-struct FnSpan {
-    name: String,
-    line_start: u32,
-    line_end: u32,
+/// Where L2/L5 findings are *emitted* (closure membership alone is not
+/// enough): the hot-path crates that carry typed error enums.
+fn in_panic_emit_scope(path: &str) -> bool {
+    (path.starts_with("crates/smt/")
+        || path.starts_with("crates/core/")
+        || path.starts_with("crates/serve/"))
+        && !is_test_path(path)
+}
+
+fn in_arith_scope(path: &str) -> bool {
+    path.starts_with("crates/smt/") && !is_test_path(path)
+}
+
+fn in_lock_scope(path: &str) -> bool {
+    (path.starts_with("crates/serve/") || path.starts_with("vendor/minipool/"))
+        && !is_test_path(path)
 }
 
 /// Find the index of the `}` matching the `{` at `open` (or the last
@@ -235,46 +196,6 @@ fn match_brace(toks: &[Tok], open: usize) -> usize {
         }
     }
     toks.len().saturating_sub(1)
-}
-
-/// All function bodies: `fn name … { … }` (trait-method declarations
-/// without bodies are skipped).
-fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i + 1 < toks.len() {
-        if toks[i].kind == TokKind::Ident
-            && toks[i].text == "fn"
-            && toks[i + 1].kind == TokKind::Ident
-        {
-            let name = toks[i + 1].text.clone();
-            let mut j = i + 2;
-            let mut open = None;
-            while j < toks.len() {
-                let t = &toks[j];
-                if t.kind == TokKind::Punct {
-                    if t.text == "{" {
-                        open = Some(j);
-                        break;
-                    }
-                    if t.text == ";" {
-                        break;
-                    }
-                }
-                j += 1;
-            }
-            if let Some(open) = open {
-                let close = match_brace(toks, open);
-                out.push(FnSpan {
-                    name,
-                    line_start: toks[i].line,
-                    line_end: toks[close.min(toks.len() - 1)].line,
-                });
-            }
-        }
-        i += 1;
-    }
-    out
 }
 
 fn punct_at(toks: &[Tok], i: usize, text: &str) -> bool {
@@ -343,19 +264,70 @@ fn in_ranges(line: u32, ranges: &[(u32, u32)]) -> bool {
     ranges.iter().any(|&(lo, hi)| line >= lo && line <= hi)
 }
 
+/// One file, lexed and parsed, ready for the lint passes and the call
+/// graph.
+pub struct FileAnalysis {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// The lexer output (tokens + comments).
+    pub lexed: Lexed,
+    /// The parsed structural view.
+    pub ast: Ast,
+    /// `#[cfg(test)]`/`#[test]` line ranges.
+    pub test_mask: Vec<(u32, u32)>,
+}
+
+/// Lex and parse one file. `path` must be workspace-relative with forward
+/// slashes (scoping is path-based).
+pub fn analyze_file(path: &str, src: &str) -> FileAnalysis {
+    let lexed = lexer::lex(src);
+    let ast = ast::parse(&lexed.tokens);
+    let test_mask = test_spans(&lexed.tokens);
+    FileAnalysis {
+        path: path.to_string(),
+        lexed,
+        ast,
+        test_mask,
+    }
+}
+
+/// `(name, line_lo, line_hi)` of every `macro_rules!` body, for
+/// attributing findings inside macro bodies.
+fn macro_line_ranges(fa: &FileAnalysis) -> Vec<(String, u32, u32)> {
+    let toks = &fa.lexed.tokens;
+    fa.ast
+        .macros
+        .iter()
+        .filter_map(|m| {
+            let lo = toks.get(m.body.open)?.line;
+            let hi = toks.get(m.body.close)?.line;
+            Some((m.name.clone(), lo, hi))
+        })
+        .collect()
+}
+
 struct FileCtx<'a> {
-    path: &'a str,
-    toks: &'a [Tok],
-    lexed: &'a Lexed,
-    test_mask: Vec<(u32, u32)>,
+    fa: &'a FileAnalysis,
+    macro_ranges: Vec<(String, u32, u32)>,
     findings: Vec<Finding>,
 }
 
 impl FileCtx<'_> {
-    fn emit(&mut self, lint: &'static str, tok: &Tok, message: String) {
+    fn toks(&self) -> &[Tok] {
+        &self.fa.lexed.tokens
+    }
+
+    fn emit(&mut self, lint: &'static str, tok: &Tok, mut message: String) {
+        if let Some((name, _, _)) = self
+            .macro_ranges
+            .iter()
+            .find(|(_, lo, hi)| tok.line >= *lo && tok.line <= *hi)
+        {
+            message.push_str(&format!(" (inside `{name}!` macro body)"));
+        }
         self.findings.push(Finding {
             lint,
-            path: self.path.to_string(),
+            path: self.fa.path.clone(),
             line: tok.line,
             col: tok.col,
             message,
@@ -363,44 +335,69 @@ impl FileCtx<'_> {
     }
 
     fn is_test_line(&self, line: u32) -> bool {
-        in_ranges(line, &self.test_mask)
+        in_ranges(line, &self.fa.test_mask)
     }
 }
 
-/// Run every lint over one file. `path` must be workspace-relative with
-/// forward slashes (scoping is path-based).
-pub fn lint_file(path: &str, src: &str) -> Vec<Finding> {
-    let lexed = lexer::lex(src);
-    let toks = &lexed.tokens;
+/// Run the per-file (local) lints: L1 determinism (alias-aware), L3 float
+/// hygiene, L4 safety comments, L6 lock discipline.
+pub fn lint_local(fa: &FileAnalysis, lock_order: &[String]) -> Vec<Finding> {
     let mut ctx = FileCtx {
-        path,
-        toks,
-        lexed: &lexed,
-        test_mask: test_spans(toks),
+        fa,
+        macro_ranges: macro_line_ranges(fa),
         findings: Vec::new(),
     };
-
     lint_determinism(&mut ctx);
-    lint_panic_freedom(&mut ctx);
     lint_float_hygiene(&mut ctx);
     lint_safety_comments(&mut ctx);
-
+    lint_locks(&mut ctx, lock_order);
     ctx.findings
 }
 
+/// Convenience for tests and single-file use: analyze + local lints with
+/// no declared lock order.
+pub fn lint_file(path: &str, src: &str) -> Vec<Finding> {
+    lint_local(&analyze_file(path, src), &[])
+}
+
+/// The alias table restricted to banned canonical names: alias →
+/// `(canonical, lint, definition line, definition col)`.
+fn banned_aliases(fa: &FileAnalysis) -> Vec<(String, String, &'static str, u32, u32)> {
+    fa.ast
+        .uses
+        .iter()
+        .filter_map(|u| {
+            let alias = u.alias.as_ref()?;
+            let canonical = u.last_segment()?;
+            let lint = if HASH_IDENTS.contains(&canonical) {
+                "L1-hash-collection"
+            } else if TIME_IDENTS.contains(&canonical)
+                || (canonical == "time" && u.path.first().map(String::as_str) == Some("std"))
+            {
+                "L1-ambient-time"
+            } else if RANDOM_IDENTS.contains(&canonical) {
+                "L1-ambient-random"
+            } else {
+                return None;
+            };
+            Some((alias.clone(), canonical.to_string(), lint, u.line, u.col))
+        })
+        .collect()
+}
+
 fn lint_determinism(ctx: &mut FileCtx<'_>) {
-    let hash_scope = in_determinism_scope(ctx.path);
-    let ambient_scope = in_ambient_scope(ctx.path);
+    let hash_scope = in_determinism_scope(&ctx.fa.path);
+    let ambient_scope = in_ambient_scope(&ctx.fa.path);
     if !hash_scope && !ambient_scope {
         return;
     }
-    for i in 0..ctx.toks.len() {
-        let t = &ctx.toks[i];
+    let aliases = banned_aliases(ctx.fa);
+    for i in 0..ctx.toks().len() {
+        let t = ctx.toks()[i].clone();
         if t.kind != TokKind::Ident || ctx.is_test_line(t.line) {
             continue;
         }
         if hash_scope && HASH_IDENTS.contains(&t.text.as_str()) {
-            let t = t.clone();
             ctx.emit(
                 "L1-hash-collection",
                 &t,
@@ -413,10 +410,9 @@ fn lint_determinism(ctx: &mut FileCtx<'_>) {
         if ambient_scope {
             if TIME_IDENTS.contains(&t.text.as_str())
                 || (t.text == "std"
-                    && punct_at(ctx.toks, i + 1, "::")
-                    && ident_at(ctx.toks, i + 2, "time"))
+                    && punct_at(ctx.toks(), i + 1, "::")
+                    && ident_at(ctx.toks(), i + 2, "time"))
             {
-                let t = t.clone();
                 ctx.emit(
                     "L1-ambient-time",
                     &t,
@@ -427,7 +423,6 @@ fn lint_determinism(ctx: &mut FileCtx<'_>) {
                 );
             }
             if RANDOM_IDENTS.contains(&t.text.as_str()) {
-                let t = t.clone();
                 ctx.emit(
                     "L1-ambient-random",
                     &t,
@@ -438,80 +433,25 @@ fn lint_determinism(ctx: &mut FileCtx<'_>) {
                 );
             }
         }
-    }
-}
-
-fn protected_fn_lines(ctx: &FileCtx<'_>) -> Vec<(u32, u32)> {
-    let Some((_, matcher)) = PANIC_SCOPES.iter().find(|(p, _)| ctx.path == *p) else {
-        return Vec::new();
-    };
-    fn_spans(ctx.toks)
-        .iter()
-        .filter(|f| match matcher {
-            FnMatch::Exact(names) => names.contains(&f.name.as_str()),
-            FnMatch::DecodeFamily => f.name == "decode" || f.name.starts_with("decode_"),
-        })
-        .map(|f| (f.line_start, f.line_end))
-        .collect()
-}
-
-fn lint_panic_freedom(ctx: &mut FileCtx<'_>) {
-    let protected = protected_fn_lines(ctx);
-    if protected.is_empty() {
-        return;
-    }
-    for i in 0..ctx.toks.len() {
-        let t = &ctx.toks[i];
-        if !in_ranges(t.line, &protected) || ctx.is_test_line(t.line) {
-            continue;
-        }
-        match t.kind {
-            TokKind::Ident => {
-                if (t.text == "unwrap" || t.text == "expect")
-                    && i > 0
-                    && punct_at(ctx.toks, i - 1, ".")
-                {
-                    let t = t.clone();
-                    ctx.emit(
-                        "L2-unwrap",
-                        &t,
-                        format!(
-                            "`.{}()` can panic in a solver/decode hot path; return a typed SolverError/DecodeError instead",
-                            t.text
-                        ),
-                    );
-                } else if PANIC_MACROS.contains(&t.text.as_str()) && punct_at(ctx.toks, i + 1, "!")
-                {
-                    let t = t.clone();
-                    ctx.emit(
-                        "L2-unwrap",
-                        &t,
-                        format!(
-                            "`{}!` panics in a solver/decode hot path; return a typed error instead",
-                            t.text
-                        ),
-                    );
-                }
+        // Alias-resolved occurrences: `use std::collections::HashMap as M`
+        // makes every later `M` a HashMap (the PR 4 blind spot). The
+        // definition token is skipped — the canonical ident on the same
+        // `use` line is already flagged above.
+        for (alias, canonical, lint, def_line, def_col) in &aliases {
+            if t.text != *alias || (t.line == *def_line && t.col == *def_col) {
+                continue;
             }
-            TokKind::Punct if t.text == "[" && i > 0 => {
-                let prev = &ctx.toks[i - 1];
-                let is_index_base = match prev.kind {
-                    TokKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
-                    TokKind::Punct => prev.text == ")" || prev.text == "]",
-                    _ => false,
-                };
-                // `#[…]` attributes and macro invocations `vec![…]` are
-                // excluded by the base check (`#`/`!` are not index bases).
-                if is_index_base {
-                    let t = t.clone();
-                    ctx.emit(
-                        "L2-index",
-                        &t,
-                        "`[]` indexing can panic in a solver/decode hot path; use .get() or allowlist with a bounds justification".to_string(),
-                    );
-                }
+            let in_scope = match *lint {
+                "L1-hash-collection" => hash_scope,
+                _ => ambient_scope,
+            };
+            if in_scope {
+                ctx.emit(
+                    lint,
+                    &t,
+                    format!("`{alias}` is `{canonical}` via a `use … as` alias; the rename does not change its behavior"),
+                );
             }
-            _ => {}
         }
     }
 }
@@ -557,19 +497,18 @@ fn cast_source_range(toks: &[Tok], as_idx: usize) -> (usize, usize) {
 }
 
 fn lint_float_hygiene(ctx: &mut FileCtx<'_>) {
-    let float_scope = in_float_scope(ctx.path);
-    let smt_scope = ctx.path.starts_with("crates/smt/src/") && !is_test_path(ctx.path);
+    let float_scope = in_float_scope(&ctx.fa.path);
+    let smt_scope = ctx.fa.path.starts_with("crates/smt/src/") && !is_test_path(&ctx.fa.path);
     if !float_scope && !smt_scope {
         return;
     }
-    for i in 0..ctx.toks.len() {
-        let t = &ctx.toks[i];
+    for i in 0..ctx.toks().len() {
+        let t = ctx.toks()[i].clone();
         if ctx.is_test_line(t.line) {
             continue;
         }
         // L3-float-type: f32/f64 anywhere in the exact-rational crate.
         if smt_scope && t.kind == TokKind::Ident && FLOAT_TYPES.contains(&t.text.as_str()) {
-            let t = t.clone();
             ctx.emit(
                 "L3-float-type",
                 &t,
@@ -585,7 +524,7 @@ fn lint_float_hygiene(ctx: &mut FileCtx<'_>) {
         // L3-float-eq: ==/!= with a float literal or f32/f64 constant
         // path on either side.
         if t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=") {
-            let toks = ctx.toks;
+            let toks = ctx.toks();
             let is_float_tok = |n: &Tok| {
                 n.kind == TokKind::Float
                     || (n.kind == TokKind::Ident && FLOAT_TYPES.contains(&n.text.as_str()))
@@ -599,7 +538,6 @@ fn lint_float_hygiene(ctx: &mut FileCtx<'_>) {
             let rhs_float = toks.get(rhs_idx).map(is_float_tok).unwrap_or(false);
             let lhs_float = i > 0 && is_float_tok(&toks[i - 1]);
             if rhs_float || lhs_float {
-                let t = t.clone();
                 ctx.emit(
                     "L3-float-eq",
                     &t,
@@ -612,15 +550,14 @@ fn lint_float_hygiene(ctx: &mut FileCtx<'_>) {
         }
         // L3-float-cast: `<float expr> as <int type>`.
         if t.kind == TokKind::Ident && t.text == "as" {
-            if let Some(target) = ctx.toks.get(i + 1) {
+            if let Some(target) = ctx.toks().get(i + 1).cloned() {
                 if target.kind == TokKind::Ident && INT_TYPES.contains(&target.text.as_str()) {
-                    let (lo, hi) = cast_source_range(ctx.toks, i);
-                    let has_float_evidence = ctx.toks[lo..hi].iter().any(|s| {
+                    let (lo, hi) = cast_source_range(ctx.toks(), i);
+                    let has_float_evidence = ctx.toks()[lo..hi].iter().any(|s| {
                         s.kind == TokKind::Float
                             || (s.kind == TokKind::Ident && FLOAT_TYPES.contains(&s.text.as_str()))
                     });
                     if has_float_evidence {
-                        let t = t.clone();
                         ctx.emit(
                             "L3-float-cast",
                             &t,
@@ -637,16 +574,17 @@ fn lint_float_hygiene(ctx: &mut FileCtx<'_>) {
 }
 
 fn lint_safety_comments(ctx: &mut FileCtx<'_>) {
-    for t in ctx.toks {
+    for i in 0..ctx.toks().len() {
+        let t = ctx.toks()[i].clone();
         if t.kind == TokKind::Ident && t.text == "unsafe" {
             let lo = t.line.saturating_sub(3);
             let documented = ctx
+                .fa
                 .lexed
                 .comments
                 .iter()
                 .any(|c| c.line >= lo && c.line <= t.line && c.text.contains("SAFETY"));
             if !documented {
-                let t = t.clone();
                 ctx.emit(
                     "L4-safety-comment",
                     &t,
@@ -655,6 +593,461 @@ fn lint_safety_comments(ctx: &mut FileCtx<'_>) {
                 );
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L6: lock discipline
+// ---------------------------------------------------------------------------
+
+/// A live lock guard inside one function body.
+struct Guard {
+    /// The lock's name for ordering: the receiver field (`self.conns`
+    /// → `conns`), or the enclosing impl type for `self.lock()` wrappers.
+    name: String,
+    /// The `let` binding holding the guard, when there is one (used by
+    /// `drop(var)` detection).
+    var: Option<String>,
+    /// Brace depth at acquisition: the guard dies when the enclosing
+    /// block closes.
+    depth: usize,
+    /// Unbound guards (no `let`) additionally die at the end of their
+    /// statement.
+    bound: bool,
+}
+
+fn lint_locks(ctx: &mut FileCtx<'_>, order: &[String]) {
+    if !in_lock_scope(&ctx.fa.path) {
+        return;
+    }
+    let fns: Vec<(Option<String>, ast::TokRange)> = ctx
+        .fa
+        .ast
+        .fns
+        .iter()
+        .filter(|f| !f.is_test)
+        .filter_map(|f| f.body.map(|b| (f.owner.clone(), b)))
+        .collect();
+    for (owner, body) in fns {
+        lint_lock_body(ctx, order, owner.as_deref(), body);
+    }
+}
+
+/// Backward scan inside the current statement for a `let` binding; returns
+/// the bound variable name if found.
+fn stmt_let_binding(toks: &[Tok], from: usize, floor: usize) -> Option<String> {
+    let mut i = from;
+    while i > floor {
+        i -= 1;
+        let t = &toks[i];
+        if t.kind == TokKind::Punct && (t.text == ";" || t.text == "{" || t.text == "}") {
+            return None;
+        }
+        if t.kind == TokKind::Ident && t.text == "let" {
+            let mut j = i + 1;
+            if ident_at(toks, j, "mut") {
+                j += 1;
+            }
+            return toks
+                .get(j)
+                .filter(|v| v.kind == TokKind::Ident)
+                .map(|v| v.text.clone());
+        }
+    }
+    None
+}
+
+fn lint_lock_body(
+    ctx: &mut FileCtx<'_>,
+    order: &[String],
+    owner: Option<&str>,
+    body: ast::TokRange,
+) {
+    let toks: Vec<Tok> = ctx.toks().to_vec();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut k = body.open;
+    while k <= body.close.min(toks.len().saturating_sub(1)) {
+        let t = &toks[k];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    guards.retain(|g| g.depth <= depth);
+                }
+                ";" => guards.retain(|g| g.bound || g.depth != depth),
+                _ => {}
+            }
+            k += 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident || ctx.is_test_line(t.line) {
+            k += 1;
+            continue;
+        }
+        // `drop(var)` releases the named guard early.
+        if t.text == "drop" && punct_at(&toks, k + 1, "(") {
+            if let Some(v) = toks.get(k + 2).filter(|v| v.kind == TokKind::Ident) {
+                guards.retain(|g| g.var.as_deref() != Some(v.text.as_str()));
+            }
+            k += 1;
+            continue;
+        }
+        let is_method = k > body.open && punct_at(&toks, k - 1, ".") && punct_at(&toks, k + 1, "(");
+        if is_method && BLOCKING_CALLS.contains(&t.text.as_str()) {
+            if let Some(g) = guards.last() {
+                let t = t.clone();
+                let held = g.name.clone();
+                ctx.emit(
+                    "L6-lock-blocking",
+                    &t,
+                    format!(
+                        "`.{}()` blocks while the `{held}` guard is live; release the lock before blocking",
+                        t.text
+                    ),
+                );
+            }
+        }
+        let is_acquire = is_method
+            && (t.text == "lock"
+                || ((t.text == "read" || t.text == "write")
+                    && receiver_name(&toks, k, owner)
+                        .map(|r| order.contains(&r))
+                        .unwrap_or(false)));
+        if is_acquire {
+            if let Some(name) = receiver_name(&toks, k, owner) {
+                let t = t.clone();
+                for g in &guards {
+                    check_order(ctx, order, &g.name, &name, &t);
+                }
+                let var = stmt_let_binding(&toks, k, body.open);
+                guards.push(Guard {
+                    name,
+                    bound: var.is_some(),
+                    var,
+                    depth,
+                });
+            }
+        }
+        k += 1;
+    }
+}
+
+/// The lock name for an acquisition at token `k` (`k` is the `lock`/
+/// `read`/`write` ident): the receiver ident before the `.`, with
+/// `self.lock()` wrapper methods named after the enclosing impl type.
+fn receiver_name(toks: &[Tok], k: usize, owner: Option<&str>) -> Option<String> {
+    let r = k.checked_sub(2).map(|i| &toks[i])?;
+    if r.kind != TokKind::Ident {
+        return None; // `(expr).lock()` — unnameable receiver, untracked.
+    }
+    if r.text == "self"
+        && !k
+            .checked_sub(3)
+            .map(|i| punct_at(toks, i, "."))
+            .unwrap_or(false)
+    {
+        // `self.lock()` — a guard-returning wrapper (e.g. RequestQueue's
+        // poison-recovering helper): name it after the type.
+        return Some(owner.unwrap_or("self").to_string());
+    }
+    Some(r.text.clone())
+}
+
+fn check_order(ctx: &mut FileCtx<'_>, order: &[String], held: &str, new: &str, at: &Tok) {
+    if held == new {
+        ctx.emit(
+            "L6-lock-order",
+            at,
+            format!("`{new}` re-acquired while its own guard is live (self-deadlock on a non-reentrant lock)"),
+        );
+        return;
+    }
+    let held_idx = order.iter().position(|o| o == held);
+    let new_idx = order.iter().position(|o| o == new);
+    match (held_idx, new_idx) {
+        (Some(h), Some(n)) if n > h => {} // declared order respected
+        (Some(_), Some(_)) => ctx.emit(
+            "L6-lock-order",
+            at,
+            format!(
+                "`{new}` acquired while holding `{held}` violates the declared [locks] order ({})",
+                order.join(" -> ")
+            ),
+        ),
+        _ => ctx.emit(
+            "L6-lock-order",
+            at,
+            format!(
+                "nested lock acquisition (`{new}` while holding `{held}`) with no declared order; add both to [locks] order in analyze.toml"
+            ),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L2 + L5: interprocedural passes over the call-graph closure
+// ---------------------------------------------------------------------------
+
+/// Summary of the interprocedural pass, surfaced in the report.
+#[derive(Debug, Default, Clone)]
+pub struct InterprocStats {
+    /// Root specs declared in `[interproc] roots`.
+    pub roots_declared: usize,
+    /// Functions directly matched by a root spec.
+    pub root_fns: usize,
+    /// Functions in the reachability closure (roots included).
+    pub reachable_fns: usize,
+    /// Root specs that matched nothing (stale config).
+    pub unmatched_roots: Vec<String>,
+}
+
+/// Run the interprocedural lints (L2 panic-freedom, L5 checked
+/// arithmetic) over the whole workspace at once.
+pub fn lint_interproc(
+    files: &[FileAnalysis],
+    deps: &CrateDeps,
+    roots: &[String],
+) -> (Vec<Finding>, InterprocStats) {
+    let units: Vec<FileUnit<'_>> = files
+        .iter()
+        .map(|fa| FileUnit {
+            path: &fa.path,
+            toks: &fa.lexed.tokens,
+            ast: &fa.ast,
+        })
+        .collect();
+    let g = graph::build(&units, deps);
+    let closure = graph::closure(&g, roots);
+    let stats = InterprocStats {
+        roots_declared: roots.len(),
+        root_fns: closure.root_ids.len(),
+        reachable_fns: closure.reachable.len(),
+        unmatched_roots: closure.unmatched_roots.clone(),
+    };
+
+    // Workspace macros whose bodies contain panic evidence: invoking one
+    // from a reachable fn is a panic path even though the panic token sits
+    // in the (unreachable-to-the-closure) macro body.
+    let mut panicky_macros: BTreeMap<String, &'static str> = BTreeMap::new();
+    for fa in files {
+        let toks = &fa.lexed.tokens;
+        for m in &fa.ast.macros {
+            let lo = m.body.open.min(toks.len());
+            let hi = (m.body.close + 1).min(toks.len());
+            if let Some(kind) = panic_evidence(&toks[lo..hi]) {
+                panicky_macros.entry(m.name.clone()).or_insert(kind);
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for &id in &closure.reachable {
+        let node = &g.nodes[id];
+        if !in_panic_emit_scope(&node.path) {
+            continue;
+        }
+        let fa = &files[node.file];
+        let chain = closure.chain(&g, id);
+        let via = render_via(&chain);
+        lint_panic_body(fa, node, &via, &panicky_macros, &mut findings);
+        if in_arith_scope(&node.path) {
+            lint_arith_body(fa, node, &via, &mut findings);
+        }
+    }
+    (findings, stats)
+}
+
+/// Does this token slice contain something that can panic?
+fn panic_evidence(toks: &[Tok]) -> Option<&'static str> {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident {
+            if (t.text == "unwrap" || t.text == "expect") && i > 0 && punct_at(toks, i - 1, ".") {
+                return Some("unwrap/expect");
+            }
+            if PANIC_MACROS.contains(&t.text.as_str()) && punct_at(toks, i + 1, "!") {
+                return Some("a panicking macro");
+            }
+        }
+        if t.kind == TokKind::Punct && t.text == "[" && i > 0 && is_index_base(&toks[i - 1]) {
+            return Some("[] indexing");
+        }
+    }
+    None
+}
+
+fn is_index_base(prev: &Tok) -> bool {
+    match prev.kind {
+        TokKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+        TokKind::Punct => prev.text == ")" || prev.text == "]",
+        _ => false,
+    }
+}
+
+/// Render the reachability explanation appended to L2/L5 messages.
+fn render_via(chain: &[String]) -> String {
+    match chain {
+        [] => String::new(),
+        [root] => format!("in declared root `{root}`"),
+        [root, .., last] => {
+            let mid: Vec<&str> = chain[1..chain.len() - 1]
+                .iter()
+                .map(String::as_str)
+                .collect();
+            if mid.is_empty() {
+                format!("in `{last}`, called from root `{root}`")
+            } else {
+                format!(
+                    "in `{last}`, reachable from root `{root}` via {}",
+                    mid.join(" -> ")
+                )
+            }
+        }
+    }
+}
+
+fn lint_panic_body(
+    fa: &FileAnalysis,
+    node: &graph::FnNode,
+    via: &str,
+    panicky_macros: &BTreeMap<String, &'static str>,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &fa.lexed.tokens;
+    let hi = node.body.close.min(toks.len().saturating_sub(1));
+    for i in node.body.open..=hi {
+        let t = &toks[i];
+        if in_ranges(t.line, &fa.test_mask) {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident => {
+                if (t.text == "unwrap" || t.text == "expect") && i > 0 && punct_at(toks, i - 1, ".")
+                {
+                    findings.push(finding(
+                        "L2-unwrap",
+                        fa,
+                        t,
+                        format!(
+                            "`.{}()` can panic {via}; return a typed SolverError/DecodeError instead",
+                            t.text
+                        ),
+                    ));
+                } else if PANIC_MACROS.contains(&t.text.as_str()) && punct_at(toks, i + 1, "!") {
+                    findings.push(finding(
+                        "L2-unwrap",
+                        fa,
+                        t,
+                        format!("`{}!` panics {via}; return a typed error instead", t.text),
+                    ));
+                } else if punct_at(toks, i + 1, "!")
+                    && !punct_at(toks, i.wrapping_sub(1), ".")
+                    && panicky_macros.contains_key(&t.text)
+                {
+                    let kind = panicky_macros[&t.text];
+                    findings.push(finding(
+                        "L2-unwrap",
+                        fa,
+                        t,
+                        format!(
+                            "`{}!` expands to {kind} and is invoked {via}; make the macro return a typed error",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            // `#[…]` attributes and macro invocations `vec![…]` are
+            // excluded by the base check (`#`/`!` are not index bases).
+            TokKind::Punct if t.text == "[" && i > 0 && is_index_base(&toks[i - 1]) => {
+                findings.push(finding(
+                    "L2-index",
+                    fa,
+                    t,
+                    format!("`[]` indexing can panic {via}; use .get() or allowlist with a bounds justification"),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Evidence-gathering + flagging for unchecked `i64` arithmetic.
+fn lint_arith_body(
+    fa: &FileAnalysis,
+    node: &graph::FnNode,
+    via: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &fa.lexed.tokens;
+    let hi = node.body.close.min(toks.len().saturating_sub(1));
+    // Evidence: idents declared `: i64` (params and lets) in this fn.
+    let mut evidence: BTreeSet<&str> = BTreeSet::new();
+    let mut ranges = vec![(node.body.open, hi)];
+    if let Some(p) = node.params {
+        ranges.push((p.open, p.close.min(toks.len().saturating_sub(1))));
+    }
+    for &(lo, rhi) in &ranges {
+        for i in lo..=rhi {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || !punct_at(toks, i + 1, ":") {
+                continue;
+            }
+            let mut j = i + 2;
+            while punct_at(toks, j, "&") || ident_at(toks, j, "mut") {
+                j += 1;
+            }
+            if ident_at(toks, j, "i64") {
+                evidence.insert(t.text.as_str());
+            }
+        }
+    }
+    let is_i64_operand = |t: &Tok| -> bool {
+        (t.kind == TokKind::Ident && evidence.contains(t.text.as_str()))
+            || (t.kind == TokKind::Int && t.text.ends_with("i64"))
+    };
+    for i in (node.body.open + 1)..=hi {
+        let t = &toks[i];
+        if in_ranges(t.line, &fa.test_mask) || t.kind != TokKind::Punct {
+            continue;
+        }
+        let op = t.text.as_str();
+        if !matches!(op, "+" | "-" | "*" | "+=" | "-=" | "*=") {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        // `+`/`-`/`*` must be binary: the previous token ends a value.
+        let binary = match prev.kind {
+            TokKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+            TokKind::Int | TokKind::Float => true,
+            TokKind::Punct => prev.text == ")" || prev.text == "]",
+            _ => false,
+        };
+        if !binary {
+            continue;
+        }
+        let lhs = is_i64_operand(prev);
+        let rhs = toks.get(i + 1).map(is_i64_operand).unwrap_or(false);
+        if lhs || rhs {
+            findings.push(finding(
+                "L5-arith",
+                fa,
+                t,
+                format!(
+                    "unchecked `{op}` on `i64` {via}; use checked_add/checked_sub/checked_mul and surface SolverError::Overflow"
+                ),
+            ));
+        }
+    }
+}
+
+fn finding(lint: &'static str, fa: &FileAnalysis, tok: &Tok, message: String) -> Finding {
+    Finding {
+        lint,
+        path: fa.path.clone(),
+        line: tok.line,
+        col: tok.col,
+        message,
     }
 }
 
@@ -669,12 +1062,40 @@ mod tests {
             .collect()
     }
 
+    fn interproc_of(files: &[(&str, &str)], roots: &[&str]) -> (Vec<Finding>, InterprocStats) {
+        let fas: Vec<FileAnalysis> = files.iter().map(|(p, s)| analyze_file(p, s)).collect();
+        let roots: Vec<String> = roots.iter().map(|s| s.to_string()).collect();
+        lint_interproc(&fas, &CrateDeps::default(), &roots)
+    }
+
     #[test]
     fn hashmap_flagged_in_scope_only() {
         let src = "use std::collections::HashMap;\n";
         assert_eq!(lints_of("crates/smt/src/term.rs", src).len(), 1);
         assert_eq!(lints_of("crates/bench/src/lib.rs", src).len(), 0);
         assert_eq!(lints_of("crates/smt/tests/proptests.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn hashmap_alias_usage_flagged() {
+        let src =
+            "use std::collections::HashMap as M;\n\npub struct Pool {\n    map: M<u32, u32>,\n}\n";
+        let found = lints_of("crates/smt/src/term.rs", src);
+        // The canonical ident on the use line, plus the aliased usage.
+        assert_eq!(
+            found,
+            vec![("L1-hash-collection", 1, 23), ("L1-hash-collection", 4, 10)]
+        );
+    }
+
+    #[test]
+    fn time_alias_flagged() {
+        let src = "use std::time::Instant as Clock;\nfn f() { let t = Clock::now(); }\n";
+        let found = lints_of("crates/core/src/session.rs", src);
+        assert!(
+            found.contains(&("L1-ambient-time", 2, 18)),
+            "aliased Instant usage must be flagged: {found:?}"
+        );
     }
 
     #[test]
@@ -690,24 +1111,97 @@ mod tests {
     }
 
     #[test]
-    fn unwrap_flagged_only_in_protected_fns() {
+    fn macro_body_findings_are_attributed() {
+        let src = "macro_rules! mk {\n    () => { HashMap::new() };\n}\n";
+        let found = lint_file("crates/smt/src/term.rs", src);
+        assert_eq!(found.len(), 1);
+        assert!(
+            found[0].message.contains("`mk!` macro body"),
+            "{}",
+            found[0].message
+        );
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_reachable_fns() {
         let src = "impl S {\n    fn propagate(&mut self) {\n        self.x.unwrap();\n    }\n    fn other(&self) {\n        self.x.unwrap();\n    }\n}\n";
-        let found = lints_of("crates/smt/src/sat.rs", src);
-        assert_eq!(found, vec![("L2-unwrap", 3, 16)]);
+        let (findings, stats) = interproc_of(&[("crates/smt/src/sat.rs", src)], &["propagate"]);
+        let spans: Vec<(&str, u32, u32)> =
+            findings.iter().map(|f| (f.lint, f.line, f.col)).collect();
+        assert_eq!(spans, vec![("L2-unwrap", 3, 16)]);
+        assert_eq!(stats.root_fns, 1);
+        assert!(stats.unmatched_roots.is_empty());
     }
 
     #[test]
-    fn indexing_flagged_with_span() {
-        let src = "fn check(&mut self) {\n    let y = self.rows[r];\n    let a = [0; 4];\n}\n";
-        let found = lints_of("crates/smt/src/simplex.rs", src);
-        assert_eq!(found, vec![("L2-index", 2, 22)]);
+    fn two_deep_panic_is_reached_with_chain_in_message() {
+        let files = [
+            (
+                "crates/smt/src/theory.rs",
+                "pub fn branch_and_bound() { tighten(0); }\n",
+            ),
+            (
+                "crates/smt/src/helper.rs",
+                "pub fn tighten(x: u8) { bound_floor(x); }\nfn bound_floor(x: u8) { y.unwrap(); }\n",
+            ),
+        ];
+        let (findings, stats) = interproc_of(&files, &["branch_and_bound"]);
+        assert_eq!(findings.len(), 1);
+        let f = &findings[0];
+        assert_eq!(
+            (f.lint, f.path.as_str(), f.line),
+            ("L2-unwrap", "crates/smt/src/helper.rs", 2)
+        );
+        assert!(
+            f.message.contains("branch_and_bound") && f.message.contains("tighten"),
+            "chain must be named: {}",
+            f.message
+        );
+        assert_eq!(stats.reachable_fns, 3);
     }
 
     #[test]
-    fn decode_family_is_protected_but_tests_are_not() {
-        let src = "fn decode_loop() {\n    x.unwrap();\n}\n#[cfg(test)]\nmod tests {\n    fn decode_roundtrip() { x.unwrap(); }\n}\n";
-        let found = lints_of("crates/core/src/decoder.rs", src);
-        assert_eq!(found, vec![("L2-unwrap", 2, 7)]);
+    fn panicking_workspace_macro_invocation_is_flagged() {
+        let src = "macro_rules! oops {\n    () => { x.unwrap() };\n}\npub fn hot() { oops!(); }\n";
+        let (findings, _) = interproc_of(&[("crates/smt/src/a.rs", src)], &["hot"]);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.line == 4 && f.message.contains("oops")),
+            "macro invocation must be flagged at the call site: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn l2_not_emitted_outside_hot_crates() {
+        let files = [("crates/lm/src/gpt.rs", "pub fn forward() { x.unwrap(); }\n")];
+        let (findings, _) = interproc_of(&files, &["forward"]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unchecked_i64_arith_flagged_checked_not() {
+        let src = "pub fn widen(a: i64, b: i64) -> i64 {\n    let c = a + b;\n    let d = a.checked_mul(b);\n    c\n}\nfn unreached(a: i64, b: i64) -> i64 { a * b }\n";
+        let (findings, _) = interproc_of(&[("crates/smt/src/linear.rs", src)], &["widen"]);
+        let spans: Vec<(&str, u32, u32)> =
+            findings.iter().map(|f| (f.lint, f.line, f.col)).collect();
+        assert_eq!(spans, vec![("L5-arith", 2, 15)]);
+    }
+
+    #[test]
+    fn usize_arith_not_flagged() {
+        let src = "pub fn f(a: usize, b: usize) -> usize { a + b }\n";
+        let (findings, _) = interproc_of(&[("crates/smt/src/a.rs", src)], &["f"]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn indexing_flagged_with_span_when_reachable() {
+        let src = "impl S {\n    fn check(&mut self) {\n        let y = self.rows[r];\n        let a = [0; 4];\n    }\n}\n";
+        let (findings, _) = interproc_of(&[("crates/smt/src/simplex.rs", src)], &["check"]);
+        let spans: Vec<(&str, u32, u32)> =
+            findings.iter().map(|f| (f.lint, f.line, f.col)).collect();
+        assert_eq!(spans, vec![("L2-index", 3, 26)]);
     }
 
     #[test]
@@ -748,5 +1242,69 @@ mod tests {
         let src = "use std::time::Instant;\n";
         assert!(!lints_of("crates/core/src/session.rs", src).is_empty());
         assert!(lints_of("crates/bench/src/experiments.rs", src).is_empty());
+    }
+
+    fn lock_lints(src: &str, order: &[&str]) -> Vec<(&'static str, u32)> {
+        let fa = analyze_file("crates/serve/src/server.rs", src);
+        let order: Vec<String> = order.iter().map(|s| s.to_string()).collect();
+        lint_local(&fa, &order)
+            .into_iter()
+            .filter(|f| f.lint.starts_with("L6"))
+            .map(|f| (f.lint, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn declared_lock_order_is_enforced() {
+        let good = "fn drain(&self) {\n    let held = self.conns.lock().unwrap();\n    let g = conn.lock().unwrap();\n}\n";
+        let bad = "fn drain(&self) {\n    let g = conn.lock().unwrap();\n    let held = self.conns.lock().unwrap();\n}\n";
+        assert!(lock_lints(good, &["conns", "conn"]).is_empty());
+        assert_eq!(
+            lock_lints(bad, &["conns", "conn"]),
+            vec![("L6-lock-order", 3)]
+        );
+    }
+
+    #[test]
+    fn undeclared_nested_locks_are_flagged() {
+        let src = "fn f(&self) {\n    let a = self.alpha.lock().unwrap();\n    let b = self.beta.lock().unwrap();\n}\n";
+        assert_eq!(lock_lints(src, &[]), vec![("L6-lock-order", 3)]);
+    }
+
+    #[test]
+    fn reacquiring_same_lock_is_flagged() {
+        let src = "fn f(&self) {\n    let a = self.conns.lock().unwrap();\n    let b = self.conns.lock().unwrap();\n}\n";
+        assert_eq!(
+            lock_lints(src, &["conns", "conn"]),
+            vec![("L6-lock-order", 3)]
+        );
+    }
+
+    #[test]
+    fn guard_scope_ends_at_block_close_and_drop() {
+        let scoped = "fn f(&self) {\n    {\n        let a = self.conn.lock().unwrap();\n    }\n    let b = self.conns.lock().unwrap();\n}\n";
+        assert!(lock_lints(scoped, &["conns", "conn"]).is_empty());
+        let dropped = "fn f(&self) {\n    let a = self.conn.lock().unwrap();\n    drop(a);\n    let b = self.conns.lock().unwrap();\n}\n";
+        assert!(lock_lints(dropped, &["conns", "conn"]).is_empty());
+    }
+
+    #[test]
+    fn blocking_call_under_guard_is_flagged() {
+        let src = "fn f(&self) {\n    let g = self.metrics.lock().unwrap();\n    let x = self.rx.recv().unwrap();\n}\n";
+        assert_eq!(lock_lints(src, &[]), vec![("L6-lock-blocking", 3)]);
+        let ok = "fn f(&self) {\n    {\n        let g = self.metrics.lock().unwrap();\n    }\n    let x = self.rx.recv().unwrap();\n}\n";
+        assert!(lock_lints(ok, &[]).is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_is_exempt() {
+        let src = "fn pop_wait(&self) {\n    let mut inner = self.lock();\n    let r = self.readable.wait(inner).unwrap();\n}\n";
+        let fa = analyze_file("crates/serve/src/queue.rs", src);
+        let found: Vec<&Finding> = Vec::new();
+        let got = lint_local(&fa, &[]);
+        assert!(
+            got.iter().all(|f| !f.lint.starts_with("L6")),
+            "{got:?} {found:?}"
+        );
     }
 }

@@ -1,12 +1,14 @@
 //! CLI for the workspace static-analysis pass.
 //!
 //! ```text
-//! cargo run -p lejit-analyze -- check [--root DIR] [--allowlist FILE] [--verbose]
+//! cargo run -p lejit-analyze -- check [--root DIR] [--allowlist FILE]
+//!                                     [--verbose] [--deny-stale] [--json]
 //! cargo run -p lejit-analyze -- lints
 //! ```
 //!
-//! Exit codes: `0` clean, `1` unallowlisted findings, `2` usage or
-//! configuration error.
+//! Exit codes: `0` clean, `1` unallowlisted findings (or, with
+//! `--deny-stale`, stale allowlist entries / unmatched roots), `2` usage
+//! or configuration error.
 
 #![deny(unsafe_code)]
 
@@ -18,6 +20,7 @@ fn usage() -> &'static str {
 
 USAGE:
     lejit-analyze check [--root DIR] [--allowlist FILE] [--verbose]
+                        [--deny-stale] [--json]
     lejit-analyze lints
 
 COMMANDS:
@@ -29,6 +32,9 @@ OPTIONS:
     --root DIR        Tree to scan (default: .)
     --allowlist FILE  Allowlist file (default: <root>/analyze.toml if present)
     --verbose         Also print allowlisted findings with their justifications
+    --deny-stale      Also exit 1 when analyze.toml has unused allowlist
+                      entries or [interproc] roots that match no function
+    --json            Emit the report as a single JSON object on stdout
 "
 }
 
@@ -57,6 +63,8 @@ fn run_check(args: &[String]) -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut allowlist: Option<PathBuf> = None;
     let mut verbose = false;
+    let mut deny_stale = false;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -69,16 +77,23 @@ fn run_check(args: &[String]) -> ExitCode {
                 None => return arg_error("--allowlist requires a file"),
             },
             "--verbose" => verbose = true,
+            "--deny-stale" => deny_stale = true,
+            "--json" => json = true,
             other => return arg_error(&format!("unknown option `{other}`")),
         }
     }
     match lejit_analyze::run_check(&root, allowlist.as_deref()) {
         Ok(report) => {
-            print!("{}", report.render(verbose));
-            if report.is_clean() {
-                ExitCode::SUCCESS
+            if json {
+                print!("{}", report.render_json());
             } else {
+                print!("{}", report.render(verbose));
+            }
+            let failed = !report.is_clean() || (deny_stale && !report.is_config_live());
+            if failed {
                 ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
             }
         }
         Err(e) => {

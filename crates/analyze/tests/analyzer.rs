@@ -107,3 +107,132 @@ fn render_lists_open_findings_with_spans() {
     );
     assert!(text.contains("12 findings (0 allowlisted, 12 unallowlisted) across 6 files"));
 }
+
+fn spans(report: &lejit_analyze::Report) -> Vec<(&str, u32, u32, &str)> {
+    report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            (
+                d.finding.path.as_str(),
+                d.finding.line,
+                d.finding.col,
+                d.finding.lint,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn alias_resolved_hash_collection() {
+    // The PR 4 analyzer's blind spot: `use std::collections::HashMap as M;`
+    // then `M<u32, u32>` never mentions the banned ident again. The alias
+    // table closes it: the canonical ident is flagged on the use line and
+    // every later `M` occurrence is flagged through the alias.
+    let report = run_check(&fixture("alias"), None).expect("check runs");
+    assert_eq!(
+        spans(&report),
+        vec![
+            ("crates/smt/src/aliased.rs", 1, 23, "L1-hash-collection"),
+            ("crates/smt/src/aliased.rs", 4, 10, "L1-hash-collection"),
+        ]
+    );
+    let via_alias = &report.diagnostics[1].finding.message;
+    assert!(
+        via_alias.contains("`M` is `HashMap` via a `use … as` alias"),
+        "alias finding must name the canonical type: {via_alias}"
+    );
+}
+
+#[test]
+fn interproc_panic_two_calls_deep() {
+    // `Solver::branch_and_bound` (theory.rs) -> `tighten_bounds` (bound.rs)
+    // -> `floor_of` (bound.rs), which unwraps. The finding lands on the
+    // unwrap's exact span with the full reachability chain in the message;
+    // the never-called `v[0]` indexing stays silent.
+    let report = run_check(&fixture("interproc"), None).expect("check runs");
+    assert_eq!(
+        spans(&report),
+        vec![
+            ("crates/smt/src/bound.rs", 2, 20, "L5-arith"),
+            ("crates/smt/src/bound.rs", 7, 7, "L2-unwrap"),
+        ]
+    );
+    let unwrap_msg = &report.diagnostics[1].finding.message;
+    assert!(
+        unwrap_msg.contains(
+            "in `floor_of`, reachable from root `Solver::branch_and_bound` via tighten_bounds"
+        ),
+        "L2 message must carry the call chain: {unwrap_msg}"
+    );
+    let arith_msg = &report.diagnostics[0].finding.message;
+    assert!(
+        arith_msg.contains("in `tighten_bounds`, called from root `Solver::branch_and_bound`"),
+        "L5 message must carry the caller: {arith_msg}"
+    );
+    // Root + two callees in the closure; the root spec matched.
+    assert_eq!(report.interproc.roots_declared, 1);
+    assert_eq!(report.interproc.root_fns, 1);
+    assert_eq!(report.interproc.reachable_fns, 3);
+    assert!(report.interproc.unmatched_roots.is_empty());
+}
+
+#[test]
+fn lock_order_positive_and_negative() {
+    // `bad_order` takes `conn` then `conns` against the declared
+    // conns -> conn order; `blocks_while_held` calls `.recv()` with the
+    // `conns` guard live. `good_order` and `drops_before_recv` are silent.
+    let report = run_check(&fixture("locks"), None).expect("check runs");
+    assert_eq!(
+        spans(&report),
+        vec![
+            ("crates/serve/src/server.rs", 12, 30, "L6-lock-order"),
+            ("crates/serve/src/server.rs", 26, 20, "L6-lock-blocking"),
+        ]
+    );
+    let order_msg = &report.diagnostics[0].finding.message;
+    assert!(
+        order_msg.contains("`conns` acquired while holding `conn`")
+            && order_msg.contains("conns -> conn"),
+        "order finding must cite the declared order: {order_msg}"
+    );
+    // The bogus [interproc] root is surfaced for --deny-stale.
+    assert_eq!(report.interproc.unmatched_roots, vec!["no_such_fn"]);
+    assert!(!report.is_config_live());
+}
+
+#[test]
+fn macro_body_findings_are_attributed() {
+    let report = run_check(&fixture("macros"), None).expect("check runs");
+    assert_eq!(
+        spans(&report),
+        vec![
+            ("crates/smt/src/tab.rs", 1, 23, "L1-hash-collection"),
+            ("crates/smt/src/tab.rs", 5, 9, "L1-hash-collection"),
+            ("crates/smt/src/tab.rs", 9, 19, "L1-hash-collection"),
+        ]
+    );
+    let in_macro = &report.diagnostics[1].finding.message;
+    assert!(
+        in_macro.ends_with("(inside `table!` macro body)"),
+        "macro-body finding must be attributed: {in_macro}"
+    );
+    assert!(
+        !report.diagnostics[2].finding.message.contains("macro body"),
+        "finding outside the macro must not be attributed to it"
+    );
+}
+
+#[test]
+fn json_report_is_well_formed() {
+    let report = run_check(&fixture("interproc"), None).expect("check runs");
+    let json = report.render_json();
+    assert!(json.contains("\"files_scanned\": 2"));
+    assert!(json.contains("\"clean\": false"));
+    assert!(json.contains("\"reachable_fns\": 3"));
+    assert!(json.contains("\"lint\": \"L2-unwrap\""));
+    assert!(json.contains("\"path\": \"crates/smt/src/bound.rs\""));
+    // Messages contain backticks and arrows but no raw control characters;
+    // `via` chains must survive escaping.
+    assert!(json.contains("via tighten_bounds"));
+}

@@ -1,0 +1,5 @@
+use std::collections::HashMap as M;
+
+pub struct Pool {
+    map: M<u32, u32>,
+}

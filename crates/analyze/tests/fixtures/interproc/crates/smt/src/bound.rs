@@ -1,0 +1,12 @@
+pub fn tighten_bounds(depth: i64) -> i64 {
+    floor_of(depth + 1)
+}
+
+fn floor_of(x: i64) -> i64 {
+    let v: Option<i64> = Some(x);
+    v.unwrap()
+}
+
+fn never_called(v: &[i64]) -> i64 {
+    v[0]
+}

@@ -1,0 +1,7 @@
+pub struct Solver;
+
+impl Solver {
+    pub fn branch_and_bound(&mut self, depth: i64) -> i64 {
+        tighten_bounds(depth)
+    }
+}

@@ -1,0 +1,35 @@
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Server {
+    conn: Mutex<u32>,
+    conns: Mutex<u32>,
+}
+
+impl Server {
+    pub fn bad_order(&self) {
+        let c = self.conn.lock().ok();
+        let all = self.conns.lock().ok();
+        drop(all);
+        drop(c);
+    }
+
+    pub fn good_order(&self) {
+        let all = self.conns.lock().ok();
+        let c = self.conn.lock().ok();
+        drop(c);
+        drop(all);
+    }
+
+    pub fn blocks_while_held(&self, rx: &Receiver<u32>) {
+        let all = self.conns.lock().ok();
+        let _ = rx.recv();
+        drop(all);
+    }
+
+    pub fn drops_before_recv(&self, rx: &Receiver<u32>) {
+        let all = self.conns.lock().ok();
+        drop(all);
+        let _ = rx.recv();
+    }
+}

@@ -1,0 +1,11 @@
+use std::collections::HashMap;
+
+macro_rules! table {
+    () => {
+        HashMap::<u32, u32>::new()
+    };
+}
+
+pub fn build() -> HashMap<u32, u32> {
+    table!()
+}

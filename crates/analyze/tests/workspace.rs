@@ -1,0 +1,49 @@
+//! The analyzer's own acceptance gate: the real workspace must pass the
+//! full check with a live configuration. This is the same run CI performs
+//! with `--deny-stale`, kept as a test so `cargo test` alone catches a
+//! violation or a stale `analyze.toml` entry.
+
+use std::path::Path;
+
+use lejit_analyze::run_check;
+
+#[test]
+fn workspace_is_clean_and_config_is_live() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = run_check(&root, None).expect("workspace check runs");
+    let open: Vec<String> = report
+        .unallowlisted()
+        .map(|d| {
+            format!(
+                "{}:{}:{}: [{}] {}",
+                d.finding.path, d.finding.line, d.finding.col, d.finding.lint, d.finding.message
+            )
+        })
+        .collect();
+    assert!(
+        open.is_empty(),
+        "unallowlisted findings in the workspace:\n{}",
+        open.join("\n")
+    );
+    assert!(
+        report.unused_allows.is_empty(),
+        "stale analyze.toml entries: {:?}",
+        report.unused_allows
+    );
+    assert!(
+        report.interproc.unmatched_roots.is_empty(),
+        "stale [interproc] roots: {:?}",
+        report.interproc.unmatched_roots
+    );
+    // The declared roots must actually exercise the interprocedural pass:
+    // a closure this small would mean the call graph lost its edges.
+    assert!(
+        report.interproc.reachable_fns >= 30,
+        "closure covers only {} functions; the call graph is under-connected",
+        report.interproc.reachable_fns
+    );
+    assert!(report.files_scanned > 50, "workspace walk came up short");
+}

@@ -613,14 +613,20 @@ impl JitSession {
     ///
     /// [`Lookahead::Full`]: crate::transition::Lookahead::Full
     fn resolve_unknown(&mut self, k: usize, windows: &[(i64, i64)]) -> bool {
-        let span_lo = windows.iter().map(|w| w.0).min().unwrap();
-        let span_hi = windows.iter().map(|w| w.1).max().unwrap();
+        // The caller only reaches here with a non-empty window set; an empty
+        // one has no feasible value by definition, so don't panic on it.
+        let (Some(span_lo), Some(span_hi)) = (
+            windows.iter().map(|w| w.0).min(),
+            windows.iter().map(|w| w.1).max(),
+        ) else {
+            return false;
+        };
         let same_decade =
             span_lo.div_euclid(HULL_SWEEP_STRIDE) == span_hi.div_euclid(HULL_SWEEP_STRIDE);
-        if same_decade {
-            let (lo, hi) = self.intervals[k]
-                .hull
-                .expect("resolve_unknown needs a hull");
+        // The hull is always present here (the caller classified against
+        // it); if it ever is not, fall through to the exact check instead
+        // of panicking mid-decode.
+        if let (true, Some((lo, hi))) = (same_decade, self.intervals[k].hull) {
             let decade = span_lo.div_euclid(HULL_SWEEP_STRIDE) * HULL_SWEEP_STRIDE;
             let (elo, ehi) = (decade.max(lo), (decade + HULL_SWEEP_STRIDE - 1).min(hi));
             if ehi - elo + 1 >= SPAN_ENUMERATE_MIN {

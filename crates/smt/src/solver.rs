@@ -913,7 +913,14 @@ impl Solver {
         witnesses: &mut Vec<i64>,
     ) -> Result<Option<i64>, SolverError> {
         while lo < hi {
-            let mid = lo + (hi - lo) / 2; // biased toward lo
+            // Biased toward lo. `lo + span/2` cannot pass `hi`, but the span
+            // itself overflows when the hull straddles most of the i64 range.
+            let span = hi
+                .checked_sub(lo)
+                .ok_or(SolverError::Overflow("bound_search span"))?;
+            let mid = lo
+                .checked_add(span / 2)
+                .ok_or(SolverError::Overflow("bound_search midpoint"))?;
             let vt = self.var(v);
             let c = self.int(mid);
             let probe = if minimize {
@@ -987,7 +994,13 @@ impl Solver {
         let mut wi = 0usize;
         let mut bucket = lo - lo.rem_euclid(stride);
         while bucket <= hi {
-            let (a, b) = (bucket.max(lo), (bucket + stride - 1).min(hi));
+            // The last bucket's upper edge can pass i64::MAX before `.min(hi)`
+            // clamps it; an overflowed edge is >= i64::MAX >= hi.
+            let edge = match bucket.checked_add(stride) {
+                Some(next) => next - 1, // stride > 0, so next > i64::MIN
+                None => i64::MAX,
+            };
+            let (a, b) = (bucket.max(lo), edge.min(hi));
             while wi < witnesses.len() && witnesses[wi] < a {
                 wi += 1;
             }
@@ -1005,7 +1018,11 @@ impl Solver {
                     SatResult::Unknown => {} // bucket stays unclassified
                 }
             }
-            bucket += stride;
+            bucket = match bucket.checked_add(stride) {
+                // Past i64::MAX means past `hi`: the sweep is done.
+                None => break,
+                Some(next) => next,
+            };
         }
         witnesses.extend(harvested);
         witnesses.sort_unstable();
@@ -1040,7 +1057,10 @@ impl Solver {
             .collect();
         found.sort_unstable();
         found.dedup();
-        let width = (hi - lo + 1) as usize;
+        let width = hi
+            .checked_sub(lo)
+            .and_then(|w| w.checked_add(1))
+            .ok_or(SolverError::Overflow("feasible_values_in width"))? as usize;
         while found.len() < width {
             let vt = self.var(v);
             let (ca, cb) = (self.int(lo), self.int(hi));
@@ -1082,7 +1102,14 @@ impl Solver {
         };
         // Invariant: a feasible witness exists at `witness`-side endpoint.
         while lo < hi {
-            let mid = lo + (hi - lo) / 2; // biased toward lo
+            // Same midpoint hazard as bound_search: declared-bound hulls can
+            // straddle most of the i64 range.
+            let span = hi
+                .checked_sub(lo)
+                .ok_or(SolverError::Overflow("optimize span"))?;
+            let mid = lo
+                .checked_add(span / 2)
+                .ok_or(SolverError::Overflow("optimize midpoint"))?;
             let vt = self.var(v);
             let c = self.int(mid);
             let probe = if minimize {
